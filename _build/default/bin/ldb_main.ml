@@ -1,0 +1,139 @@
+(** The ldb command line: compile a C program for a simulated target,
+    start it under the nub, and debug it interactively.
+
+    Commands:
+      break <func> | break :<line>   plant a breakpoint (at no-ops only)
+      clear                          remove all breakpoints
+      run / continue (c)             resume execution
+      step (s) / stepi (si)          source-level / instruction-level step
+      where / bt                     current stop / backtrace
+      print (p) <name>               print a variable via its PostScript printer
+      eval (e) <expr>                evaluate a C expression (expression server)
+      set <name> = <int>             assign to a scalar variable
+      regs                           dump general-purpose registers
+      disas [addr]                   disassemble at addr (default: pc)
+      arch                           show target architecture
+      detach / kill / quit           connection control *)
+
+open Ldb_ldb
+
+let read_file path = In_channel.with_open_text path In_channel.input_all
+
+let run_session ~arch ~sources =
+  let d = Ldb.create () in
+  let proc, tg = Host.spawn d ~arch ~name:"cli" sources in
+  let sess = Ldb_exprserver.Eval.start ~arch in
+  Printf.printf "ldb: target %s, %d bytes of code, stopped before main\n%!"
+    (Ldb_machine.Arch.name arch)
+    (String.length proc.Host.hp_image.Ldb_link.Link.i_code);
+  let finished = ref false in
+  while not !finished do
+    Printf.printf "(ldb) %!";
+    match In_channel.input_line stdin with
+    | None -> finished := true
+    | Some line -> (
+        let words =
+          String.split_on_char ' ' (String.trim line) |> List.filter (fun s -> s <> "")
+        in
+        try
+          match words with
+          | [] -> ()
+          | [ "quit" ] | [ "q" ] -> finished := true
+          | [ "arch" ] -> print_endline (Ldb_machine.Arch.name tg.Ldb.tg_arch)
+          | [ "break"; spec ] | [ "b"; spec ] ->
+              if String.length spec > 0 && spec.[0] = ':' then begin
+                let line = int_of_string (String.sub spec 1 (String.length spec - 1)) in
+                let addrs = Ldb.break_line d tg ~line in
+                List.iter (Printf.printf "breakpoint at %#x\n") addrs
+              end
+              else Printf.printf "breakpoint at %#x\n" (Ldb.break_function d tg spec)
+          | [ "clear" ] -> Breakpoint.remove_all tg.Ldb.tg_breaks tg.Ldb.tg_wire
+          | [ "run" ] | [ "continue" ] | [ "c" ] -> (
+              match Ldb.continue_ d tg with
+              | Ldb.Exited n ->
+                  Printf.printf "program exited with status %d\n" n;
+                  let out = Ldb_machine.Proc.output proc.Host.hp_proc in
+                  if out <> "" then Printf.printf "--- program output ---\n%s" out
+              | _ -> print_endline (Ldb.where d tg))
+          | [ "step" ] | [ "s" ] -> (
+              match Ldb.step_source d tg with
+              | Ldb.Exited n -> Printf.printf "program exited with status %d\n" n
+              | _ -> print_endline (Ldb.where d tg))
+          | [ "stepi" ] | [ "si" ] -> (
+              match Ldb.step_instruction d tg with
+              | Ldb.Exited n -> Printf.printf "program exited with status %d\n" n
+              | _ -> print_endline (Ldb.where d tg))
+          | [ "disas" ] | [ "disas"; _ ] -> (
+              let addr =
+                match words with
+                | [ _; spec ] -> int_of_string spec
+                | _ -> (Ldb.top_frame d tg).Frame.fr_pc
+              in
+              print_endline (Disas.to_string (Ldb.disassemble d tg ~addr ~count:8)))
+          | [ "where" ] -> print_endline (Ldb.where d tg)
+          | [ "bt" ] | [ "backtrace" ] ->
+              List.iteri
+                (fun i fr ->
+                  Printf.printf "#%d %s (pc=%#x base=%#x)\n" i (Ldb.frame_function d tg fr)
+                    fr.Frame.fr_pc fr.Frame.fr_base)
+                (Ldb.backtrace d tg)
+          | [ "print"; name ] | [ "p"; name ] ->
+              Printf.printf "%s = %s\n" name (Ldb.print_value d tg (Ldb.top_frame d tg) name)
+          | "eval" :: rest | "e" :: rest ->
+              let expr = String.concat " " rest in
+              let v, ty =
+                Ldb_exprserver.Eval.evaluate d tg (Ldb.top_frame d tg) sess expr
+              in
+              Printf.printf "(%s) %s\n" ty v
+          | [ "set"; name; "="; v ] ->
+              Ldb.assign_int d tg (Ldb.top_frame d tg) name (int_of_string v)
+          | [ "regs" ] ->
+              let fr = Ldb.top_frame d tg in
+              let t = tg.Ldb.tg_tdesc in
+              for r = 0 to Ldb_machine.Target.nregs t - 1 do
+                Printf.printf "%4s=%08x%s"
+                  (Ldb_machine.Target.reg_name t r)
+                  (Frame.fetch_reg fr r)
+                  (if r mod 4 = 3 then "\n" else " ")
+              done
+          | [ "detach" ] -> Ldb.detach tg
+          | [ "kill" ] ->
+              Ldb.kill tg;
+              finished := true
+          | _ -> Printf.printf "unknown command: %s\n" line
+        with
+        | Ldb.Error m -> Printf.printf "ldb: %s\n" m
+        | Breakpoint.Error m -> Printf.printf "ldb: %s\n" m
+        | Ldb_exprserver.Eval.Error m -> Printf.printf "ldb: %s\n" m
+        | Ldb_exprserver.Exprserver.Error m -> Printf.printf "ldb: %s\n" m)
+  done
+
+open Cmdliner
+
+let arch_arg =
+  let parse s =
+    match Ldb_machine.Arch.of_name s with
+    | Some a -> Ok a
+    | None -> Error (`Msg ("unknown architecture " ^ s))
+  in
+  let print ppf a = Fmt.string ppf (Ldb_machine.Arch.name a) in
+  Arg.conv (parse, print)
+
+let arch_t =
+  Arg.(value & opt arch_arg Ldb_machine.Arch.Mips
+       & info [ "a"; "arch" ] ~docv:"ARCH" ~doc:"Target architecture: mips, sparc, m68k, vax.")
+
+let files_t =
+  Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE.c" ~doc:"C source files to debug.")
+
+let main arch files =
+  let sources = List.map (fun f -> (Filename.basename f, read_file f)) files in
+  try run_session ~arch ~sources with
+  | Ldb_cc.Compile.Error m -> Printf.eprintf "ldb: %s\n" m; exit 1
+  | Ldb_link.Link.Error m -> Printf.eprintf "ldb: %s\n" m; exit 1
+
+let cmd =
+  let doc = "a retargetable source-level debugger for simulated targets" in
+  Cmd.v (Cmd.info "ldb" ~doc) Term.(const main $ arch_t $ files_t)
+
+let () = exit (Cmd.eval cmd)

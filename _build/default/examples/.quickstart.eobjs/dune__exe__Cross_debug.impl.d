@@ -1,0 +1,1 @@
+examples/cross_debug.ml: Host Ldb Ldb_ldb Ldb_machine List Printf

@@ -1,0 +1,1 @@
+examples/event_action.ml: Client Host Ldb Ldb_amemory Ldb_ldb Ldb_machine Printf

@@ -1,0 +1,1 @@
+examples/expr_eval.ml: Host Ldb Ldb_cc Ldb_exprserver Ldb_ldb Ldb_machine List Printf

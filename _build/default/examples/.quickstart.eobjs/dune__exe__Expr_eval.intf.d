@@ -1,0 +1,1 @@
+examples/expr_eval.mli:

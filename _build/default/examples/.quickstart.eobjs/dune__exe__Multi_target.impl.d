@@ -1,0 +1,1 @@
+examples/multi_target.ml: Breakpoint Host Ldb Ldb_ldb Printf

@@ -1,0 +1,1 @@
+examples/postmortem.ml: Frame Host Int32 Ldb Ldb_amemory Ldb_ldb Ldb_machine List Printf Symtab

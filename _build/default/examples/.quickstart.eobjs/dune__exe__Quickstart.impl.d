@@ -1,0 +1,1 @@
+examples/quickstart.ml: Frame Hashtbl Host Ldb Ldb_ldb Ldb_link Ldb_machine Ldb_pscript List Printf String Symtab

@@ -1,0 +1,1 @@
+examples/symtab_tools.ml: Host Ldb Ldb_ldb Ldb_pscript Printf

@@ -1,0 +1,1 @@
+examples/symtab_tools.mli:

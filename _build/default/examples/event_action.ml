@@ -1,0 +1,103 @@
+(** Event-action debugging above ldb (Sec. 6, 7.1).
+
+    The paper argues event-action tools (Dalek-style) are "well suited for
+    implementation above ldb" through a client interface, and that
+    event-driven debugging subsumes conditional breakpoints as a special
+    case.  This example builds a tiny monitor on the client interface:
+
+    - a conditional breakpoint that only fires when a predicate holds in
+      the stopped frame;
+    - an action that logs state and keeps the target running;
+    - a data watchpoint found by single-stepping (the Sec. 7.1 protocol
+      extension).
+
+    Run with: dune exec examples/event_action.exe *)
+
+open Ldb_ldb
+
+let prog =
+  {|
+int balance = 100;
+
+int withdraw(int amount)
+{
+    balance = balance - amount;
+    return balance;
+}
+
+int main(void)
+{
+    int day;
+    for (day = 1; day <= 8; day++)
+        withdraw(day * 7);
+    printf("final %d\n", balance);
+    return 0;
+}
+|}
+
+let () =
+  let arch = Ldb_machine.Arch.M68k in
+  let d = Ldb.create () in
+  let proc, tg = Host.spawn d ~arch ~name:"bank" [ ("bank.c", prog) ] in
+  let client = Client.create d tg in
+
+  (* event: withdraw called with amount > 40; action: log and resume *)
+  let addr = Ldb.break_function d tg "withdraw" in
+  Client.break_when client ~addr (fun fr -> Ldb.read_int_var d tg fr "amount" > 40);
+  Printf.printf "== monitoring withdraw(amount > 40)\n";
+  let overdraft = ref None in
+  let ev =
+    Client.run client ~handler:(fun ev ->
+        match ev with
+        | Client.Ev_breakpoint { frame; _ } ->
+            let amount = Ldb.read_int_var d tg frame "amount" in
+            Printf.printf "   event: withdraw(%d), balance=%s -- logged, resuming\n" amount
+              (Ldb.print_value d tg frame "balance");
+            if !overdraft = None then overdraft := Some amount;
+            Client.Resume
+        | Client.Ev_signal { signal; _ } ->
+            Printf.printf "   unexpected %s\n" (Ldb_machine.Signal.name signal);
+            Client.Pause
+        | Client.Ev_exit n ->
+            Printf.printf "   target exited with %d\n" n;
+            Client.Pause)
+  in
+  ignore ev;
+  Printf.printf "   first large withdrawal seen: %s\n"
+    (match !overdraft with Some a -> string_of_int a | None -> "none");
+  Printf.printf "   program output: %s\n" (Host.output proc);
+
+  (* second run: find the instant balance goes negative with a watchpoint *)
+  Printf.printf "== second target: watch the balance cross zero\n";
+  let _proc2, tg2 = Host.spawn d ~arch ~name:"bank2" [ ("bank.c", prog) ] in
+  let client2 = Client.create d tg2 in
+  let bp = Ldb.break_function d tg2 "main" in
+  ignore (Ldb.continue_ d tg2);
+  Ldb.clear_breakpoint tg2 ~addr:bp;
+  let fr = Ldb.top_frame d tg2 in
+  let baddr =
+    match Ldb.resolve d tg2 fr "balance" with
+    | Some e -> (
+        match Ldb.location_of d tg2 fr e with
+        | Ldb_amemory.Amemory.Absolute { offset; _ } -> offset
+        | _ -> failwith "no address")
+    | None -> failwith "balance not found"
+  in
+  let rec watch_until_negative () =
+    match Client.watch client2 ~addr:baddr () with
+    | Client.Ev_exit _ -> Printf.printf "   never went negative\n"
+    | _ ->
+        let fr = Ldb.top_frame d tg2 in
+        let v = Ldb.read_int_var d tg2 fr "balance" in
+        if v < 0 then
+          Printf.printf "   balance first negative (%d) in %s, day=%s\n" v
+            (Ldb.frame_function d tg2 fr)
+            (match Ldb.backtrace d tg2 with
+            | _ :: caller :: _ -> Ldb.print_value d tg2 caller "day"
+            | _ -> "?")
+        else begin
+          Printf.printf "   balance now %d, watching on\n" v;
+          watch_until_negative ()
+        end
+  in
+  watch_until_negative ()

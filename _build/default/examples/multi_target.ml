@@ -1,0 +1,86 @@
+(** Multiple simultaneous targets (Sec. 6, 7).
+
+    ldb "can debug on multiple architectures simultaneously, so it can
+    process events from pieces of client-server applications that execute
+    on different hardware": here a SIM-MIPS "server" producing values and a
+    SIM-68020 "client" consuming them are debugged from one ldb instance,
+    with per-target state held in target objects rather than globals.
+
+    Run with: dune exec examples/multi_target.exe *)
+
+open Ldb_ldb
+
+let server_c =
+  {|
+static int sequence;
+int produce(void)
+{
+    sequence = sequence + 1;
+    return sequence * 100;
+}
+int main(void)
+{
+    int k;
+    int total;
+    total = 0;
+    for (k = 0; k < 5; k++)
+        total += produce();
+    printf("server produced total %d\n", total);
+    return 0;
+}
+|}
+
+let client_c =
+  {|
+int consume(int packet)
+{
+    int decoded;
+    decoded = packet / 100;
+    printf("client decoded %d\n", decoded);
+    return decoded;
+}
+int main(void)
+{
+    int sum;
+    sum = consume(300) + consume(500);
+    printf("client sum %d\n", sum);
+    return sum == 8 ? 0 : 1;
+}
+|}
+
+let () =
+  let d = Ldb.create () in
+  Printf.printf "== spawning server on mips, client on m68k, one debugger for both\n";
+  let sproc, server = Host.spawn d ~arch:Mips ~name:"server" [ ("server.c", server_c) ] in
+  let cproc, client = Host.spawn d ~arch:M68k ~name:"client" [ ("client.c", client_c) ] in
+
+  ignore (Ldb.break_function d server "produce");
+  ignore (Ldb.break_function d client "consume");
+
+  (* interleave events from the two targets *)
+  Printf.printf "\n== interleaved events:\n";
+  for round = 1 to 2 do
+    ignore (Ldb.continue_ d server);
+    let sf = Ldb.top_frame d server in
+    Printf.printf "   round %d: server stopped in %s, sequence=%s\n" round
+      (Ldb.frame_function d server sf)
+      (Ldb.print_value d server sf "sequence");
+    ignore (Ldb.continue_ d client);
+    let cf = Ldb.top_frame d client in
+    Printf.printf "   round %d: client stopped in %s, packet=%s\n" round
+      (Ldb.frame_function d client cf)
+      (Ldb.print_value d client cf "packet")
+  done;
+
+  (* interfere: fix up the client's second packet while it is stopped *)
+  let cf = Ldb.top_frame d client in
+  Printf.printf "\n== rewriting the client's packet from %s to 800 before it decodes\n"
+    (Ldb.print_value d client cf "packet");
+  Ldb.assign_int d client cf "packet" 800;
+
+  (* run both to completion *)
+  Breakpoint.remove_all server.Ldb.tg_breaks server.Ldb.tg_wire;
+  Breakpoint.remove_all client.Ldb.tg_breaks client.Ldb.tg_wire;
+  ignore (Ldb.continue_ d server);
+  ignore (Ldb.continue_ d client);
+  Printf.printf "\nserver output: %sclient output: %s" (Host.output sproc) (Host.output cproc)

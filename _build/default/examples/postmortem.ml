@@ -1,0 +1,88 @@
+(** Fault catching, post-mortem attach, and surviving a debugger crash
+    (Sec. 4.2).
+
+    The nub is loaded with every program, so a program that was never
+    started under a debugger still catches its own faults and waits for a
+    connection.  And because the nub preserves target state when a
+    connection breaks, a crashed debugger can be replaced by a fresh one
+    without losing the stopped process.
+
+    Run with: dune exec examples/postmortem.exe *)
+
+open Ldb_ldb
+
+let faulty_c =
+  {|
+int average(int total, int samples)
+{
+    return total / samples;     /* samples == 0 faults here */
+}
+int collect(int run)
+{
+    int total;
+    int samples;
+    total = run * 37;
+    samples = run - 3;          /* run == 3 makes this zero */
+    return average(total, samples);
+}
+int main(void)
+{
+    int r;
+    int acc;
+    acc = 0;
+    for (r = 1; r < 10; r++)
+        acc += collect(r);
+    printf("acc %d\n", acc);
+    return 0;
+}
+|}
+
+let () =
+  let arch = Ldb_machine.Arch.Vax in
+  Printf.printf "== running the faulty program with NO debugger attached\n";
+  let p = Host.launch ~arch [ ("faulty.c", faulty_c) ] ~paused:false in
+  (match p.Host.hp_proc.Ldb_machine.Proc.status with
+  | Ldb_machine.Proc.Stopped (s, _) ->
+      Printf.printf "   the nub caught %s and preserved the process\n"
+        (Ldb_machine.Signal.name s)
+  | _ -> Printf.printf "   unexpected: program did not fault\n");
+
+  Printf.printf "\n== attaching a debugger post mortem\n";
+  let d = Ldb.create () in
+  let tg = Host.attach_existing d ~name:"postmortem" p in
+  Printf.printf "   %s\n" (Ldb.where d tg);
+  Printf.printf "   backtrace:\n";
+  List.iteri
+    (fun i f -> Printf.printf "     #%d %s\n" i (Ldb.frame_function d tg f))
+    (Ldb.backtrace d tg);
+  let frames = Ldb.backtrace d tg in
+  let fr_avg = List.nth frames 0 and fr_col = List.nth frames 1 in
+  Printf.printf "   in average: total=%s samples=%s\n"
+    (Ldb.print_value d tg fr_avg "total")
+    (Ldb.print_value d tg fr_avg "samples");
+  Printf.printf "   in collect: run=%s\n" (Ldb.print_value d tg fr_col "run");
+
+  Printf.printf "\n== first debugger crashes; a second one picks up the same process\n";
+  Ldb.detach tg;
+  let d2 = Ldb.create () in
+  let tg2 = Host.attach_existing d2 ~name:"second" p in
+  Printf.printf "   second debugger sees: %s\n" (Ldb.where d2 tg2);
+
+  Printf.printf "\n== repairing the fault and resuming\n";
+  let fr = Ldb.top_frame d2 tg2 in
+  Ldb.assign_int d2 tg2 fr "samples" 1;
+  (* rewind the pc to the statement's stopping point so the repaired value
+     is reloaded: the pc is the 'x'-space extra register, and storing to it
+     updates the context the nub restores from *)
+  (match Symtab.stops_at_line tg2.Ldb.tg_symtab ~line:4 with
+  | stop :: _ ->
+      let addr = Ldb.stop_address d2 tg2 stop in
+      Ldb_amemory.Amemory.store_i32 fr.Frame.fr_mem
+        (Ldb_amemory.Amemory.absolute 'x' 0) (Int32.of_int addr)
+  | [] -> ());
+  (match Ldb.continue_ d2 tg2 with
+  | Ldb.Exited 0 -> Printf.printf "   program completed normally after the repair\n"
+  | st ->
+      Printf.printf "   %s\n"
+        (match st with Ldb.Exited n -> Printf.sprintf "exit %d" n | _ -> Ldb.where d2 tg2));
+  Printf.printf "   program output: %s" (Host.output p)

@@ -1,0 +1,133 @@
+(** Quickstart: the paper's Figure 1 end to end.
+
+    Compiles fib.c for SIM-MIPS with lcc-sim, starts it under the debug
+    nub, connects ldb, plants a breakpoint, inspects variables through the
+    PostScript machinery and the abstract-memory DAG, walks the stack,
+    assigns to a variable in the stopped process, and resumes.
+
+    Run with: dune exec examples/quickstart.exe *)
+
+open Ldb_ldb
+
+(* Figure 1 of the paper (superscripts there mark the stopping points ldb
+   discovers below). *)
+let fib_c =
+  {|void fib(int n)
+{
+    static int a[20];
+    if (n > 20) n = 20;
+    a[0] = a[1] = 1;
+    { int i;
+      for (i=2; i<n; i++)
+          a[i] = a[i-1] + a[i-2];
+    }
+    { int j;
+      for (j=0; j<n; j++)
+          printf("%d ", a[j]);
+    }
+    printf("\n");
+}
+
+int main(void)
+{
+    fib(10);
+    return 0;
+}
+|}
+
+let () =
+  let arch = Ldb_machine.Arch.Mips in
+  Printf.printf "== compiling fib.c for %s and starting it under the nub\n"
+    (Ldb_machine.Arch.name arch);
+  let d = Ldb.create () in
+  let proc, tg = Host.spawn d ~arch ~name:"fib" [ ("fib.c", fib_c) ] in
+  Printf.printf "   %d bytes of code; target is %s\n\n"
+    (String.length proc.Host.hp_image.Ldb_link.Link.i_code)
+    (Ldb.where d tg);
+
+  (* Figure 1: the stopping points of fib *)
+  Ldb.force_symbols d tg;
+  (match Symtab.proc_by_name tg.Ldb.tg_symtab "fib" with
+  | Some p ->
+      Printf.printf "== stopping points of fib (Fig. 1):\n  ";
+      List.iter
+        (fun s -> Printf.printf "%d@%d:%d " s.Symtab.stop_index s.Symtab.stop_line s.Symtab.stop_col)
+        (Symtab.stops_of_proc p);
+      print_newline ()
+  | None -> ());
+
+  (* Figure 2: the uplink tree of fib's local symbols *)
+  Printf.printf "\n== symbol-table uplink tree (Fig. 2):\n";
+  (match Symtab.proc_by_name tg.Ldb.tg_symtab "fib" with
+  | Some p ->
+      let stops = Symtab.stops_of_proc p in
+      let seen = Hashtbl.create 8 in
+      List.iter
+        (fun s ->
+          let rec chain (e : Ldb_pscript.Value.t) =
+            match e.Ldb_pscript.Value.v with
+            | Ldb_pscript.Value.Dict dd ->
+                let name =
+                  match Ldb_pscript.Value.dict_get dd "name" with
+                  | Some n -> Ldb_pscript.Value.to_str n
+                  | None -> "?"
+                in
+                if not (Hashtbl.mem seen name) then begin
+                  Hashtbl.replace seen name ();
+                  let up =
+                    match Ldb_pscript.Value.dict_get dd "uplink" with
+                    | Some u -> (
+                        match u.Ldb_pscript.Value.v with
+                        | Ldb_pscript.Value.Dict ud -> (
+                            match Ldb_pscript.Value.dict_get ud "name" with
+                            | Some n -> Ldb_pscript.Value.to_str n
+                            | None -> "-")
+                        | _ -> "-")
+                    | None -> "-"
+                  in
+                  Printf.printf "   %-4s -> uplink %s\n" name up;
+                  (match Ldb_pscript.Value.dict_get dd "uplink" with
+                  | Some u -> chain u
+                  | None -> ())
+                end
+            | _ -> ()
+          in
+          chain s.Symtab.stop_scope)
+        stops
+  | None -> ());
+
+  (* breakpoint at the inner-loop body, then run *)
+  Printf.printf "\n== breakpoint at line 8 (a[i] = a[i-1] + a[i-2])\n";
+  let addrs = Ldb.break_line d tg ~line:8 in
+  List.iter (fun a -> Printf.printf "   planted trap over the no-op at %#x\n" a) addrs;
+  let rec hit n =
+    if n > 0 then begin
+      ignore (Ldb.continue_ d tg);
+      hit (n - 1)
+    end
+  in
+  hit 4;
+  Printf.printf "   after 4 hits: %s\n" (Ldb.where d tg);
+
+  (* print values: the PostScript printers fetch through the Fig. 4 DAG *)
+  let fr = Ldb.top_frame d tg in
+  Printf.printf "\n== values (printed by compiler-emitted PostScript procedures):\n";
+  List.iter
+    (fun v -> Printf.printf "   %-2s = %s\n" v (Ldb.print_value d tg fr v))
+    [ "i"; "n"; "a" ];
+
+  Printf.printf "\n== backtrace:\n";
+  List.iteri
+    (fun k f ->
+      Printf.printf "   #%d %s (pc=%#x frame base=%#x)\n" k (Ldb.frame_function d tg f)
+        f.Frame.fr_pc f.Frame.fr_base)
+    (Ldb.backtrace d tg);
+
+  (* assignment into the stopped process: shorten the run *)
+  Printf.printf "\n== assigning n = 6 in the stopped target, removing breakpoints\n";
+  Ldb.assign_int d tg fr "n" 6;
+  List.iter (fun a -> Ldb.clear_breakpoint tg ~addr:a) addrs;
+  (match Ldb.continue_ d tg with
+  | Ldb.Exited 0 -> Printf.printf "   program exited normally\n"
+  | _ -> Printf.printf "   unexpected: %s\n" (Ldb.where d tg));
+  Printf.printf "   program output: %s" (Host.output proc)

@@ -1,0 +1,1 @@
+lib/amemory/amemory.ml: Bytes Char Endian Fmt Hashtbl Int32 Int64 Ldb_machine Ldb_nub Ldb_util List String

@@ -1,0 +1,1 @@
+lib/cc/asm.ml: Arch Insn Ldb_machine List String Sym Target

@@ -1,0 +1,1 @@
+lib/cc/compile.ml: Arch Asm Gen Hashtbl Ldb_machine Lex List Option Parse Peephole Printf Psemit Sched Sema Stabsemit String Sym Target

@@ -1,0 +1,1 @@
+lib/cc/ctype.ml: Arch Fmt Ldb_machine List Printf String

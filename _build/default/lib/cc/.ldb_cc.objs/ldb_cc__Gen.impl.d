@@ -1,0 +1,1 @@
+lib/cc/gen.ml: Asm Bytes Fmt Insn Int32 Int64 Ir Ldb_machine Ldb_util List Printf Ram Sema Target

@@ -1,0 +1,1 @@
+lib/cc/ir.ml: Ctype Fmt Ldb_machine List

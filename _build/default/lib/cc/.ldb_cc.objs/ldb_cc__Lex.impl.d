@@ -1,0 +1,1 @@
+lib/cc/lex.ml: Buffer Int32 List Printf String

@@ -1,0 +1,1 @@
+lib/cc/parse.ml: Ast Buffer Char Ctype Hashtbl Int32 Ldb_machine Lex List Printf String

@@ -1,0 +1,1 @@
+lib/cc/peephole.ml: Asm Insn Ldb_machine List String Target

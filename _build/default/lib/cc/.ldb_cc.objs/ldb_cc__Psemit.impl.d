@@ -1,0 +1,1 @@
+lib/cc/psemit.ml: Arch Asm Buffer Ctype Fmt Hashtbl Ldb_machine Lex List Printf String Sym

@@ -1,0 +1,1 @@
+lib/cc/sched.ml: Array Asm Insn Int32 Ldb_machine List

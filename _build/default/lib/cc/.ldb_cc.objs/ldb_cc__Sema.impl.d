@@ -1,0 +1,1 @@
+lib/cc/sema.ml: Arch Asm Ast Bytes Char Ctype Float80 Fmt Hashtbl Int32 Int64 Ir Ldb_machine Ldb_util Lex List Printf String Sym Target

@@ -1,0 +1,1 @@
+lib/cc/stabsemit.ml: Arch Buffer Char Ctype Hashtbl Int32 Ldb_machine Lex List Printf String Sym

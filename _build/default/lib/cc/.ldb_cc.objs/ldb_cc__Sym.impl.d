@@ -1,0 +1,1 @@
+lib/cc/sym.ml: Arch Ctype Hashtbl Ldb_machine Lex List Printf String

@@ -1,0 +1,80 @@
+(** Abstract syntax for the C subset (C89-flavoured: declarations at block
+    heads, as in the paper's example programs). *)
+
+type pos = Lex.pos
+
+type expr =
+  | Eint of int32 * pos
+  | Efloat of float * pos
+  | Echar of char * pos
+  | Estr of string * pos
+  | Eid of string * pos
+  | Ebin of string * expr * expr * pos     (** + - * / % << >> < <= ... && || & | ^ *)
+  | Eun of string * expr * pos             (** - ! ~ * & *)
+  | Eassign of string * expr * expr * pos  (** = += -= *= /= %= &= |= ^= <<= >>= *)
+  | Econd of expr * expr * expr * pos
+  | Ecall of expr * expr list * pos
+  | Eindex of expr * expr * pos
+  | Efield of expr * string * pos          (** e.f *)
+  | Earrow of expr * string * pos          (** e->f *)
+  | Eincr of bool * int * expr * pos       (** prefix?, +1/-1, lvalue *)
+  | Ecast of Ctype.t * expr * pos
+  | Esizeof_t of Ctype.t * pos
+  | Esizeof_e of expr * pos
+
+let expr_pos = function
+  | Eint (_, p) | Efloat (_, p) | Echar (_, p) | Estr (_, p) | Eid (_, p)
+  | Ebin (_, _, _, p) | Eun (_, _, p) | Eassign (_, _, _, p) | Econd (_, _, _, p)
+  | Ecall (_, _, p) | Eindex (_, _, p) | Efield (_, _, p) | Earrow (_, _, p)
+  | Eincr (_, _, _, p) | Ecast (_, _, p) | Esizeof_t (_, p) | Esizeof_e (_, p) ->
+      p
+
+type storage = Auto | Register | Static | Extern
+
+type decl = {
+  dname : string;
+  dty : Ctype.t;
+  dstorage : storage;
+  dinit : expr option;
+  dpos : pos;
+}
+
+type stmt =
+  | Sexpr of expr * pos
+  | Sif of expr * stmt * stmt option * pos
+  | Swhile of expr * stmt * pos
+  | Sdo of stmt * expr * pos
+  | Sfor of expr option * expr option * expr option * stmt * pos
+  | Sreturn of expr option * pos
+  | Sbreak of pos
+  | Scontinue of pos
+  | Sblock of block * pos
+  | Sswitch of expr * switch_case list * pos
+  | Sempty of pos
+
+and switch_case = {
+  sc_val : int32 option;  (** None for [default] *)
+  sc_body : stmt list;    (** falls through to the next case, as in C *)
+}
+
+and block = { bdecls : decl list; bstmts : stmt list }
+
+type func = {
+  fname : string;
+  fret : Ctype.t;
+  fparams : (string * Ctype.t * pos) list;
+  fstorage : storage;
+  fbody : block;
+  fpos : pos;
+  fendpos : pos;  (** closing brace: the exit stopping point *)
+}
+
+type top =
+  | Tfunc of func
+  | Tvar of decl
+  | Tfuncdecl of string * Ctype.t * pos  (** prototype only *)
+
+type unit_ = {
+  uname : string;  (** source file name *)
+  tops : top list;
+}

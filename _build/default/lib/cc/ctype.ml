@@ -1,0 +1,130 @@
+(** C types for the lcc-sim front end.
+
+    Sizes are target-dependent: [long double] is the 68020's 80-bit
+    extended type (10 bytes in memory) and an alias for [double]
+    elsewhere, mirroring how the paper's compiler owns all representation
+    decisions. *)
+
+open Ldb_machine
+
+type t =
+  | Void
+  | Char
+  | Short
+  | Int
+  | Unsigned
+  | Float
+  | Double
+  | LongDouble
+  | Ptr of t
+  | Array of t * int
+  | Struct of struct_def
+  | Func of t * t list
+
+and struct_def = {
+  sname : string;
+  mutable fields : field list;
+  mutable ssize : int;
+  mutable complete : bool;
+}
+
+and field = { fname : string; fty : t; foffset : int }
+
+let rec equal a b =
+  match (a, b) with
+  | Void, Void | Char, Char | Short, Short | Int, Int | Unsigned, Unsigned
+  | Float, Float | Double, Double | LongDouble, LongDouble ->
+      true
+  | Ptr x, Ptr y -> equal x y
+  | Array (x, n), Array (y, m) -> n = m && equal x y
+  | Struct s, Struct t -> s == t
+  | Func (r1, a1), Func (r2, a2) ->
+      equal r1 r2 && List.length a1 = List.length a2 && List.for_all2 equal a1 a2
+  | _ -> false
+
+let is_integer = function Char | Short | Int | Unsigned -> true | _ -> false
+let is_float = function Float | Double | LongDouble -> true | _ -> false
+let is_arith t = is_integer t || is_float t
+let is_pointer = function Ptr _ | Array _ -> true | _ -> false
+let is_scalar t = is_arith t || is_pointer t
+
+(** Size in bytes on [arch]. *)
+let rec size (arch : Arch.t) t =
+  match t with
+  | Void -> 0
+  | Char -> 1
+  | Short -> 2
+  | Int | Unsigned | Float | Ptr _ -> 4
+  | Double -> 8
+  | LongDouble -> if Arch.equal arch M68k then 10 else 8
+  | Array (e, n) -> n * size arch e
+  | Struct s -> s.ssize
+  | Func _ -> 4
+
+let align (arch : Arch.t) t =
+  match t with
+  | Char -> 1
+  | Short -> 2
+  | LongDouble -> 2 (* m68k extended aligns to 2 *)
+  | Double -> 4
+  | Struct _ -> 4
+  | Array _ -> 4
+  | _ -> min 4 (max 1 (size arch t))
+
+(** Complete a struct definition: lay out fields with natural alignment. *)
+let layout_struct (arch : Arch.t) (s : struct_def) (raw : (string * t) list) =
+  let off = ref 0 in
+  let fields =
+    List.map
+      (fun (fname, fty) ->
+        let a = align arch fty in
+        off := (!off + a - 1) / a * a;
+        let f = { fname; fty; foffset = !off } in
+        off := !off + size arch fty;
+        f)
+      raw
+  in
+  s.fields <- fields;
+  s.ssize <- (!off + 3) / 4 * 4;
+  if s.ssize = 0 then s.ssize <- 4;
+  s.complete <- true
+
+let field s name = List.find_opt (fun f -> f.fname = name) s.fields
+
+(** The type of [a op b] under the usual arithmetic conversions. *)
+let usual_arith a b =
+  if equal a LongDouble || equal b LongDouble then LongDouble
+  else if equal a Double || equal b Double then Double
+  else if equal a Float || equal b Float then Double (* floats compute as double *)
+  else if equal a Unsigned || equal b Unsigned then Unsigned
+  else Int
+
+(** Declaration text with a [%s] hole for the declared name, as carried in
+    the /decl entries of type dictionaries (e.g. "int %s[20]"). *)
+let rec decl_string t =
+  let rec go t (inner : string) =
+    match t with
+    | Void -> "void " ^ inner
+    | Char -> "char " ^ inner
+    | Short -> "short " ^ inner
+    | Int -> "int " ^ inner
+    | Unsigned -> "unsigned " ^ inner
+    | Float -> "float " ^ inner
+    | Double -> "double " ^ inner
+    | LongDouble -> "long double " ^ inner
+    | Ptr t -> go t ("*" ^ inner)
+    | Array (t, n) -> go t (Printf.sprintf "%s[%d]" inner n)
+    | Struct s -> Printf.sprintf "struct %s %s" s.sname inner
+    | Func (r, _) -> go r (inner ^ "()")
+  in
+  go t "%s"
+
+and to_string t =
+  let s = decl_string t in
+  (* drop the hole *)
+  String.concat "" (String.split_on_char '%' s |> function
+    | [ a; b ] when String.length b > 0 && b.[0] = 's' ->
+        [ String.trim a; String.sub b 1 (String.length b - 1) ]
+    | parts -> parts)
+
+let pp ppf t = Fmt.string ppf (to_string t)

@@ -1,0 +1,922 @@
+(** Code generation: lcc-style IR trees to abstract assembly.
+
+    One generator serves all four targets; everything machine-dependent
+    comes from the [Target] descriptor (registers, conventions, frame
+    discipline).  Notable conventions, chosen to mirror the real machines:
+
+    - SIM-MIPS has no frame pointer and, like real MIPS code, keeps sp
+      fixed after the prologue: outgoing arguments live in a pre-allocated
+      area at the bottom of the frame, values live across calls are saved
+      in per-nesting-level save areas, and arguments are staged per level
+      before being copied to the outgoing area — so the runtime procedure
+      table is sufficient to walk the stack.  The virtual frame pointer
+      (vfp = sp at entry) exists only in the debug information.
+    - Arguments are fully materialized in the caller's outgoing stack area
+      ("home area"); on register-argument targets the leading units are
+      additionally loaded into argument registers, and the callee's
+      prologue stores them back to their homes so every parameter has a
+      memory address the debugger can use.
+    - [register]-class variables live in callee-saved registers; the
+      prologue saves them to frame slots recorded in the debug information
+      so the debugger can walk past the frame.
+    - Calls to [printf]/[exit]/[abort] lower to the simulated kernel's
+      syscall ABI (arguments staged in the kernel argument block). *)
+
+open Ldb_machine
+open Ir
+
+exception Error of string
+
+let gen_fail fmt = Fmt.kstr (fun s -> raise (Error s)) fmt
+
+type ctx = {
+  target : Target.t;
+  fi : Sema.func_ir;
+  epilogue : string;
+  mutable out : Asm.text_item list;  (* reversed *)
+  mutable gdata : Asm.data_item list;  (* reversed: float constant pool *)
+  mutable push_depth : int;  (* outstanding pushed words (fp targets only) *)
+  mutable free_i : int list;
+  mutable free_f : int list;
+  mutable npool : int;
+  unit_tag : string;
+  (* fixed-sp (SIM-MIPS) frame plan *)
+  fixed_sp : bool;
+  out_words : int;        (* outgoing-argument area, in words *)
+  depth_max : int;        (* maximum call nesting *)
+  save_bytes : int;       (* per-level temp-save area *)
+  frame_total : int;      (* complete frame size, known before the prologue *)
+  mutable call_level : int;
+}
+
+(* sp-relative offsets of the fixed-sp areas *)
+let stage_off c level u = (4 * c.out_words) + (level * 4 * c.out_words) + (4 * u)
+let save_off c level = (4 * c.out_words * (1 + c.depth_max)) + (level * c.save_bytes)
+
+let save_slot_i c level idx = save_off c level + (4 * idx)
+let save_slot_f c level idx =
+  save_off c level + (4 * List.length c.target.Target.temps) + (8 * idx)
+
+let index_of x l =
+  let rec go i = function [] -> gen_fail "no such register" | y :: r -> if y = x then i else go (i+1) r in
+  go 0 l
+
+let emit c i = c.out <- Asm.Ins i :: c.out
+let emit_r c i sym add = c.out <- Asm.InsR (i, sym, add) :: c.out
+let emit_label c l = c.out <- Asm.Label l :: c.out
+
+let get_i c =
+  match c.free_i with
+  | r :: rest ->
+      c.free_i <- rest;
+      r
+  | [] -> gen_fail "%s: expression too complex (out of integer temporaries)" c.fi.Sema.fi_name
+
+(* round-robin release: freshly freed temporaries go to the back of the
+   pool, which keeps consecutive statements in distinct registers and
+   gives the delay-slot scheduler independent instructions to move *)
+let put_i c r = if List.mem r c.target.Target.temps then c.free_i <- c.free_i @ [ r ]
+
+let get_f c =
+  match c.free_f with
+  | r :: rest ->
+      c.free_f <- rest;
+      r
+  | [] -> gen_fail "%s: expression too complex (out of float temporaries)" c.fi.Sema.fi_name
+
+let put_f c r = if List.mem r c.target.Target.ftemps then c.free_f <- c.free_f @ [ r ]
+
+let in_use_i c = List.filter (fun r -> not (List.mem r c.free_i)) c.target.Target.temps
+let in_use_f c = List.filter (fun r -> not (List.mem r c.free_f)) c.target.Target.ftemps
+
+(* --- frame addressing ---------------------------------------------------- *)
+
+(** Base register and displacement addressing frame offset [off]. *)
+let frame_operand c off =
+  match c.target.Target.fp with
+  | Some fp -> (fp, off)
+  | None ->
+      (* SIM-MIPS: sp is fixed after the prologue, vfp = sp + frame size *)
+      assert (c.push_depth = 0);
+      (c.target.Target.sp, c.frame_total + off)
+
+let mem_size = function
+  | I1 | U1 -> Insn.S8
+  | I2 | U2 -> Insn.S16
+  | I4 | U4 | P4 -> Insn.S32
+  | t -> gen_fail "bad integer memory type %s" (Ir.ty_name t)
+
+let fmem_size = function
+  | F4 -> Insn.F32
+  | F8 -> Insn.F64
+  | F10 -> Insn.F80
+  | t -> gen_fail "bad float memory type %s" (Ir.ty_name t)
+
+(** Pool label for a floating constant. *)
+let float_const c (v : float) =
+  c.npool <- c.npool + 1;
+  let l = Printf.sprintf "Lf$%s$%s$%d" c.unit_tag c.fi.Sema.fi_name c.npool in
+  let b = Bytes.create 8 in
+  Ldb_util.Endian.set_u64 (Target.order c.target) b 0 (Int64.bits_of_float v);
+  c.gdata <- Asm.Dbytes (Bytes.to_string b) :: Asm.Dlabel l :: Asm.Dalign 8 :: c.gdata;
+  l
+
+(* --- Sethi-Ullman register need ------------------------------------------- *)
+
+(** Registers needed to evaluate an expression with optimal operand
+    ordering.  Calls need only one register from the caller's point of
+    view: live temporaries are saved around them. *)
+let rec su_need (e : Ir.exp) : int =
+  match e with
+  | Cnst _ | Cnstf _ | Addrg _ | Addrl _ | Reguse _ -> 1
+  | Indir (_, a) | Cvt (_, _, a) | Regasgn (_, a) -> max 1 (su_need a)
+  | Bin (_, _, a, b) | Cmp (_, _, a, b) | Asgn (_, a, b) ->
+      let na = su_need a and nb = su_need b in
+      if na = nb then na + 1 else max na nb
+  | Call _ | Callind _ -> 1
+
+(* --- addressing-mode selection -------------------------------------------- *)
+
+(** Evaluate an address expression into (base register or scratch setup,
+    displacement).  The returned register must be released with [put_i]
+    unless it is a dedicated register. *)
+let rec addr_operand c (a : Ir.exp) : Insn.reg * int32 * bool (* release? *) =
+  match a with
+  | Addrl off ->
+      let base, disp = frame_operand c off in
+      (base, Int32.of_int disp, false)
+  | Bin (P4, Add, e, Cnst (_, k)) ->
+      let r, d, rel = addr_operand c e in
+      (r, Int32.add d k, rel)
+  | Addrg l ->
+      let r = get_i c in
+      emit_r c (Insn.Li (r, 0l)) l 0;
+      (r, 0l, true)
+  | e ->
+      let r = eval c e in
+      (r, 0l, true)
+
+(* --- integer evaluation ---------------------------------------------------- *)
+
+and eval c (e : Ir.exp) : Insn.reg =
+  match e with
+  | Cnst (_, v) ->
+      let r = get_i c in
+      emit c (Insn.Li (r, v));
+      r
+  | Cnstf _ -> gen_fail "float value in integer context"
+  | Addrg l ->
+      let r = get_i c in
+      emit_r c (Insn.Li (r, 0l)) l 0;
+      r
+  | Addrl off ->
+      let base, disp = frame_operand c off in
+      let r = get_i c in
+      emit c (Insn.Alui (Insn.Add, r, base, Int32.of_int disp));
+      r
+  | Reguse rv ->
+      let r = get_i c in
+      emit c (Insn.Mov (r, rv));
+      r
+  | Indir ((F4 | F8 | F10), _) -> gen_fail "float load in integer context"
+  | Indir (ty, a) ->
+      let base, disp, rel = addr_operand c a in
+      let rd = if rel && List.mem base c.target.Target.temps then base else get_i c in
+      (match ty with
+      | U1 | U2 -> emit c (Insn.Loadu (mem_size ty, rd, base, disp))
+      | _ -> emit c (Insn.Load (mem_size ty, rd, base, disp)));
+      if rel && base <> rd then put_i c base;
+      rd
+  | Bin ((F4 | F8 | F10), _, _, _) -> gen_fail "float arithmetic in integer context"
+  | Bin (ty, Shr, a, b) when ty = U4 -> unsigned_shr c a b
+  | Bin (ty, op, a, b) ->
+      (* Sethi-Ullman: evaluate the register-hungrier operand first *)
+      let ra, rb =
+        if su_need a >= su_need b then
+          let ra = eval c a in
+          (ra, eval c b)
+        else
+          let rb = eval c b in
+          (eval c a, rb)
+      in
+      let op' =
+        match (ty, op) with
+        | U4, Div -> Insn.Divu
+        | U4, Rem -> Insn.Remu
+        | _ -> alu_of_binop op
+      in
+      emit c (Insn.Alu (op', ra, ra, rb));
+      put_i c rb;
+      ra
+  | Cmp (ty, rel, a, b) -> compare_value c ty rel a b
+  | Cvt (_, (F4 | F8 | F10), _) -> gen_fail "float conversion in integer context"
+  | Cvt ((F4 | F8 | F10), _, e) ->
+      let f = feval c e in
+      let r = get_i c in
+      emit c (Insn.Cvtfi (r, f));
+      put_f c f;
+      r
+  | Cvt (_, _, e) -> eval c e  (* integer-to-integer: 32-bit computation *)
+  | Asgn (ty, a, v) -> (
+      match ty with
+      | F4 | F8 | F10 -> gen_fail "float assignment in integer context"
+      | _ ->
+          let rv = eval c v in
+          let base, disp, rel = addr_operand c a in
+          emit c (Insn.Store (mem_size ty, rv, base, disp));
+          if rel then put_i c base;
+          rv)
+  | Regasgn (rv, v) ->
+      let r = eval c v in
+      emit c (Insn.Mov (rv, r));
+      r
+  | Call (ty, fn, args) -> (
+      match do_call c ty (`Direct fn) args with
+      | `Int r -> r
+      | `Flt _ -> gen_fail "float call result in integer context"
+      | `Void ->
+          (* void result used as int 0 (e.g. printf in expressions) *)
+          let r = get_i c in
+          emit c (Insn.Li (r, 0l));
+          r)
+  | Callind (ty, fe, args) -> (
+      match do_call c ty (`Indirect fe) args with
+      | `Int r -> r
+      | `Flt _ -> gen_fail "float call result in integer context"
+      | `Void ->
+          let r = get_i c in
+          emit c (Insn.Li (r, 0l));
+          r)
+
+and alu_of_binop = function
+  | Add -> Insn.Add
+  | Sub -> Insn.Sub
+  | Mul -> Insn.Mul
+  | Div -> Insn.Div
+  | Rem -> Insn.Rem
+  | Band -> Insn.And
+  | Bor -> Insn.Or
+  | Bxor -> Insn.Xor
+  | Shl -> Insn.Shl
+  | Shr -> Insn.Shr
+
+(** Unsigned right shift, which the shared ALU lacks: mask after an
+    arithmetic shift ((x >> n) & (0x7fffffff >> (n-1))), with a branch for
+    the n = 0 case when n is not a constant. *)
+and unsigned_shr c a b =
+  match b with
+  | Cnst (_, n) ->
+      let n = Int32.to_int n land 31 in
+      let ra = eval c a in
+      if n = 0 then ra
+      else begin
+        emit c (Insn.Alui (Insn.Shr, ra, ra, Int32.of_int n));
+        let rm = get_i c in
+        emit c (Insn.Li (rm, Int32.of_int ((0x7fffffff asr (n - 1)) land 0xffffffff)));
+        emit c (Insn.Alu (Insn.And, ra, ra, rm));
+        put_i c rm;
+        ra
+      end
+  | _ ->
+      let ra = eval c a in
+      let rn = eval c b in
+      let skip = Printf.sprintf "Lu$%s$%s$%d" c.unit_tag c.fi.Sema.fi_name (c.npool + 100000) in
+      c.npool <- c.npool + 1;
+      let rz = get_i c in
+      emit c (Insn.Li (rz, 0l));
+      emit_r c (Insn.Br (Insn.Eq, rn, rz, 0l)) skip 0;
+      emit c (Insn.Alu (Insn.Shr, ra, ra, rn));
+      let rm = get_i c in
+      emit c (Insn.Li (rm, 0x7fffffffl));
+      emit c (Insn.Alui (Insn.Sub, rn, rn, 1l));
+      emit c (Insn.Alu (Insn.Shr, rm, rm, rn));
+      emit c (Insn.Alu (Insn.And, ra, ra, rm));
+      put_i c rm;
+      emit_label c skip;
+      put_i c rz;
+      put_i c rn;
+      ra
+
+(** Materialize a 0/1 comparison result. *)
+and compare_value c ty rel a b : Insn.reg =
+  match ty with
+  | F4 | F8 | F10 ->
+      let fa = feval c a in
+      let fb = feval c b in
+      let r = get_i c in
+      emit c (Insn.Fcmp (cond_of_rel rel, r, fa, fb));
+      put_f c fa;
+      put_f c fb;
+      r
+  | _ ->
+      let slt = if ty = U4 then Insn.Sltu else Insn.Slt in
+      let ra, rb =
+        if su_need a >= su_need b then
+          let ra = eval c a in
+          (ra, eval c b)
+        else
+          let rb = eval c b in
+          (eval c a, rb)
+      in
+      let result r = r in
+      let r =
+        match rel with
+        | Rlt ->
+            emit c (Insn.Alu (slt, ra, ra, rb));
+            put_i c rb;
+            result ra
+        | Rgt ->
+            emit c (Insn.Alu (slt, ra, rb, ra));
+            put_i c rb;
+            result ra
+        | Rge ->
+            emit c (Insn.Alu (slt, ra, ra, rb));
+            emit c (Insn.Alui (Insn.Xor, ra, ra, 1l));
+            put_i c rb;
+            result ra
+        | Rle ->
+            emit c (Insn.Alu (slt, ra, rb, ra));
+            emit c (Insn.Alui (Insn.Xor, ra, ra, 1l));
+            put_i c rb;
+            result ra
+        | Req ->
+            emit c (Insn.Alu (Insn.Xor, ra, ra, rb));
+            emit c (Insn.Li (rb, 1l));
+            emit c (Insn.Alu (Insn.Sltu, ra, ra, rb));
+            put_i c rb;
+            result ra
+        | Rne ->
+            emit c (Insn.Alu (Insn.Xor, ra, ra, rb));
+            emit c (Insn.Li (rb, 0l));
+            emit c (Insn.Alu (Insn.Sltu, ra, rb, ra));
+            put_i c rb;
+            result ra
+      in
+      r
+
+and cond_of_rel = function
+  | Req -> Insn.Eq
+  | Rne -> Insn.Ne
+  | Rlt -> Insn.Lt
+  | Rle -> Insn.Le
+  | Rgt -> Insn.Gt
+  | Rge -> Insn.Ge
+
+(* --- float evaluation ------------------------------------------------------ *)
+
+and feval c (e : Ir.exp) : Insn.freg =
+  match e with
+  | Cnstf v ->
+      let l = float_const c v in
+      let rb = get_i c in
+      emit_r c (Insn.Li (rb, 0l)) l 0;
+      let f = get_f c in
+      emit c (Insn.Fload (Insn.F64, f, rb, 0l));
+      put_i c rb;
+      f
+  | Indir (((F4 | F8 | F10) as ty), a) ->
+      let base, disp, rel = addr_operand c a in
+      let f = get_f c in
+      emit c (Insn.Fload (fmem_size ty, f, base, disp));
+      if rel then put_i c base;
+      f
+  | Bin ((F4 | F8 | F10), op, a, b) ->
+      let fa, fb =
+        if su_need a >= su_need b then
+          let fa = feval c a in
+          (fa, feval c b)
+        else
+          let fb = feval c b in
+          (feval c a, fb)
+      in
+      let fop =
+        match op with
+        | Add -> Insn.Fadd
+        | Sub -> Insn.Fsub
+        | Mul -> Insn.Fmul
+        | Div -> Insn.Fdiv
+        | op -> gen_fail "float %s not supported" (Ir.binop_name op)
+      in
+      emit c (Insn.Falu (fop, fa, fa, fb));
+      put_f c fb;
+      fa
+  | Cvt (_, (F4 | F8 | F10), e) when not (Ir.is_float_exp e) ->
+      let r = eval c e in
+      let f = get_f c in
+      emit c (Insn.Cvtif (f, r));
+      put_i c r;
+      f
+  | Cvt ((F4 | F8 | F10), (F4 | F8 | F10), e) -> feval c e
+  | Asgn (((F4 | F8 | F10) as ty), a, v) ->
+      let fv = feval c v in
+      let base, disp, rel = addr_operand c a in
+      emit c (Insn.Fstore (fmem_size ty, fv, base, disp));
+      if rel then put_i c base;
+      fv
+  | Call (ty, fn, args) -> (
+      match do_call c ty (`Direct fn) args with
+      | `Flt f -> f
+      | `Int _ | `Void -> gen_fail "integer call result in float context")
+  | Callind (ty, fe, args) -> (
+      match do_call c ty (`Indirect fe) args with
+      | `Flt f -> f
+      | `Int _ | `Void -> gen_fail "integer call result in float context")
+  | e -> gen_fail "integer value in float context: %s" (Fmt.str "%a" Ir.pp_exp e)
+
+(* --- calls ------------------------------------------------------------------ *)
+
+and push_int c r =
+  emit c (Insn.Push r);
+  c.push_depth <- c.push_depth + 1
+
+and pop_int c r =
+  emit c (Insn.Pop r);
+  c.push_depth <- c.push_depth - 1
+
+and push_f64 c f =
+  let sp = c.target.Target.sp in
+  emit c (Insn.Alui (Insn.Add, sp, sp, -8l));
+  emit c (Insn.Fstore (Insn.F64, f, sp, 0l));
+  c.push_depth <- c.push_depth + 2
+
+and call_result c rty : [ `Int of Insn.reg | `Flt of Insn.freg | `Void ] =
+  let t = c.target in
+  match rty with
+  | V -> `Void
+  | F4 | F8 | F10 ->
+      let f = get_f c in
+      emit c (Insn.Fmov (f, t.Target.fret_reg));
+      `Flt f
+  | _ ->
+      let r = get_i c in
+      emit c (Insn.Mov (r, t.Target.ret_reg));
+      `Int r
+
+and copy_words c ~src ~dst_reg ~dst ~n =
+  (* word copy through registers, pipelined two at a time so that no load's
+     consumer sits in its delay slot *)
+  let t = c.target in
+  let sp = t.Target.sp in
+  let dbase = match dst_reg with Some r -> r | None -> sp in
+  let r1 = t.Target.scratch in
+  let r2 = match c.free_i with r :: _ -> Some r | [] -> None in
+  (match r2 with
+  | Some r2 ->
+      let u = ref 0 in
+      while !u < n do
+        if !u + 1 < n then begin
+          emit c (Insn.Load (Insn.S32, r1, sp, Int32.of_int (src !u)));
+          emit c (Insn.Load (Insn.S32, r2, sp, Int32.of_int (src (!u + 1))));
+          emit c (Insn.Store (Insn.S32, r1, dbase, Int32.of_int (dst !u)));
+          emit c (Insn.Store (Insn.S32, r2, dbase, Int32.of_int (dst (!u + 1))));
+          u := !u + 2
+        end
+        else begin
+          emit c (Insn.Load (Insn.S32, r1, sp, Int32.of_int (src !u)));
+          emit c (Insn.Store (Insn.S32, r1, dbase, Int32.of_int (dst !u)));
+          incr u
+        end
+      done
+  | None ->
+      for u = 0 to n - 1 do
+        emit c (Insn.Load (Insn.S32, r1, sp, Int32.of_int (src u)));
+        emit c (Insn.Store (Insn.S32, r1, dbase, Int32.of_int (dst u)))
+      done)
+
+and do_call c rty callee args : [ `Int of Insn.reg | `Flt of Insn.freg | `Void ] =
+  match callee with
+  | `Direct "_printf" -> do_kernel_call c 1 args true
+  | `Direct "_exit" -> do_kernel_call c 0 args false
+  | `Direct "_abort" -> do_kernel_call c 2 args false
+  | _ -> if c.fixed_sp then do_call_fixed c rty callee args else do_call_push c rty callee args
+
+(** Fixed-sp calling sequence (SIM-MIPS): live temporaries go to the
+    current nesting level's save area; arguments are evaluated into the
+    level's staging area (inner calls use deeper levels, so nothing is
+    clobbered), then copied to the outgoing area at the bottom of the
+    frame, where the callee's parameter homes alias them. *)
+and do_call_fixed c rty callee args : [ `Int of Insn.reg | `Flt of Insn.freg | `Void ] =
+  let t = c.target in
+  let sp = t.Target.sp in
+  let level = c.call_level in
+  if level >= c.depth_max then gen_fail "%s: call nesting deeper than planned" c.fi.Sema.fi_name;
+  let live_i = in_use_i c in
+  let live_f = in_use_f c in
+  List.iter
+    (fun r ->
+      let idx = index_of r t.Target.temps in
+      emit c (Insn.Store (Insn.S32, r, sp, Int32.of_int (save_slot_i c level idx))))
+    live_i;
+  List.iter
+    (fun f ->
+      let idx = index_of f t.Target.ftemps in
+      emit c (Insn.Fstore (Insn.F64, f, sp, Int32.of_int (save_slot_f c level idx))))
+    live_f;
+  (* evaluate arguments right-to-left (matching the push-based targets)
+     into this level's staging area, at precomputed unit offsets *)
+  c.call_level <- level + 1;
+  let with_units =
+    let u = ref 0 in
+    List.map
+      (fun a ->
+        let here = !u in
+        u := !u + (if Ir.is_float_exp a then 2 else 1);
+        (a, here))
+      args
+  in
+  let units = ref (List.fold_left (fun n (a, _) -> n + if Ir.is_float_exp a then 2 else 1) 0 with_units) in
+  List.iter
+    (fun (a, off) ->
+      if Ir.is_float_exp a then begin
+        let f = feval c a in
+        emit c (Insn.Fstore (Insn.F64, f, sp, Int32.of_int (stage_off c level off)));
+        put_f c f
+      end
+      else begin
+        let r = eval c a in
+        emit c (Insn.Store (Insn.S32, r, sp, Int32.of_int (stage_off c level off)));
+        put_i c r
+      end)
+    (List.rev with_units);
+  (* an indirect callee is evaluated while inner calls are still legal *)
+  let callee_reg = match callee with `Indirect fe -> Some (eval c fe) | `Direct _ -> None in
+  c.call_level <- level;
+  (* copy staging to the outgoing area (no calls can intervene); the copy
+     is software-pipelined over two registers so the SIM-MIPS load delay
+     costs nothing *)
+  copy_words c ~src:(fun u -> stage_off c level u) ~dst_reg:None ~dst:(fun u -> 4 * u)
+    ~n:!units;
+  (* leading units also travel in argument registers *)
+  List.iteri
+    (fun u r -> if u < !units then emit c (Insn.Load (Insn.S32, r, sp, Int32.of_int (4 * u))))
+    t.Target.arg_regs;
+  (match (callee, callee_reg) with
+  | `Direct fn, _ -> emit_r c (Insn.Call 0l) fn 0
+  | `Indirect _, Some r ->
+      emit c (Insn.Callr r);
+      put_i c r
+  | `Indirect _, None -> assert false);
+  let result = call_result c rty in
+  (* restore saved temporaries *)
+  List.iter
+    (fun f ->
+      let idx = index_of f t.Target.ftemps in
+      emit c (Insn.Fload (Insn.F64, f, sp, Int32.of_int (save_slot_f c level idx))))
+    (List.rev live_f);
+  List.iter
+    (fun r ->
+      let idx = index_of r t.Target.temps in
+      emit c (Insn.Load (Insn.S32, r, sp, Int32.of_int (save_slot_i c level idx))))
+    (List.rev live_i);
+  result
+
+(** Push-based calling sequence (frame-pointer targets): arguments and
+    saved temporaries go on the stack; fp-chain walking is immune to the
+    moving sp. *)
+and do_call_push c rty callee args : [ `Int of Insn.reg | `Flt of Insn.freg | `Void ] =
+  let t = c.target in
+  let live_i = in_use_i c in
+  let live_f = in_use_f c in
+  List.iter (fun r -> push_int c r) live_i;
+  List.iter (fun f -> push_f64 c f) live_f;
+  (* arguments: evaluate and push right-to-left *)
+  let units = ref 0 in
+  List.iter
+    (fun a ->
+      if Ir.is_float_exp a then begin
+        let f = feval c a in
+        push_f64 c f;
+        put_f c f;
+        units := !units + 2
+      end
+      else begin
+        let r = eval c a in
+        push_int c r;
+        put_i c r;
+        units := !units + 1
+      end)
+    (List.rev args);
+  (* load leading units into argument registers (homes stay intact) *)
+  let sp = t.Target.sp in
+  List.iteri
+    (fun u r ->
+      if u < !units then emit c (Insn.Load (Insn.S32, r, sp, Int32.of_int (4 * u))))
+    t.Target.arg_regs;
+  (match callee with
+  | `Direct fn -> emit_r c (Insn.Call 0l) fn 0
+  | `Indirect fe ->
+      let r = eval c fe in
+      emit c (Insn.Callr r);
+      put_i c r);
+  (* caller pops the argument area *)
+  if !units > 0 then begin
+    emit c (Insn.Alui (Insn.Add, sp, sp, Int32.of_int (4 * !units)));
+    c.push_depth <- c.push_depth - !units
+  end;
+  let result = call_result c rty in
+  (* restore saved temporaries *)
+  List.iter
+    (fun f ->
+      emit c (Insn.Fload (Insn.F64, f, sp, 0l));
+      emit c (Insn.Alui (Insn.Add, sp, sp, 8l));
+      c.push_depth <- c.push_depth - 2)
+    (List.rev live_f);
+  List.iter (fun r -> pop_int c r) (List.rev live_i);
+  result
+
+(** Calls lowered to the simulated kernel: arguments are staged (so that
+    nested calls inside arguments cannot clobber the kernel block), then
+    copied into the kernel argument block, then a syscall. *)
+and do_kernel_call c sysno args yields_int : [ `Int of Insn.reg | `Flt of Insn.freg | `Void ] =
+  let t = c.target in
+  let sp = t.Target.sp in
+  let base = Ram.Layout.sysarg_base in
+  let scratch = t.Target.scratch in
+  if c.fixed_sp then begin
+    let level = c.call_level in
+    if level >= c.depth_max then gen_fail "%s: call nesting deeper than planned" c.fi.Sema.fi_name;
+    c.call_level <- level + 1;
+    let with_units =
+      let u = ref 0 in
+      List.map
+        (fun a ->
+          let here = !u in
+          u := !u + (if Ir.is_float_exp a then 2 else 1);
+          (a, here))
+        args
+    in
+    let units =
+      ref (List.fold_left (fun n (a, _) -> n + if Ir.is_float_exp a then 2 else 1) 0 with_units)
+    in
+    List.iter
+      (fun (a, off) ->
+        if Ir.is_float_exp a then begin
+          let f = feval c a in
+          emit c (Insn.Fstore (Insn.F64, f, sp, Int32.of_int (stage_off c level off)));
+          put_f c f
+        end
+        else begin
+          let r = eval c a in
+          emit c (Insn.Store (Insn.S32, r, sp, Int32.of_int (stage_off c level off)));
+          put_i c r
+        end)
+      (List.rev with_units);
+    c.call_level <- level;
+    let rb = get_i c in
+    emit c (Insn.Li (rb, Int32.of_int base));
+    copy_words c ~src:(fun u -> stage_off c level u) ~dst_reg:(Some rb) ~dst:(fun u -> 4 * u)
+      ~n:!units;
+    put_i c rb
+  end
+  else begin
+    (* push-staging: evaluate right-to-left onto the stack, then pop the
+       values into the kernel block in forward order *)
+    let units = ref 0 in
+    List.iter
+      (fun a ->
+        if Ir.is_float_exp a then begin
+          let f = feval c a in
+          push_f64 c f;
+          put_f c f;
+          units := !units + 2
+        end
+        else begin
+          let r = eval c a in
+          push_int c r;
+          put_i c r;
+          units := !units + 1
+        end)
+      (List.rev args);
+    let rb = get_i c in
+    emit c (Insn.Li (rb, Int32.of_int base));
+    for u = 0 to !units - 1 do
+      emit c (Insn.Load (Insn.S32, scratch, sp, Int32.of_int (4 * u)));
+      emit c (Insn.Store (Insn.S32, scratch, rb, Int32.of_int (4 * u)))
+    done;
+    if !units > 0 then begin
+      emit c (Insn.Alui (Insn.Add, sp, sp, Int32.of_int (4 * !units)));
+      c.push_depth <- c.push_depth - !units
+    end;
+    put_i c rb
+  end;
+  emit c (Insn.Syscall sysno);
+  if yields_int then begin
+    let r = get_i c in
+    emit c (Insn.Li (r, 0l));
+    `Int r
+  end
+  else `Void
+
+(* --- statements -------------------------------------------------------------- *)
+
+let eval_void c (e : Ir.exp) =
+  match e with
+  | Call (V, fn, args) -> ( match do_call c V (`Direct fn) args with _ -> ())
+  | Callind (V, fe, args) -> ( match do_call c V (`Indirect fe) args with _ -> ())
+  | e ->
+      if Ir.is_float_exp e then put_f c (feval c e)
+      else (
+        match Ir.type_of e with
+        | V -> (
+            match e with
+            | Call (_, fn, args) -> ignore (do_call c V (`Direct fn) args)
+            | Callind (_, fe, args) -> ignore (do_call c V (`Indirect fe) args)
+            | _ -> ())
+        | _ -> put_i c (eval c e))
+
+let do_stmt c (s : Ir.stmt) =
+  match s with
+  | Sexp e -> eval_void c e
+  | Slabel l -> emit_label c l
+  | Sjump l -> emit_r c (Insn.Jmp 0l) l 0
+  | Sstop (_, label) ->
+      emit_label c label;
+      emit c Insn.Nop
+  | Scjump (ty, rel, a, b, l) -> (
+      match ty with
+      | F4 | F8 | F10 ->
+          let fa = feval c a in
+          let fb = feval c b in
+          let r = get_i c in
+          emit c (Insn.Fcmp (cond_of_rel rel, r, fa, fb));
+          put_f c fa;
+          put_f c fb;
+          let rz = get_i c in
+          emit c (Insn.Li (rz, 0l));
+          emit_r c (Insn.Br (Insn.Ne, r, rz, 0l)) l 0;
+          put_i c rz;
+          put_i c r
+      | U4 when rel <> Req && rel <> Rne ->
+          let r = compare_value c U4 rel a b in
+          let rz = get_i c in
+          emit c (Insn.Li (rz, 0l));
+          emit_r c (Insn.Br (Insn.Ne, r, rz, 0l)) l 0;
+          put_i c rz;
+          put_i c r
+      | _ ->
+          let ra = eval c a in
+          let rb = eval c b in
+          emit_r c (Insn.Br (cond_of_rel rel, ra, rb, 0l)) l 0;
+          put_i c ra;
+          put_i c rb)
+  | Sret None -> emit_r c (Insn.Jmp 0l) c.epilogue 0
+  | Sret (Some e) ->
+      let t = c.target in
+      if Ir.is_float_exp e then begin
+        let f = feval c e in
+        emit c (Insn.Fmov (t.Target.fret_reg, f));
+        put_f c f
+      end
+      else begin
+        let r = eval c e in
+        emit c (Insn.Mov (t.Target.ret_reg, r));
+        put_i c r
+      end;
+      emit_r c (Insn.Jmp 0l) c.epilogue 0
+
+(* --- prologue / epilogue ------------------------------------------------------ *)
+
+let prologue c =
+  let t = c.target in
+  let fi = c.fi in
+  let sp = t.Target.sp in
+  (match t.Target.fp with
+  | Some fp ->
+      emit c (Insn.Push fp);
+      emit c (Insn.Mov (fp, sp));
+      if fi.Sema.fi_locals_bytes > 0 then
+        emit c (Insn.Alui (Insn.Add, sp, sp, Int32.of_int (-fi.Sema.fi_locals_bytes)));
+      (match t.Target.ra with
+      | Some ra -> emit c (Insn.Store (Insn.S32, ra, fp, -4l))
+      | None -> ())
+  | None ->
+      (* SIM-MIPS: one sp adjustment for the whole frame plan *)
+      emit c (Insn.Alui (Insn.Add, sp, sp, Int32.of_int (-c.frame_total)));
+      (match t.Target.ra with
+      | Some ra -> emit c (Insn.Store (Insn.S32, ra, sp, Int32.of_int (c.frame_total - 4)))
+      | None -> ()));
+  (* store argument registers back to their homes *)
+  List.iter
+    (fun (r, home) ->
+      let base, disp = frame_operand c home in
+      emit c (Insn.Store (Insn.S32, r, base, Int32.of_int disp)))
+    fi.Sema.fi_reg_param_stores;
+  (* save register variables *)
+  List.iter
+    (fun (r, slot) ->
+      let base, disp = frame_operand c slot in
+      emit c (Insn.Store (Insn.S32, r, base, Int32.of_int disp)))
+    fi.Sema.fi_saved_regs
+
+let epilogue c =
+  let t = c.target in
+  let fi = c.fi in
+  let sp = t.Target.sp in
+  emit_label c c.epilogue;
+  (* restore register variables *)
+  List.iter
+    (fun (r, slot) ->
+      let base, disp = frame_operand c slot in
+      emit c (Insn.Load (Insn.S32, r, base, Int32.of_int disp)))
+    fi.Sema.fi_saved_regs;
+  (match t.Target.fp with
+  | Some fp ->
+      (match t.Target.ra with
+      | Some ra -> emit c (Insn.Load (Insn.S32, ra, fp, -4l))
+      | None -> ());
+      emit c (Insn.Mov (sp, fp));
+      emit c (Insn.Pop fp);
+      emit c Insn.Ret
+  | None ->
+      (match t.Target.ra with
+      | Some ra -> emit c (Insn.Load (Insn.S32, ra, sp, Int32.of_int (c.frame_total - 4)))
+      | None -> ());
+      emit c (Insn.Alui (Insn.Add, sp, sp, Int32.of_int c.frame_total));
+      emit c Insn.Ret)
+
+(* --- frame planning (fixed-sp targets) ---------------------------------------- *)
+
+(** Scan the IR for the largest outgoing-argument unit count and the
+    deepest call nesting, so the whole frame can be laid out before the
+    prologue is emitted. *)
+let prescan (body : Ir.stmt list) : int * int =
+  let out_max = ref 0 and depth_max = ref 0 in
+  let arg_units args =
+    List.fold_left (fun n a -> n + if Ir.is_float_exp a then 2 else 1) 0 args
+  in
+  let rec exp depth (e : Ir.exp) =
+    let sub = exp depth in
+    match e with
+    | Cnst _ | Cnstf _ | Addrg _ | Addrl _ | Reguse _ -> ()
+    | Indir (_, a) | Cvt (_, _, a) | Regasgn (_, a) -> sub a
+    | Bin (_, _, a, b) | Cmp (_, _, a, b) | Asgn (_, a, b) ->
+        sub a;
+        sub b
+    | Call (_, _, args) ->
+        out_max := max !out_max (arg_units args);
+        depth_max := max !depth_max (depth + 1);
+        List.iter (exp (depth + 1)) args
+    | Callind (_, fe, args) ->
+        out_max := max !out_max (arg_units args);
+        depth_max := max !depth_max (depth + 1);
+        exp (depth + 1) fe;
+        List.iter (exp (depth + 1)) args
+  in
+  List.iter
+    (function
+      | Sexp e -> exp 0 e
+      | Scjump (_, _, a, b, _) ->
+          exp 0 a;
+          exp 0 b
+      | Sret (Some e) -> exp 0 e
+      | Sret None | Slabel _ | Sjump _ | Sstop _ -> ())
+    body;
+  (!out_max, !depth_max)
+
+(** Generate one function.  Returns text items, constant-pool data, and
+    the final frame size (which, on SIM-MIPS, supersedes the provisional
+    size computed during semantic analysis). *)
+let gen_func (target : Target.t) ~(unit_tag : string) (fi : Sema.func_ir) :
+    Asm.text_item list * Asm.data_item list * int =
+  let fixed_sp = target.Target.fp = None in
+  let out_words, depth_max =
+    if fixed_sp then
+      let u, d = prescan fi.Sema.fi_body in
+      (* room for incoming register-argument homes as well *)
+      (max u (List.length target.Target.arg_regs), max d 1)
+    else (0, 0)
+  in
+  let save_bytes =
+    (4 * List.length target.Target.temps) + (8 * List.length target.Target.ftemps)
+  in
+  let frame_total =
+    if fixed_sp then
+      let areas = (4 * out_words * (1 + depth_max)) + (depth_max * save_bytes) in
+      (areas + fi.Sema.fi_locals_bytes + 4 + 7) / 8 * 8
+    else fi.Sema.fi_frame_size
+  in
+  let c =
+    {
+      target;
+      fi;
+      epilogue = Printf.sprintf "Lret$%s$%s" unit_tag fi.Sema.fi_name;
+      out = [];
+      gdata = [];
+      push_depth = 0;
+      free_i = target.Target.temps;
+      free_f = target.Target.ftemps;
+      npool = 0;
+      unit_tag;
+      fixed_sp;
+      out_words;
+      depth_max;
+      save_bytes;
+      frame_total;
+      call_level = 0;
+    }
+  in
+  emit_label c fi.Sema.fi_label;
+  prologue c;
+  List.iter (do_stmt c) fi.Sema.fi_body;
+  epilogue c;
+  (List.rev c.out, List.rev c.gdata, frame_total)

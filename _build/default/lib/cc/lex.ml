@@ -1,0 +1,210 @@
+(** Lexer for the C subset.  Shared by the compiler proper and the
+    expression server (which parses single expressions). *)
+
+type token =
+  | Tint of int32
+  | Tfloat of float
+  | Tchar of char
+  | Tstring of string
+  | Tid of string
+  | Tkw of string
+  | Tpunct of string
+  | Teof
+
+type pos = { line : int; col : int }
+
+type lexeme = { tok : token; pos : pos }
+
+exception Error of string * pos
+
+let keywords =
+  [ "void"; "char"; "short"; "int"; "unsigned"; "float"; "double"; "long";
+    "struct"; "if"; "else"; "while"; "for"; "do"; "return"; "break";
+    "continue"; "static"; "extern"; "register"; "sizeof"; "switch"; "case";
+    "default" ]
+
+type state = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable bol : int;  (** offset of beginning of current line *)
+}
+
+let make src = { src; pos = 0; line = 1; bol = 0 }
+
+let here st = { line = st.line; col = st.pos - st.bol + 1 }
+
+let peek_char st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let advance st =
+  (match peek_char st with
+  | Some '\n' ->
+      st.line <- st.line + 1;
+      st.bol <- st.pos + 1
+  | _ -> ());
+  st.pos <- st.pos + 1
+
+let rec skip_ws st =
+  match peek_char st with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+      advance st;
+      skip_ws st
+  | Some '/' when st.pos + 1 < String.length st.src && st.src.[st.pos + 1] = '/' ->
+      while peek_char st <> None && peek_char st <> Some '\n' do
+        advance st
+      done;
+      skip_ws st
+  | Some '/' when st.pos + 1 < String.length st.src && st.src.[st.pos + 1] = '*' ->
+      advance st;
+      advance st;
+      let rec go () =
+        match peek_char st with
+        | None -> raise (Error ("unterminated comment", here st))
+        | Some '*' when st.pos + 1 < String.length st.src && st.src.[st.pos + 1] = '/' ->
+            advance st;
+            advance st
+        | Some _ ->
+            advance st;
+            go ()
+      in
+      go ();
+      skip_ws st
+  | _ -> ()
+
+let is_id_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_id_char c = is_id_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let escape st =
+  match peek_char st with
+  | Some 'n' -> advance st; '\n'
+  | Some 't' -> advance st; '\t'
+  | Some 'r' -> advance st; '\r'
+  | Some '0' -> advance st; '\000'
+  | Some '\\' -> advance st; '\\'
+  | Some '\'' -> advance st; '\''
+  | Some '"' -> advance st; '"'
+  | _ -> raise (Error ("bad escape", here st))
+
+(* multi-character punctuation, longest first *)
+let puncts =
+  [ "<<="; ">>="; "..."; "<<"; ">>"; "<="; ">="; "=="; "!="; "&&"; "||";
+    "++"; "--"; "+="; "-="; "*="; "/="; "%="; "&="; "|="; "^="; "->";
+    "+"; "-"; "*"; "/"; "%"; "&"; "|"; "^"; "~"; "!"; "<"; ">"; "=";
+    "("; ")"; "["; "]"; "{"; "}"; ";"; ","; "."; "?"; ":" ]
+
+let next (st : state) : lexeme =
+  skip_ws st;
+  let pos = here st in
+  match peek_char st with
+  | None -> { tok = Teof; pos }
+  | Some c when is_id_start c ->
+      let start = st.pos in
+      while (match peek_char st with Some c -> is_id_char c | None -> false) do
+        advance st
+      done;
+      let word = String.sub st.src start (st.pos - start) in
+      if List.mem word keywords then { tok = Tkw word; pos } else { tok = Tid word; pos }
+  | Some c when is_digit c ->
+      let start = st.pos in
+      (* hex *)
+      if c = '0' && st.pos + 1 < String.length st.src
+         && (st.src.[st.pos + 1] = 'x' || st.src.[st.pos + 1] = 'X') then begin
+        advance st;
+        advance st;
+        while
+          match peek_char st with
+          | Some c -> is_digit c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+          | None -> false
+        do
+          advance st
+        done;
+        let text = String.sub st.src start (st.pos - start) in
+        { tok = Tint (Int32.of_string text); pos }
+      end
+      else begin
+        while (match peek_char st with Some c -> is_digit c | None -> false) do
+          advance st
+        done;
+        let is_real =
+          (match peek_char st with
+          | Some '.' -> st.pos + 1 >= String.length st.src || st.src.[st.pos + 1] <> '.'
+          | _ -> false)
+          || match peek_char st with Some ('e' | 'E') -> true | _ -> false
+        in
+        if is_real then begin
+          if peek_char st = Some '.' then begin
+            advance st;
+            while (match peek_char st with Some c -> is_digit c | None -> false) do
+              advance st
+            done
+          end;
+          (match peek_char st with
+          | Some ('e' | 'E') ->
+              advance st;
+              (match peek_char st with Some ('+' | '-') -> advance st | _ -> ());
+              while (match peek_char st with Some c -> is_digit c | None -> false) do
+                advance st
+              done
+          | _ -> ());
+          let text = String.sub st.src start (st.pos - start) in
+          { tok = Tfloat (float_of_string text); pos }
+        end
+        else
+          let text = String.sub st.src start (st.pos - start) in
+          { tok = Tint (Int32.of_string text); pos }
+      end
+  | Some '\'' ->
+      advance st;
+      let c =
+        match peek_char st with
+        | Some '\\' ->
+            advance st;
+            escape st
+        | Some c ->
+            advance st;
+            c
+        | None -> raise (Error ("unterminated char literal", pos))
+      in
+      if peek_char st <> Some '\'' then raise (Error ("unterminated char literal", pos));
+      advance st;
+      { tok = Tchar c; pos }
+  | Some '"' ->
+      advance st;
+      let buf = Buffer.create 16 in
+      let rec go () =
+        match peek_char st with
+        | None -> raise (Error ("unterminated string literal", pos))
+        | Some '"' -> advance st
+        | Some '\\' ->
+            advance st;
+            Buffer.add_char buf (escape st);
+            go ()
+        | Some c ->
+            advance st;
+            Buffer.add_char buf c;
+            go ()
+      in
+      go ();
+      { tok = Tstring (Buffer.contents buf); pos }
+  | Some _ -> (
+      let rest_starts_with p =
+        String.length st.src - st.pos >= String.length p
+        && String.sub st.src st.pos (String.length p) = p
+      in
+      match List.find_opt rest_starts_with puncts with
+      | Some p ->
+          for _ = 1 to String.length p do
+            advance st
+          done;
+          { tok = Tpunct p; pos }
+      | None -> raise (Error (Printf.sprintf "stray character %C" st.src.[st.pos], pos)))
+
+(** Tokenize a whole source string. *)
+let all src =
+  let st = make src in
+  let rec go acc =
+    let l = next st in
+    if l.tok = Teof then List.rev (l :: acc) else go (l :: acc)
+  in
+  go []

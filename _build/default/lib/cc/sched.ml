@@ -1,0 +1,280 @@
+(** SIM-MIPS load-delay-slot scheduling (Sec. 3).
+
+    The SIM-MIPS, like the R3000, does not expose the result of an integer
+    load to the immediately following instruction.  The code generator
+    emits code with sequential semantics; this pass repairs every hazard,
+    either by moving a safe earlier instruction into the delay slot or by
+    padding with a no-op.
+
+    The paper's observation about debugging falls out naturally: labels
+    end scheduling regions, and compiling for debugging plants a labelled
+    no-op at every stopping point, so the scheduler can only rearrange
+    within top-level expressions rather than whole basic blocks — the
+    restricted scheduler fills fewer slots and pads more (the 13% MIPS
+    code-size cost the paper reports). *)
+
+open Ldb_machine
+
+let insn_of = function Asm.Ins i | Asm.InsR (i, _, _) -> Some i | Asm.Label _ -> None
+
+(** Integer register written by an instruction, if any. *)
+let write_of (i : Insn.t) : int option =
+  match i with
+  | Li (rd, _) | Mov (rd, _) | Alu (_, rd, _, _) | Alui (_, rd, _, _)
+  | Load (_, rd, _, _) | Loadu (_, rd, _, _) | Fcmp (_, rd, _, _)
+  | Cvtfi (rd, _) | Pop rd ->
+      Some rd
+  | _ -> None
+
+(** May [i] sit in a delay slot and be moved there by the scheduler? *)
+let movable (i : Insn.t) =
+  match i with
+  | Li _ | Mov _ | Alu _ | Alui _ | Falu _ | Fcmp _ | Fmov _ | Cvtif _ | Cvtfi _ | Fload _ ->
+      true
+  | _ -> false
+
+(** Next real instruction at or after index [j] on the fallthrough path
+    (labels are transparent: fallthrough passes through them). *)
+let rec next_insn (a : Asm.text_item array) j =
+  if j >= Array.length a then None
+  else match insn_of a.(j) with Some i -> Some (j, i) | None -> next_insn a (j + 1)
+
+(** Does the fallthrough successor of the load at [i] (writing [rd]) read
+    [rd] before the delayed value commits? *)
+let hazard (a : Asm.text_item array) i rd =
+  match next_insn a (i + 1) with
+  | None -> true  (* end of stream: pad conservatively *)
+  | Some (_, succ) -> (
+      match succ with
+      | Insn.Ret | Insn.Syscall _ ->
+          (* implicit register uses (the link register, kernel arguments) *)
+          true
+      | succ -> List.mem rd (Insn.reads succ))
+
+(** A store may move into a load's delay slot when both address the same
+    base register at provably disjoint offsets. *)
+let mem_disjoint (prev : Insn.t) (load : Insn.t) =
+  match (prev, load) with
+  | Insn.Store (szs, _, bs, offs), (Insn.Load (szl, _, bl, offl) | Insn.Loadu (szl, _, bl, offl)) ->
+      bs = bl
+      &&
+      let s1 = Int32.to_int offs and n1 = Insn.size_bytes szs in
+      let s2 = Int32.to_int offl and n2 = Insn.size_bytes szl in
+      s1 + n1 <= s2 || s2 + n2 <= s1
+  | _ -> false
+
+let can_swap (prev : Insn.t) (load : Insn.t) rd =
+  let base = match Insn.reads load with [ b ] -> b | l -> ( match l with b :: _ -> b | [] -> -1) in
+  (movable prev || mem_disjoint prev load)
+  && (match prev with Insn.Load _ | Insn.Loadu _ -> false | _ -> true)
+  && (match write_of prev with
+     | Some w -> w <> base && w <> rd
+     | None -> true)
+  && not (List.mem rd (Insn.reads prev))
+
+type stats = { mutable filled : int; mutable padded : int }
+
+(** Schedule a text stream.  Returns the repaired stream and fill/pad
+    statistics. *)
+let schedule (items : Asm.text_item list) : Asm.text_item list * stats =
+  let stats = { filled = 0; padded = 0 } in
+  let buf = ref (Array.of_list items) in
+  let i = ref 0 in
+  while !i < Array.length !buf do
+    let a = !buf in
+    (match insn_of a.(!i) with
+    | Some ((Insn.Load (_, rd, _, _) | Insn.Loadu (_, rd, _, _)) as load) when hazard a !i rd ->
+        (* try to move the previous instruction into the slot *)
+        let swapped =
+          !i > 0
+          &&
+          match insn_of a.(!i - 1) with
+          | Some prev when can_swap prev load rd ->
+              let tmp = a.(!i - 1) in
+              a.(!i - 1) <- a.(!i);
+              a.(!i) <- tmp;
+              stats.filled <- stats.filled + 1;
+              true
+          | _ -> false
+        in
+        if swapped then i := max 0 (!i - 2)
+        else begin
+          (* pad with a no-op after the load *)
+          let n = Array.length a in
+          let b = Array.make (n + 1) (Asm.Ins Insn.Nop) in
+          Array.blit a 0 b 0 (!i + 1);
+          Array.blit a (!i + 1) b (!i + 2) (n - !i - 1);
+          buf := b;
+          stats.padded <- stats.padded + 1;
+          incr i
+        end
+    | _ -> incr i)
+  done;
+  (Array.to_list !buf, stats)
+
+(** Verify that no load-delay hazard remains.  Returns the index of the
+    first offending instruction, if any. *)
+let verify (items : Asm.text_item list) : int option =
+  let a = Array.of_list items in
+  let bad = ref None in
+  Array.iteri
+    (fun i item ->
+      if !bad = None then
+        match insn_of item with
+        | Some (Insn.Load (_, rd, _, _) | Insn.Loadu (_, rd, _, _)) ->
+            if hazard a i rd then bad := Some i
+        | _ -> ())
+    a;
+  !bad
+
+(* --- slot filling by hoisting ------------------------------------------- *)
+
+(** Integer registers read, for dependence checks during hoisting. *)
+let reads_of = Insn.reads
+
+(** Pure register-to-register instructions are safe hoist candidates: no
+    memory traffic, no floating state, no control flow. *)
+let pure_reg (i : Insn.t) =
+  match i with Insn.Li _ | Insn.Mov _ | Insn.Alu _ | Insn.Alui _ -> true | _ -> false
+
+(** A load may also be hoisted if it provably cannot alias any store it
+    moves above. *)
+let mem_safe_candidate (cand : Insn.t) between =
+  match cand with
+  | Insn.Load _ | Insn.Loadu _ ->
+      List.for_all
+        (fun (_, b) ->
+          match b with
+          | Insn.Store _ -> mem_disjoint b cand
+          | Insn.Fstore _ | Insn.Syscall _ | Insn.Call _ | Insn.Callr _ -> false
+          | _ -> true)
+        between
+  | _ -> false
+
+let block_breaker (i : Insn.t) =
+  match i with
+  | Insn.Br _ | Insn.Jmp _ | Insn.Jr _ | Insn.Call _ | Insn.Callr _ | Insn.Ret
+  | Insn.Break | Insn.Syscall _ ->
+      true
+  | _ -> false
+
+(** Try to move a later, independent, pure instruction into the delay slot
+    of the load at index [i] (writing [rd]).  The search window ends at the
+    first label or control transfer — so stopping-point labels, planted at
+    every statement when compiling for debugging, cut the window down to a
+    single expression (the paper's restricted scheduling). *)
+let try_hoist (a : Asm.text_item array) i rd : bool =
+  let n = Array.length a in
+  let base = match insn_of a.(i) with Some l -> reads_of l | None -> [] in
+  (* collect the window of real instructions after the load *)
+  let rec window j acc =
+    if j >= n || List.length acc > 8 then List.rev acc
+    else
+      match a.(j) with
+      | Asm.Label _ -> List.rev acc
+      | Asm.Ins ins | Asm.InsR (ins, _, _) ->
+          if block_breaker ins then List.rev ((j, ins) :: acc)
+          else window (j + 1) ((j, ins) :: acc)
+  in
+  match window (i + 1) [] with
+  | [] -> false
+  | (jc, consumer) :: rest ->
+      if not (List.mem rd (Insn.reads consumer)) then false
+      else
+        (* find a candidate after the consumer that commutes with
+           everything it jumps over *)
+        let rec hunt between = function
+          | [] -> None
+          | (jk, cand) :: more ->
+              if
+                (pure_reg cand || mem_safe_candidate cand between)
+                &&
+                let cw = write_of cand in
+                let creads = reads_of cand in
+                let indep_load =
+                  (not (List.mem rd creads))
+                  && (match cw with
+                     | Some w -> w <> rd && not (List.mem w base)
+                     | None -> true)
+                in
+                let indep_between =
+                  List.for_all
+                    (fun (_, b) ->
+                      let bw = write_of b in
+                      let breads = reads_of b in
+                      (match cw with
+                      | Some w -> (not (List.mem w breads)) && bw <> Some w
+                      | None -> true)
+                      && match bw with Some w -> not (List.mem w creads) | None -> true)
+                    between
+                in
+                indep_load && indep_between
+              then Some jk
+              else hunt (between @ [ (jk, cand) ]) more
+        in
+        (match hunt [ (jc, consumer) ] rest with
+        | Some jk ->
+            (* slide a.(jk) down into position i+1 *)
+            let item = a.(jk) in
+            for m = jk downto i + 2 do
+              a.(m) <- a.(m - 1)
+            done;
+            a.(i + 1) <- item;
+            true
+        | None -> false)
+
+(** Schedule with both fillers: swap-with-predecessor, then hoisting; pad
+    when neither applies.  One forward pass — fills never move backwards
+    past the cursor, so termination is structural; [verify] still checks
+    the result. *)
+let schedule_filled (items : Asm.text_item list) : Asm.text_item list * stats =
+  let stats = { filled = 0; padded = 0 } in
+  let buf = ref (Array.of_list items) in
+  let i = ref 0 in
+  while !i < Array.length !buf do
+    let a = !buf in
+    (match insn_of a.(!i) with
+    | Some ((Insn.Load (_, rd, _, _) | Insn.Loadu (_, rd, _, _)) as load) when hazard a !i rd ->
+        (* 1. swap with the predecessor, unless that would slide the load
+           into the delay slot of an even earlier load *)
+        let swap_safe =
+          !i > 0
+          && (match insn_of a.(!i - 1) with
+             | Some prev -> can_swap prev load rd
+             | None -> false)
+          && (!i < 2
+             ||
+             match insn_of a.(!i - 2) with
+             | Some (Insn.Load (_, rd2, _, _) | Insn.Loadu (_, rd2, _, _)) ->
+                 not (List.mem rd2 (Insn.reads load))
+             | _ -> true)
+        in
+        if swap_safe then begin
+          let tmp = a.(!i - 1) in
+          a.(!i - 1) <- a.(!i);
+          a.(!i) <- tmp;
+          stats.filled <- stats.filled + 1;
+          (* the load now sits at i-1 with its old predecessor in the slot;
+             move on past the pair *)
+          incr i
+        end
+        else if try_hoist a !i rd then begin
+          stats.filled <- stats.filled + 1;
+          incr i
+        end
+        else begin
+          let n = Array.length a in
+          let b = Array.make (n + 1) (Asm.Ins Insn.Nop) in
+          Array.blit a 0 b 0 (!i + 1);
+          Array.blit a (!i + 1) b (!i + 2) (n - !i - 1);
+          buf := b;
+          stats.padded <- stats.padded + 1;
+          incr i
+        end
+    | _ -> incr i)
+  done;
+  (* safety net: pad anything the fillers missed or disturbed *)
+  let out, extra = schedule (Array.to_list !buf) in
+  stats.padded <- stats.padded + extra.padded;
+  stats.filled <- stats.filled + extra.filled;
+  (out, stats)

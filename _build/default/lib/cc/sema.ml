@@ -1,0 +1,1102 @@
+(** Semantic analysis and IR generation.
+
+    Translates the AST into lcc-style IR trees, building the debug
+    information as it goes: S-numbered symbol entries linked into an uplink
+    tree (Fig. 2), stopping points before every statement and at each
+    clause of a [for] (Fig. 1), anchor slots for statics and stopping
+    points, and register assignments for [register]-class variables.
+
+    The expression-translation core is parameterized by a symbol-lookup
+    function so the expression server (Sec. 3) can reuse it with symbols
+    reconstructed from the debugger's PostScript symbol tables. *)
+
+open Ldb_machine
+
+exception Error of string * Lex.pos
+
+let fail pos fmt = Fmt.kstr (fun s -> raise (Error (s, pos))) fmt
+
+(* --- compile-time addresses -------------------------------------------- *)
+
+type caddr =
+  | Creg of int       (** register variable *)
+  | Cframe of int     (** frame-base-relative *)
+  | Clabel of string  (** link-time label *)
+  | Cabs of int32     (** absolute address (expression server) *)
+
+type binding = { b_ty : Ctype.t; b_addr : caddr }
+
+(* --- environments -------------------------------------------------------- *)
+
+type genv = {
+  arch : Arch.t;
+  target : Target.t;
+  unit_name : string;
+  debug : bool;
+  mutable sid : int;
+  mutable nlabel : int;
+  mutable nstatic : int;
+  funcs : (string, Ctype.t) Hashtbl.t;  (** function name -> type *)
+  globals : (string, binding * Sym.t option) Hashtbl.t;
+  mutable data : Asm.data_item list;  (** reversed *)
+  mutable strings : (string, string) Hashtbl.t;  (** content -> label *)
+  ud : Sym.unit_debug;
+}
+
+let unit_tag g =
+  String.map (fun c -> if c = '.' || c = '/' || c = '-' then '_' else c) g.unit_name
+
+let fresh_label g =
+  g.nlabel <- g.nlabel + 1;
+  Printf.sprintf "L$%s$%d" (unit_tag g) g.nlabel
+
+let fresh_sid g =
+  g.sid <- g.sid + 1;
+  g.sid
+
+let mangle name = "_" ^ name
+
+let static_label g name =
+  g.nstatic <- g.nstatic + 1;
+  Printf.sprintf "_%s$%s$%d" name (unit_tag g) g.nstatic
+
+let string_label g s =
+  match Hashtbl.find_opt g.strings s with
+  | Some l -> l
+  | None ->
+      let l = fresh_label g in
+      Hashtbl.replace g.strings s l;
+      g.data <- Asm.Dbytes (s ^ "\000") :: Asm.Dlabel l :: Asm.Dalign 4 :: g.data;
+      l
+
+type scope_entry = { se_name : string; se_binding : binding; se_sym : Sym.t option }
+
+type fenv = {
+  g : genv;
+  fname : string;
+  ret_ty : Ctype.t;
+  mutable frame_low : int;  (** lowest (most negative) allocated frame offset *)
+  local_base : int;         (** offsets below this are free for locals *)
+  mutable code : Ir.stmt list;  (** reversed *)
+  mutable stops : Sym.stop_point list;  (** reversed *)
+  mutable nstop : int;
+  mutable scopes : scope_entry list list;
+  mutable uplink_tail : Sym.t option;
+  mutable breaks : string list;
+  mutable continues : string list;
+  mutable regpool : int list;  (** unassigned register-variable registers *)
+  mutable saved_regs : (int * int) list;  (** (reg, save-slot frame offset) *)
+  mutable param_homes : [ `Stack | `Slot of int | `Reg of int ] list;  (** per param *)
+}
+
+let emit f s = f.code <- s :: f.code
+
+let alloc_slot f size align =
+  let size = max size 1 in
+  let off = f.frame_low - size in
+  let off = -((-off + align - 1) / align * align) in
+  f.frame_low <- off;
+  off
+
+(* --- symbol lookup -------------------------------------------------------- *)
+
+let lookup_scope f name =
+  let rec go = function
+    | [] -> None
+    | frame :: rest -> (
+        match List.find_opt (fun e -> e.se_name = name) frame with
+        | Some e -> Some e
+        | None -> go rest)
+  in
+  go f.scopes
+
+let lookup_any f name : binding option =
+  match lookup_scope f name with
+  | Some e -> Some e.se_binding
+  | None -> (
+      match Hashtbl.find_opt f.g.globals name with
+      | Some (b, _) -> Some b
+      | None -> None)
+
+(* --- constant folding ----------------------------------------------------- *)
+
+type const = Cint of int32 | Cflt of float
+
+let rec const_eval (arch : Arch.t) (e : Ast.expr) : const option =
+  let open Ast in
+  match e with
+  | Eint (n, _) -> Some (Cint n)
+  | Efloat (f, _) -> Some (Cflt f)
+  | Echar (c, _) -> Some (Cint (Int32.of_int (Char.code c)))
+  | Eun ("-", e, _) -> (
+      match const_eval arch e with
+      | Some (Cint n) -> Some (Cint (Int32.neg n))
+      | Some (Cflt f) -> Some (Cflt (-.f))
+      | None -> None)
+  | Eun ("~", e, _) -> (
+      match const_eval arch e with
+      | Some (Cint n) -> Some (Cint (Int32.lognot n))
+      | _ -> None)
+  | Ebin (op, a, b, _) -> (
+      match (const_eval arch a, const_eval arch b) with
+      | Some (Cint x), Some (Cint y) -> (
+          let f g = Some (Cint (g x y)) in
+          match op with
+          | "+" -> f Int32.add
+          | "-" -> f Int32.sub
+          | "*" -> f Int32.mul
+          | "/" -> if y = 0l then None else f Int32.div
+          | "%" -> if y = 0l then None else f Int32.rem
+          | "&" -> f Int32.logand
+          | "|" -> f Int32.logor
+          | "^" -> f Int32.logxor
+          | "<<" -> Some (Cint (Int32.shift_left x (Int32.to_int y land 31)))
+          | ">>" -> Some (Cint (Int32.shift_right x (Int32.to_int y land 31)))
+          | _ -> None)
+      | Some (Cflt x), Some (Cflt y) -> (
+          match op with
+          | "+" -> Some (Cflt (x +. y))
+          | "-" -> Some (Cflt (x -. y))
+          | "*" -> Some (Cflt (x *. y))
+          | "/" -> Some (Cflt (x /. y))
+          | _ -> None)
+      | _ -> None)
+  | Esizeof_t (t, _) -> Some (Cint (Int32.of_int (Ctype.size arch t)))
+  | _ -> None
+
+(* --- expression translation core ----------------------------------------- *)
+
+(** Lvalues: either a memory address expression or a register variable. *)
+type lv = Lmem of Ir.exp * Ctype.t | Lreg of int * Ctype.t
+
+(** Context for expression translation: the compiler instantiates it from
+    a [fenv]; the expression server instantiates it with debugger-supplied
+    bindings and no statement buffer (no short-circuit temporaries). *)
+type ectx = {
+  e_arch : Arch.t;
+  e_lookup : string -> binding option;
+  e_func_ty : string -> Ctype.t option;
+  e_string : string -> caddr;  (** string literal -> address *)
+  e_emit : (Ir.stmt -> unit) option;  (** None in the expression server *)
+  e_temp : (int -> int -> int) option;  (** alloc_slot for short circuits *)
+  e_label : (unit -> string) option;
+}
+
+let irty ctx t = Ir.of_ctype ctx.e_arch t
+
+let exp_of_caddr = function
+  | Creg _ -> assert false
+  | Cframe off -> Ir.Addrl off
+  | Clabel l -> Ir.Addrg l
+  | Cabs a -> Ir.Cnst (Ir.P4, a)
+
+(** Widen a loaded/computed value to its computation type and convert
+    [from] C type to [to_] C type. *)
+let rec convert _ctx (e : Ir.exp) (from : Ctype.t) (to_ : Ctype.t) pos : Ir.exp =
+  if Ctype.equal from to_ then e
+  else
+    let open Ctype in
+    match (from, to_) with
+    | (Char | Short | Int | Unsigned), (Char | Short | Int | Unsigned) ->
+        (* computation is 32-bit; narrowing happens at store *)
+        e
+    | (Char | Short | Int), (Float | Double | LongDouble) -> Ir.Cvt (I4, F8, e)
+    | Unsigned, (Float | Double | LongDouble) -> Ir.Cvt (U4, F8, e)
+    | (Float | Double | LongDouble), (Char | Short | Int) -> Ir.Cvt (F8, I4, e)
+    | (Float | Double | LongDouble), Unsigned -> Ir.Cvt (F8, U4, e)
+    | (Float | Double | LongDouble), (Float | Double | LongDouble) -> e
+    | (Ptr _ | Array _ | Func _), (Ptr _ | Func _) -> e
+    | (Ptr _ | Array _), (Int | Unsigned) -> e
+    | (Int | Unsigned), Ptr _ -> e
+    | _ -> fail pos "cannot convert %s to %s" (Ctype.to_string from) (Ctype.to_string to_)
+
+(** Translate an AST expression to an IR value, returning its C type. *)
+and rvalue ctx (e : Ast.expr) : Ir.exp * Ctype.t =
+  let open Ast in
+  match e with
+  | Eint (n, _) -> (Ir.Cnst (Ir.I4, n), Ctype.Int)
+  | Efloat (f, _) -> (Ir.Cnstf f, Ctype.Double)
+  | Echar (c, _) -> (Ir.Cnst (Ir.I4, Int32.of_int (Char.code c)), Ctype.Int)
+  | Estr (s, _) -> (exp_of_caddr (ctx.e_string s), Ctype.Ptr Ctype.Char)
+  | Esizeof_t (t, _) -> (Ir.Cnst (Ir.I4, Int32.of_int (Ctype.size ctx.e_arch t)), Ctype.Int)
+  | Esizeof_e (e, p) ->
+      let _, t = rvalue ctx e in
+      ignore p;
+      (Ir.Cnst (Ir.I4, Int32.of_int (Ctype.size ctx.e_arch t)), Ctype.Int)
+  | Ecast (t, e, p) ->
+      let v, ft = rvalue ctx e in
+      (convert ctx v ft t p, t)
+  | Eun ("-", e, p) -> (
+      let v, t = rvalue ctx e in
+      match t with
+      | t when Ctype.is_float t -> (Ir.Bin (Ir.F8, Ir.Sub, Ir.Cnstf 0.0, v), Ctype.Double)
+      | t when Ctype.is_integer t -> (Ir.Bin (Ir.I4, Ir.Sub, Ir.Cnst (Ir.I4, 0l), v), Ctype.Int)
+      | _ -> fail p "bad operand to unary -")
+  | Eun ("~", e, p) -> (
+      let v, t = rvalue ctx e in
+      if Ctype.is_integer t then (Ir.Bin (Ir.I4, Ir.Bxor, v, Ir.Cnst (Ir.I4, -1l)), Ctype.Int)
+      else fail p "bad operand to ~")
+  | Eun ("!", e, p) ->
+      let v, t = rvalue ctx e in
+      if not (Ctype.is_scalar t) then fail p "bad operand to !";
+      let ty = if Ctype.is_float t then Ir.F8 else Ir.I4 in
+      let zero = if Ctype.is_float t then Ir.Cnstf 0.0 else Ir.Cnst (Ir.I4, 0l) in
+      (Ir.Cmp (ty, Ir.Req, v, zero), Ctype.Int)
+  | Eun ("*", e, p) -> (
+      let v, t = rvalue ctx e in
+      match t with
+      | Ctype.Ptr inner | Ctype.Array (inner, _) -> load ctx v inner p
+      | _ -> fail p "dereference of non-pointer")
+  | Eun ("&", e, p) -> (
+      match lvalue ctx e with
+      | Lmem (addr, t) -> (addr, Ctype.Ptr t)
+      | Lreg _ -> fail p "cannot take the address of a register variable")
+  | Eun (op, _, p) -> fail p "bad unary operator %s" op
+  | Eid (name, p) -> (
+      match ctx.e_lookup name with
+      | Some { b_ty; b_addr } -> (
+          match b_addr with
+          | Creg r -> (Ir.Reguse r, b_ty)
+          | addr -> load_binding ctx addr b_ty p)
+      | None -> (
+          match ctx.e_func_ty name with
+          | Some ft -> (Ir.Addrg (mangle name), ft)
+          | None -> fail p "undeclared identifier %s" name))
+  | Eindex (a, i, p) -> (
+      let av, at = rvalue ctx a in
+      let iv, it = rvalue ctx i in
+      if not (Ctype.is_integer it) then fail p "array index is not an integer";
+      match at with
+      | Ctype.Ptr inner | Ctype.Array (inner, _) ->
+          let scaled = scale ctx iv (Ctype.size ctx.e_arch inner) in
+          load ctx (Ir.Bin (Ir.P4, Ir.Add, av, scaled)) inner p
+      | _ -> fail p "indexing a non-array")
+  | Efield (_, _, p) | Earrow (_, _, p) -> (
+      match lvalue ctx e with
+      | Lmem (addr, t) -> load ctx addr t p
+      | Lreg (r, t) -> (Ir.Reguse r, t))
+  | Ebin (("&&" | "||"), _, _, p) -> short_circuit ctx e p
+  | Ebin (op, a, b, p) when List.mem op [ "=="; "!="; "<"; "<="; ">"; ">=" ] ->
+      let v, _ = comparison ctx op a b p in
+      (v, Ctype.Int)
+  | Ebin (op, a, b, p) -> (
+      let av, at = rvalue ctx a in
+      let bv, bt = rvalue ctx b in
+      binary ctx op av at bv bt p)
+  | Eassign (op, lhs, rhs, p) -> assign ctx op lhs rhs p
+  | Econd (c, a, b, p) -> conditional ctx c a b p
+  | Eincr (pre, delta, e, p) -> incr_decr ctx pre delta e p
+  | Ecall (f, args, p) -> call ctx f args p
+
+and load_binding ctx addr ty p =
+  match ty with
+  | Ctype.Array _ | Ctype.Func _ -> (exp_of_caddr addr, ty)
+  | _ -> load ctx (exp_of_caddr addr) ty p
+
+(** Load a value of C type [t] from [addr]. *)
+and load ctx (addr : Ir.exp) (t : Ctype.t) p : Ir.exp * Ctype.t =
+  match t with
+  | Ctype.Array _ | Ctype.Func _ -> (addr, t)  (* decay *)
+  | Ctype.Struct _ -> (addr, t)  (* aggregates by address *)
+  | Ctype.Void -> fail p "void value"
+  | _ -> (Ir.Indir (irty ctx t, addr), t)
+
+and scale _ctx (idx : Ir.exp) size =
+  if size = 1 then idx
+  else Ir.Bin (Ir.I4, Ir.Mul, idx, Ir.Cnst (Ir.I4, Int32.of_int size))
+
+(** Arithmetic and bitwise binary operators (comparisons handled apart). *)
+and binary ctx op av at bv bt p : Ir.exp * Ctype.t =
+  let open Ctype in
+  let arith_op =
+    match op with
+    | "+" -> Some Ir.Add
+    | "-" -> Some Ir.Sub
+    | "*" -> Some Ir.Mul
+    | "/" -> Some Ir.Div
+    | "%" -> Some Ir.Rem
+    | _ -> None
+  in
+  let bit_op =
+    match op with
+    | "&" -> Some Ir.Band
+    | "|" -> Some Ir.Bor
+    | "^" -> Some Ir.Bxor
+    | "<<" -> Some Ir.Shl
+    | ">>" -> Some Ir.Shr
+    | _ -> None
+  in
+  match (arith_op, bit_op) with
+  | Some aop, _ -> (
+      match (at, bt) with
+      | t1, t2 when is_pointer t1 && is_integer t2 && (op = "+" || op = "-") ->
+          let elem = match t1 with Ptr e | Array (e, _) -> e | _ -> assert false in
+          let scaled = scale ctx bv (Ctype.size ctx.e_arch elem) in
+          (Ir.Bin (Ir.P4, aop, av, scaled), Ptr elem)
+      | t1, t2 when is_integer t1 && is_pointer t2 && op = "+" ->
+          let elem = match t2 with Ptr e | Array (e, _) -> e | _ -> assert false in
+          let scaled = scale ctx av (Ctype.size ctx.e_arch elem) in
+          (Ir.Bin (Ir.P4, Ir.Add, bv, scaled), Ptr elem)
+      | t1, t2 when is_pointer t1 && is_pointer t2 && op = "-" ->
+          let elem = match t1 with Ptr e | Array (e, _) -> e | _ -> assert false in
+          let diff = Ir.Bin (Ir.I4, Ir.Sub, av, bv) in
+          ( Ir.Bin (Ir.I4, Ir.Div, diff, Ir.Cnst (Ir.I4, Int32.of_int (Ctype.size ctx.e_arch elem))),
+            Int )
+      | t1, t2 when is_arith t1 && is_arith t2 ->
+          let rt = usual_arith t1 t2 in
+          if is_float rt then
+            ( Ir.Bin (Ir.F8, aop, convert ctx av t1 rt p, convert ctx bv t2 rt p),
+              Double )
+          else
+            let ity = if equal rt Unsigned then Ir.U4 else Ir.I4 in
+            (Ir.Bin (ity, aop, av, bv), rt)
+      | _ -> fail p "bad operands to %s" op)
+  | None, Some bop ->
+      if is_integer at && is_integer bt then
+        let rt = usual_arith at bt in
+        let ity = if equal rt Unsigned then Ir.U4 else Ir.I4 in
+        (Ir.Bin (ity, bop, av, bv), rt)
+      else fail p "bad operands to %s" op
+  | None, None -> fail p "unknown binary operator %s" op
+
+and comparison ctx op a b p : Ir.exp * Ctype.t =
+  let av, at = rvalue ctx a in
+  let bv, bt = rvalue ctx b in
+  let rel =
+    match op with
+    | "==" -> Ir.Req
+    | "!=" -> Ir.Rne
+    | "<" -> Ir.Rlt
+    | "<=" -> Ir.Rle
+    | ">" -> Ir.Rgt
+    | ">=" -> Ir.Rge
+    | _ -> assert false
+  in
+  let open Ctype in
+  if is_pointer at || is_pointer bt then (Ir.Cmp (Ir.U4, rel, av, bv), Int)
+  else if is_arith at && is_arith bt then begin
+    let ct = usual_arith at bt in
+    if is_float ct then
+      (Ir.Cmp (Ir.F8, rel, convert ctx av at ct p, convert ctx bv bt ct p), Int)
+    else
+      let ity = if equal ct Unsigned then Ir.U4 else Ir.I4 in
+      (Ir.Cmp (ity, rel, av, bv), Int)
+  end
+  else fail p "bad operands to %s" op
+
+(** Short-circuit && / || in value position: lowered through a temporary
+    frame slot with branches (requires a statement buffer). *)
+and short_circuit ctx e p : Ir.exp * Ctype.t =
+  match (ctx.e_emit, ctx.e_temp, ctx.e_label) with
+  | Some emit, Some temp, Some label ->
+      let slot = temp 4 4 in
+      let l_true = label () and l_false = label () and l_done = label () in
+      cond_jump ctx e ~iftrue:l_true ~iffalse:l_false;
+      emit (Ir.Slabel l_true);
+      emit (Ir.Sexp (Ir.Asgn (Ir.I4, Ir.Addrl slot, Ir.Cnst (Ir.I4, 1l))));
+      emit (Ir.Sjump l_done);
+      emit (Ir.Slabel l_false);
+      emit (Ir.Sexp (Ir.Asgn (Ir.I4, Ir.Addrl slot, Ir.Cnst (Ir.I4, 0l))));
+      emit (Ir.Slabel l_done);
+      (Ir.Indir (Ir.I4, Ir.Addrl slot), Ctype.Int)
+  | _ ->
+      (* expression server: evaluate without short circuit *)
+      let op = match e with Ast.Ebin (op, _, _, _) -> op | _ -> assert false in
+      let a, b = match e with Ast.Ebin (_, a, b, _) -> (a, b) | _ -> assert false in
+      let av, at = rvalue ctx a in
+      let bv, bt = rvalue ctx b in
+      let boolize v t =
+        let ty = if Ctype.is_float t then Ir.F8 else Ir.I4 in
+        let zero = if Ctype.is_float t then Ir.Cnstf 0.0 else Ir.Cnst (Ir.I4, 0l) in
+        Ir.Cmp (ty, Ir.Rne, v, zero)
+      in
+      let ba = boolize av at and bb = boolize bv bt in
+      ignore p;
+      let bop = if op = "&&" then Ir.Band else Ir.Bor in
+      (Ir.Bin (Ir.I4, bop, ba, bb), Ctype.Int)
+
+and conditional ctx c a b p : Ir.exp * Ctype.t =
+  match (ctx.e_emit, ctx.e_temp, ctx.e_label) with
+  | Some emit, Some temp, Some label ->
+      (* evaluate one arm into a temporary slot *)
+      let l_true = label () and l_false = label () and l_done = label () in
+      cond_jump ctx c ~iftrue:l_true ~iffalse:l_false;
+      emit (Ir.Slabel l_true);
+      let av, at = rvalue ctx a in
+      let is_f = Ctype.is_float at in
+      let slot = temp (if is_f then 8 else 4) (if is_f then 8 else 4) in
+      let sty = if is_f then Ir.F8 else if Ctype.is_pointer at then Ir.P4 else Ir.I4 in
+      emit (Ir.Sexp (Ir.Asgn (sty, Ir.Addrl slot, av)));
+      emit (Ir.Sjump l_done);
+      emit (Ir.Slabel l_false);
+      let bv, bt = rvalue ctx b in
+      let bv = convert ctx bv bt at p in
+      emit (Ir.Sexp (Ir.Asgn (sty, Ir.Addrl slot, bv)));
+      emit (Ir.Slabel l_done);
+      (Ir.Indir (sty, Ir.Addrl slot), at)
+  | _ -> fail p "conditional expressions are not supported here"
+
+and assign ctx op lhs rhs p : Ir.exp * Ctype.t =
+  let l = lvalue ctx lhs in
+  let lty = match l with Lmem (_, t) | Lreg (_, t) -> t in
+  let value =
+    if op = "=" then begin
+      let rv, rt = rvalue ctx rhs in
+      convert ctx rv rt lty p
+    end
+    else begin
+      (* op= : load, combine, store *)
+      let binop = String.sub op 0 (String.length op - 1) in
+      let cur, _ =
+        match l with
+        | Lmem (addr, t) -> load ctx addr t p
+        | Lreg (r, t) -> (Ir.Reguse r, t)
+      in
+      let rv, rt = rvalue ctx rhs in
+      let v, vt = binary ctx binop cur lty rv rt p in
+      convert ctx v vt lty p
+    end
+  in
+  match l with
+  | Lreg (r, t) -> (Ir.Regasgn (r, value), t)
+  | Lmem (addr, t) -> (Ir.Asgn (irty ctx t, addr, value), t)
+
+and incr_decr ctx pre delta e p : Ir.exp * Ctype.t =
+  let l = lvalue ctx e in
+  let lty = match l with Lmem (_, t) | Lreg (_, t) -> t in
+  let step =
+    match lty with
+    | Ctype.Ptr inner -> Ctype.size ctx.e_arch inner
+    | t when Ctype.is_arith t -> 1
+    | _ -> fail p "bad operand to ++/--"
+  in
+  let delta32 = Int32.of_int (delta * step) in
+  let cur =
+    match l with
+    | Lmem (addr, t) -> fst (load ctx addr t p)
+    | Lreg (r, _) -> Ir.Reguse r
+  in
+  let updated =
+    if Ctype.is_float lty then
+      Ir.Bin (Ir.F8, Ir.Add, cur, Ir.Cnstf (float_of_int (delta * step)))
+    else
+      let ty = if Ctype.is_pointer lty then Ir.P4 else Ir.I4 in
+      Ir.Bin (ty, Ir.Add, cur, Ir.Cnst (Ir.I4, delta32))
+  in
+  let stored =
+    match l with
+    | Lreg (r, _) -> Ir.Regasgn (r, updated)
+    | Lmem (addr, t) -> Ir.Asgn (irty ctx t, addr, updated)
+  in
+  if pre then (stored, lty)
+  else begin
+    (* post-increment in a value position: emit the update as a side
+       effect after saving the old value in a temporary *)
+    match (ctx.e_emit, ctx.e_temp) with
+    | Some emit, Some temp ->
+        let is_f = Ctype.is_float lty in
+        let slot = temp (if is_f then 8 else 4) (if is_f then 8 else 4) in
+        let sty = if is_f then Ir.F8 else if Ctype.is_pointer lty then Ir.P4 else Ir.I4 in
+        emit (Ir.Sexp (Ir.Asgn (sty, Ir.Addrl slot, cur)));
+        emit (Ir.Sexp stored);
+        (Ir.Indir (sty, Ir.Addrl slot), lty)
+    | _ ->
+        (* expression server: the updated value is close enough only for
+           statement-position uses; treat as pre *)
+        (stored, lty)
+  end
+
+and call ctx f args p : Ir.exp * Ctype.t =
+  let fname, fty, faddr =
+    match f with
+    | Ast.Eid (name, _) -> (
+        match ctx.e_lookup name with
+        | Some { b_ty = Ctype.Ptr (Ctype.Func _ as ft); b_addr } -> (None, ft, Some (fst (load_binding ctx b_addr (Ctype.Ptr ft) p)))
+        | Some { b_ty = Ctype.Func _ as ft; b_addr = Clabel l } -> (Some l, ft, None)
+        | Some _ -> fail p "%s is not a function" name
+        | None -> (
+            match ctx.e_func_ty name with
+            | Some ft -> (Some (mangle name), ft, None)
+            | None ->
+                (* implicit declaration returning int *)
+                (Some (mangle name), Ctype.Func (Ctype.Int, []), None)))
+    | _ -> (
+        let v, t = rvalue ctx f in
+        match t with
+        | Ctype.Ptr (Ctype.Func _ as ft) | (Ctype.Func _ as ft) -> (None, ft, Some v)
+        | _ -> fail p "call of non-function")
+  in
+  let ret, ptys = match fty with Ctype.Func (r, a) -> (r, a) | _ -> (Ctype.Int, []) in
+  let is_printf = fname = Some "_printf" in
+  let avs =
+    List.mapi
+      (fun i a ->
+        let v, t = rvalue ctx a in
+        (* default promotions: float -> double; declared param types apply
+           when known *)
+        match List.nth_opt ptys i with
+        | Some pt when not is_printf -> convert ctx v t pt p
+        | _ ->
+            if Ctype.equal t Ctype.Float then v (* already computed as F8 *)
+            else v)
+      args
+  in
+  let rty = irty ctx ret in
+  match (fname, faddr) with
+  | Some l, _ -> (Ir.Call (rty, l, avs), ret)
+  | None, Some fv -> (Ir.Callind (rty, fv, avs), ret)
+  | None, None -> assert false
+
+(** Translate to an lvalue. *)
+and lvalue ctx (e : Ast.expr) : lv =
+  let open Ast in
+  match e with
+  | Eid (name, p) -> (
+      match ctx.e_lookup name with
+      | Some { b_ty; b_addr = Creg r } -> Lreg (r, b_ty)
+      | Some { b_ty; b_addr } -> Lmem (exp_of_caddr b_addr, b_ty)
+      | None -> fail p "undeclared identifier %s" name)
+  | Eun ("*", e, p) -> (
+      let v, t = rvalue ctx e in
+      match t with
+      | Ctype.Ptr inner | Ctype.Array (inner, _) -> Lmem (v, inner)
+      | _ -> fail p "dereference of non-pointer")
+  | Eindex (a, i, p) -> (
+      let av, at = rvalue ctx a in
+      let iv, _ = rvalue ctx i in
+      match at with
+      | Ctype.Ptr inner | Ctype.Array (inner, _) ->
+          Lmem (Ir.Bin (Ir.P4, Ir.Add, av, scale ctx iv (Ctype.size ctx.e_arch inner)), inner)
+      | _ -> fail p "indexing a non-array")
+  | Efield (b, fld, p) -> (
+      match lvalue ctx b with
+      | Lmem (addr, Ctype.Struct sd) -> (
+          match Ctype.field sd fld with
+          | Some f ->
+              Lmem (Ir.Bin (Ir.P4, Ir.Add, addr, Ir.Cnst (Ir.I4, Int32.of_int f.Ctype.foffset)), f.Ctype.fty)
+          | None -> fail p "struct %s has no field %s" sd.Ctype.sname fld)
+      | _ -> fail p ". applied to a non-struct")
+  | Earrow (b, fld, p) -> (
+      let v, t = rvalue ctx b in
+      match t with
+      | Ctype.Ptr (Ctype.Struct sd) -> (
+          match Ctype.field sd fld with
+          | Some f ->
+              Lmem (Ir.Bin (Ir.P4, Ir.Add, v, Ir.Cnst (Ir.I4, Int32.of_int f.Ctype.foffset)), f.Ctype.fty)
+          | None -> fail p "struct %s has no field %s" sd.Ctype.sname fld)
+      | _ -> fail p "-> applied to a non-struct-pointer")
+  | e -> fail (expr_pos e) "expression is not an lvalue"
+
+(** Branch on a condition (used by if/while/for and short circuits). *)
+and cond_jump ctx (e : Ast.expr) ~iftrue ~iffalse =
+  let emit = match ctx.e_emit with Some f -> f | None -> assert false in
+  let open Ast in
+  match e with
+  | Ebin ("&&", a, b, _) ->
+      let mid = (match ctx.e_label with Some f -> f () | None -> assert false) in
+      cond_jump ctx a ~iftrue:mid ~iffalse;
+      emit (Ir.Slabel mid);
+      cond_jump ctx b ~iftrue ~iffalse
+  | Ebin ("||", a, b, _) ->
+      let mid = (match ctx.e_label with Some f -> f () | None -> assert false) in
+      cond_jump ctx a ~iftrue ~iffalse:mid;
+      emit (Ir.Slabel mid);
+      cond_jump ctx b ~iftrue ~iffalse
+  | Eun ("!", e, _) -> cond_jump ctx e ~iftrue:iffalse ~iffalse:iftrue
+  | Ebin (op, a, b, p) when List.mem op [ "=="; "!="; "<"; "<="; ">"; ">=" ] ->
+      let av, at = rvalue ctx a in
+      let bv, bt = rvalue ctx b in
+      let rel =
+        match op with
+        | "==" -> Ir.Req | "!=" -> Ir.Rne | "<" -> Ir.Rlt
+        | "<=" -> Ir.Rle | ">" -> Ir.Rgt | ">=" -> Ir.Rge
+        | _ -> assert false
+      in
+      let open Ctype in
+      let ty, av, bv =
+        if is_pointer at || is_pointer bt then (Ir.U4, av, bv)
+        else
+          let ct = usual_arith at bt in
+          if is_float ct then (Ir.F8, convert ctx av at ct p, convert ctx bv bt ct p)
+          else if equal ct Unsigned then (Ir.U4, av, bv)
+          else (Ir.I4, av, bv)
+      in
+      emit (Ir.Scjump (ty, rel, av, bv, iftrue));
+      emit (Ir.Sjump iffalse)
+  | e ->
+      let v, t = rvalue ctx e in
+      let ty = if Ctype.is_float t then Ir.F8 else Ir.I4 in
+      let zero = if Ctype.is_float t then Ir.Cnstf 0.0 else Ir.Cnst (Ir.I4, 0l) in
+      emit (Ir.Scjump (ty, Ir.Rne, v, zero, iftrue));
+      emit (Ir.Sjump iffalse)
+
+(* --- statement and unit translation --------------------------------------- *)
+
+type func_ir = {
+  fi_label : string;
+  fi_name : string;
+  fi_body : Ir.stmt list;
+  fi_locals_bytes : int;  (** size of the locals area below the frame base *)
+  fi_frame_size : int;    (** SIM-MIPS frame size (locals + ra slot, aligned) *)
+  fi_reg_param_stores : (int * int) list;
+      (** prologue stores: (incoming arg register, frame offset of home) *)
+  fi_saved_regs : (int * int) list;
+      (** register variables: (register, frame offset of save slot) *)
+  fi_ret_float : bool;
+  fi_debug : Sym.func_debug option;
+}
+
+type unit_ir = {
+  ui_name : string;
+  ui_arch : Arch.t;
+  ui_funcs : func_ir list;
+  ui_data : Asm.data_item list;
+  ui_globals : string list;
+  ui_debug : Sym.unit_debug option;
+}
+
+(** Frame home (offset from the frame base) of argument unit [u]:
+    arguments are always fully materialized in the caller's outgoing area
+    ("home area", as on the real MIPS), so every parameter has a
+    contiguous memory home. *)
+let arg_home_offset (target : Target.t) u =
+  match target.Target.arch with
+  | Arch.Mips -> 4 * u                 (* vfp + 4u *)
+  | Arch.Sparc -> 4 + (4 * u)          (* above the pushed fp *)
+  | Arch.M68k | Arch.Vax -> 8 + (4 * u) (* above pushed fp and return addr *)
+
+let ectx_of_fenv (f : fenv) : ectx =
+  {
+    e_arch = f.g.arch;
+    e_lookup = (fun n -> lookup_any f n);
+    e_func_ty = (fun n -> Hashtbl.find_opt f.g.funcs n);
+    e_string = (fun s -> Clabel (string_label f.g s));
+    e_emit = Some (emit f);
+    e_temp = Some (fun size align -> alloc_slot f size align);
+    e_label = Some (fun () -> fresh_label f.g);
+  }
+
+let stop_label g fname id = Printf.sprintf "__stop$%s$%s$%d" (unit_tag g) fname id
+
+(** Record a stopping point before the construct at [pos]. *)
+let stop_point f (pos : Lex.pos) =
+  if f.g.debug then begin
+    let id = f.nstop in
+    f.nstop <- id + 1;
+    let label = stop_label f.g f.fname id in
+    let anchor = Sym.add_anchor_slot f.g.ud label in
+    let sp =
+      { Sym.sp_id = id; sp_pos = pos; sp_scope = f.uplink_tail; sp_label = label;
+        sp_anchor = anchor }
+    in
+    f.stops <- sp :: f.stops;
+    emit f (Ir.Sstop (id, label))
+  end
+
+let new_sym f name ty kind pos where =
+  let s =
+    { Sym.sid = fresh_sid f.g; sym_name = name; sym_ty = ty; kind; spos = pos;
+      sfile = f.g.unit_name; where = Some where; uplink = f.uplink_tail }
+  in
+  f.uplink_tail <- Some s;
+  s
+
+(** Emit initialized data for a global or static definition. *)
+let emit_data g label (ty : Ctype.t) (init : Ast.expr option) export =
+  let size = Ctype.size g.arch ty in
+  let items = ref [ Asm.Dlabel label; Asm.Dalign (max 4 (Ctype.align g.arch ty)) ] in
+  (* items are collected reversed relative to final data order, because
+     g.data is reversed *)
+  (match init with
+  | None -> items := Asm.Dspace size :: !items
+  | Some e -> (
+      match (ty, e) with
+      | Ctype.Ptr Ctype.Char, Ast.Estr (s, _) ->
+          let sl = string_label g s in
+          items := Asm.Dwordsym (sl, 0) :: !items
+      | _ -> (
+          match const_eval g.arch e with
+          | Some (Cint n) -> (
+              match size with
+              | 1 -> items := Asm.Dbytes (String.make 1 (Char.chr (Int32.to_int n land 0xff))) :: !items
+              | 2 ->
+                  let b = Bytes.create 2 in
+                  Ldb_util.Endian.set_u16 (Arch.endian g.arch) b 0 (Int32.to_int n land 0xffff);
+                  items := Asm.Dbytes (Bytes.to_string b) :: !items
+              | _ -> items := Asm.Dword n :: !items)
+          | Some (Cflt x) ->
+              let b = Bytes.create size in
+              (match size with
+              | 4 -> Ldb_util.Endian.set_u32 (Arch.endian g.arch) b 0 (Int32.bits_of_float x)
+              | 8 -> Ldb_util.Endian.set_u64 (Arch.endian g.arch) b 0 (Int64.bits_of_float x)
+              | 10 -> Bytes.blit_string (Float80.to_bytes x) 0 b 0 10
+              | _ -> ());
+              items := Asm.Dbytes (Bytes.to_string b) :: !items
+          | None -> items := Asm.Dspace size :: !items)));
+  g.data <- !items @ g.data;
+  if export then ()
+
+(** Process the declarations at the head of a block, producing scope
+    entries, debug symbols, and initializer code. *)
+let rec do_decls f (decls : Ast.decl list) =
+  let frame = ref [] in
+  List.iter
+    (fun (d : Ast.decl) ->
+      let ty = d.Ast.dty in
+      let name = d.Ast.dname in
+      match d.Ast.dstorage with
+      | Ast.Static ->
+          let label = static_label f.g name in
+          emit_data f.g label ty d.Ast.dinit false;
+          let idx = Sym.add_anchor_slot f.g.ud label in
+          let sym = new_sym f name ty Sym.Kvar d.Ast.dpos (Sym.Anchored idx) in
+          frame := { se_name = name; se_binding = { b_ty = ty; b_addr = Clabel label };
+                     se_sym = Some sym } :: !frame
+      | Ast.Extern ->
+          let label = mangle name in
+          let sym = new_sym f name ty Sym.Kvar d.Ast.dpos (Sym.Global label) in
+          frame := { se_name = name; se_binding = { b_ty = ty; b_addr = Clabel label };
+                     se_sym = Some sym } :: !frame
+      | Ast.Register when Ctype.is_integer ty || Ctype.is_pointer ty ->
+          (match f.regpool with
+          | r :: rest ->
+              f.regpool <- rest;
+              let save = alloc_slot f 4 4 in
+              f.saved_regs <- (r, save) :: f.saved_regs;
+              let sym = new_sym f name ty Sym.Kvar d.Ast.dpos (Sym.In_reg r) in
+              frame := { se_name = name; se_binding = { b_ty = ty; b_addr = Creg r };
+                         se_sym = Some sym } :: !frame;
+              (match d.Ast.dinit with
+              | Some e ->
+                  let ctx = ectx_of_fenv f in
+                  let v, vt = rvalue ctx e in
+                  let v = convert ctx v vt ty d.Ast.dpos in
+                  emit f (Ir.Sexp (Ir.Regasgn (r, v)))
+              | None -> ())
+          | [] -> do_auto f frame d)
+      | _ -> do_auto f frame d)
+    decls;
+  f.scopes <- !frame :: f.scopes
+
+and do_auto f frame (d : Ast.decl) =
+  let ty = d.Ast.dty in
+  let size = Ctype.size f.g.arch ty and align = Ctype.align f.g.arch ty in
+  let off = alloc_slot f size (max align 4) in
+  let sym = new_sym f d.Ast.dname ty Sym.Kvar d.Ast.dpos (Sym.Frame off) in
+  frame := { se_name = d.Ast.dname; se_binding = { b_ty = ty; b_addr = Cframe off };
+             se_sym = Some sym } :: !frame;
+  match d.Ast.dinit with
+  | Some e ->
+      (* temporarily make the symbol visible for its own initializer *)
+      f.scopes <- [ List.hd !frame ] :: f.scopes;
+      let ctx = ectx_of_fenv f in
+      let v, vt = rvalue ctx e in
+      let v = convert ctx v vt ty d.Ast.dpos in
+      emit f (Ir.Sexp (Ir.Asgn (irty ctx ty, Ir.Addrl off, v)));
+      f.scopes <- List.tl f.scopes
+  | None -> ()
+
+and do_stmt f (s : Ast.stmt) =
+  let ctx () = ectx_of_fenv f in
+  match s with
+  | Ast.Sempty _ -> ()
+  | Ast.Sexpr (e, pos) ->
+      stop_point f pos;
+      let v, _ = rvalue (ctx ()) e in
+      emit f (Ir.Sexp v)
+  | Ast.Sif (c, then_, else_, pos) ->
+      stop_point f pos;
+      let lt = fresh_label f.g and lf = fresh_label f.g and ld = fresh_label f.g in
+      cond_jump (ctx ()) c ~iftrue:lt ~iffalse:lf;
+      emit f (Ir.Slabel lt);
+      do_stmt f then_;
+      emit f (Ir.Sjump ld);
+      emit f (Ir.Slabel lf);
+      (match else_ with Some s -> do_stmt f s | None -> ());
+      emit f (Ir.Slabel ld)
+  | Ast.Swhile (c, body, pos) ->
+      let ltest = fresh_label f.g and lbody = fresh_label f.g and ldone = fresh_label f.g in
+      emit f (Ir.Slabel ltest);
+      stop_point f pos;
+      cond_jump (ctx ()) c ~iftrue:lbody ~iffalse:ldone;
+      emit f (Ir.Slabel lbody);
+      f.breaks <- ldone :: f.breaks;
+      f.continues <- ltest :: f.continues;
+      do_stmt f body;
+      f.breaks <- List.tl f.breaks;
+      f.continues <- List.tl f.continues;
+      emit f (Ir.Sjump ltest);
+      emit f (Ir.Slabel ldone)
+  | Ast.Sdo (body, c, pos) ->
+      let ltop = fresh_label f.g and ltest = fresh_label f.g and ldone = fresh_label f.g in
+      emit f (Ir.Slabel ltop);
+      f.breaks <- ldone :: f.breaks;
+      f.continues <- ltest :: f.continues;
+      do_stmt f body;
+      f.breaks <- List.tl f.breaks;
+      f.continues <- List.tl f.continues;
+      emit f (Ir.Slabel ltest);
+      stop_point f pos;
+      cond_jump (ctx ()) c ~iftrue:ltop ~iffalse:ldone;
+      emit f (Ir.Slabel ldone)
+  | Ast.Sfor (init, cond, incr, body, pos) ->
+      (* separate stopping points for init, test and increment (Fig. 1) *)
+      (match init with
+      | Some e ->
+          stop_point f (Ast.expr_pos e);
+          let v, _ = rvalue (ctx ()) e in
+          emit f (Ir.Sexp v)
+      | None -> ());
+      let ltest = fresh_label f.g and lbody = fresh_label f.g in
+      let lincr = fresh_label f.g and ldone = fresh_label f.g in
+      emit f (Ir.Slabel ltest);
+      (match cond with
+      | Some e ->
+          stop_point f (Ast.expr_pos e);
+          cond_jump (ctx ()) e ~iftrue:lbody ~iffalse:ldone
+      | None -> emit f (Ir.Sjump lbody));
+      emit f (Ir.Slabel lbody);
+      f.breaks <- ldone :: f.breaks;
+      f.continues <- lincr :: f.continues;
+      do_stmt f body;
+      f.breaks <- List.tl f.breaks;
+      f.continues <- List.tl f.continues;
+      emit f (Ir.Slabel lincr);
+      (match incr with
+      | Some e ->
+          stop_point f (Ast.expr_pos e);
+          let v, _ = rvalue (ctx ()) e in
+          emit f (Ir.Sexp v)
+      | None -> ());
+      emit f (Ir.Sjump ltest);
+      emit f (Ir.Slabel ldone);
+      ignore pos
+  | Ast.Sreturn (e, pos) ->
+      stop_point f pos;
+      (match e with
+      | None -> emit f (Ir.Sret None)
+      | Some e ->
+          let v, vt = rvalue (ctx ()) e in
+          let v = convert (ctx ()) v vt f.ret_ty pos in
+          emit f (Ir.Sret (Some v)))
+  | Ast.Sbreak pos -> (
+      stop_point f pos;
+      match f.breaks with
+      | l :: _ -> emit f (Ir.Sjump l)
+      | [] -> fail pos "break outside a loop")
+  | Ast.Scontinue pos -> (
+      stop_point f pos;
+      match f.continues with
+      | l :: _ -> emit f (Ir.Sjump l)
+      | [] -> fail pos "continue outside a loop")
+  | Ast.Sblock (b, _) ->
+      let saved_tail = f.uplink_tail in
+      do_decls f b.Ast.bdecls;
+      List.iter (do_stmt f) b.Ast.bstmts;
+      f.scopes <- List.tl f.scopes;
+      f.uplink_tail <- saved_tail
+  | Ast.Sswitch (scrutinee, cases, pos) ->
+      (* dispatch: one compare-and-branch per case, then fallthrough
+         bodies with C semantics; break exits the switch *)
+      stop_point f pos;
+      let v, vt = rvalue (ctx ()) scrutinee in
+      if not (Ctype.is_integer vt) then fail pos "switch on a non-integer";
+      let slot = alloc_slot f 4 4 in
+      emit f (Ir.Sexp (Ir.Asgn (Ir.I4, Ir.Addrl slot, v)));
+      let ldone = fresh_label f.g in
+      let labelled = List.map (fun c -> (c, fresh_label f.g)) cases in
+      List.iter
+        (fun ((c : Ast.switch_case), l) ->
+          match c.Ast.sc_val with
+          | Some k ->
+              emit f
+                (Ir.Scjump (Ir.I4, Ir.Req, Ir.Indir (Ir.I4, Ir.Addrl slot),
+                            Ir.Cnst (Ir.I4, k), l))
+          | None -> ())
+        labelled;
+      (match List.find_opt (fun ((c : Ast.switch_case), _) -> c.Ast.sc_val = None) labelled with
+      | Some (_, l) -> emit f (Ir.Sjump l)
+      | None -> emit f (Ir.Sjump ldone));
+      f.breaks <- ldone :: f.breaks;
+      List.iter
+        (fun ((c : Ast.switch_case), l) ->
+          emit f (Ir.Slabel l);
+          List.iter (do_stmt f) c.Ast.sc_body)
+        labelled;
+      f.breaks <- List.tl f.breaks;
+      emit f (Ir.Slabel ldone)
+
+(** Translate one function definition. *)
+let do_func (g : genv) (fn : Ast.func) : func_ir =
+  let target = g.target in
+  let local_base =
+    match g.arch with Arch.Mips | Arch.Sparc -> -4 (* ra slot *) | _ -> 0
+  in
+  let f =
+    {
+      g;
+      fname = fn.Ast.fname;
+      ret_ty = fn.Ast.fret;
+      frame_low = local_base;
+      local_base;
+      code = [];
+      stops = [];
+      nstop = 0;
+      scopes = [];
+      uplink_tail = None;
+      breaks = [];
+      continues = [];
+      regpool = target.Target.reg_vars;
+      saved_regs = [];
+      param_homes = [];
+    }
+  in
+  (* parameters: memory homes in the caller's argument area *)
+  let nunit = ref 0 in
+  let param_frame = ref [] in
+  let param_syms = ref [] in
+  List.iter
+    (fun (pname, pty, ppos) ->
+      let units = if Ctype.is_float pty && not (Ctype.equal pty Ctype.Float) then 2
+                  else if Ctype.equal pty Ctype.Float then 2 (* promoted to double *)
+                  else 1 in
+      let home = arg_home_offset target !nunit in
+      let sym = new_sym f pname pty Sym.Kparam ppos (Sym.Frame home) in
+      param_syms := sym :: !param_syms;
+      param_frame :=
+        { se_name = pname; se_binding = { b_ty = pty; b_addr = Cframe home };
+          se_sym = Some sym } :: !param_frame;
+      nunit := !nunit + units)
+    fn.Ast.fparams;
+  f.scopes <- [ !param_frame ];
+  (* prologue stores for argument units that arrive in registers *)
+  let reg_param_stores =
+    List.filteri (fun u _ -> u < !nunit) (List.mapi (fun u r -> (r, arg_home_offset target u)) target.Target.arg_regs)
+  in
+  (* entry stopping point (point 0 in Fig. 1) *)
+  stop_point f fn.Ast.fpos;
+  (* body *)
+  let saved_tail = f.uplink_tail in
+  do_decls f fn.Ast.fbody.Ast.bdecls;
+  List.iter (do_stmt f) fn.Ast.fbody.Ast.bstmts;
+  f.scopes <- List.tl f.scopes;
+  ignore saved_tail;
+  (* exit stopping point at the closing brace *)
+  stop_point f fn.Ast.fendpos;
+  emit f (Ir.Sret None);
+  let locals_bytes = -f.frame_low in
+  let frame_size = (4 + locals_bytes + 7) / 8 * 8 in
+  let label = if fn.Ast.fstorage = Ast.Static then static_label g fn.Ast.fname
+              else mangle fn.Ast.fname in
+  (* function debug entry *)
+  let fi_debug =
+    if g.debug then begin
+      let fsym =
+        { Sym.sid = fresh_sid g; sym_name = fn.Ast.fname; sym_ty =
+            Ctype.Func (fn.Ast.fret, List.map (fun (_, t, _) -> t) fn.Ast.fparams);
+          kind = Sym.Kfunc; spos = fn.Ast.fpos; sfile = g.unit_name;
+          where = Some (Sym.Global label); uplink = None }
+      in
+      let fd =
+        { Sym.fd_sym = fsym; fd_label = label; fd_params = List.rev !param_syms;
+          fd_locals = []; fd_stops = List.rev f.stops; fd_frame_size = frame_size;
+          fd_ra_offset = frame_size - 4; fd_saved_regs = f.saved_regs }
+      in
+      g.ud.Sym.ud_funcs <- fd :: g.ud.Sym.ud_funcs;
+      Some fd
+    end
+    else None
+  in
+  {
+    fi_label = label;
+    fi_name = fn.Ast.fname;
+    fi_body = List.rev f.code;
+    fi_locals_bytes = locals_bytes;
+    fi_frame_size = frame_size;
+    fi_reg_param_stores = reg_param_stores;
+    fi_saved_regs = f.saved_regs;
+    fi_ret_float = Ctype.is_float fn.Ast.fret;
+    fi_debug;
+  }
+
+(** Translate a whole unit. *)
+let translate ~(arch : Arch.t) ~(debug : bool) (u : Ast.unit_) : unit_ir =
+  let target = Target.of_arch arch in
+  let ud =
+    { Sym.ud_name = u.Ast.uname; ud_arch = arch; ud_anchor = Sym.anchor_name u.Ast.uname;
+      ud_anchor_slots = []; ud_funcs = []; ud_statics = []; ud_globals = [] }
+  in
+  let g =
+    { arch; target; unit_name = u.Ast.uname; debug; sid = 0; nlabel = 0; nstatic = 0;
+      funcs = Hashtbl.create 16; globals = Hashtbl.create 16; data = [];
+      strings = Hashtbl.create 16; ud }
+  in
+  (* the simulated kernel's printf is always available *)
+  Hashtbl.replace g.funcs "printf" (Ctype.Func (Ctype.Int, []));
+  (* first pass: register functions and globals *)
+  List.iter
+    (fun top ->
+      match top with
+      | Ast.Tfunc fn ->
+          Hashtbl.replace g.funcs fn.Ast.fname
+            (Ctype.Func (fn.Ast.fret, List.map (fun (_, t, _) -> t) fn.Ast.fparams))
+      | Ast.Tfuncdecl (name, ty, _) -> (
+          match ty with
+          | Ctype.Func _ -> Hashtbl.replace g.funcs name ty
+          | _ -> ())
+      | Ast.Tvar _ -> ())
+    u.Ast.tops;
+  let globals = ref [] in
+  let funcs = ref [] in
+  List.iter
+    (fun top ->
+      match top with
+      | Ast.Tvar d when d.Ast.dname = "%struct" -> ()
+      | Ast.Tvar d -> (
+          let name = d.Ast.dname in
+          let ty = d.Ast.dty in
+          match d.Ast.dstorage with
+          | Ast.Extern ->
+              (* declaration only: no data emitted *)
+              let label = mangle name in
+              Hashtbl.replace g.globals name
+                ({ b_ty = ty; b_addr = Clabel label }, None)
+          | Ast.Static ->
+              let label = static_label g name in
+              emit_data g label ty d.Ast.dinit false;
+              let idx = Sym.add_anchor_slot ud label in
+              let sym =
+                { Sym.sid = fresh_sid g; sym_name = name; sym_ty = ty; kind = Sym.Kvar;
+                  spos = d.Ast.dpos; sfile = g.unit_name;
+                  where = Some (Sym.Anchored idx); uplink = None }
+              in
+              ud.Sym.ud_statics <- sym :: ud.Sym.ud_statics;
+              Hashtbl.replace g.globals name ({ b_ty = ty; b_addr = Clabel label }, Some sym)
+          | _ ->
+              let label = mangle name in
+              emit_data g label ty d.Ast.dinit true;
+              globals := label :: !globals;
+              let sym =
+                { Sym.sid = fresh_sid g; sym_name = name; sym_ty = ty; kind = Sym.Kvar;
+                  spos = d.Ast.dpos; sfile = g.unit_name;
+                  where = Some (Sym.Global label); uplink = None }
+              in
+              if debug then ud.Sym.ud_globals <- sym :: ud.Sym.ud_globals;
+              Hashtbl.replace g.globals name ({ b_ty = ty; b_addr = Clabel label }, Some sym))
+      | Ast.Tfuncdecl _ -> ()
+      | Ast.Tfunc fn ->
+          let fi = do_func g fn in
+          if fn.Ast.fstorage <> Ast.Static then globals := fi.fi_label :: !globals;
+          funcs := fi :: !funcs)
+    u.Ast.tops;
+  ud.Sym.ud_funcs <- List.rev ud.Sym.ud_funcs;
+  ud.Sym.ud_statics <- List.rev ud.Sym.ud_statics;
+  ud.Sym.ud_globals <- List.rev ud.Sym.ud_globals;
+  {
+    ui_name = u.Ast.uname;
+    ui_arch = arch;
+    ui_funcs = List.rev !funcs;
+    ui_data = List.rev g.data;
+    ui_globals = List.rev !globals;
+    ui_debug = (if debug then Some ud else None);
+  }

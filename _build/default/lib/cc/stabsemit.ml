@@ -1,0 +1,103 @@
+(** dbx-style "stabs": the machine-dependent binary symbol-table format
+    that production compilers emit (Sec. 2, Sec. 7).
+
+    This emitter exists for the baselines: the stabs debugger
+    (lib/stabsdbg) consumes it, and the T5 experiment compares its size
+    against the PostScript symbol tables (the paper reports PostScript ~9x
+    larger, ~2x after compression).
+
+    Format (little-endian, deliberately compact like a.out stabs):
+    each record is
+      type:u8  desc:u16  value:u32  nstr:u16  bytes[nstr]
+    with the classic stab types. *)
+
+open Ldb_machine
+
+let n_so = 0x64  (* source file *)
+let n_fun = 0x24 (* function *)
+let n_gsym = 0x20 (* global *)
+let n_stsym = 0x26 (* static *)
+let n_lsym = 0x80 (* stack local *)
+let n_psym = 0xa0 (* parameter *)
+let n_rsym = 0x40 (* register variable *)
+let n_sline = 0x44 (* line number / stopping point *)
+
+let add_record buf ~ty ~desc ~value ~str =
+  Buffer.add_char buf (Char.chr (ty land 0xff));
+  Buffer.add_char buf (Char.chr (desc land 0xff));
+  Buffer.add_char buf (Char.chr ((desc lsr 8) land 0xff));
+  let v = Int32.of_int value in
+  for i = 0 to 3 do
+    Buffer.add_char buf
+      (Char.chr (Int32.to_int (Int32.shift_right_logical v (8 * i)) land 0xff))
+  done;
+  let n = String.length str in
+  Buffer.add_char buf (Char.chr (n land 0xff));
+  Buffer.add_char buf (Char.chr ((n lsr 8) land 0xff));
+  Buffer.add_string buf str
+
+(* dbx-style type codes packed into the name string: "name:code" *)
+let rec type_code (arch : Arch.t) (t : Ctype.t) : string =
+  match t with
+  | Ctype.Void -> "v"
+  | Ctype.Char -> "c"
+  | Ctype.Short -> "s"
+  | Ctype.Int -> "i"
+  | Ctype.Unsigned -> "u"
+  | Ctype.Float -> "f"
+  | Ctype.Double -> "d"
+  | Ctype.LongDouble -> if Arch.equal arch M68k then "x" else "d"
+  | Ctype.Ptr t -> "*" ^ type_code arch t
+  | Ctype.Array (t, n) -> Printf.sprintf "a%d,%s" n (type_code arch t)
+  | Ctype.Struct sd -> "S" ^ sd.Ctype.sname
+  | Ctype.Func (r, _) -> "F" ^ type_code arch r
+
+let sym_value (s : Sym.t) =
+  match s.Sym.where with
+  | Some (Sym.In_reg r) -> r
+  | Some (Sym.Frame off) -> off
+  | Some (Sym.Anchored idx) -> idx
+  | Some (Sym.Global _) | None -> 0
+
+let sym_stab_type (s : Sym.t) =
+  match (s.Sym.kind, s.Sym.where) with
+  | Sym.Kfunc, _ -> n_fun
+  | _, Some (Sym.In_reg _) -> n_rsym
+  | Sym.Kparam, _ -> n_psym
+  | _, Some (Sym.Anchored _) -> n_stsym
+  | _, Some (Sym.Global _) -> n_gsym
+  | _, _ -> n_lsym
+
+let emit_sym buf arch (s : Sym.t) =
+  add_record buf ~ty:(sym_stab_type s) ~desc:s.Sym.spos.Lex.line ~value:(sym_value s)
+    ~str:(s.Sym.sym_name ^ ":" ^ type_code arch s.Sym.sym_ty)
+
+(** Serialize a unit's debug information as binary stabs. *)
+let emit_unit (ud : Sym.unit_debug) : string =
+  let buf = Buffer.create 1024 in
+  let arch = ud.Sym.ud_arch in
+  add_record buf ~ty:n_so ~desc:0 ~value:0 ~str:ud.Sym.ud_name;
+  List.iter (emit_sym buf arch) ud.Sym.ud_statics;
+  List.iter (emit_sym buf arch) ud.Sym.ud_globals;
+  List.iter
+    (fun (fd : Sym.func_debug) ->
+      emit_sym buf arch fd.Sym.fd_sym;
+      let seen = Hashtbl.create 16 in
+      List.iter
+        (fun (sp : Sym.stop_point) ->
+          (* locals visible at each stopping point, once each *)
+          let rec chain = function
+            | None -> ()
+            | Some (s : Sym.t) ->
+                if not (Hashtbl.mem seen s.Sym.sid) then begin
+                  Hashtbl.replace seen s.Sym.sid ();
+                  emit_sym buf arch s;
+                  chain s.Sym.uplink
+                end
+          in
+          chain sp.Sym.sp_scope;
+          add_record buf ~ty:n_sline ~desc:sp.Sym.sp_pos.Lex.line ~value:sp.Sym.sp_anchor
+            ~str:"")
+        fd.Sym.fd_stops)
+    ud.Sym.ud_funcs;
+  Buffer.contents buf

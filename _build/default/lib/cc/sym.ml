@@ -1,0 +1,82 @@
+(** Compiler-side symbol and debug-information records.  These are what
+    the PostScript and stabs emitters serialize, and what the paper calls
+    "getting help from the compiler". *)
+
+open Ldb_machine
+
+(** Where a variable lives at run time. *)
+type location_info =
+  | In_reg of int          (** register-allocated ([register] storage class) *)
+  | Frame of int           (** offset from the frame base (vfp on SIM-MIPS,
+                               fp elsewhere); negative for locals *)
+  | Global of string       (** external symbol: resolved through the loader
+                               table by name *)
+  | Anchored of int        (** static: word index in the unit's anchor *)
+
+type kind = Kvar | Kparam | Kfunc
+
+type t = {
+  sid : int;                       (** S-number, unique within the unit *)
+  sym_name : string;
+  sym_ty : Ctype.t;
+  kind : kind;
+  spos : Lex.pos;
+  sfile : string;
+  mutable where : location_info option;
+  mutable uplink : t option;       (** tree linking local scopes (Sec. 2) *)
+}
+
+(** One stopping point: a source location, an object-code location
+    (reachable through the anchor), and the symbol-table entry visible
+    there. *)
+type stop_point = {
+  sp_id : int;                     (** index within the function *)
+  sp_pos : Lex.pos;
+  sp_scope : t option;             (** innermost visible local symbol *)
+  sp_label : string;               (** text label planted on the no-op *)
+  mutable sp_anchor : int;         (** word index in the unit anchor *)
+}
+
+type func_debug = {
+  fd_sym : t;
+  fd_label : string;               (** linker symbol, e.g. _fib *)
+  fd_params : t list;
+  fd_locals : t list;              (** every local symbol, params included *)
+  fd_stops : stop_point list;
+  mutable fd_frame_size : int;     (** SIM-MIPS runtime-procedure-table datum;
+                                       finalized by the code generator *)
+  mutable fd_ra_offset : int;      (** where the return address is saved *)
+  fd_saved_regs : (int * int) list;
+      (** (register, frame offset of its save slot) for register variables:
+          lets the debugger reuse aliases when walking the stack *)
+}
+
+type unit_debug = {
+  ud_name : string;                (** source file name *)
+  ud_arch : Arch.t;
+  ud_anchor : string;              (** anchor symbol name *)
+  mutable ud_anchor_slots : string list;  (** slot index -> target label (reversed) *)
+  mutable ud_funcs : func_debug list;
+  mutable ud_statics : t list;     (** file-scope statics *)
+  mutable ud_globals : t list;     (** extern definitions in this unit *)
+}
+
+let anchor_slot_count ud = List.length ud.ud_anchor_slots
+
+(** Reserve the next anchor slot for [label], returning its index. *)
+let add_anchor_slot ud label =
+  let idx = anchor_slot_count ud in
+  ud.ud_anchor_slots <- label :: ud.ud_anchor_slots;
+  idx
+
+let anchor_slots_in_order ud = List.rev ud.ud_anchor_slots
+
+(** Generated anchor-symbol name for a unit, following the paper's
+    _stanchor__V<hash> style. *)
+let anchor_name unit_name =
+  let h = Hashtbl.hash unit_name land 0xffffff in
+  Printf.sprintf "_stanchor__V%06x_%s"
+    h
+    (String.map (fun c -> if c = '.' || c = '/' then '_' else c) unit_name)
+
+let sname s = Printf.sprintf "S%d" s.sid

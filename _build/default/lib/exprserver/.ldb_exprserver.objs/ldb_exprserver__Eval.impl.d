@@ -1,0 +1,1 @@
+lib/exprserver/eval.ml: Arch Array Exprserver Fun Hashtbl Ldb_amemory Ldb_ldb Ldb_machine Ldb_nub Ldb_pscript List Printf String

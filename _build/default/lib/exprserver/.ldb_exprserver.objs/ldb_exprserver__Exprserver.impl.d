@@ -1,0 +1,1 @@
+lib/exprserver/exprserver.ml: Arch Buffer Hashtbl Int32 Ldb_cc Ldb_machine Ldb_nub List Printf Rewrite String

@@ -1,0 +1,1 @@
+lib/exprserver/rewrite.ml: Buffer Int32 Ldb_cc Printf

@@ -1,0 +1,178 @@
+(** The expression server (Sec. 3, Fig. 3): a variant of the compiler front
+    end, living in its own address space and talking to ldb over a pair of
+    pipes.
+
+    To evaluate an expression, ldb sends the text; the server parses,
+    type-checks and produces an IR tree, rewriting it into a PostScript
+    procedure.  When the server fails to find an identifier it does not
+    stop: it sends "/name ExpressionServer.lookup" back to ldb, ldb
+    interprets that (finding the PostScript symbol-table entry and
+    replying with type and location information in C-token form), and the
+    server reconstructs the symbol entry on the fly.
+
+    Per the paper, the server discards reconstructed symbol entries after
+    each expression but keeps type (struct) information until the
+    debugger switches programs. *)
+
+open Ldb_machine
+module Chan = Ldb_nub.Chan
+
+exception Error of string
+
+type t = {
+  arch : Arch.t;
+  ep : Chan.endpoint;  (** the server's end of the pipe pair *)
+  structs : (string, Ldb_cc.Ctype.struct_def) Hashtbl.t;  (** kept across expressions *)
+  mutable bindings : (string * Ldb_cc.Sema.binding) list;  (** discarded after each one *)
+  mutable need_input : unit -> unit;
+      (** invoked when the server must wait for ldb (lookup replies) *)
+}
+
+(** Create a server and return it with the debugger's pipe end. *)
+let create ~(arch : Arch.t) : t * Chan.endpoint =
+  let ldb_end, srv_end = Chan.pair ~labels:("ldb", "exprserver") () in
+  ( { arch; ep = srv_end; structs = Hashtbl.create 8; bindings = [];
+      need_input = (fun () -> ()) },
+    ldb_end )
+
+(* --- line IO over the pipe ---------------------------------------------- *)
+
+let read_line_blocking (s : t) : string =
+  let buf = Buffer.create 64 in
+  let rec go () =
+    if Chan.available s.ep = 0 then begin
+      s.need_input ();
+      if Chan.available s.ep = 0 then raise (Error "expression server: ldb went away")
+    end;
+    let c = (Chan.recv_exactly s.ep 1).[0] in
+    if c = '\n' then Buffer.contents buf
+    else begin
+      Buffer.add_char buf c;
+      go ()
+    end
+  in
+  go ()
+
+let send s line = Chan.send s.ep (line ^ "\n")
+
+(* --- symbol reconstruction ------------------------------------------------ *)
+
+(** Parse a C type declaration such as "int __v[20]" or "struct point *__v"
+    using the compiler's own parser, against the server's struct table. *)
+let parse_decl (s : t) (decl : string) : Ldb_cc.Ctype.t =
+  let toks = Ldb_cc.Lex.all decl in
+  let st = Ldb_cc.Parse.make toks in
+  Hashtbl.iter (fun k v -> Hashtbl.replace st.Ldb_cc.Parse.structs k v) s.structs;
+  let base = Ldb_cc.Parse.base_type st s.arch in
+  (* pull any newly completed struct definitions back into our table *)
+  Hashtbl.iter (fun k v -> Hashtbl.replace s.structs k v) st.Ldb_cc.Parse.structs;
+  let _, ty = Ldb_cc.Parse.declarator st s.arch base in
+  ty
+
+(** Process a struct-definition line: "T struct point { int x; int y; }". *)
+let process_typedef (s : t) (line : string) =
+  let body = String.sub line 2 (String.length line - 2) in
+  let toks = Ldb_cc.Lex.all body in
+  let st = Ldb_cc.Parse.make toks in
+  Hashtbl.iter (fun k v -> Hashtbl.replace st.Ldb_cc.Parse.structs k v) s.structs;
+  ignore (Ldb_cc.Parse.base_type st s.arch);
+  Hashtbl.iter (fun k v -> Hashtbl.replace s.structs k v) st.Ldb_cc.Parse.structs
+
+let parse_locspec (spec : string) : Ldb_cc.Sema.caddr =
+  match String.split_on_char ' ' (String.trim spec) with
+  | [ "d"; addr ] -> Ldb_cc.Sema.Cabs (Int32.of_string addr)
+  | [ "r"; reg ] -> Ldb_cc.Sema.Creg (int_of_string reg)
+  | [ "imm"; v ] -> Ldb_cc.Sema.Cabs (Int32.of_string v)
+  | _ -> raise (Error ("bad location spec " ^ spec))
+
+(** Ask ldb about an identifier; block (pumping ldb) for the reply. *)
+let remote_lookup (s : t) (name : string) : Ldb_cc.Sema.binding option =
+  send s (Printf.sprintf "/%s ExpressionServer.lookup" name);
+  let rec read_reply () =
+    let line = read_line_blocking s in
+    if String.length line >= 2 && String.sub line 0 2 = "T " then begin
+      process_typedef s line;
+      read_reply ()
+    end
+    else if line = "U" then None
+    else if String.length line >= 2 && String.sub line 0 2 = "S " then begin
+      (* "S var ; int __v[20] ; d 1049600" *)
+      match String.split_on_char ';' (String.sub line 2 (String.length line - 2)) with
+      | [ _kind; decl; locspec ] ->
+          let ty = parse_decl s (String.trim decl) in
+          let addr = parse_locspec locspec in
+          Some { Ldb_cc.Sema.b_ty = ty; b_addr = addr }
+      | _ -> raise (Error ("bad lookup reply " ^ line))
+    end
+    else raise (Error ("bad lookup reply " ^ line))
+  in
+  read_reply ()
+
+let lookup (s : t) (name : string) : Ldb_cc.Sema.binding option =
+  match List.assoc_opt name s.bindings with
+  | Some b -> Some b
+  | None -> (
+      match remote_lookup s name with
+      | Some b ->
+          s.bindings <- (name, b) :: s.bindings;
+          Some b
+      | None -> None)
+
+(* --- evaluation ------------------------------------------------------------- *)
+
+let ectx (s : t) : Ldb_cc.Sema.ectx =
+  {
+    Ldb_cc.Sema.e_arch = s.arch;
+    e_lookup = (fun n -> lookup s n);
+    e_func_ty = (fun _ -> None);
+    e_string = (fun _ -> raise (Error "string literals are not supported in expressions"));
+    e_emit = None;
+    e_temp = None;
+    e_label = None;
+  }
+
+let parse_with_structs (s : t) (text : string) : Ldb_cc.Ast.expr =
+  let st = Ldb_cc.Parse.make (Ldb_cc.Lex.all text) in
+  Hashtbl.iter (fun k v -> Hashtbl.replace st.Ldb_cc.Parse.structs k v) s.structs;
+  let e = Ldb_cc.Parse.expression st s.arch in
+  (match (Ldb_cc.Parse.peek st).Ldb_cc.Lex.tok with
+  | Ldb_cc.Lex.Teof | Ldb_cc.Lex.Tpunct ";" -> ()
+  | _ -> raise (Ldb_cc.Parse.Error ("trailing tokens after expression", Ldb_cc.Parse.pos st)));
+  e
+
+(** Handle one expression request: parse, translate, rewrite, reply. *)
+let serve_expression (s : t) (text : string) =
+  match
+    let ast = parse_with_structs s text in
+    let ir, ty = Ldb_cc.Sema.rvalue (ectx s) ast in
+    (Rewrite.rewrite ir, Ldb_cc.Ctype.to_string ty)
+  with
+  | ps, tyname ->
+      send s ps;
+      send s (Printf.sprintf "(%s) ExpressionServer.result" (Ldb_cc.Psemit.ps_escape tyname));
+      s.bindings <- []
+  | exception Ldb_cc.Parse.Error (m, _) ->
+      send s (Printf.sprintf "(parse error: %s) ExpressionServer.error" (Ldb_cc.Psemit.ps_escape m));
+      s.bindings <- []
+  | exception Ldb_cc.Lex.Error (m, _) ->
+      send s (Printf.sprintf "(lexical error: %s) ExpressionServer.error" (Ldb_cc.Psemit.ps_escape m));
+      s.bindings <- []
+  | exception Ldb_cc.Sema.Error (m, _) ->
+      send s (Printf.sprintf "(%s) ExpressionServer.error" (Ldb_cc.Psemit.ps_escape m));
+      s.bindings <- []
+  | exception Rewrite.Unsupported m ->
+      send s (Printf.sprintf "(%s) ExpressionServer.error" (Ldb_cc.Psemit.ps_escape m));
+      s.bindings <- []
+  | exception Error m ->
+      send s (Printf.sprintf "(%s) ExpressionServer.error" (Ldb_cc.Psemit.ps_escape m));
+      s.bindings <- []
+
+(** Process one pending request if any bytes are waiting. *)
+let pump (s : t) =
+  while Chan.available s.ep > 0 do
+    let line = read_line_blocking s in
+    if String.length line >= 2 && String.sub line 0 2 = "E " then
+      serve_expression s (String.sub line 2 (String.length line - 2))
+    else if line = "" then ()
+    else raise (Error ("expression server: bad request " ^ line))
+  done

@@ -1,0 +1,88 @@
+(** Rewriting intermediate code into PostScript (Sec. 3).
+
+    The expression server does not pass its IR trees to the compiler back
+    end; it rewrites them as PostScript procedures for ldb's interpreter.
+    The paper notes the lcc version of this rewriter is 124 lines of C for
+    112 IR operators; this module is its analogue (the T7 experiment
+    counts it).
+
+    Generated code runs with [FrameMem] (the frame's joined abstract
+    memory) and the per-architecture dictionary on the dictionary stack:
+    target memory is reached through [DataLoc]/[Absolute] locations and
+    Fetch*/Store* operators, so evaluation is machine-independent. *)
+
+open Ldb_cc.Ir
+
+exception Unsupported of string
+
+let fetch_op = function
+  | I1 -> "FetchI8" | U1 -> "FetchU8" | I2 -> "FetchI16" | U2 -> "FetchU16"
+  | I4 -> "FetchI32" | U4 -> "FetchU32" | P4 -> "FetchU32"
+  | F4 -> "FetchF32" | F8 -> "FetchF64" | F10 -> "FetchF80"
+  | V -> raise (Unsupported "void load")
+
+let store_op = function
+  | I1 | U1 -> "StoreI8" | I2 | U2 -> "StoreI16" | I4 | U4 | P4 -> "StoreI32"
+  | F4 -> "StoreF32" | F8 -> "StoreF64" | F10 -> "StoreF80"
+  | V -> raise (Unsupported "void store")
+
+let int_binop = function
+  | Add -> "add" | Sub -> "sub" | Mul -> "mul" | Div -> "idiv" | Rem -> "mod"
+  | Band -> "and" | Bor -> "or" | Bxor -> "xor"
+  | Shl -> "bitshift" | Shr -> "neg bitshift"
+
+let float_binop = function
+  | Add -> "add" | Sub -> "sub" | Mul -> "mul" | Div -> "div"
+  | op -> raise (Unsupported ("float " ^ binop_name op))
+
+let relop = function
+  | Req -> "eq" | Rne -> "ne" | Rlt -> "lt" | Rle -> "le" | Rgt -> "gt" | Rge -> "ge"
+
+(** Rewrite one expression tree to PostScript. *)
+let rec exp buf (e : Ldb_cc.Ir.exp) =
+  let add s = Buffer.add_string buf s in
+  match e with
+  | Cnst (_, v) -> add (Int32.to_string v)
+  | Cnstf f -> add (Printf.sprintf "%.17g" f)
+  | Addrg l -> raise (Unsupported ("unresolved global " ^ l))
+  | Addrl _ -> raise (Unsupported "frame-relative address leaked into server IR")
+  | Reguse r ->
+      (* register variable: read through the frame's register space *)
+      add (Printf.sprintf "FrameMem %d Regset0 Absolute FetchI32" r)
+  | Indir (ty, a) ->
+      add "FrameMem ";
+      exp buf a;
+      add (Printf.sprintf " DataLoc %s" (fetch_op ty))
+  | Bin (ty, op, a, b) ->
+      exp buf a;
+      add " ";
+      exp buf b;
+      add " ";
+      add (if is_float_ty ty then float_binop op else int_binop op)
+  | Cmp (_, op, a, b) ->
+      exp buf a;
+      add " ";
+      exp buf b;
+      add (Printf.sprintf " %s {1} {0} ifelse" (relop op))
+  | Cvt (from, to_, a) ->
+      exp buf a;
+      if is_float_ty from && not (is_float_ty to_) then add " truncate cvi"
+      else if (not (is_float_ty from)) && is_float_ty to_ then add " cvr"
+  | Asgn (ty, addr, v) ->
+      (* leave the assigned value on the stack *)
+      exp buf v;
+      add " dup FrameMem ";
+      exp buf addr;
+      add (Printf.sprintf " DataLoc 3 -1 roll %s" (store_op ty))
+  | Regasgn (r, v) ->
+      exp buf v;
+      add (Printf.sprintf " dup FrameMem %d Regset0 Absolute 3 -1 roll StoreI32" r)
+  | Call _ | Callind _ ->
+      raise (Unsupported "procedure calls into the target are not yet supported")
+
+(** Rewrite a complete expression; the result is PostScript that leaves
+    the expression's value on the operand stack. *)
+let rewrite (e : Ldb_cc.Ir.exp) : string =
+  let buf = Buffer.create 128 in
+  exp buf e;
+  Buffer.contents buf

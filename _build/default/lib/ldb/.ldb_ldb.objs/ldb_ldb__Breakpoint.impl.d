@@ -1,0 +1,1 @@
+lib/ldb/breakpoint.ml: Char Hashtbl Ldb_amemory Ldb_machine List Printf Signal String Target

@@ -1,0 +1,1 @@
+lib/ldb/client.ml: Breakpoint Frame Int32 Ldb Ldb_amemory Ldb_machine List Signal Target

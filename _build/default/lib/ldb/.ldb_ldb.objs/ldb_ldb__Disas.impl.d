@@ -1,0 +1,1 @@
+lib/ldb/disas.ml: Char Fmt Insn Ldb_amemory Ldb_machine List Printf String Target

@@ -1,0 +1,1 @@
+lib/ldb/frame.ml: Hashtbl Int32 Ldb_amemory Ldb_machine List Target

@@ -1,0 +1,1 @@
+lib/ldb/frame_m68k.ml: Arch Frame Hashtbl Int32 Ldb_amemory Ldb_machine Target

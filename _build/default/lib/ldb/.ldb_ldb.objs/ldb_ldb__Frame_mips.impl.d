@@ -1,0 +1,1 @@
+lib/ldb/frame_mips.ml: Arch Frame Hashtbl Int32 Ldb_amemory Ldb_machine Target

@@ -1,0 +1,1 @@
+lib/ldb/host.ml: Arch Ldb Ldb_link Ldb_machine Ldb_nub Proc

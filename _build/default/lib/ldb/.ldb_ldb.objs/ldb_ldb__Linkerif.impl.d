@@ -1,0 +1,1 @@
+lib/ldb/linkerif.ml: Arch Array Hashtbl Int32 Ldb_amemory Ldb_machine Ldb_pscript List Option Rpt

@@ -1,0 +1,1 @@
+lib/ldb/mdep_ps.ml: Ldb_machine

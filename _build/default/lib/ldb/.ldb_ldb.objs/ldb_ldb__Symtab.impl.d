@@ -1,0 +1,1 @@
+lib/ldb/symtab.ml: Array Hashtbl Ldb_machine Ldb_pscript List

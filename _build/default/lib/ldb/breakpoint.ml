@@ -1,0 +1,97 @@
+(** Breakpoints, implemented entirely in the debugger with ordinary
+    fetches and stores (Sec. 3, Sec. 6) — the nub protocol knows nothing
+    about them.
+
+    A breakpoint is planted by overwriting an instruction with the trap
+    pattern.  For now (as in the paper) breakpoints may be planted only at
+    no-op instructions, which can be skipped instead of interpreted; the
+    implementation is machine-independent but manipulates four items of
+    machine-dependent data: the no-op and trap bit patterns, the
+    granularity used to fetch and store instructions, and the pc advance
+    after "interpreting" the no-op. *)
+
+open Ldb_machine
+module A = Ldb_amemory.Amemory
+
+exception Error of string
+
+type t = {
+  bp_addr : int;
+  bp_original : string;  (** the instruction bytes replaced by the trap *)
+  bp_general : bool;     (** planted over a real instruction, not a no-op:
+                             resuming needs the nub's single-step extension *)
+  mutable bp_planted : bool;
+}
+
+type table = (int, t) Hashtbl.t
+
+let create_table () : table = Hashtbl.create 16
+
+(* instructions are fetched and stored byte-wise through the code space,
+   so byte order never enters the picture *)
+let fetch_bytes (wire : A.t) addr n =
+  String.init n (fun i -> Char.chr (A.fetch_u8 wire (A.absolute 'c' (addr + i))))
+
+let store_bytes (wire : A.t) addr (s : string) =
+  String.iteri (fun i c -> A.store_u8 wire (A.absolute 'c' (addr + i)) (Char.code c)) s
+
+(** Plant a breakpoint at [addr], which must hold a no-op. *)
+let plant (tbl : table) (target : Target.t) (wire : A.t) ~addr : t =
+  match Hashtbl.find_opt tbl addr with
+  | Some bp ->
+      if not bp.bp_planted then begin
+        store_bytes wire addr target.Target.brk;
+        bp.bp_planted <- true
+      end;
+      bp
+  | None ->
+      let nop = target.Target.nop in
+      let current = fetch_bytes wire addr (String.length nop) in
+      if not (String.equal current nop) then
+        raise
+          (Error
+             (Printf.sprintf "%#x does not hold a no-op (found %s)" addr
+                (String.concat "" (List.map (Printf.sprintf "%02x") (List.map Char.code (List.init (String.length current) (String.get current)))))));
+      store_bytes wire addr target.Target.brk;
+      let bp = { bp_addr = addr; bp_original = nop; bp_general = false; bp_planted = true } in
+      Hashtbl.replace tbl addr bp;
+      bp
+
+(** Plant a breakpoint over an arbitrary instruction (Sec. 7.1's
+    replacement model): the overwritten bytes are saved, and resuming
+    restores them, single-steps, and replants.  The caller must have
+    verified that the nub supports the Step extension. *)
+let plant_general (tbl : table) (target : Target.t) (wire : A.t) ~addr : t =
+  match Hashtbl.find_opt tbl addr with
+  | Some bp ->
+      if not bp.bp_planted then begin
+        store_bytes wire addr target.Target.brk;
+        bp.bp_planted <- true
+      end;
+      bp
+  | None ->
+      let brk = target.Target.brk in
+      let original = fetch_bytes wire addr (String.length brk) in
+      store_bytes wire addr brk;
+      let bp = { bp_addr = addr; bp_original = original; bp_general = true; bp_planted = true } in
+      Hashtbl.replace tbl addr bp;
+      bp
+
+(** Remove a breakpoint: restore the no-op. *)
+let remove (tbl : table) (wire : A.t) ~addr =
+  match Hashtbl.find_opt tbl addr with
+  | Some bp when bp.bp_planted ->
+      store_bytes wire addr bp.bp_original;
+      bp.bp_planted <- false
+  | _ -> ()
+
+let remove_all (tbl : table) (wire : A.t) =
+  Hashtbl.iter (fun addr _ -> remove tbl wire ~addr) tbl
+
+(** The machine-dependent procedure that distinguishes breakpoint faults
+    from other faults (Sec. 4.3). *)
+let is_breakpoint_fault (tbl : table) ~(signal : Signal.t) ~pc =
+  Signal.equal signal SIGTRAP
+  && (match Hashtbl.find_opt tbl pc with Some bp -> bp.bp_planted | None -> false)
+
+let planted (tbl : table) = Hashtbl.fold (fun _ bp acc -> if bp.bp_planted then bp :: acc else acc) tbl []

@@ -1,0 +1,52 @@
+(** Disassembly through the debugger's abstract memories.
+
+    Machine-independent code drives a machine-dependent decoder: the bytes
+    are fetched one at a time through the code space (so this works over
+    the wire, on a stopped process, and shows planted breakpoint traps as
+    the [break] instructions they are), and the target's own encoder
+    module does the decoding. *)
+
+open Ldb_machine
+module A = Ldb_amemory.Amemory
+
+type line = {
+  di_addr : int;
+  di_bytes : string;
+  di_insn : Insn.t option;  (** None when the bytes decode to nothing *)
+  di_label : string option; (** procedure name when the address starts one *)
+}
+
+let fetch_via (mem : A.t) addr = A.fetch_u8 mem (A.absolute 'c' addr)
+
+(** Disassemble [count] instructions starting at [addr]. *)
+let window (tdesc : Target.t) (mem : A.t) ~(addr : int) ~(count : int)
+    ~(proc_of : int -> (int * string) option) : line list =
+  let rec go addr n acc =
+    if n = 0 then List.rev acc
+    else
+      let label =
+        match proc_of addr with Some (a, name) when a = addr -> Some name | _ -> None
+      in
+      match Target.decode tdesc ~fetch:(fetch_via mem) addr with
+      | insn, len ->
+          let bytes = String.init len (fun i -> Char.chr (fetch_via mem (addr + i))) in
+          go (addr + len) (n - 1)
+            ({ di_addr = addr; di_bytes = bytes; di_insn = Some insn; di_label = label } :: acc)
+      | exception _ ->
+          let bytes = String.init tdesc.Target.insn_unit (fun i -> Char.chr (fetch_via mem (addr + i))) in
+          go
+            (addr + tdesc.Target.insn_unit)
+            (n - 1)
+            ({ di_addr = addr; di_bytes = bytes; di_insn = None; di_label = label } :: acc)
+  in
+  go addr count []
+
+let hex_bytes s =
+  String.concat "" (List.init (String.length s) (fun i -> Printf.sprintf "%02x" (Char.code s.[i])))
+
+let pp_line ppf (l : line) =
+  (match l.di_label with Some n -> Fmt.pf ppf "%s:@\n" n | None -> ());
+  Fmt.pf ppf "  %06x  %-16s %s" l.di_addr (hex_bytes l.di_bytes)
+    (match l.di_insn with Some i -> Insn.to_string i | None -> "<bad encoding>")
+
+let to_string lines = String.concat "\n" (List.map (Fmt.str "%a" pp_line) lines)

@@ -1,0 +1,53 @@
+(** SIM-68020 stack frames.
+
+    Calls push the return address; the prologue links a6 as the frame
+    pointer, so [a6] holds the caller's a6 and [a6+4] the return address.
+    The context stores floating registers in 80-bit extended format, which
+    the register memory converts transparently. *)
+
+open Ldb_machine
+module A = Ldb_amemory.Amemory
+
+let arch = Arch.M68k
+
+let target = Target.of_arch arch
+let sp_reg = target.Target.sp (* a7 *)
+let fp_reg = match target.Target.fp with Some r -> r | None -> assert false (* a6 *)
+
+let rec make (q : Frame.query) ~pc ~fp ~sp ~aliases ~level : Frame.t =
+  let mem = Frame.build_dag q.Frame.q_target q.Frame.q_wire aliases in
+  Hashtbl.replace aliases ('x', 1) (Frame.imm_i32 fp);
+  {
+    Frame.fr_pc = pc;
+    fr_base = fp;
+    fr_sp = sp;
+    fr_level = level;
+    fr_mem = mem;
+    fr_aliases = aliases;
+    fr_down = (fun () -> down q ~pc ~fp ~aliases ~level);
+  }
+
+and down (q : Frame.query) ~pc ~fp ~aliases ~level : Frame.t option =
+  let fetch32 addr = Int32.to_int (A.fetch_i32 q.Frame.q_wire (A.absolute 'd' addr)) in
+  let caller_fp = fetch32 fp land 0xffffffff in
+  let ret_pc = fetch32 (fp + 4) land 0xffffffff in
+  if ret_pc = 0 || caller_fp = 0 || not (q.Frame.q_known_pc ~pc:ret_pc) then None
+  else begin
+    let aliases' = Frame.copy_aliases aliases in
+    Hashtbl.replace aliases' ('x', 0) (Frame.imm_i32 ret_pc);
+    Hashtbl.replace aliases' ('r', fp_reg) (Frame.imm_i32 caller_fp);
+    (* after the callee returns and the ra pops, sp sits above it *)
+    Hashtbl.replace aliases' ('r', sp_reg) (Frame.imm_i32 (fp + 8));
+    (match q.Frame.q_proc_info ~pc with
+    | Some pi -> Frame.apply_saved_regs aliases' ~callee_base:fp pi.Frame.pi_saved_regs
+    | None -> ());
+    Some (make q ~pc:ret_pc ~fp:caller_fp ~sp:(fp + 8) ~aliases:aliases' ~level:(level + 1))
+  end
+
+let top (q : Frame.query) ~ctx_addr : Frame.t =
+  let fetch32 addr = Int32.to_int (A.fetch_i32 q.Frame.q_wire (A.absolute 'd' addr)) in
+  let pc = fetch32 (ctx_addr + target.Target.ctx_pc_off) land 0xffffffff in
+  let fp = fetch32 (ctx_addr + target.Target.ctx_reg_off fp_reg) land 0xffffffff in
+  let sp = fetch32 (ctx_addr + target.Target.ctx_reg_off sp_reg) land 0xffffffff in
+  let aliases = Frame.context_aliases target ~ctx_addr in
+  make q ~pc ~fp ~sp ~aliases ~level:0

@@ -1,0 +1,56 @@
+(** Host-side plumbing for the paper's connection mechanisms (Sec. 1, 4.2):
+    forking the target as a child ([spawn]), connecting to an existing
+    process over the (simulated) network ([attach_existing]), and being
+    contacted by a faulty process whose nub preserved its state
+    ([run_until_fault] + [attach_existing]). *)
+
+open Ldb_machine
+module Nub = Ldb_nub.Nub
+module Chan = Ldb_nub.Chan
+
+(** A target program running under its nub on the simulated host. *)
+type process = {
+  hp_proc : Proc.t;
+  hp_nub : Nub.t;
+  hp_image : Ldb_link.Link.image;
+  hp_loader_ps : string;
+}
+
+(** Compile, link and load [sources] for [arch]; the program starts under
+    its nub, paused before main. *)
+let launch ?(debug = true) ?(defer = true) ?(paused = true) ~(arch : Arch.t)
+    (sources : (string * string) list) : process =
+  let img, loader_ps = Ldb_link.Driver.build ~debug ~defer ~arch sources in
+  let proc = Ldb_link.Link.load img in
+  let nub = Nub.create proc in
+  Nub.start ~paused nub;
+  { hp_proc = proc; hp_nub = nub; hp_image = img; hp_loader_ps = loader_ps }
+
+(** Open a debugger connection to a process: returns the debugger-side
+    endpoint, with its pump wired to the process's nub (the discrete-event
+    stand-in for a socket to another machine). *)
+let open_channel (p : process) : Chan.endpoint =
+  let dbg_end, nub_end = Chan.pair ~labels:("ldb", "nub") () in
+  Nub.attach p.hp_nub nub_end;
+  Chan.set_pump dbg_end (fun () -> Nub.pump p.hp_nub);
+  dbg_end
+
+(** Spawn under the debugger: launch paused and connect. *)
+let spawn (d : Ldb.t) ?debug ?defer ~arch ~name sources : process * Ldb.target =
+  let p = launch ?debug ?defer ~paused:true ~arch sources in
+  let tg = Ldb.connect d ~name ~loader_ps:p.hp_loader_ps (open_channel p) in
+  (p, tg)
+
+(** Run a program with no debugger attached until it faults or exits; the
+    nub catches the fault and preserves the state, waiting for a
+    connection. *)
+let run_until_fault (p : process) : Proc.status =
+  Nub.start ~paused:false p.hp_nub;
+  p.hp_proc.Proc.status
+
+(** Attach to an already-running (or faulted) process — the network /
+    post-mortem mechanism. *)
+let attach_existing (d : Ldb.t) ~name (p : process) : Ldb.target =
+  Ldb.connect d ~name ~loader_ps:p.hp_loader_ps (open_channel p)
+
+let output (p : process) = Proc.output p.hp_proc

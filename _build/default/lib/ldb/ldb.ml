@@ -1,0 +1,533 @@
+(** The debugger proper.
+
+    One [Ldb.t] can debug several targets simultaneously, possibly on
+    different architectures; all per-target state lives in target objects
+    (Sec. 7), and the single embedded PostScript interpreter serves them
+    all — ldb changes architectures by rebinding the machine-dependent
+    dictionary on the dictionary stack (Sec. 5).
+
+    Connection mechanisms mirror the paper's: attach to an existing nub
+    over a channel (the "network" case), spawn a program under the nub, or
+    adopt a faulty process whose nub has preserved its state. *)
+
+open Ldb_machine
+module A = Ldb_amemory.Amemory
+module V = Ldb_pscript.Value
+module I = Ldb_pscript.Interp
+module Nub = Ldb_nub.Nub
+module Chan = Ldb_nub.Chan
+module Proto = Ldb_nub.Proto
+
+exception Error of string
+
+let fail fmt = Fmt.kstr (fun s -> raise (Error s)) fmt
+
+type state =
+  | Running
+  | Stopped of { signal : Signal.t; code : int; ctx_addr : int }
+  | Exited of int
+  | Detached
+
+type target = {
+  tg_name : string;
+  tg_arch : Arch.t;
+  tg_tdesc : Target.t;
+  tg_chan : Chan.endpoint;
+  tg_wire : A.t;
+  tg_defs : V.dict;       (** dictionary holding this program's PS definitions *)
+  tg_arch_dict : V.dict;  (** machine-dependent PostScript *)
+  tg_ops : V.dict;        (** per-target operators: LazyData, GlobalLoc, ... *)
+  tg_symtab : Symtab.t;
+  tg_linkerif : Linkerif.t;
+  tg_breaks : Breakpoint.table;
+  tg_can_step : bool;  (** nub offers the single-step protocol extension *)
+  mutable tg_state : state;
+}
+
+type t = {
+  interp : I.t;
+  mutable targets : target list;
+}
+
+let create () : t = { interp = Ldb_pscript.Ps.create (); targets = [] }
+
+(** Create without loading the shared prelude (startup benchmarking). *)
+let create_bare () : t = { interp = Ldb_pscript.Ps.create_bare (); targets = [] }
+
+(* --- interpreting in a target's context ---------------------------------- *)
+
+(** Run [f] with the target's definition, architecture, and operator
+    dictionaries on the dictionary stack. *)
+let with_target (d : t) (tg : target) (f : unit -> 'a) : 'a =
+  I.begin_dict d.interp tg.tg_defs;
+  I.begin_dict d.interp tg.tg_arch_dict;
+  I.begin_dict d.interp tg.tg_ops;
+  Fun.protect
+    ~finally:(fun () ->
+      I.end_dict d.interp;
+      I.end_dict d.interp;
+      I.end_dict d.interp)
+    f
+
+(* --- connecting ------------------------------------------------------------ *)
+
+let read_loader_ps (d : t) ~(defs : V.dict) (loader_ps : string) : V.dict * V.dict =
+  I.begin_dict d.interp defs;
+  Fun.protect ~finally:(fun () -> I.end_dict d.interp) (fun () ->
+      I.run_string d.interp loader_ps);
+  let get k =
+    match V.dict_get defs k with
+    | Some v -> V.to_dict v
+    | None -> fail "loader PostScript did not define /%s" k
+  in
+  (get "__loader", get "__symtab")
+
+let state_of_hello (st : Proto.stop_state) : state =
+  match st with
+  | Proto.St_running -> Running
+  | Proto.St_stopped { signal; code; ctx_addr } ->
+      let signal = Option.value ~default:Signal.SIGINT (Signal.of_number signal) in
+      Stopped { signal; code; ctx_addr }
+  | Proto.St_exited n -> Exited n
+
+(** Install the per-target operators whose behaviour depends on the
+    target's loader table and connection. *)
+let make_target_ops (d : t) (li : Linkerif.t) : V.dict =
+  let ops = V.dict_create () in
+  let def name f = V.dict_put ops name (V.op name f) in
+  def "LazyData" (fun () ->
+      (* anchorname idx -> data location *)
+      let idx = I.pop_int d.interp in
+      let name = I.pop_str d.interp in
+      let addr = Linkerif.lazy_data li ~name ~idx in
+      I.push d.interp (V.loc (A.absolute 'd' addr)));
+  def "GlobalLoc" (fun () ->
+      let name = I.pop_str d.interp in
+      I.push d.interp (V.loc (A.absolute 'd' (Linkerif.global_address li name))));
+  def "GlobalCodeLoc" (fun () ->
+      let name = I.pop_str d.interp in
+      I.push d.interp (V.loc (A.absolute 'c' (Linkerif.global_address li name))));
+  def "GlobalAddr" (fun () ->
+      let name = I.pop_str d.interp in
+      I.push d.interp (V.int (Linkerif.global_address li name)));
+  ops
+
+(** Check that the anchor symbols named by the symbol table match the
+    loader table, ensuring the top-level dictionary matches the object
+    code (Sec. 2). *)
+let check_anchors (tg : target) =
+  match V.dict_get tg.tg_symtab.Symtab.symtab "anchors" with
+  | None -> ()
+  | Some anchors ->
+      Array.iter
+        (fun a ->
+          let name = V.to_str a in
+          try ignore (Linkerif.anchor_address tg.tg_linkerif name)
+          with Linkerif.Error _ ->
+            fail "symbol table does not match object code: anchor %s missing" name)
+        (V.to_arr anchors)
+
+(** Connect to a nub over [chan], reading the program's loader-table
+    PostScript.  Works for all connection mechanisms: the nub end may be a
+    fresh paused process, a long-running faulty one, or a process across
+    the simulated network. *)
+let connect (d : t) ~(name : string) ~(loader_ps : string) (chan : Chan.endpoint) : target =
+  Proto.send_request chan Proto.Hello;
+  let arch, st, can_step =
+    match Proto.read_reply chan with
+    | Proto.Hello_reply { arch; state; can_step } -> (
+        match Arch.of_name arch with
+        | Some a -> (a, state, can_step)
+        | None -> fail "nub reports unknown architecture %s" arch)
+    | r -> fail "unexpected reply to Hello: %s" (Fmt.str "%a" Proto.pp_reply r)
+  in
+  let defs = V.dict_create () in
+  let loader, symtab_dict = read_loader_ps d ~defs loader_ps in
+  let symtab = Symtab.make ~interp:d.interp ~symtab_dict in
+  if not (Arch.equal symtab.Symtab.arch arch) then
+    fail "symbol table is for %s but the target runs %s" (Arch.name symtab.Symtab.arch)
+      (Arch.name arch);
+  let wire = A.wire chan in
+  let li = Linkerif.make ~arch ~loader ~wire in
+  let arch_dict = V.dict_create () in
+  (* interpret the machine-dependent PostScript into its dictionary *)
+  I.begin_dict d.interp arch_dict;
+  Fun.protect ~finally:(fun () -> I.end_dict d.interp) (fun () ->
+      I.run_string d.interp (Mdep_ps.source arch));
+  let tg =
+    {
+      tg_name = name;
+      tg_arch = arch;
+      tg_tdesc = Target.of_arch arch;
+      tg_chan = chan;
+      tg_wire = wire;
+      tg_defs = defs;
+      tg_arch_dict = arch_dict;
+      tg_ops = make_target_ops d li;
+      tg_symtab = symtab;
+      tg_linkerif = li;
+      tg_breaks = Breakpoint.create_table ();
+      tg_can_step = can_step;
+      tg_state = state_of_hello st;
+    }
+  in
+  check_anchors tg;
+  d.targets <- tg :: d.targets;
+  tg
+
+(** Force the target's symbol tables (normally lazy). *)
+let force_symbols (d : t) (tg : target) = with_target d tg (fun () -> Symtab.force tg.tg_symtab)
+
+(* --- execution control ------------------------------------------------------ *)
+
+let ctx_pc_addr tg ctx_addr = ctx_addr + tg.tg_tdesc.Target.ctx_pc_off
+
+let read_ctx_pc tg ctx_addr =
+  Int32.to_int (A.fetch_i32 tg.tg_wire (A.absolute 'd' (ctx_pc_addr tg ctx_addr)))
+  land 0xffffffff
+
+let write_ctx_pc tg ctx_addr pc =
+  A.store_i32 tg.tg_wire (A.absolute 'd' (ctx_pc_addr tg ctx_addr)) (Int32.of_int pc)
+
+let read_run_reply (tg : target) : state =
+  let st =
+    match Proto.read_reply tg.tg_chan with
+    | Proto.Event { signal; code; ctx_addr } ->
+        let signal = Option.value ~default:Signal.SIGINT (Signal.of_number signal) in
+        Stopped { signal; code; ctx_addr }
+    | Proto.Exit_event n -> Exited n
+    | r -> fail "unexpected reply while running: %s" (Fmt.str "%a" Proto.pp_reply r)
+  in
+  tg.tg_state <- st;
+  st
+
+(** Execute exactly one target instruction (the nub's Step extension). *)
+let step_instruction (_d : t) (tg : target) : state =
+  if not tg.tg_can_step then
+    fail "target %s: this nub does not support single-stepping" tg.tg_name;
+  (match tg.tg_state with
+  | Stopped _ -> ()
+  | _ -> fail "target %s is not stopped" tg.tg_name);
+  Proto.send_request tg.tg_chan Proto.Step;
+  read_run_reply tg
+
+(** Resume the target and wait for the next event.
+
+    At a no-op breakpoint, the no-op is "interpreted" by skipping it: the
+    context pc advances by the machine-dependent amount.  At a general
+    breakpoint (Sec. 7.1's model), the original instruction is restored,
+    executed with one single step, and the trap replanted before
+    continuing. *)
+let continue_ (d : t) (tg : target) : state =
+  ignore d;
+  (match tg.tg_state with
+  | Stopped { signal; code = _; ctx_addr } -> (
+      let pc = read_ctx_pc tg ctx_addr in
+      if Breakpoint.is_breakpoint_fault tg.tg_breaks ~signal ~pc then
+        match Hashtbl.find_opt tg.tg_breaks pc with
+        | Some bp when bp.Breakpoint.bp_general ->
+            (* restore, single-step the original instruction, replant *)
+            Breakpoint.remove tg.tg_breaks tg.tg_wire ~addr:pc;
+            (match step_instruction d tg with
+            | Stopped _ ->
+                ignore
+                  (Breakpoint.plant_general tg.tg_breaks tg.tg_tdesc tg.tg_wire ~addr:pc)
+            | st ->
+                (* exited or faulted during the step: report it *)
+                tg.tg_state <- st)
+        | _ -> write_ctx_pc tg ctx_addr (pc + tg.tg_tdesc.Target.nop_advance))
+  | Running -> ()
+  | Exited n -> fail "target %s already exited with status %d" tg.tg_name n
+  | Detached -> fail "target %s is detached" tg.tg_name);
+  match tg.tg_state with
+  | Exited _ -> tg.tg_state
+  | _ ->
+      Proto.send_request tg.tg_chan Proto.Continue;
+      read_run_reply tg
+
+let kill (tg : target) =
+  Proto.send_request tg.tg_chan Proto.Kill;
+  tg.tg_state <- Exited 137
+
+(** Break the connection, preserving target state in the nub. *)
+let detach (tg : target) =
+  (try Proto.send_request tg.tg_chan Proto.Detach with Chan.Disconnected -> ());
+  Chan.disconnect tg.tg_chan;
+  tg.tg_state <- Detached
+
+(* --- stopping points and breakpoints ----------------------------------------- *)
+
+(** Object-code address of a stopping point: interpret its location
+    procedure ({anchor idx LazyData}); results are memoized by the linker
+    interface's anchor cache. *)
+let stop_address (d : t) (tg : target) (s : Symtab.stop) : int =
+  with_target d tg (fun () ->
+      I.exec_value d.interp (V.cvx s.Symtab.stop_objloc);
+      match (I.pop d.interp).V.v with
+      | V.Loc (A.Absolute { offset; _ }) -> offset
+      | V.Int n -> n
+      | _ -> fail "stopping point location did not evaluate to a location")
+
+(** Set a breakpoint at the entry to [funcname]. *)
+let break_function (d : t) (tg : target) (funcname : string) : int =
+  force_symbols d tg;
+  match Symtab.entry_stop tg.tg_symtab ~name:funcname with
+  | None -> fail "no procedure named %s" funcname
+  | Some s ->
+      let addr = stop_address d tg s in
+      ignore (Breakpoint.plant tg.tg_breaks tg.tg_tdesc tg.tg_wire ~addr);
+      addr
+
+(** Set breakpoints at every stopping point on a source line (a single
+    source location may correspond to more than one stopping point). *)
+let break_line (d : t) (tg : target) ~(line : int) : int list =
+  force_symbols d tg;
+  let stops = Symtab.stops_at_line tg.tg_symtab ~line in
+  if stops = [] then fail "no stopping point at line %d" line;
+  List.map
+    (fun s ->
+      let addr = stop_address d tg s in
+      ignore (Breakpoint.plant tg.tg_breaks tg.tg_tdesc tg.tg_wire ~addr);
+      addr)
+    stops
+
+let clear_breakpoint (tg : target) ~addr = Breakpoint.remove tg.tg_breaks tg.tg_wire ~addr
+
+(* --- stack frames -------------------------------------------------------------- *)
+
+let proc_entry_at (d : t) (tg : target) ~pc : V.t option =
+  force_symbols d tg;
+  match Linkerif.proc_of_pc tg.tg_linkerif ~pc with
+  | None -> None
+  | Some (_, label) -> Symtab.proc_by_label tg.tg_symtab label
+
+let proc_info_of_entry (e : V.t) : Frame.proc_info =
+  let d = V.to_dict e in
+  let geti k default = match V.dict_get d k with Some v -> V.to_int v | None -> default in
+  let saved =
+    match V.dict_get d "savedregs" with
+    | Some arr ->
+        Array.to_list (V.to_arr arr)
+        |> List.map (fun pair ->
+               let a = V.to_arr pair in
+               (V.to_int a.(0), V.to_int a.(1)))
+    | None -> []
+  in
+  { Frame.pi_frame_size = geti "framesize" 0; pi_ra_offset = geti "raoffset" (-4);
+    pi_saved_regs = saved }
+
+let make_query (d : t) (tg : target) : Frame.query =
+  {
+    Frame.q_target = tg.tg_tdesc;
+    q_wire = tg.tg_wire;
+    q_frame_size = (fun ~pc -> Linkerif.frame_size tg.tg_linkerif ~pc);
+    q_proc_info =
+      (fun ~pc -> Option.map proc_info_of_entry (proc_entry_at d tg ~pc));
+    q_known_pc =
+      (fun ~pc ->
+        match Linkerif.proc_of_pc tg.tg_linkerif ~pc with
+        | Some (_, label) -> label <> Ldb_link.Link.start_symbol && proc_entry_at d tg ~pc <> None
+        | None -> false);
+  }
+
+(** The frame of the topmost activation; [Frame.fr_down] walks down. *)
+let top_frame (d : t) (tg : target) : Frame.t =
+  match tg.tg_state with
+  | Stopped { ctx_addr; _ } -> (
+      let q = make_query d tg in
+      match tg.tg_arch with
+      | Arch.Mips -> Frame_mips.top q ~ctx_addr
+      | Arch.Sparc -> Frame_sparc.top q ~ctx_addr
+      | Arch.M68k -> Frame_m68k.top q ~ctx_addr
+      | Arch.Vax -> Frame_vax.top q ~ctx_addr)
+  | _ -> fail "target %s is not stopped" tg.tg_name
+
+(** The whole call stack, topmost first. *)
+let backtrace (d : t) (tg : target) : Frame.t list =
+  let rec go acc fr =
+    let acc = fr :: acc in
+    match fr.Frame.fr_down () with Some fr' -> go acc fr' | None -> List.rev acc
+  in
+  go [] (top_frame d tg)
+
+(** The stopping point governing a frame: the loci entry whose address is
+    nearest below the frame's pc. *)
+let stop_of_frame (d : t) (tg : target) (fr : Frame.t) : Symtab.stop option =
+  match proc_entry_at d tg ~pc:fr.Frame.fr_pc with
+  | None -> None
+  | Some proc ->
+      let stops = Symtab.stops_of_proc proc in
+      List.fold_left
+        (fun best s ->
+          let addr = stop_address d tg s in
+          if addr <= fr.Frame.fr_pc then
+            match best with
+            | Some (baddr, _) when baddr >= addr -> best
+            | _ -> Some (addr, s)
+          else best)
+        None stops
+      |> Option.map snd
+
+(* --- variables -------------------------------------------------------------------- *)
+
+(** Resolve [name] in the context of [frame] and return its symbol-table
+    entry. *)
+let resolve (d : t) (tg : target) (fr : Frame.t) (name : string) : V.t option =
+  force_symbols d tg;
+  Symtab.resolve tg.tg_symtab (stop_of_frame d tg fr) name
+
+(** Evaluate a symbol entry's /where in the context of a frame, yielding
+    its location. *)
+let location_of (d : t) (tg : target) (fr : Frame.t) (entry : V.t) : A.location =
+  let dict = V.to_dict entry in
+  match V.dict_get dict "where" with
+  | None -> fail "symbol %s has no location" (Symtab.entry_name entry)
+  | Some w -> (
+      match w.V.v with
+      | V.Loc l -> l (* register locations are computed when the table is read *)
+      | V.Arr _ ->
+          with_target d tg (fun () ->
+              (* bind the frame context for FrameLoc *)
+              let fdict = V.dict_create () in
+              V.dict_put fdict "FrameBase" (V.int fr.Frame.fr_base);
+              V.dict_put fdict "FrameMem" (V.mem fr.Frame.fr_mem);
+              I.begin_dict d.interp fdict;
+              Fun.protect ~finally:(fun () -> I.end_dict d.interp) (fun () ->
+                  I.exec_value d.interp (V.cvx w);
+                  match (I.pop d.interp).V.v with
+                  | V.Loc l -> l
+                  | _ -> fail "where procedure did not yield a location"))
+      | _ -> fail "bad /where for %s" (Symtab.entry_name entry))
+
+(** Print a variable's value using the printing procedure from its type
+    dictionary — the debugger knows nothing about C data layout. *)
+let print_value (d : t) (tg : target) (fr : Frame.t) (name : string) : string =
+  match resolve d tg fr name with
+  | None -> fail "%s is not visible here" name
+  | Some entry ->
+      let loc = location_of d tg fr entry in
+      let tdict =
+        match V.dict_get (V.to_dict entry) "type" with
+        | Some ty -> ty
+        | None -> fail "symbol %s has no type" name
+      in
+      with_target d tg (fun () ->
+          ignore (I.take_output d.interp);
+          I.push d.interp (V.mem fr.Frame.fr_mem);
+          I.push d.interp (V.loc loc);
+          I.push d.interp tdict;
+          I.run_string d.interp "print";
+          I.take_output d.interp)
+
+(** Fetch a scalar variable as an integer (tests and assignments). *)
+let read_int_var (d : t) (tg : target) (fr : Frame.t) (name : string) : int =
+  match resolve d tg fr name with
+  | None -> fail "%s is not visible here" name
+  | Some entry ->
+      let loc = location_of d tg fr entry in
+      Int32.to_int (A.fetch_i32 fr.Frame.fr_mem loc)
+
+(** Assign to a scalar variable (direct form; full expressions go through
+    the expression server). *)
+let assign_int (d : t) (tg : target) (fr : Frame.t) (name : string) (v : int) : unit =
+  match resolve d tg fr name with
+  | None -> fail "%s is not visible here" name
+  | Some entry ->
+      let loc = location_of d tg fr entry in
+      A.store_i32 fr.Frame.fr_mem loc (Int32.of_int v)
+
+let assign_float (d : t) (tg : target) (fr : Frame.t) (name : string) (v : float) : unit =
+  match resolve d tg fr name with
+  | None -> fail "%s is not visible here" name
+  | Some entry ->
+      let loc = location_of d tg fr entry in
+      let size =
+        match V.dict_get (V.to_dict entry) "type" with
+        | Some ty -> (
+            match V.dict_get (V.to_dict ty) "size" with Some s -> V.to_int s | None -> 8)
+        | None -> 8
+      in
+      A.store_float fr.Frame.fr_mem loc ~size v
+
+(** Name of the procedure a frame is stopped in. *)
+let frame_function (d : t) (tg : target) (fr : Frame.t) : string =
+  match proc_entry_at d tg ~pc:fr.Frame.fr_pc with
+  | Some e -> Symtab.entry_name e
+  | None -> (
+      match Linkerif.proc_of_pc tg.tg_linkerif ~pc:fr.Frame.fr_pc with
+      | Some (_, label) -> label
+      | None -> Printf.sprintf "%#x" fr.Frame.fr_pc)
+
+(** One-line description of the current stop. *)
+let where (d : t) (tg : target) : string =
+  match tg.tg_state with
+  | Stopped { signal; _ } ->
+      let fr = top_frame d tg in
+      let line =
+        match stop_of_frame d tg fr with
+        | Some s -> Printf.sprintf " line %d" s.Symtab.stop_line
+        | None -> ""
+      in
+      Printf.sprintf "%s in %s%s (pc=%#x)" (Signal.name signal) (frame_function d tg fr)
+        line fr.Frame.fr_pc
+  | Running -> "running"
+  | Exited n -> Printf.sprintf "exited with status %d" n
+  | Detached -> "detached"
+
+(* --- breakpoints over arbitrary instructions (Sec. 7.1) ------------------- *)
+
+(** Plant a breakpoint over any instruction (not just a stopping-point
+    no-op).  Requires the nub's single-step extension for resumption, so
+    this refuses when the extension is absent — ldb keeps functioning with
+    the no-op scheme either way, as the paper prescribes for protocol
+    extensions. *)
+let break_address (d : t) (tg : target) ~(addr : int) : unit =
+  ignore d;
+  if not tg.tg_can_step then
+    fail "target %s: general breakpoints need the nub's single-step extension" tg.tg_name;
+  ignore (Breakpoint.plant_general tg.tg_breaks tg.tg_tdesc tg.tg_wire ~addr)
+
+(* --- source-level single stepping (Sec. 7.1) ------------------------------- *)
+
+(** Addresses of every stopping point in the procedure containing [pc]. *)
+let stop_addresses (d : t) (tg : target) ~pc : int list =
+  match proc_entry_at d tg ~pc with
+  | None -> []
+  | Some proc -> List.map (stop_address d tg) (Symtab.stops_of_proc proc)
+
+(** Step to the next stopping point: single-step instructions until the pc
+    lands on a stopping point different from the current one (entering
+    callees counts — their entry point is a stopping point).  Returns the
+    resulting state; gives up after [limit] instructions. *)
+let step_source ?(limit = 200_000) (d : t) (tg : target) : state =
+  (match tg.tg_state with
+  | Stopped { signal; ctx_addr; _ } ->
+      (* leaving a breakpoint: skip its no-op first so the step makes
+         progress *)
+      let pc = read_ctx_pc tg ctx_addr in
+      if Breakpoint.is_breakpoint_fault tg.tg_breaks ~signal ~pc then
+        write_ctx_pc tg ctx_addr (pc + tg.tg_tdesc.Target.nop_advance)
+  | _ -> fail "target %s is not stopped" tg.tg_name);
+  let start_pc =
+    match tg.tg_state with Stopped { ctx_addr; _ } -> read_ctx_pc tg ctx_addr | _ -> 0
+  in
+  let rec go n =
+    if n >= limit then fail "step: no stopping point within %d instructions" limit
+    else
+      match step_instruction d tg with
+      | Stopped { signal = SIGTRAP; code = 1; ctx_addr } -> (
+          let pc = read_ctx_pc tg ctx_addr in
+          if pc <> start_pc && List.mem pc (stop_addresses d tg ~pc) then tg.tg_state
+          else go (n + 1))
+      | st -> st (* exit, fault, or a planted breakpoint: report it *)
+  in
+  go 0
+
+(* --- disassembly ------------------------------------------------------------ *)
+
+(** Disassemble [count] instructions at [addr] through the wire; planted
+    breakpoints show up as the trap instructions they are. *)
+let disassemble (d : t) (tg : target) ~(addr : int) ~(count : int) : Disas.line list =
+  ignore d;
+  Disas.window tg.tg_tdesc tg.tg_wire ~addr ~count
+    ~proc_of:(fun pc -> Linkerif.proc_of_pc tg.tg_linkerif ~pc)

@@ -1,0 +1,71 @@
+(** The machine-dependent PostScript (Sec. 4.3): one small dictionary per
+    target, placed on the dictionary stack when ldb talks to that target.
+    It addresses local variables ([FrameLoc]) and enumerates the target's
+    registers; everything else in the PostScript world is shared.
+
+    When ldb changes architectures it simply rebinds these names by
+    pushing a different dictionary (Sec. 5). *)
+
+let mips = {|
+% --- SIM-MIPS machine-dependent PostScript ---
+/Regset0 (r) def
+/Fregset (f) def
+/Xregset (x) def
+% locals are addressed relative to the virtual frame pointer, which the
+% debugger binds as FrameBase per frame (the MIPS has no real frame pointer)
+/FrameLoc { FrameBase add (d) Absolute } def
+/FloatFetch { FetchF64 } def
+/FloatStore { StoreF64 } def
+/NumRegs 32 def
+/RegName { cvs (r) exch concatstr } def
+|}
+
+let sparc = {|
+% --- SIM-SPARC machine-dependent PostScript ---
+/Regset0 (r) def
+/Fregset (f) def
+/Xregset (x) def
+% locals are addressed relative to the frame pointer (r30)
+/FrameLoc { FrameBase add (d) Absolute } def
+/FloatFetch { FetchF64 } def
+/FloatStore { StoreF64 } def
+/NumRegs 32 def
+/RegName { cvs (r) exch concatstr } def
+|}
+
+let m68k = {|
+% --- SIM-68020 machine-dependent PostScript ---
+/Regset0 (r) def
+/Fregset (f) def
+/Xregset (x) def
+% locals are addressed relative to a6, the frame pointer
+/FrameLoc { FrameBase add (d) Absolute } def
+% the 68020's floating registers hold 80-bit extended values
+/FloatFetch { FetchF80 } def
+/FloatStore { StoreF80 } def
+/NumRegs 16 def
+% d0-d7 then a0-a7
+/RegName {
+  dup 8 lt { cvs (d) exch concatstr } { 8 sub cvs (a) exch concatstr } ifelse
+} def
+|}
+
+let vax = {|
+% --- SIM-VAX machine-dependent PostScript ---
+/Regset0 (r) def
+/Fregset (f) def
+/Xregset (x) def
+% locals are addressed relative to r13, the frame pointer
+/FrameLoc { FrameBase add (d) Absolute } def
+/FloatFetch { FetchF64 } def
+/FloatStore { StoreF64 } def
+/NumRegs 16 def
+/RegName { cvs (r) exch concatstr } def
+|}
+
+let source (a : Ldb_machine.Arch.t) =
+  match a with
+  | Ldb_machine.Arch.Mips -> mips
+  | Ldb_machine.Arch.Sparc -> sparc
+  | Ldb_machine.Arch.M68k -> m68k
+  | Ldb_machine.Arch.Vax -> vax

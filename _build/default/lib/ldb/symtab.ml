@@ -1,0 +1,195 @@
+(** Symbol-table management: forcing deferred unit bodies, mapping program
+    counters to procedure entries, mapping source locations to stopping
+    points, and resolving names by walking the uplink tree (Sec. 2). *)
+
+module V = Ldb_pscript.Value
+module I = Ldb_pscript.Interp
+
+exception Error of string
+
+type t = {
+  interp : I.t;
+  symtab : V.dict;  (** the __symtab dictionary *)
+  arch : Ldb_machine.Arch.t;
+  mutable forced : bool;
+  mutable procs : V.t list;  (** procedure entries from all units *)
+  mutable externs : V.dict list;  (** per-unit externs dictionaries *)
+  mutable sourcefiles : string list;
+}
+
+let dict_str d key =
+  match V.dict_get d key with Some v -> Some (V.to_str v) | None -> None
+
+let make ~(interp : I.t) ~(symtab_dict : V.dict) : t =
+  let arch =
+    match dict_str symtab_dict "architecture" with
+    | Some a -> (
+        match Ldb_machine.Arch.of_name a with
+        | Some a -> a
+        | None -> raise (Error ("unknown architecture " ^ a)))
+    | None -> raise (Error "symbol table lacks /architecture")
+  in
+  { interp; symtab = symtab_dict; arch; forced = false; procs = []; externs = [];
+    sourcefiles = [] }
+
+(** Force every unit body: execute the deferred strings (tokenizing them
+    now) and collect each unit's result dictionary.  Requires the
+    architecture dictionary to be on the interpreter's dictionary stack
+    (register locations are computed as the table is interpreted). *)
+let force (st : t) =
+  if not st.forced then begin
+    st.forced <- true;
+    match V.dict_get st.symtab "units" with
+    | None -> ()
+    | Some units ->
+        let ud = V.to_dict units in
+        let entries = Hashtbl.fold (fun k v acc -> (k, v) :: acc) ud.V.tbl [] in
+        List.iter
+          (fun (file, entry) ->
+            let ed = V.to_dict entry in
+            let body =
+              match V.dict_get ed "body" with
+              | Some b -> b
+              | None -> raise (Error ("unit " ^ file ^ " lacks /body"))
+            in
+            let tag =
+              match dict_str ed "tag" with
+              | Some tg -> tg
+              | None -> raise (Error ("unit " ^ file ^ " lacks /tag"))
+            in
+            st.sourcefiles <- file :: st.sourcefiles;
+            (* execute the body: a deferred string or a procedure *)
+            I.exec_value st.interp (V.cvx body);
+            let result =
+              match I.lookup st.interp ("UNITRESULT$" ^ tag) with
+              | Some r -> V.to_dict r
+              | None -> raise (Error ("unit " ^ file ^ " did not define its result"))
+            in
+            (match V.dict_get result "procs" with
+            | Some ps -> st.procs <- st.procs @ Array.to_list (V.to_arr ps)
+            | None -> ());
+            match V.dict_get result "externs" with
+            | Some e -> st.externs <- V.to_dict e :: st.externs
+            | None -> ())
+          entries
+  end
+
+(* --- procedure entries ------------------------------------------------------ *)
+
+let entry_name (e : V.t) =
+  match V.dict_get (V.to_dict e) "name" with Some n -> V.to_str n | None -> "?"
+
+(** The linker label of a procedure entry (from its where procedure's
+    global-code reference). *)
+let proc_label (e : V.t) =
+  match V.dict_get (V.to_dict e) "where" with
+  | Some w -> (
+      match w.V.v with
+      | V.Arr items ->
+          (* {(label) GlobalCodeLoc} *)
+          Array.fold_left
+            (fun acc (it : V.t) ->
+              match (acc, it.V.v) with None, V.Str s -> Some s | acc, _ -> acc)
+            None items
+      | _ -> None)
+  | None -> None
+
+(** Find the procedure entry whose linker label is [label]. *)
+let proc_by_label (st : t) label =
+  force st;
+  List.find_opt (fun e -> proc_label e = Some label) st.procs
+
+(** Find a procedure entry by source-level name. *)
+let proc_by_name (st : t) name =
+  force st;
+  List.find_opt (fun e -> entry_name e = name) st.procs
+
+(* --- stopping points --------------------------------------------------------- *)
+
+type stop = {
+  stop_proc : V.t;    (** procedure entry *)
+  stop_index : int;   (** index in the loci array *)
+  stop_line : int;
+  stop_col : int;
+  stop_objloc : V.t;  (** procedure computing the object-code location *)
+  stop_scope : V.t;   (** symbol entry visible here, or null *)
+}
+
+let loci_of (proc_entry : V.t) : V.t array =
+  match V.dict_get (V.to_dict proc_entry) "loci" with
+  | Some l -> V.to_arr l
+  | None -> [||]
+
+let stop_of_locus proc_entry idx (locus : V.t) : stop =
+  let a = V.to_arr locus in
+  if Array.length a < 4 then raise (Error "malformed locus");
+  {
+    stop_proc = proc_entry;
+    stop_index = idx;
+    stop_line = V.to_int a.(0);
+    stop_col = V.to_int a.(1);
+    stop_objloc = a.(2);
+    stop_scope = a.(3);
+  }
+
+(** All stopping points of a procedure. *)
+let stops_of_proc (proc_entry : V.t) : stop list =
+  Array.to_list (Array.mapi (stop_of_locus proc_entry) (loci_of proc_entry))
+
+(** Stopping points at a source line, across all procedures.  A single
+    source location may correspond to more than one stopping point. *)
+let stops_at_line (st : t) ~line : stop list =
+  force st;
+  List.concat_map (fun p -> List.filter (fun s -> s.stop_line = line) (stops_of_proc p))
+    st.procs
+
+(** The entry stopping point of a procedure (its lowest-numbered locus). *)
+let entry_stop (st : t) ~name : stop option =
+  match proc_by_name st name with
+  | None -> None
+  | Some p -> ( match stops_of_proc p with s :: _ -> Some s | [] -> None)
+
+(* --- name resolution ---------------------------------------------------------- *)
+
+(** Resolve [name] from a stopping point: walk the uplink tree of local
+    entries, then the unit's statics, then the program's externs. *)
+let resolve (st : t) (stop : stop option) (name : string) : V.t option =
+  force st;
+  let rec walk (entry : V.t) =
+    match entry.V.v with
+    | V.Null -> None
+    | V.Dict d -> (
+        match V.dict_get d "name" with
+        | Some n when V.to_str n = name -> Some entry
+        | _ -> ( match V.dict_get d "uplink" with Some up -> walk up | None -> None))
+    | _ -> None
+  in
+  let local =
+    match stop with
+    | Some s -> walk s.stop_scope
+    | None -> None
+  in
+  match local with
+  | Some e -> Some e
+  | None -> (
+      (* statics of the stopped procedure's unit *)
+      let from_statics =
+        match stop with
+        | Some s -> (
+            match V.dict_get (V.to_dict s.stop_proc) "statics" with
+            | Some statics -> V.dict_get (V.to_dict statics) name
+            | None -> None)
+        | None -> None
+      in
+      match from_statics with
+      | Some e -> Some e
+      | None ->
+          (* externs across all units *)
+          List.fold_left
+            (fun acc d -> match acc with Some _ -> acc | None -> V.dict_get d name)
+            None st.externs)
+
+(** All source files known to this symbol table. *)
+let source_files st =
+  force st;
+  st.sourcefiles

@@ -1,0 +1,1 @@
+lib/link/driver.ml: Asm Buffer Compile Ldb_cc Ldb_machine Link List Nm Printf Psemit String

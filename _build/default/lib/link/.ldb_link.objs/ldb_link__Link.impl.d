@@ -1,0 +1,1 @@
+lib/link/link.ml: Arch Asm Buffer Bytes Hashtbl Insn Int32 Ldb_cc Ldb_machine Ldb_util List Proc Ram Rpt String Target

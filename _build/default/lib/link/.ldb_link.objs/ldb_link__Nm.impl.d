@@ -1,0 +1,1 @@
+lib/link/nm.ml: Link List Printf String

@@ -1,0 +1,19 @@
+(** The UNIX [nm] equivalent: list an image's symbols.  The compiler
+    driver transforms this output into the PostScript loader table (Sec. 3),
+    which keeps ldb independent of linker and object-file formats. *)
+
+type entry = { addr : int; kind : char; name : string }
+
+let run (img : Link.image) : entry list =
+  List.map (fun (name, addr, kind) -> { addr; kind; name }) img.Link.i_symbols
+  |> List.sort (fun a b -> compare (a.addr, a.name) (b.addr, b.name))
+
+(** Classic textual output: "00002270 T _fib". *)
+let to_text entries =
+  String.concat ""
+    (List.map (fun e -> Printf.sprintf "%08x %c %s\n" e.addr e.kind e.name) entries)
+
+let is_anchor name =
+  String.length name >= 10 && String.sub name 0 10 = "_stanchor_"
+
+let is_text e = e.kind = 'T' || e.kind = 't'

@@ -1,0 +1,1 @@
+lib/machine/arch.ml: Fmt Ldb_util

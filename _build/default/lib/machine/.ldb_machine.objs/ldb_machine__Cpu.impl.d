@@ -1,0 +1,1 @@
+lib/machine/cpu.ml: Arch Array Float80 Insn Int32 Int64 Ldb_util Optab Ram Signal Target

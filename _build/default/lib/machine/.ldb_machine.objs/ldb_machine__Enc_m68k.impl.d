@@ -1,0 +1,1 @@
+lib/machine/enc_m68k.ml: Arch Bytes Encoder Fmt Insn Ldb_util Optab

@@ -1,0 +1,1 @@
+lib/machine/enc_mips.ml: Arch Encoder Fmt Insn Int32 Optab

@@ -1,0 +1,1 @@
+lib/machine/enc_sparc.ml: Arch Encoder Fmt Insn Int32 Optab

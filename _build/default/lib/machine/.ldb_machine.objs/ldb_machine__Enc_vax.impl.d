@@ -1,0 +1,1 @@
+lib/machine/enc_vax.ml: Arch Array Buffer Char Encoder Fmt Insn Optab String

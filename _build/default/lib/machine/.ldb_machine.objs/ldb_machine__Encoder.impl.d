@@ -1,0 +1,1 @@
+lib/machine/encoder.ml: Arch Bytes Insn Int32 Ldb_util

@@ -1,0 +1,1 @@
+lib/machine/float80.ml: Bytes Char Int64 String

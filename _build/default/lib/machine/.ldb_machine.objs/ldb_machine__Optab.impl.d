@@ -1,0 +1,1 @@
+lib/machine/optab.ml: Array Hashtbl Insn List

@@ -1,0 +1,1 @@
+lib/machine/proc.ml: Buffer Char Cpu Int32 Int64 Printf Ram Signal String Target

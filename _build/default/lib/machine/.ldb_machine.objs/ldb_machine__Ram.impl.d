@@ -1,0 +1,1 @@
+lib/machine/ram.ml: Buffer Bytes Char Endian Int32 Int64 Ldb_util String

@@ -1,0 +1,1 @@
+lib/machine/rpt.ml: Int32 List Ram

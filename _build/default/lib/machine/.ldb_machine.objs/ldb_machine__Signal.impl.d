@@ -1,0 +1,1 @@
+lib/machine/signal.ml: Fmt

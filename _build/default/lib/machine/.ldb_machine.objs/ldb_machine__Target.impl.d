@@ -1,0 +1,1 @@
+lib/machine/target.ml: Arch Array Enc_m68k Enc_mips Enc_sparc Enc_vax Encoder Insn List Printf

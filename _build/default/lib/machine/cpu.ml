@@ -1,0 +1,281 @@
+(** The shared execution engine.  One [step] decodes the instruction at the
+    pc through the target's own encoder and executes the shared semantics.
+
+    SIM-MIPS load delay slots are modelled architecturally: the result of an
+    integer load is not visible to the immediately following instruction
+    (the assembler's scheduler must fill or pad the slot; the test suite
+    exercises programs whose correctness depends on it). *)
+
+open Insn
+
+type event =
+  | Running
+  | Trap of Signal.t * int  (** signal and an associated code (eg fault addr) *)
+  | Sys of int              (** syscall wanting kernel service *)
+
+type t = {
+  target : Target.t;
+  regs : int32 array;
+  fregs : float array;
+  mutable pc : int;
+  mutable pending_load : (reg * int32) option;  (* SIM-MIPS delay slot *)
+  mutable icount : int;  (** instructions retired, for benchmarks *)
+}
+
+let create target =
+  {
+    target;
+    regs = Array.make (Target.nregs target) 0l;
+    fregs = Array.make (Target.nfregs target) 0.0;
+    pc = Ram.Layout.code_base;
+    pending_load = None;
+    icount = 0;
+  }
+
+let reg cpu r = cpu.regs.(r)
+let set_reg cpu r v = cpu.regs.(r) <- v
+let freg cpu f = cpu.fregs.(f)
+let set_freg cpu f v = cpu.fregs.(f) <- v
+
+(** Commit a delayed load (used before capturing a context so the nub never
+    sees a half-completed load). *)
+let drain cpu =
+  match cpu.pending_load with
+  | Some (r, v) ->
+      cpu.regs.(r) <- v;
+      cpu.pending_load <- None
+  | None -> ()
+
+let i32 = Int32.of_int
+let to_addr (v : int32) = Int32.to_int (Int32.logand v 0xffffffffl) land 0xffffffff
+
+let alu op (x : int32) (y : int32) : int32 =
+  match op with
+  | Add -> Int32.add x y
+  | Sub -> Int32.sub x y
+  | Mul -> Int32.mul x y
+  | Div -> if Int32.equal y 0l then raise Division_by_zero else Int32.div x y
+  | Rem -> if Int32.equal y 0l then raise Division_by_zero else Int32.rem x y
+  | Divu ->
+      if Int32.equal y 0l then raise Division_by_zero
+      else
+        let u v = Int64.logand (Int64.of_int32 v) 0xffffffffL in
+        Int64.to_int32 (Int64.div (u x) (u y))
+  | Remu ->
+      if Int32.equal y 0l then raise Division_by_zero
+      else
+        let u v = Int64.logand (Int64.of_int32 v) 0xffffffffL in
+        Int64.to_int32 (Int64.rem (u x) (u y))
+  | And -> Int32.logand x y
+  | Or -> Int32.logor x y
+  | Xor -> Int32.logxor x y
+  | Shl -> Int32.shift_left x (Int32.to_int y land 31)
+  | Shr -> Int32.shift_right x (Int32.to_int y land 31)
+  | Slt -> if Int32.compare x y < 0 then 1l else 0l
+  | Sltu ->
+      let u v = Int64.logand (Int64.of_int32 v) 0xffffffffL in
+      if Int64.compare (u x) (u y) < 0 then 1l else 0l
+
+let cond_holds c (x : int32) (y : int32) =
+  let cmp = Int32.compare x y in
+  match c with
+  | Eq -> cmp = 0
+  | Ne -> cmp <> 0
+  | Lt -> cmp < 0
+  | Le -> cmp <= 0
+  | Gt -> cmp > 0
+  | Ge -> cmp >= 0
+
+let fcond_holds c (x : float) (y : float) =
+  match c with
+  | Eq -> x = y
+  | Ne -> x <> y
+  | Lt -> x < y
+  | Le -> x <= y
+  | Gt -> x > y
+  | Ge -> x >= y
+
+let load_value ram sz ~unsigned addr : int32 =
+  match sz with
+  | S8 ->
+      let v = Ram.get_u8 ram addr in
+      if unsigned then i32 v else i32 (Ldb_util.Endian.sext v 8)
+  | S16 ->
+      let v = Ram.get_u16 ram addr in
+      if unsigned then i32 v else i32 (Ldb_util.Endian.sext v 16)
+  | S32 -> Ram.get_u32 ram addr
+
+let store_value ram sz addr (v : int32) =
+  match sz with
+  | S8 -> Ram.set_u8 ram addr (Int32.to_int v land 0xff)
+  | S16 -> Ram.set_u16 ram addr (Int32.to_int v land 0xffff)
+  | S32 -> Ram.set_u32 ram addr v
+
+let fload_value ram fsz addr : float =
+  match fsz with
+  | F32 -> Ram.get_f32 ram addr
+  | F64 -> Ram.get_f64 ram addr
+  | F80 -> Float80.of_bytes (Ram.read_string ram ~addr ~len:10)
+
+let fstore_value ram fsz addr (v : float) =
+  match fsz with
+  | F32 -> Ram.set_f32 ram addr v
+  | F64 -> Ram.set_f64 ram addr v
+  | F80 -> Ram.blit_in ram ~addr (Float80.to_bytes v)
+
+let push cpu ram v =
+  let sp = Int32.sub cpu.regs.(cpu.target.Target.sp) 4l in
+  cpu.regs.(cpu.target.Target.sp) <- sp;
+  Ram.set_u32 ram (to_addr sp) v
+
+let pop cpu ram =
+  let spr = cpu.target.Target.sp in
+  let v = Ram.get_u32 ram (to_addr cpu.regs.(spr)) in
+  cpu.regs.(spr) <- Int32.add cpu.regs.(spr) 4l;
+  v
+
+(** Execute one instruction.  Returns the resulting event; on [Trap], the pc
+    is left at the faulting instruction. *)
+let step cpu (ram : Ram.t) : event =
+  let t = cpu.target in
+  let start_pc = cpu.pc in
+  let fetch a = Ram.get_u8 ram a in
+  match Target.decode t ~fetch cpu.pc with
+  | exception Ram.Fault _ -> Trap (SIGSEGV, start_pc)
+  | exception Optab.Bad_encoding _ -> Trap (SIGILL, start_pc)
+  | insn, len -> (
+      let next = cpu.pc + len in
+      (* Read all source operands before committing any pending load, so the
+         delay-slot instruction observes the pre-load register value. *)
+      let rd r = cpu.regs.(r) in
+      let result =
+        try
+          let new_pending = ref None in
+          let ev = ref Running in
+          (match insn with
+          | Li (r, v) ->
+              drain cpu;
+              cpu.regs.(r) <- v
+          | Mov (r, s) ->
+              let v = rd s in
+              drain cpu;
+              cpu.regs.(r) <- v
+          | Alu (op, r, s, u) ->
+              let a = rd s and b = rd u in
+              drain cpu;
+              cpu.regs.(r) <- alu op a b
+          | Alui (op, r, s, imm) ->
+              let a = rd s in
+              drain cpu;
+              cpu.regs.(r) <- alu op a imm
+          | Load (sz, r, s, off) ->
+              let addr = to_addr (Int32.add (rd s) off) in
+              drain cpu;
+              let v = load_value ram sz ~unsigned:false addr in
+              if Arch.has_load_delay t.Target.arch then new_pending := Some (r, v)
+              else cpu.regs.(r) <- v
+          | Loadu (sz, r, s, off) ->
+              let addr = to_addr (Int32.add (rd s) off) in
+              drain cpu;
+              let v = load_value ram sz ~unsigned:true addr in
+              if Arch.has_load_delay t.Target.arch then new_pending := Some (r, v)
+              else cpu.regs.(r) <- v
+          | Store (sz, rv, rs, off) ->
+              let addr = to_addr (Int32.add (rd rs) off) and v = rd rv in
+              drain cpu;
+              store_value ram sz addr v
+          | Fload (fsz, fd, rs, off) ->
+              let addr = to_addr (Int32.add (rd rs) off) in
+              drain cpu;
+              cpu.fregs.(fd) <- fload_value ram fsz addr
+          | Fstore (fsz, fv, rs, off) ->
+              let addr = to_addr (Int32.add (rd rs) off) in
+              drain cpu;
+              fstore_value ram fsz addr cpu.fregs.(fv)
+          | Falu (op, fd, fa, fb) ->
+              drain cpu;
+              let x = cpu.fregs.(fa) and y = cpu.fregs.(fb) in
+              cpu.fregs.(fd) <-
+                (match op with
+                | Fadd -> x +. y
+                | Fsub -> x -. y
+                | Fmul -> x *. y
+                | Fdiv -> x /. y)
+          | Fcmp (c, r, fa, fb) ->
+              drain cpu;
+              cpu.regs.(r) <- (if fcond_holds c cpu.fregs.(fa) cpu.fregs.(fb) then 1l else 0l)
+          | Fmov (fd, fs) ->
+              drain cpu;
+              cpu.fregs.(fd) <- cpu.fregs.(fs)
+          | Cvtif (fd, rs) ->
+              let v = rd rs in
+              drain cpu;
+              cpu.fregs.(fd) <- Int32.to_float v
+          | Cvtfi (r, fs) ->
+              drain cpu;
+              cpu.regs.(r) <- Int32.of_float cpu.fregs.(fs)
+          | Br (c, rs, rt, addr) ->
+              let a = rd rs and b = rd rt in
+              drain cpu;
+              if cond_holds c a b then cpu.pc <- to_addr addr - len
+              (* -len: compensated below by +len *)
+          | Jmp addr ->
+              drain cpu;
+              cpu.pc <- to_addr addr - len
+          | Jr rs ->
+              let a = rd rs in
+              drain cpu;
+              cpu.pc <- to_addr a - len
+          | Call addr ->
+              drain cpu;
+              (match t.Target.ra with
+              | Some ra -> cpu.regs.(ra) <- i32 next
+              | None -> push cpu ram (i32 next));
+              cpu.pc <- to_addr addr - len
+          | Callr rs ->
+              let a = rd rs in
+              drain cpu;
+              (match t.Target.ra with
+              | Some ra -> cpu.regs.(ra) <- i32 next
+              | None -> push cpu ram (i32 next));
+              cpu.pc <- to_addr a - len
+          | Ret ->
+              drain cpu;
+              let dest =
+                match t.Target.ra with
+                | Some ra -> cpu.regs.(ra)
+                | None -> pop cpu ram
+              in
+              cpu.pc <- to_addr dest - len
+          | Push rs ->
+              let v = rd rs in
+              drain cpu;
+              push cpu ram v
+          | Pop r ->
+              drain cpu;
+              cpu.regs.(r) <- pop cpu ram
+          | Nop -> drain cpu
+          | Break ->
+              drain cpu;
+              ev := Trap (SIGTRAP, start_pc)
+          | Syscall n ->
+              drain cpu;
+              ev := Sys n);
+          cpu.pending_load <- !new_pending;
+          !ev
+        with
+        | Ram.Fault a ->
+            drain cpu;
+            Trap (SIGSEGV, a)
+        | Division_by_zero ->
+            drain cpu;
+            Trap (SIGFPE, start_pc)
+      in
+      match result with
+      | Running | Sys _ ->
+          cpu.pc <- cpu.pc + len;
+          cpu.icount <- cpu.icount + 1;
+          result
+      | Trap _ ->
+          cpu.pc <- start_pc;
+          result)

@@ -1,0 +1,56 @@
+(** Signature every target instruction encoder implements.
+
+    [decode] reads bytes through a fetch callback so the same decoder serves
+    the CPU (reading its own RAM) and the debugger's out-of-line
+    interpretation of instructions fetched through abstract memories. *)
+
+module type S = sig
+  val arch : Arch.t
+
+  val length : Insn.t -> int
+  (** Encoded size in bytes of one abstract instruction on this target. *)
+
+  val encode : Insn.t -> string
+  (** Binary encoding; [String.length (encode i) = length i]. *)
+
+  val decode : fetch:(int -> int) -> int -> Insn.t * int
+  (** [decode ~fetch addr] decodes the instruction at [addr], returning it
+      with its encoded length.  Raises {!Optab.Bad_encoding} on an illegal
+      instruction (the CPU converts that to SIGILL). *)
+
+  val nop_bytes : string
+  (** The no-op bit pattern lcc-sim plants at stopping points. *)
+
+  val break_bytes : string
+  (** The trap bit pattern ldb writes over a no-op to plant a breakpoint.
+      Always the same length as [nop_bytes] so planting is a plain store. *)
+end
+
+type t = (module S)
+
+(** Helpers shared by the word-oriented encoders. *)
+
+let be32_to_string (w : int32) =
+  let b = Bytes.create 4 in
+  Ldb_util.Endian.set_u32 Big b 0 w;
+  Bytes.to_string b
+
+let le32_to_string (w : int32) =
+  let b = Bytes.create 4 in
+  Ldb_util.Endian.set_u32 Little b 0 w;
+  Bytes.to_string b
+
+let fetch32 ~order ~(fetch : int -> int) addr : int32 =
+  let byte i = Int32.of_int (fetch (addr + i)) in
+  let ( <| ) x s = Int32.shift_left x s in
+  match (order : Ldb_util.Endian.order) with
+  | Big ->
+      Int32.logor
+        (Int32.logor (byte 0 <| 24) (byte 1 <| 16))
+        (Int32.logor (byte 2 <| 8) (byte 3))
+  | Little ->
+      Int32.logor
+        (Int32.logor (byte 3 <| 24) (byte 2 <| 16))
+        (Int32.logor (byte 1 <| 8) (byte 0))
+
+let fetch16_be ~(fetch : int -> int) addr = (fetch addr lsl 8) lor fetch (addr + 1)

@@ -1,0 +1,97 @@
+(** Byte-addressable memory for a simulated target process.
+
+    The address space is flat; accesses outside it raise {!Fault}, which the
+    CPU turns into a SIGSEGV for the process.  All multi-byte accesses honour
+    the owning architecture's byte order. *)
+
+open Ldb_util
+
+exception Fault of int  (** bad address *)
+
+type t = {
+  bytes : Bytes.t;
+  order : Endian.order;
+}
+
+(** Standard layout of a simulated process image.  The nub's context area
+    lives in high data memory; the stack grows down from [stack_top]. *)
+module Layout = struct
+  let code_base = 0x1000
+  let data_base = 0x100000
+  let context_base = 0x1f0000
+  let sysarg_base = 0x1f8000 (* simulated-kernel argument block *)
+  let stack_top = 0x3ffff0
+  let size = 0x400000
+end
+
+let create ?(size = Layout.size) order = { bytes = Bytes.make size '\000'; order }
+
+let size m = Bytes.length m.bytes
+let order m = m.order
+
+let check m addr len =
+  if addr < 0 || len < 0 || addr + len > Bytes.length m.bytes then raise (Fault addr)
+
+let get_u8 m addr =
+  check m addr 1;
+  Endian.get_u8 m.bytes addr
+
+let set_u8 m addr v =
+  check m addr 1;
+  Endian.set_u8 m.bytes addr v
+
+let get_u16 m addr =
+  check m addr 2;
+  Endian.get_u16 m.order m.bytes addr
+
+let set_u16 m addr v =
+  check m addr 2;
+  Endian.set_u16 m.order m.bytes addr v
+
+let get_u32 m addr =
+  check m addr 4;
+  Endian.get_u32 m.order m.bytes addr
+
+let set_u32 m addr v =
+  check m addr 4;
+  Endian.set_u32 m.order m.bytes addr v
+
+let get_u64 m addr =
+  check m addr 8;
+  Endian.get_u64 m.order m.bytes addr
+
+let set_u64 m addr v =
+  check m addr 8;
+  Endian.set_u64 m.order m.bytes addr v
+
+(** Raw byte-string accessors, used to load program images and to service
+    nub fetch requests. *)
+let blit_in m ~addr (s : string) =
+  check m addr (String.length s);
+  Bytes.blit_string s 0 m.bytes addr (String.length s)
+
+let read_string m ~addr ~len =
+  check m addr len;
+  Bytes.sub_string m.bytes addr len
+
+(** Read a NUL-terminated C string (bounded at 64k to stay safe on garbage
+    pointers). *)
+let read_cstring m ~addr =
+  let buf = Buffer.create 16 in
+  let rec go a n =
+    if n > 65536 then Buffer.contents buf
+    else
+      let c = get_u8 m a in
+      if c = 0 then Buffer.contents buf
+      else begin
+        Buffer.add_char buf (Char.chr c);
+        go (a + 1) (n + 1)
+      end
+  in
+  go addr 0
+
+(** IEEE single/double stored per the memory's byte order. *)
+let get_f32 m addr = Int32.float_of_bits (get_u32 m addr)
+let set_f32 m addr v = set_u32 m addr (Int32.bits_of_float v)
+let get_f64 m addr = Int64.float_of_bits (get_u64 m addr)
+let set_f64 m addr v = set_u64 m addr (Int64.bits_of_float v)

@@ -1,0 +1,51 @@
+(** The SIM-MIPS runtime procedure table (Sec. 4.3).
+
+    The real MIPS has no frame pointer, so ldb's MIPS linker interface reads
+    procedure addresses and frame sizes from a runtime procedure table kept
+    in the target's address space.  Our linker emits the same structure:
+    at a well-known data address, a word count N followed by N records of
+    three 32-bit words: [proc address; frame size; return-address save
+    offset from the incoming sp]. *)
+
+let base = Ram.Layout.data_base + 0x8000
+let record_words = 3
+
+type entry = { addr : int; frame_size : int; ra_offset : int }
+
+let write ram (entries : entry list) =
+  Ram.set_u32 ram base (Int32.of_int (List.length entries));
+  List.iteri
+    (fun i e ->
+      let off = base + 4 + (4 * record_words * i) in
+      Ram.set_u32 ram off (Int32.of_int e.addr);
+      Ram.set_u32 ram (off + 4) (Int32.of_int e.frame_size);
+      Ram.set_u32 ram (off + 8) (Int32.of_int e.ra_offset))
+    entries
+
+(** Read the table back through an arbitrary 32-bit fetch function, so the
+    debugger can read it through its abstract-memory stack exactly as the
+    paper's ldb does ("from the runtime procedure table located in the
+    target address space"). *)
+let read (fetch32 : int -> int32) : entry list =
+  let n = Int32.to_int (fetch32 base) in
+  if n < 0 || n > 65536 then []
+  else
+    List.init n (fun i ->
+        let off = base + 4 + (4 * record_words * i) in
+        {
+          addr = Int32.to_int (fetch32 off);
+          frame_size = Int32.to_int (fetch32 (off + 4));
+          ra_offset = Int32.to_int (fetch32 (off + 8));
+        })
+
+(** Find the entry governing [pc]: the entry with the greatest address not
+    exceeding [pc]. *)
+let find entries ~pc =
+  List.fold_left
+    (fun best e ->
+      if e.addr <= pc then
+        match best with
+        | Some b when b.addr >= e.addr -> best
+        | _ -> Some e
+      else best)
+    None entries

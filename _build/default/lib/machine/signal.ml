@@ -1,0 +1,38 @@
+(** Signals a simulated target process can receive.  The nub installs a
+    handler for these at program startup (Sec. 4.2). *)
+
+type t =
+  | SIGTRAP  (** breakpoint trap *)
+  | SIGSEGV  (** bad memory reference *)
+  | SIGFPE   (** arithmetic fault, e.g. integer divide by zero *)
+  | SIGILL   (** illegal instruction *)
+  | SIGABRT  (** abort() *)
+  | SIGINT   (** interrupt from the debugger *)
+
+let number = function
+  | SIGINT -> 2
+  | SIGILL -> 4
+  | SIGTRAP -> 5
+  | SIGABRT -> 6
+  | SIGFPE -> 8
+  | SIGSEGV -> 11
+
+let of_number = function
+  | 2 -> Some SIGINT
+  | 4 -> Some SIGILL
+  | 5 -> Some SIGTRAP
+  | 6 -> Some SIGABRT
+  | 8 -> Some SIGFPE
+  | 11 -> Some SIGSEGV
+  | _ -> None
+
+let name = function
+  | SIGTRAP -> "SIGTRAP"
+  | SIGSEGV -> "SIGSEGV"
+  | SIGFPE -> "SIGFPE"
+  | SIGILL -> "SIGILL"
+  | SIGABRT -> "SIGABRT"
+  | SIGINT -> "SIGINT"
+
+let pp ppf s = Fmt.string ppf (name s)
+let equal (a : t) b = a = b

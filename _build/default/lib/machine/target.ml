@@ -1,0 +1,176 @@
+(** Per-target descriptors: everything about a simulated architecture that
+    the compiler, the nub, and the debugger's machine-dependent modules need
+    to know.  This record is the OCaml analogue of the paper's
+    "machine-dependent data manipulated by machine-independent code". *)
+
+type t = {
+  arch : Arch.t;
+  encoder : Encoder.t;
+  (* register conventions *)
+  sp : Insn.reg;                 (** stack pointer *)
+  fp : Insn.reg option;          (** frame pointer; [None] on SIM-MIPS *)
+  ra : Insn.reg option;          (** link register; [None] when calls push the
+                                     return address on the stack (68020/VAX) *)
+  arg_regs : Insn.reg list;      (** registers carrying leading arguments;
+                                     [[]] means all arguments on the stack *)
+  ret_reg : Insn.reg;            (** integer return value *)
+  fret_reg : Insn.freg;          (** floating return value *)
+  temps : Insn.reg list;         (** expression temporaries for the codegen *)
+  ftemps : Insn.freg list;
+  reg_vars : Insn.reg list;      (** callee-saved registers available for
+                                     [register]-class variables *)
+  scratch : Insn.reg;            (** assembler/codegen scratch register *)
+  (* breakpoint support: the paper's "four items of machine-dependent data" *)
+  nop : string;                  (** no-op bit pattern at stopping points *)
+  brk : string;                  (** trap bit pattern planted over a no-op *)
+  insn_unit : int;               (** granularity used to fetch/store
+                                     instructions: 4, 2, or 1 bytes *)
+  nop_advance : int;             (** pc advance after "interpreting" the no-op *)
+  (* context layout: where the nub saves state on a signal *)
+  ctx_size : int;
+  ctx_pc_off : int;
+  ctx_reg_off : int -> int;
+  ctx_freg_off : int -> int;
+  ctx_freg_bytes : int;          (** 8, or 10 on the 68020 (80-bit extended) *)
+  reg_names : string array;
+  freg_prefix : string;
+}
+
+let order t = Arch.endian t.arch
+let nregs t = Arch.nregs t.arch
+let nfregs t = Arch.nfregs t.arch
+
+let encode t i = let (module E : Encoder.S) = t.encoder in E.encode i
+let insn_length t i = let (module E : Encoder.S) = t.encoder in E.length i
+let decode t ~fetch addr = let (module E : Encoder.S) = t.encoder in E.decode ~fetch addr
+
+let numbered prefix n = Array.init n (fun i -> Printf.sprintf "%s%d" prefix i)
+
+let mips : t =
+  let nregs = 32 and nfregs = 16 in
+  {
+    arch = Mips;
+    encoder = (module Enc_mips);
+    sp = 29;
+    fp = None;
+    ra = Some 31;
+    arg_regs = [ 4; 5; 6; 7 ];
+    ret_reg = 2;
+    fret_reg = 0;
+    temps = [ 8; 9; 10; 11; 12; 13; 14; 15 ];
+    ftemps = [ 2; 3; 4; 5; 6; 7 ];
+    reg_vars = [ 16; 17; 18; 19; 20; 21; 22; 23 ];
+    scratch = 1;
+    nop = Enc_mips.nop_bytes;
+    brk = Enc_mips.break_bytes;
+    insn_unit = 4;
+    nop_advance = 4;
+    (* sigcontext-style: pc first, then GPRs, then FPRs as doubles *)
+    ctx_size = 4 + (4 * nregs) + (8 * nfregs);
+    ctx_pc_off = 0;
+    ctx_reg_off = (fun r -> 4 + (4 * r));
+    ctx_freg_off = (fun f -> 4 + (4 * nregs) + (8 * f));
+    ctx_freg_bytes = 8;
+    reg_names = numbered "r" nregs;
+    freg_prefix = "f";
+  }
+
+let sparc : t =
+  let nregs = 32 and nfregs = 16 in
+  {
+    arch = Sparc;
+    encoder = (module Enc_sparc);
+    sp = 14;
+    fp = Some 30;
+    ra = Some 15;
+    arg_regs = [ 8; 9; 10; 11; 12; 13 ];
+    ret_reg = 8;
+    fret_reg = 0;
+    temps = [ 1; 2; 3; 4; 5; 6; 7; 16; 17; 18 ];
+    ftemps = [ 2; 3; 4; 5; 6; 7 ];
+    reg_vars = [ 20; 21; 22; 23; 24; 25 ];
+    scratch = 19;
+    nop = Enc_sparc.nop_bytes;
+    brk = Enc_sparc.break_bytes;
+    insn_unit = 4;
+    nop_advance = 4;
+    ctx_size = 4 + (4 * nregs) + (8 * nfregs);
+    ctx_pc_off = 0;
+    ctx_reg_off = (fun r -> 4 + (4 * r));
+    ctx_freg_off = (fun f -> 4 + (4 * nregs) + (8 * f));
+    ctx_freg_bytes = 8;
+    reg_names = numbered "r" nregs;
+    freg_prefix = "f";
+  }
+
+let m68k : t =
+  let nregs = 16 and nfregs = 8 in
+  {
+    arch = M68k;
+    encoder = (module Enc_m68k);
+    sp = 15;  (* a7 *)
+    fp = Some 14;  (* a6 *)
+    ra = None;  (* calls push the return address *)
+    arg_regs = [];
+    ret_reg = 0;  (* d0 *)
+    fret_reg = 0;
+    temps = [ 1; 2; 3; 4; 5; 6; 7 ];
+    ftemps = [ 1; 2; 3; 4; 5 ];
+    reg_vars = [ 10; 11; 12; 13 ];  (* a2-a5 *)
+    scratch = 8;  (* a0 *)
+    nop = Enc_m68k.nop_bytes;
+    brk = Enc_m68k.break_bytes;
+    insn_unit = 2;
+    nop_advance = 2;
+    (* "another representation must be used": GPRs first, then pc, then the
+       FPRs in 80-bit extended format *)
+    ctx_size = (4 * nregs) + 4 + (10 * nfregs);
+    ctx_pc_off = 4 * nregs;
+    ctx_reg_off = (fun r -> 4 * r);
+    ctx_freg_off = (fun f -> (4 * nregs) + 4 + (10 * f));
+    ctx_freg_bytes = 10;
+    reg_names =
+      Array.init nregs (fun i -> if i < 8 then Printf.sprintf "d%d" i else Printf.sprintf "a%d" (i - 8));
+    freg_prefix = "fp";
+  }
+
+let vax : t =
+  let nregs = 16 and nfregs = 8 in
+  {
+    arch = Vax;
+    encoder = (module Enc_vax);
+    sp = 14;
+    fp = Some 13;
+    ra = None;
+    arg_regs = [];
+    ret_reg = 0;
+    fret_reg = 0;
+    temps = [ 1; 2; 3; 4; 5; 6; 7 ];
+    ftemps = [ 1; 2; 3; 4; 5 ];
+    reg_vars = [ 9; 10; 11; 12 ];
+    scratch = 8;
+    nop = Enc_vax.nop_bytes;
+    brk = Enc_vax.break_bytes;
+    insn_unit = 1;
+    nop_advance = 1;
+    (* GPRs, then FPRs, then pc at the end *)
+    ctx_size = (4 * nregs) + (8 * nfregs) + 4;
+    ctx_pc_off = (4 * nregs) + (8 * nfregs);
+    ctx_reg_off = (fun r -> 4 * r);
+    ctx_freg_off = (fun f -> (4 * nregs) + (8 * f));
+    ctx_freg_bytes = 8;
+    reg_names = numbered "r" nregs;
+    freg_prefix = "f";
+  }
+
+let of_arch : Arch.t -> t = function
+  | Mips -> mips
+  | Sparc -> sparc
+  | M68k -> m68k
+  | Vax -> vax
+
+let all = List.map of_arch Arch.all
+
+let reg_name t r =
+  if r >= 0 && r < Array.length t.reg_names then t.reg_names.(r)
+  else Printf.sprintf "r?%d" r

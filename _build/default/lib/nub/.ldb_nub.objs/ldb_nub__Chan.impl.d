@@ -1,0 +1,1 @@
+lib/nub/chan.ml: Buffer Char String

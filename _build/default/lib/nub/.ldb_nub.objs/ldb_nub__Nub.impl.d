@@ -1,0 +1,1 @@
+lib/nub/nub.ml: Arch Bytes Chan Char Cpu Float80 Int32 Int64 Ldb_machine Ldb_util Printf Proc Proto Ram Signal String Target

@@ -1,0 +1,1 @@
+lib/nub/proto.ml: Bytes Chan Char Endian Fmt Int32 Ldb_util Printf String

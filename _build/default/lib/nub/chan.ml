@@ -1,0 +1,83 @@
+(** In-memory duplex byte channels standing in for the paper's sockets.
+
+    A channel endpoint reads bytes its peer wrote.  Reads never block:
+    when bytes are missing, the endpoint invokes its registered {e pump} —
+    a closure that gives the peer a chance to produce output (for the
+    debugger's endpoint, the pump runs the target's nub).  This is the
+    discrete-event analogue of blocking on a socket while the other process
+    runs.
+
+    Endpoints survive a peer "crash": [disconnect] drops the link but the
+    nub's endpoint object remains, matching the paper's requirement that
+    the nub preserve target state across debugger crashes. *)
+
+exception Disconnected
+
+type fifo = { q : Buffer.t; mutable rpos : int }
+
+let fifo () = { q = Buffer.create 256; rpos = 0 }
+let fifo_len f = Buffer.length f.q - f.rpos
+
+let fifo_read f n =
+  let avail = fifo_len f in
+  let take = min n avail in
+  let s = Buffer.sub f.q f.rpos take in
+  f.rpos <- f.rpos + take;
+  if f.rpos > 65536 && f.rpos = Buffer.length f.q then begin
+    Buffer.clear f.q;
+    f.rpos <- 0
+  end;
+  s
+
+type endpoint = {
+  mutable rx : fifo;  (** bytes the peer wrote for us *)
+  mutable tx : fifo;  (** bytes we write for the peer *)
+  mutable connected : bool;
+  mutable pump : unit -> unit;  (** let the peer make progress *)
+  label : string;
+}
+
+(** Create a connected pair of endpoints. *)
+let pair ?(labels = ("a", "b")) () =
+  let ab = fifo () and ba = fifo () in
+  let a = { rx = ba; tx = ab; connected = true; pump = (fun () -> ()); label = fst labels } in
+  let b = { rx = ab; tx = ba; connected = true; pump = (fun () -> ()); label = snd labels } in
+  (a, b)
+
+let set_pump e f = e.pump <- f
+let is_connected e = e.connected
+
+(** Sever the link from this side.  The peer observes [Disconnected] on its
+    next read past the already-buffered bytes. *)
+let disconnect e = e.connected <- false
+
+let send e (s : string) =
+  if not e.connected then raise Disconnected;
+  Buffer.add_string e.tx.q s
+
+(** Bytes currently readable without pumping. *)
+let available e = fifo_len e.rx
+
+(** Read exactly [n] bytes, pumping the peer as needed.  Raises
+    {!Disconnected} if the link is down and the bytes never arrive. *)
+let recv_exactly e n =
+  let buf = Buffer.create n in
+  let stalled = ref 0 in
+  while Buffer.length buf < n do
+    let need = n - Buffer.length buf in
+    let got = fifo_read e.rx need in
+    Buffer.add_string buf got;
+    if Buffer.length buf < n then begin
+      if not e.connected then raise Disconnected;
+      let before = fifo_len e.rx in
+      e.pump ();
+      if fifo_len e.rx = before then begin
+        incr stalled;
+        if !stalled > 2 then raise Disconnected
+      end
+      else stalled := 0
+    end
+  done;
+  Buffer.contents buf
+
+let recv_u8 e = Char.code (recv_exactly e 1).[0]

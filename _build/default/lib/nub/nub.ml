@@ -1,0 +1,285 @@
+(** The debug nub (Sec. 4.2): a small servant loaded with every target
+    program.  It installs itself as the signal handler, and when the target
+    stops it saves the machine state into a {e context} in the target's own
+    data memory, notifies the debugger, and services fetch and store
+    requests until told to continue, terminate, or break the connection.
+
+    The nub knows nothing about breakpoints — those are implemented
+    entirely in the debugger with ordinary fetches and stores, exactly as
+    in the paper.  Single-stepping is the optional protocol extension of
+    Sec. 7.1: a nub may advertise it ([can_step]) or not, and the debugger
+    works either way.
+
+    Machine dependence is confined to:
+    - the context layout (a sigcontext works on SIM-MIPS/SIM-SPARC; the
+      other two use their own representations — see [Target]);
+    - 80-bit float save/restore on SIM-68020 (the "assembly code");
+    - the SIM-MIPS word-swap quirk: the kernel saves floating-point
+      registers in the context with the least significant word first, so
+      the nub must swap words on 8-byte fetches and stores that hit the
+      saved-FP area (the paper's footnote 3). *)
+
+open Ldb_machine
+
+type t = {
+  proc : Proc.t;
+  mutable conn : Chan.endpoint option;
+  mutable resume : bool;  (** a Continue arrived and the target should run *)
+  mutable step : bool;    (** a Step arrived: execute exactly one instruction *)
+  mutable killed : bool;
+  mutable fuel : int;     (** instruction budget per continue, then SIGINT *)
+  mutable notified : bool; (** current stop already reported to the debugger *)
+  can_step : bool;        (** whether this nub offers the Step extension *)
+}
+
+let ctx_base = Ram.Layout.context_base
+
+let create ?(fuel = 50_000_000) ?(can_step = true) (proc : Proc.t) =
+  { proc; conn = None; resume = false; step = false; killed = false; fuel; notified = false;
+    can_step }
+
+let target n = n.proc.Proc.target
+let ram n = n.proc.Proc.ram
+
+(* --- context save/restore --------------------------------------------- *)
+
+let mips_fp_word_swap n addr =
+  (* Is [addr] an 8-byte access to a saved floating-point register in a
+     SIM-MIPS context? *)
+  let t = target n in
+  Arch.equal t.Target.arch Mips
+  &&
+  let lo = ctx_base + t.Target.ctx_freg_off 0
+  and hi = ctx_base + t.Target.ctx_freg_off (Target.nfregs t - 1) + 8 in
+  addr >= lo && addr + 8 <= hi
+
+let save_context n =
+  let t = target n and p = n.proc in
+  let cpu = p.Proc.cpu in
+  Cpu.drain cpu;
+  Ram.set_u32 (ram n) (ctx_base + t.Target.ctx_pc_off) (Int32.of_int cpu.Cpu.pc);
+  for r = 0 to Target.nregs t - 1 do
+    Ram.set_u32 (ram n) (ctx_base + t.Target.ctx_reg_off r) (Cpu.reg cpu r)
+  done;
+  for f = 0 to Target.nfregs t - 1 do
+    let off = ctx_base + t.Target.ctx_freg_off f in
+    let v = Cpu.freg cpu f in
+    if t.Target.ctx_freg_bytes = 10 then
+      (* SIM-68020: store in 80-bit extended format *)
+      Ram.blit_in (ram n) ~addr:off (Float80.to_bytes v)
+    else if Arch.equal t.Target.arch Mips then begin
+      (* SIM-MIPS kernel quirk: least significant word first *)
+      let bits = Int64.bits_of_float v in
+      Ram.set_u32 (ram n) off (Int64.to_int32 bits);
+      Ram.set_u32 (ram n) (off + 4) (Int64.to_int32 (Int64.shift_right_logical bits 32))
+    end
+    else Ram.set_f64 (ram n) off v
+  done
+
+let restore_context n =
+  let t = target n and p = n.proc in
+  let cpu = p.Proc.cpu in
+  Proc.set_pc p (Int32.to_int (Ram.get_u32 (ram n) (ctx_base + t.Target.ctx_pc_off)));
+  for r = 0 to Target.nregs t - 1 do
+    Cpu.set_reg cpu r (Ram.get_u32 (ram n) (ctx_base + t.Target.ctx_reg_off r))
+  done;
+  for f = 0 to Target.nfregs t - 1 do
+    let off = ctx_base + t.Target.ctx_freg_off f in
+    let v =
+      if t.Target.ctx_freg_bytes = 10 then
+        Float80.of_bytes (Ram.read_string (ram n) ~addr:off ~len:10)
+      else if Arch.equal t.Target.arch Mips then
+        let lo = Int64.logand (Int64.of_int32 (Ram.get_u32 (ram n) off)) 0xffffffffL in
+        let hi = Int64.of_int32 (Ram.get_u32 (ram n) (off + 4)) in
+        Int64.float_of_bits (Int64.logor (Int64.shift_left hi 32) lo)
+      else Ram.get_f64 (ram n) off
+    in
+    Cpu.set_freg cpu f v
+  done
+
+(* --- fetch/store service ---------------------------------------------- *)
+
+let le_of_int32 v =
+  let b = Bytes.create 4 in
+  Ldb_util.Endian.set_u32 Little b 0 v;
+  Bytes.to_string b
+
+let le_of_int64 v =
+  let b = Bytes.create 8 in
+  Ldb_util.Endian.set_u64 Little b 0 v;
+  Bytes.to_string b
+
+let int32_of_le s = Ldb_util.Endian.get_u32 Little (Bytes.of_string s) 0
+let int64_of_le s = Ldb_util.Endian.get_u64 Little (Bytes.of_string s) 0
+
+(** Fetch [size] bytes at [addr] using the target's byte order and return
+    the value serialized little-endian (the protocol's canonical order). *)
+let do_fetch n ~space ~addr ~size : (string, string) result =
+  if space <> 'c' && space <> 'd' then Error (Printf.sprintf "nub: no space %c" space)
+  else
+    try
+      match size with
+      | 1 -> Ok (String.make 1 (Char.chr (Ram.get_u8 (ram n) addr)))
+      | 2 ->
+          let v = Ram.get_u16 (ram n) addr in
+          Ok (String.init 2 (fun i -> Char.chr ((v lsr (8 * i)) land 0xff)))
+      | 4 -> Ok (le_of_int32 (Ram.get_u32 (ram n) addr))
+      | 8 ->
+          if mips_fp_word_swap n addr then begin
+            (* words were saved LSW-first; swap while fetching *)
+            let lo = Ram.get_u32 (ram n) addr and hi = Ram.get_u32 (ram n) (addr + 4) in
+            Ok (le_of_int32 lo ^ le_of_int32 hi)
+          end
+          else Ok (le_of_int64 (Ram.get_u64 (ram n) addr))
+      | 10 ->
+          (* 80-bit extended: raw packed format, SIM-68020 only *)
+          Ok (Ram.read_string (ram n) ~addr ~len:10)
+      | sz when sz > 0 && sz <= 64 ->
+          (* raw byte run, used for string and instruction fetches *)
+          Ok (Ram.read_string (ram n) ~addr ~len:sz)
+      | _ -> Error "nub: bad fetch size"
+    with Ram.Fault a -> Error (Printf.sprintf "nub: fault at %#x" a)
+
+let do_store n ~space ~addr (bytes : string) : (unit, string) result =
+  if space <> 'c' && space <> 'd' then Error (Printf.sprintf "nub: no space %c" space)
+  else
+    try
+      (match String.length bytes with
+      | 1 -> Ram.set_u8 (ram n) addr (Char.code bytes.[0])
+      | 2 ->
+          let v = Char.code bytes.[0] lor (Char.code bytes.[1] lsl 8) in
+          Ram.set_u16 (ram n) addr v
+      | 4 -> Ram.set_u32 (ram n) addr (int32_of_le bytes)
+      | 8 ->
+          if mips_fp_word_swap n addr then begin
+            Ram.set_u32 (ram n) addr (int32_of_le (String.sub bytes 0 4));
+            Ram.set_u32 (ram n) (addr + 4) (int32_of_le (String.sub bytes 4 4))
+          end
+          else Ram.set_u64 (ram n) addr (int64_of_le bytes)
+      | 10 -> Ram.blit_in (ram n) ~addr bytes
+      | _ -> Ram.blit_in (ram n) ~addr bytes);
+      Ok ()
+    with Ram.Fault a -> Error (Printf.sprintf "nub: fault at %#x" a)
+
+(* --- stop reporting ---------------------------------------------------- *)
+
+let stop_state n : Proto.stop_state =
+  match n.proc.Proc.status with
+  | Proc.Running -> Proto.St_running
+  | Proc.Stopped (s, code) ->
+      Proto.St_stopped { signal = Signal.number s; code; ctx_addr = ctx_base }
+  | Proc.Exited st -> Proto.St_exited st
+
+let notify n =
+  match (n.conn, n.proc.Proc.status) with
+  | Some ep, Proc.Stopped (s, code) when Chan.is_connected ep && not n.notified ->
+      n.notified <- true;
+      Proto.send_reply ep (Proto.Event { signal = Signal.number s; code; ctx_addr = ctx_base })
+  | Some ep, Proc.Exited st when Chan.is_connected ep && not n.notified ->
+      n.notified <- true;
+      Proto.send_reply ep (Proto.Exit_event st)
+  | _ -> ()
+
+(* --- main service pump ------------------------------------------------- *)
+
+let run_target n =
+  (match Proc.run ~fuel:n.fuel n.proc with
+  | Proc.Running ->
+      (* fuel exhausted: behave like an interrupt *)
+      n.proc.Proc.status <- Proc.Stopped (SIGINT, 0)
+  | _ -> ());
+  (match n.proc.Proc.status with
+  | Proc.Stopped _ -> save_context n
+  | _ -> ());
+  n.notified <- false;
+  notify n
+
+let serve_one n (ep : Chan.endpoint) (req : Proto.request) =
+  match req with
+  | Proto.Hello ->
+      Proto.send_reply ep
+        (Proto.Hello_reply
+           { arch = Arch.name (Proc.arch n.proc); state = stop_state n;
+             can_step = n.can_step })
+  | Proto.Fetch { space; addr; size } -> (
+      match do_fetch n ~space ~addr ~size with
+      | Ok bytes -> Proto.send_reply ep (Proto.Fetched bytes)
+      | Error m -> Proto.send_reply ep (Proto.Nub_error m))
+  | Proto.Store { space; addr; bytes } -> (
+      match do_store n ~space ~addr bytes with
+      | Ok () -> Proto.send_reply ep Proto.Stored
+      | Error m -> Proto.send_reply ep (Proto.Nub_error m))
+  | Proto.Continue ->
+      restore_context n;
+      Proc.set_running n.proc;
+      n.resume <- true
+  | Proto.Step ->
+      if n.can_step then begin
+        restore_context n;
+        Proc.set_running n.proc;
+        n.step <- true
+      end
+      else Proto.send_reply ep (Proto.Nub_error "nub: single-step not supported")
+  | Proto.Kill ->
+      n.killed <- true;
+      n.proc.Proc.status <- Proc.Exited 137
+  | Proto.Detach -> (
+      match n.conn with
+      | Some e ->
+          Chan.disconnect e;
+          n.conn <- None
+      | None -> ())
+
+(** Process every pending request, running the target when a continue has
+    been received.  This is the closure installed as the debugger
+    endpoint's pump. *)
+let rec pump n =
+  match n.conn with
+  | None -> ()
+  | Some ep ->
+      let progressed = ref false in
+      while Chan.available ep > 0 do
+        progressed := true;
+        serve_one n ep (Proto.read_request ep)
+      done;
+      if n.step then begin
+        n.step <- false;
+        (* one instruction, then stop and report *)
+        Proc.step n.proc;
+        (match n.proc.Proc.status with
+        | Proc.Running -> n.proc.Proc.status <- Proc.Stopped (SIGTRAP, 1)
+        | _ -> ());
+        (match n.proc.Proc.status with
+        | Proc.Stopped _ -> save_context n
+        | _ -> ());
+        n.notified <- false;
+        notify n;
+        pump n
+      end
+      else if n.resume then begin
+        n.resume <- false;
+        run_target n;
+        (* servicing the continue may have queued more requests *)
+        pump n
+      end
+      else if not !progressed then ()
+
+(** Attach a (new) debugger connection.  Any previous connection is
+    forgotten; target state is preserved, so a fresh debugger instance can
+    pick up where a crashed one left off. *)
+let attach n (ep : Chan.endpoint) =
+  n.conn <- Some ep;
+  n.notified <- true (* new debugger learns state from its Hello *)
+
+(** Start the target under the nub.  [paused] mimics the one-line "pause"
+    procedure: the target stops with SIGTRAP before calling main, waiting
+    for a debugger.  Unpaused targets run immediately (and the nub catches
+    any fault, preserving state until a debugger connects). *)
+let start ?(paused = true) n =
+  Proc.set_pc n.proc n.proc.Proc.entry;
+  if paused then begin
+    n.proc.Proc.status <- Proc.Stopped (SIGTRAP, 0);
+    save_context n;
+    n.notified <- true (* nobody to notify yet; Hello will report it *)
+  end
+  else run_target n

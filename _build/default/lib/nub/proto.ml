@@ -1,0 +1,166 @@
+(** The little-endian communication protocol between ldb and the nub
+    (Sec. 4.2).
+
+    Every message is one opcode byte followed by fixed-width little-endian
+    fields.  Values fetched from target memory travel in little-endian
+    order {e regardless of host and target byte order} — the nub performs
+    the target-order access and re-serializes; this is what lets the same
+    debugger code drive big- and little-endian targets.
+
+    The paper notes the protocol was validated; here the codec is validated
+    by qcheck round-trip properties in the test suite.
+
+    Deliberately absent, as in the paper: breakpoint messages.
+    Breakpoints are implemented entirely in the debugger with ordinary
+    fetches and stores.  [Step] is the optional protocol extension the
+    paper's Sec. 7.1 anticipates: a nub may not offer it, and the
+    debugger must keep functioning when it doesn't. *)
+
+open Ldb_util
+
+type request =
+  | Hello
+  | Fetch of { space : char; addr : int; size : int }
+      (** [size] in 1..16 bytes; the reply carries the value little-endian *)
+  | Store of { space : char; addr : int; bytes : string }
+  | Continue  (** restore registers from the context and resume *)
+  | Step      (** protocol extension (Sec. 7.1): restore, execute one
+                  instruction, stop again.  Nubs may not support it; the
+                  debugger must keep working without it. *)
+  | Kill
+  | Detach    (** break the connection but preserve target state *)
+
+type stop_state =
+  | St_running
+  | St_stopped of { signal : int; code : int; ctx_addr : int }
+  | St_exited of int
+
+type reply =
+  | Hello_reply of { arch : string; state : stop_state; can_step : bool }
+  | Fetched of string
+  | Stored
+  | Event of { signal : int; code : int; ctx_addr : int }
+      (** unsolicited: the target hit a signal *)
+  | Exit_event of int
+  | Nub_error of string
+
+(* --- serialization ---------------------------------------------------- *)
+
+let u32_to_le (v : int) =
+  let b = Bytes.create 4 in
+  Endian.set_u32 Little b 0 (Int32.of_int v);
+  Bytes.to_string b
+
+let str16 s = u32_to_le (String.length s) ^ s
+
+let encode_request (r : request) : string =
+  match r with
+  | Hello -> "H"
+  | Fetch { space; addr; size } ->
+      Printf.sprintf "F%c" space ^ u32_to_le addr ^ String.make 1 (Char.chr size)
+  | Store { space; addr; bytes } ->
+      Printf.sprintf "S%c" space ^ u32_to_le addr
+      ^ String.make 1 (Char.chr (String.length bytes))
+      ^ bytes
+  | Continue -> "C"
+  | Step -> "T"
+  | Kill -> "K"
+  | Detach -> "D"
+
+let encode_reply (r : reply) : string =
+  match r with
+  | Hello_reply { arch; state; can_step } ->
+      let st =
+        match state with
+        | St_running -> "r" ^ u32_to_le 0 ^ u32_to_le 0 ^ u32_to_le 0
+        | St_stopped { signal; code; ctx_addr } ->
+            "s" ^ u32_to_le signal ^ u32_to_le code ^ u32_to_le ctx_addr
+        | St_exited status -> "x" ^ u32_to_le status ^ u32_to_le 0 ^ u32_to_le 0
+      in
+      "h" ^ st ^ (if can_step then "S" else "-") ^ str16 arch
+  | Fetched bytes -> "f" ^ String.make 1 (Char.chr (String.length bytes)) ^ bytes
+  | Stored -> "a"
+  | Event { signal; code; ctx_addr } ->
+      "e" ^ u32_to_le signal ^ u32_to_le code ^ u32_to_le ctx_addr
+  | Exit_event status -> "X" ^ u32_to_le status
+  | Nub_error msg -> "E" ^ str16 msg
+
+(* --- deserialization over a channel endpoint --------------------------- *)
+
+let recv_u32 ep =
+  let s = Chan.recv_exactly ep 4 in
+  Int32.to_int (Endian.get_u32 Little (Bytes.of_string s) 0)
+
+let recv_str ep =
+  let n = recv_u32 ep in
+  if n < 0 || n > 1_000_000 then failwith "Proto: bad string length"
+  else Chan.recv_exactly ep n
+
+exception Protocol_error of string
+
+let read_request ep : request =
+  match Char.chr (Chan.recv_u8 ep) with
+  | 'H' -> Hello
+  | 'F' ->
+      let space = Char.chr (Chan.recv_u8 ep) in
+      let addr = recv_u32 ep in
+      let size = Chan.recv_u8 ep in
+      Fetch { space; addr; size }
+  | 'S' ->
+      let space = Char.chr (Chan.recv_u8 ep) in
+      let addr = recv_u32 ep in
+      let len = Chan.recv_u8 ep in
+      let bytes = Chan.recv_exactly ep len in
+      Store { space; addr; bytes }
+  | 'C' -> Continue
+  | 'T' -> Step
+  | 'K' -> Kill
+  | 'D' -> Detach
+  | c -> raise (Protocol_error (Printf.sprintf "bad request opcode %C" c))
+
+let read_reply ep : reply =
+  match Char.chr (Chan.recv_u8 ep) with
+  | 'h' ->
+      let st = Char.chr (Chan.recv_u8 ep) in
+      let a = recv_u32 ep and b = recv_u32 ep and c = recv_u32 ep in
+      let can_step = Char.chr (Chan.recv_u8 ep) = 'S' in
+      let arch = recv_str ep in
+      let state =
+        match st with
+        | 'r' -> St_running
+        | 's' -> St_stopped { signal = a; code = b; ctx_addr = c }
+        | 'x' -> St_exited a
+        | c -> raise (Protocol_error (Printf.sprintf "bad hello state %C" c))
+      in
+      Hello_reply { arch; state; can_step }
+  | 'f' ->
+      let len = Chan.recv_u8 ep in
+      Fetched (Chan.recv_exactly ep len)
+  | 'a' -> Stored
+  | 'e' ->
+      let signal = recv_u32 ep and code = recv_u32 ep and ctx_addr = recv_u32 ep in
+      Event { signal; code; ctx_addr }
+  | 'X' -> Exit_event (recv_u32 ep)
+  | 'E' -> Nub_error (recv_str ep)
+  | c -> raise (Protocol_error (Printf.sprintf "bad reply opcode %C" c))
+
+let send_request ep r = Chan.send ep (encode_request r)
+let send_reply ep r = Chan.send ep (encode_reply r)
+
+let pp_request ppf = function
+  | Hello -> Fmt.string ppf "Hello"
+  | Fetch { space; addr; size } -> Fmt.pf ppf "Fetch %c:%#x/%d" space addr size
+  | Store { space; addr; bytes } ->
+      Fmt.pf ppf "Store %c:%#x/%d" space addr (String.length bytes)
+  | Continue -> Fmt.string ppf "Continue"
+  | Step -> Fmt.string ppf "Step"
+  | Kill -> Fmt.string ppf "Kill"
+  | Detach -> Fmt.string ppf "Detach"
+
+let pp_reply ppf = function
+  | Hello_reply { arch; _ } -> Fmt.pf ppf "HelloReply(%s)" arch
+  | Fetched b -> Fmt.pf ppf "Fetched/%d" (String.length b)
+  | Stored -> Fmt.string ppf "Stored"
+  | Event { signal; _ } -> Fmt.pf ppf "Event(sig %d)" signal
+  | Exit_event s -> Fmt.pf ppf "Exit(%d)" s
+  | Nub_error m -> Fmt.pf ppf "Error(%s)" m

@@ -1,0 +1,1 @@
+lib/pscript/dbgops.ml: Buffer Char Int32 Int64 Interp Ldb_amemory Printf String Value

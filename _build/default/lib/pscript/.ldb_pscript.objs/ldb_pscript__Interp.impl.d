@@ -1,0 +1,1 @@
+lib/pscript/interp.ml: Array Buffer List Pp Scan Value

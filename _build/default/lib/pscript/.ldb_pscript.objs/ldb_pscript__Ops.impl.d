@@ -1,0 +1,1 @@
+lib/pscript/ops.ml: Array Buffer Char Float Hashtbl Interp List Pp String Value

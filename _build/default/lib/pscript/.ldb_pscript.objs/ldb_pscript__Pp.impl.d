@@ -1,0 +1,1 @@
+lib/pscript/pp.ml: Buffer String

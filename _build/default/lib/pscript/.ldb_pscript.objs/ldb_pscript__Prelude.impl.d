@@ -1,0 +1,1 @@
+lib/pscript/prelude.ml:

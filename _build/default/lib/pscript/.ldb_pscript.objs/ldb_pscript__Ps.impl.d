@@ -1,0 +1,1 @@
+lib/pscript/ps.ml: Char Dbgops Interp Ops Prelude String Value

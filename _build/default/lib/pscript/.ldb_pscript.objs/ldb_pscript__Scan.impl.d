@@ -1,0 +1,1 @@
+lib/pscript/scan.ml: Buffer Char Printf String Value

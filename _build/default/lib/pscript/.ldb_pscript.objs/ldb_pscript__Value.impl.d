@@ -1,0 +1,1 @@
+lib/pscript/value.ml: Array Char Fmt Hashtbl Ldb_amemory List Printf String

@@ -1,0 +1,129 @@
+(** The debugging extensions of the dialect (Sec. 2, 4.1, 5): abstract
+    memory and location types and their operators.
+
+    Fetch and store operators take an abstract memory and a location;
+    locations are built with [Absolute] (offset × space → location),
+    shifted with [Shifted], or created as immediates.  These are exactly
+    the operations the compiler-emitted printing procedures and the
+    expression server's compiled code need. *)
+
+open Value
+module A = Ldb_amemory.Amemory
+
+let install (t : Interp.t) =
+  let def name f = dict_put t.Interp.systemdict name (op name f) in
+  let push = Interp.push t in
+  let pop_int () = Interp.pop_int t in
+  let pop_mem () = Interp.pop_mem t in
+  let pop_loc () = Interp.pop_loc t in
+
+  (* ---- locations ---- *)
+  def "Absolute" (fun () ->
+      (* offset space -> location   (the paper's "30 Regset0 Absolute") *)
+      let space = Interp.pop_str t in
+      let offset = pop_int () in
+      if String.length space <> 1 then err "rangecheck" "Absolute: bad space"
+      else push (loc (A.absolute space.[0] offset)));
+  def "Shifted" (fun () ->
+      (* location delta -> location *)
+      let delta = pop_int () in
+      match pop_loc () with
+      | A.Absolute { space; offset } -> push (loc (A.absolute space (offset + delta)))
+      | A.Immediate _ -> err "typecheck" "Shifted: immediate location");
+  def "Immediate" (fun () ->
+      (* int -> 4-byte immediate location holding it *)
+      let v = pop_int () in
+      push (loc (A.immediate_i32 (Int32.of_int v))));
+  def "ImmediateCell" (fun () ->
+      (* width -> zeroed immediate location *)
+      let w = pop_int () in
+      if w < 1 || w > 16 then err "rangecheck" "ImmediateCell" else push (loc (A.immediate w)));
+  def "DataLoc" (fun () ->
+      (* address -> location in the data space *)
+      push (loc (A.absolute 'd' (pop_int ()))));
+  def "CodeLoc" (fun () -> push (loc (A.absolute 'c' (pop_int ()))));
+  def "LocOffset" (fun () ->
+      match pop_loc () with
+      | A.Absolute { offset; _ } -> push (int offset)
+      | A.Immediate _ -> err "typecheck" "LocOffset: immediate");
+  def "LocSpace" (fun () ->
+      match pop_loc () with
+      | A.Absolute { space; _ } -> push (str (String.make 1 space))
+      | A.Immediate _ -> push (str "i"));
+
+  (* ---- fetches (mem loc -> value) ---- *)
+  let fetch name f = def name (fun () ->
+      let l = pop_loc () in
+      let m = pop_mem () in
+      push (f m l))
+  in
+  fetch "FetchI8" (fun m l -> int (A.fetch_i8 m l));
+  fetch "FetchU8" (fun m l -> int (A.fetch_u8 m l));
+  fetch "FetchI16" (fun m l -> int (A.fetch_i16 m l));
+  fetch "FetchU16" (fun m l -> int (A.fetch_u16 m l));
+  fetch "FetchI32" (fun m l -> int (Int32.to_int (A.fetch_i32 m l)));
+  fetch "FetchU32" (fun m l ->
+      int (Int64.to_int (Int64.logand (Int64.of_int32 (A.fetch_i32 m l)) 0xffffffffL)));
+  fetch "FetchF32" (fun m l -> real (A.fetch_f32 m l));
+  fetch "FetchF64" (fun m l -> real (A.fetch_f64 m l));
+  fetch "FetchF80" (fun m l -> real (A.fetch_f80 m l));
+  def "FetchString" (fun () ->
+      (* mem loc maxlen -> string: NUL-terminated fetch, byte by byte *)
+      let maxlen = pop_int () in
+      let l = pop_loc () in
+      let m = pop_mem () in
+      match l with
+      | A.Immediate _ -> err "typecheck" "FetchString: immediate"
+      | A.Absolute { space; offset } ->
+          let buf = Buffer.create 16 in
+          let rec go i =
+            if i < maxlen then begin
+              let c = A.fetch_u8 m (A.absolute space (offset + i)) in
+              if c <> 0 then begin
+                Buffer.add_char buf (Char.chr c);
+                go (i + 1)
+              end
+            end
+          in
+          go 0;
+          push (str (Buffer.contents buf)));
+
+  (* ---- stores (mem loc value -> ) ---- *)
+  let store name f = def name (fun () ->
+      let v = Interp.pop t in
+      let l = pop_loc () in
+      let m = pop_mem () in
+      f m l v)
+  in
+  store "StoreI8" (fun m l v -> A.store_u8 m l (to_int v land 0xff));
+  store "StoreI16" (fun m l v -> A.store_u16 m l (to_int v land 0xffff));
+  store "StoreI32" (fun m l v -> A.store_i32 m l (Int32.of_int (to_int v)));
+  store "StoreF32" (fun m l v -> A.store_f32 m l (to_float v));
+  store "StoreF64" (fun m l v -> A.store_f64 m l (to_float v));
+  store "StoreF80" (fun m l v -> A.store_f80 m l (to_float v));
+
+  (* ---- misc ---- *)
+  def "hexstr" (fun () ->
+      let v = pop_int () in
+      push (str (Printf.sprintf "0x%x" v)));
+  def "DeclSubst" (fun () ->
+      (* template name -> declaration: substitute the %s hole of a /decl
+         string (e.g. "int %s[20]" (i) -> "int i[20]") *)
+      let name = Interp.pop_str t in
+      let tpl = Interp.pop_str t in
+      let out =
+        match String.index_opt tpl '%' with
+        | Some i when i + 1 < String.length tpl && tpl.[i + 1] = 's' ->
+            String.sub tpl 0 i ^ name ^ String.sub tpl (i + 2) (String.length tpl - i - 2)
+        | _ -> tpl ^ " " ^ name
+      in
+      push (str out));
+  def "concatstr" (fun () ->
+      (* s1 s2 -> s1s2 : strings are immutable, so concatenation builds a
+         fresh string *)
+      let b = Interp.pop_str t in
+      let a = Interp.pop_str t in
+      push (str (a ^ b)));
+  def "LocalMemory" (fun () ->
+      (* testing convenience: a fresh local abstract memory *)
+      push (mem (A.local ())))

@@ -1,0 +1,169 @@
+(** The embedded PostScript interpreter (Sec. 2, Sec. 5).
+
+    One interpreter instance supports everything: symbol tables, printing
+    procedures, expression evaluation, and the loader table.  The
+    dictionary stack is explicitly controlled by PostScript programs; ldb
+    rebinds machine-dependent names when it changes architectures simply by
+    placing a per-target dictionary on this stack. *)
+
+open Value
+
+exception Stop
+exception Exit_loop
+exception Quit
+
+type t = {
+  mutable ostack : Value.t list;
+  mutable dstack : Value.dict list;  (** top first; bottom is systemdict *)
+  systemdict : Value.dict;
+  userdict : Value.dict;
+  out : Buffer.t;        (** destination of print/Put *)
+  pp : Pp.t;
+  mutable deferred_tokens : int;  (** statistics: tokens scanned lazily *)
+}
+
+let create_raw () =
+  let systemdict = dict_create () in
+  let userdict = dict_create () in
+  let out = Buffer.create 1024 in
+  {
+    ostack = [];
+    dstack = [ userdict; systemdict ];
+    systemdict;
+    userdict;
+    out;
+    pp = Pp.create out;
+    deferred_tokens = 0;
+  }
+
+(* --- operand stack ------------------------------------------------------ *)
+
+let push t v = t.ostack <- v :: t.ostack
+
+let pop t =
+  match t.ostack with
+  | v :: rest ->
+      t.ostack <- rest;
+      v
+  | [] -> err "stackunderflow" "pop on empty stack"
+
+let peek t = match t.ostack with v :: _ -> v | [] -> err "stackunderflow" "empty stack"
+
+let pop_int t = to_int (pop t)
+let pop_float t = to_float (pop t)
+let pop_bool t = to_bool (pop t)
+let pop_str t = to_str (pop t)
+let pop_dict t = to_dict (pop t)
+let pop_arr t = to_arr (pop t)
+let pop_mem t = to_mem (pop t)
+let pop_loc t = to_loc (pop t)
+
+let depth t = List.length t.ostack
+
+(* --- dictionary stack ---------------------------------------------------- *)
+
+let lookup t (n : string) : Value.t option =
+  let rec go = function
+    | [] -> None
+    | d :: rest -> ( match dict_get d n with Some v -> Some v | None -> go rest)
+  in
+  go t.dstack
+
+let lookup_exn t n =
+  match lookup t n with Some v -> v | None -> err "undefined" n
+
+let current_dict t = match t.dstack with d :: _ -> d | [] -> assert false
+
+let define t n v = dict_put (current_dict t) n v
+
+let begin_dict t d = t.dstack <- d :: t.dstack
+
+let end_dict t =
+  match t.dstack with
+  | _ :: (_ :: _ :: _ as rest) -> t.dstack <- rest
+  | _ -> err "dictstackunderflow" "end"
+
+(* --- execution ------------------------------------------------------------ *)
+
+let rec exec_value t (v : Value.t) =
+  if not v.exec then push t v
+  else
+    match v.v with
+    | Name n -> exec_value t (lookup_exn t n)
+    | Op (_, f) -> f ()
+    | Arr elems -> exec_proc t elems
+    | Str s -> run_file t (file_of_string "%string" s)
+    | File f -> run_file t f
+    | Int _ | Real _ | Bool _ | Dict _ | Mark | Null | Mem _ | Loc _ -> push t v
+
+(** Execute the body of a procedure: nested procedures are pushed, not
+    executed. *)
+and exec_proc t (elems : Value.t array) =
+  Array.iter
+    (fun (o : Value.t) ->
+      match o.v with
+      | Arr _ when o.exec -> push t o
+      | _ -> if o.exec then exec_value t o else push t o)
+    elems
+
+(** Scan and execute tokens from a file until end of stream.  [Stop]
+    propagates to the caller ([stopped] catches it), which is how the
+    expression server tells ldb to stop listening to the pipe. *)
+and run_file t (f : Value.file) =
+  let continue_ = ref true in
+  while !continue_ do
+    match Scan.token f with
+    | Scan.TEof -> continue_ := false
+    | tok -> exec_token t f tok
+  done
+
+and exec_token t f (tok : Scan.token) =
+  match tok with
+  | Scan.TEof -> ()
+  | Scan.TNum v -> push t v
+  | Scan.TStr s -> push t (str s)
+  | Scan.TName (n, true) -> push t (name_lit n)
+  | Scan.TName (n, false) -> exec_value t (name_exec n)
+  | Scan.TProcStart -> push t (collect_proc t f)
+  | Scan.TProcEnd -> err "syntaxerror" "unmatched }"
+
+(** Build a procedure object from tokens up to the matching [}]. *)
+and collect_proc t f : Value.t =
+  let items = ref [] in
+  let rec go () =
+    match Scan.token f with
+    | Scan.TEof -> err "syntaxerror" "unterminated procedure"
+    | Scan.TProcEnd -> ()
+    | Scan.TProcStart ->
+        items := collect_proc t f :: !items;
+        go ()
+    | Scan.TNum v ->
+        items := v :: !items;
+        go ()
+    | Scan.TStr s ->
+        items := str s :: !items;
+        go ()
+    | Scan.TName (n, true) ->
+        items := name_lit n :: !items;
+        go ()
+    | Scan.TName (n, false) ->
+        items := name_exec n :: !items;
+        go ()
+  in
+  go ();
+  proc (Array.of_list (List.rev !items))
+
+let run_string t (s : string) = run_file t (file_of_string "%string" s)
+
+(** Execute [s] and return everything printed during its execution. *)
+let run_capture t (s : string) =
+  let before = Buffer.length t.out in
+  run_string t s;
+  Buffer.sub t.out before (Buffer.length t.out - before)
+
+(** Drain accumulated print output. *)
+let take_output t =
+  let s = Buffer.contents t.out in
+  Buffer.clear t.out;
+  t.pp.Pp.column <- 0;
+  s

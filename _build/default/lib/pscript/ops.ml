@@ -1,0 +1,440 @@
+(** The standard operator set of the dialect.
+
+    Font and imaging operators are omitted; [save]/[restore] are omitted
+    (the host garbage collector reclaims memory); strings are immutable so
+    there is no [putinterval] and no substring operators. *)
+
+open Value
+
+let install (t : Interp.t) =
+  let def name f = dict_put t.Interp.systemdict name (op name f) in
+  let push = Interp.push t in
+  let pop () = Interp.pop t in
+  let pop_int () = Interp.pop_int t in
+  let pop_bool () = Interp.pop_bool t in
+
+  (* ---- operand stack ---- *)
+  def "pop" (fun () -> ignore (pop ()));
+  def "exch" (fun () ->
+      let b = pop () and a = pop () in
+      push b;
+      push a);
+  def "dup" (fun () ->
+      let a = Interp.peek t in
+      push a);
+  def "copy" (fun () ->
+      (* n copy, or composite copy is not supported (immutability) *)
+      let n = pop_int () in
+      if n < 0 then err "rangecheck" "copy"
+      else if n > 0 then begin
+        let rec take k stk = if k = 0 then [] else
+          match stk with [] -> err "stackunderflow" "copy" | v :: r -> v :: take (k - 1) r
+        in
+        let top = take n t.Interp.ostack in
+        List.iter push (List.rev top)
+      end);
+  def "index" (fun () ->
+      let n = pop_int () in
+      let rec nth k = function
+        | [] -> err "stackunderflow" "index"
+        | v :: r -> if k = 0 then v else nth (k - 1) r
+      in
+      if n < 0 then err "rangecheck" "index" else push (nth n t.Interp.ostack));
+  def "roll" (fun () ->
+      let j = pop_int () in
+      let n = pop_int () in
+      if n < 0 then err "rangecheck" "roll"
+      else if n > 0 then begin
+        let rec take k stk acc =
+          if k = 0 then (acc, stk)
+          else
+            match stk with
+            | [] -> err "stackunderflow" "roll"
+            | v :: r -> take (k - 1) r (v :: acc)
+        in
+        let top_rev, rest = take n t.Interp.ostack [] in
+        (* top_rev is bottom-to-top of the rolled region *)
+        let arr = Array.of_list top_rev in
+        let rolled = Array.make n arr.(0) in
+        for i = 0 to n - 1 do
+          rolled.(((i + j) mod n + n) mod n) <- arr.(i)
+        done;
+        t.Interp.ostack <- List.rev_append (Array.to_list rolled) rest
+      end);
+  def "clear" (fun () -> t.Interp.ostack <- []);
+  def "count" (fun () -> push (int (Interp.depth t)));
+  def "mark" (fun () -> push mark);
+  def "cleartomark" (fun () ->
+      let rec go () =
+        match (pop ()).v with Mark -> () | _ -> go ()
+      in
+      go ());
+  def "counttomark" (fun () ->
+      let rec go n = function
+        | [] -> err "unmatchedmark" "counttomark"
+        | (v : Value.t) :: r -> ( match v.v with Mark -> n | _ -> go (n + 1) r)
+      in
+      push (int (go 0 t.Interp.ostack)));
+
+  (* ---- arithmetic ---- *)
+  let arith2 name fi ff =
+    def name (fun () ->
+        let b = pop () and a = pop () in
+        match (a.v, b.v) with
+        | Int x, Int y -> push (int (fi x y))
+        | _ -> push (real (ff (to_float a) (to_float b))))
+  in
+  arith2 "add" ( + ) ( +. );
+  arith2 "sub" ( - ) ( -. );
+  arith2 "mul" ( * ) ( *. );
+  def "div" (fun () ->
+      let b = Interp.pop_float t and a = Interp.pop_float t in
+      push (real (a /. b)));
+  def "idiv" (fun () ->
+      let b = pop_int () and a = pop_int () in
+      if b = 0 then err "undefinedresult" "idiv" else push (int (a / b)));
+  def "mod" (fun () ->
+      let b = pop_int () and a = pop_int () in
+      if b = 0 then err "undefinedresult" "mod" else push (int (a mod b)));
+  def "neg" (fun () ->
+      let a = pop () in
+      match a.v with Int x -> push (int (-x)) | _ -> push (real (-.to_float a)));
+  def "abs" (fun () ->
+      let a = pop () in
+      match a.v with Int x -> push (int (abs x)) | _ -> push (real (abs_float (to_float a))));
+  def "max" (fun () ->
+      let b = pop () and a = pop () in
+      match (a.v, b.v) with
+      | Int x, Int y -> push (int (max x y))
+      | _ -> push (real (Float.max (to_float a) (to_float b))));
+  def "min" (fun () ->
+      let b = pop () and a = pop () in
+      match (a.v, b.v) with
+      | Int x, Int y -> push (int (min x y))
+      | _ -> push (real (Float.min (to_float a) (to_float b))));
+  def "ceiling" (fun () ->
+      let a = pop () in
+      match a.v with Int _ -> push a | _ -> push (real (ceil (to_float a))));
+  def "floor" (fun () ->
+      let a = pop () in
+      match a.v with Int _ -> push a | _ -> push (real (floor (to_float a))));
+  def "round" (fun () ->
+      let a = pop () in
+      match a.v with Int _ -> push a | _ -> push (real (Float.round (to_float a))));
+  def "truncate" (fun () ->
+      let a = pop () in
+      match a.v with Int _ -> push a | _ -> push (real (Float.trunc (to_float a))));
+  def "sqrt" (fun () -> push (real (sqrt (Interp.pop_float t))));
+  def "exp" (fun () ->
+      let e = Interp.pop_float t and b = Interp.pop_float t in
+      push (real (Float.pow b e)));
+  def "ln" (fun () -> push (real (log (Interp.pop_float t))));
+  def "log" (fun () -> push (real (log10 (Interp.pop_float t))));
+  def "sin" (fun () -> push (real (sin (Interp.pop_float t *. Float.pi /. 180.))));
+  def "cos" (fun () -> push (real (cos (Interp.pop_float t *. Float.pi /. 180.))));
+  def "atan" (fun () ->
+      let den = Interp.pop_float t and num = Interp.pop_float t in
+      let d = atan2 num den *. 180. /. Float.pi in
+      push (real (if d < 0. then d +. 360. else d)));
+  def "bitshift" (fun () ->
+      let s = pop_int () and v = pop_int () in
+      push (int (if s >= 0 then v lsl s else v asr -s)));
+
+  (* ---- comparison and logic ---- *)
+  def "eq" (fun () ->
+      let b = pop () and a = pop () in
+      push (bool (equal a b)));
+  def "ne" (fun () ->
+      let b = pop () and a = pop () in
+      push (bool (not (equal a b))));
+  let cmp name f =
+    def name (fun () ->
+        let b = pop () and a = pop () in
+        match (a.v, b.v) with
+        | (Int _ | Real _), (Int _ | Real _) -> push (bool (f (compare (to_float a) (to_float b)) 0))
+        | (Str x | Name x), (Str y | Name y) -> push (bool (f (String.compare x y) 0))
+        | _ -> err "typecheck" name)
+  in
+  cmp "gt" ( > );
+  cmp "ge" ( >= );
+  cmp "lt" ( < );
+  cmp "le" ( <= );
+  def "and" (fun () ->
+      let b = pop () and a = pop () in
+      match (a.v, b.v) with
+      | Bool x, Bool y -> push (bool (x && y))
+      | Int x, Int y -> push (int (x land y))
+      | _ -> err "typecheck" "and");
+  def "or" (fun () ->
+      let b = pop () and a = pop () in
+      match (a.v, b.v) with
+      | Bool x, Bool y -> push (bool (x || y))
+      | Int x, Int y -> push (int (x lor y))
+      | _ -> err "typecheck" "or");
+  def "xor" (fun () ->
+      let b = pop () and a = pop () in
+      match (a.v, b.v) with
+      | Bool x, Bool y -> push (bool (x <> y))
+      | Int x, Int y -> push (int (x lxor y))
+      | _ -> err "typecheck" "xor");
+  def "not" (fun () ->
+      let a = pop () in
+      match a.v with
+      | Bool x -> push (bool (not x))
+      | Int x -> push (int (lnot x))
+      | _ -> err "typecheck" "not");
+  dict_put t.Interp.systemdict "true" (bool true);
+  dict_put t.Interp.systemdict "false" (bool false);
+  dict_put t.Interp.systemdict "null" null;
+
+  (* ---- control ---- *)
+  def "exec" (fun () -> Interp.exec_value t (pop ()));
+  def "if" (fun () ->
+      let p = pop () in
+      let c = pop_bool () in
+      if c then Interp.exec_value t p);
+  def "ifelse" (fun () ->
+      let p2 = pop () in
+      let p1 = pop () in
+      let c = pop_bool () in
+      Interp.exec_value t (if c then p1 else p2));
+  def "for" (fun () ->
+      let p = pop () in
+      let limit = Interp.pop_float t in
+      let step = Interp.pop_float t in
+      let start = Interp.pop_float t in
+      let integral = Float.is_integer start && Float.is_integer step in
+      (try
+         let i = ref start in
+         while (step >= 0. && !i <= limit) || (step < 0. && !i >= limit) do
+           push (if integral then int (int_of_float !i) else real !i);
+           Interp.exec_value t p;
+           i := !i +. step
+         done
+       with Interp.Exit_loop -> ()));
+  def "repeat" (fun () ->
+      let p = pop () in
+      let n = pop_int () in
+      if n < 0 then err "rangecheck" "repeat";
+      try
+        for _ = 1 to n do
+          Interp.exec_value t p
+        done
+      with Interp.Exit_loop -> ());
+  def "loop" (fun () ->
+      let p = pop () in
+      try
+        while true do
+          Interp.exec_value t p
+        done
+      with Interp.Exit_loop -> ());
+  def "exit" (fun () -> raise Interp.Exit_loop);
+  def "stop" (fun () -> raise Interp.Stop);
+  def "stopped" (fun () ->
+      let p = pop () in
+      match Interp.exec_value t p with
+      | () -> push (bool false)
+      | exception Interp.Stop -> push (bool true));
+  def "quit" (fun () -> raise Interp.Quit);
+  def "forall" (fun () ->
+      let p = pop () in
+      let o = pop () in
+      try
+        match o.v with
+        | Arr a -> Array.iter (fun v -> push v; Interp.exec_value t p) a
+        | Str s ->
+            String.iter (fun c -> push (int (Char.code c)); Interp.exec_value t p) s
+        | Dict d ->
+            let pairs = Hashtbl.fold (fun k v acc -> (k, v) :: acc) d.tbl [] in
+            let pairs = List.sort (fun (a, _) (b, _) -> String.compare a b) pairs in
+            List.iter
+              (fun (k, v) ->
+                push (name_lit k);
+                push v;
+                Interp.exec_value t p)
+              pairs
+        | _ -> err "typecheck" "forall"
+      with Interp.Exit_loop -> ());
+
+  (* ---- dictionaries ---- *)
+  def "dict" (fun () ->
+      ignore (pop_int ());
+      push (dict (dict_create ())));
+  def "<<" (fun () -> push mark);
+  def ">>" (fun () ->
+      let d = dict_create () in
+      let rec go acc =
+        let v = pop () in
+        match v.v with
+        | Mark ->
+            (match acc with
+            | [] -> ()
+            | _ ->
+                let rec pairs = function
+                  | k :: v :: rest ->
+                      dict_put d (key_of k) v;
+                      pairs rest
+                  | [] -> ()
+                  | _ -> err "rangecheck" ">>: odd number of operands"
+                in
+                pairs acc)
+        | _ -> go (v :: acc)
+      in
+      go [];
+      push (dict d));
+  def "begin" (fun () -> Interp.begin_dict t (Interp.pop_dict t));
+  def "end" (fun () -> Interp.end_dict t);
+  def "def" (fun () ->
+      let v = pop () in
+      let k = pop () in
+      Interp.define t (key_of k) v);
+  def "load" (fun () ->
+      let k = key_of (pop ()) in
+      push (Interp.lookup_exn t k));
+  def "store" (fun () ->
+      let v = pop () in
+      let k = key_of (pop ()) in
+      (* replace in the topmost dict that defines k, else define here *)
+      let rec go = function
+        | [] -> Interp.define t k v
+        | d :: rest -> if dict_mem d k then dict_put d k v else go rest
+      in
+      go t.Interp.dstack);
+  def "known" (fun () ->
+      let k = key_of (pop ()) in
+      let d = Interp.pop_dict t in
+      push (bool (dict_mem d k)));
+  def "where" (fun () ->
+      let k = key_of (pop ()) in
+      let rec go = function
+        | [] -> push (bool false)
+        | d :: rest ->
+            if dict_mem d k then begin
+              push (dict d);
+              push (bool true)
+            end
+            else go rest
+      in
+      go t.Interp.dstack);
+  def "currentdict" (fun () -> push (dict (Interp.current_dict t)));
+  def "countdictstack" (fun () -> push (int (List.length t.Interp.dstack)));
+  def "undef" (fun () ->
+      let k = key_of (pop ()) in
+      let d = Interp.pop_dict t in
+      Hashtbl.remove d.tbl k);
+
+  (* ---- polymorphic get/put/length ---- *)
+  def "get" (fun () ->
+      let k = pop () in
+      let o = pop () in
+      match o.v with
+      | Dict d -> (
+          match dict_get d (key_of k) with
+          | Some v -> push v
+          | None -> err "undefined" (key_of k))
+      | Arr a ->
+          let i = to_int k in
+          if i < 0 || i >= Array.length a then err "rangecheck" "get" else push a.(i)
+      | Str s ->
+          let i = to_int k in
+          if i < 0 || i >= String.length s then err "rangecheck" "get"
+          else push (int (Char.code s.[i]))
+      | _ -> err "typecheck" "get");
+  def "put" (fun () ->
+      let v = pop () in
+      let k = pop () in
+      let o = pop () in
+      match o.v with
+      | Dict d -> dict_put d (key_of k) v
+      | Arr a ->
+          let i = to_int k in
+          if i < 0 || i >= Array.length a then err "rangecheck" "put" else a.(i) <- v
+      | Str _ -> err "invalidaccess" "strings are immutable in this dialect"
+      | _ -> err "typecheck" "put");
+  def "length" (fun () ->
+      let o = pop () in
+      match o.v with
+      | Dict d -> push (int (dict_len d))
+      | Arr a -> push (int (Array.length a))
+      | Str s | Name s -> push (int (String.length s))
+      | _ -> err "typecheck" "length");
+
+  (* ---- arrays ---- *)
+  def "array" (fun () ->
+      let n = pop_int () in
+      if n < 0 then err "rangecheck" "array" else push (arr (Array.make n null)));
+  def "[" (fun () -> push mark);
+  def "]" (fun () ->
+      let rec go acc =
+        let v = pop () in
+        match v.v with Mark -> acc | _ -> go (v :: acc)
+      in
+      push (arr (Array.of_list (go []))));
+  def "aload" (fun () ->
+      let o = pop () in
+      let a = to_arr o in
+      Array.iter push a;
+      push o);
+  def "astore" (fun () ->
+      let o = pop () in
+      let a = to_arr o in
+      for i = Array.length a - 1 downto 0 do
+        a.(i) <- pop ()
+      done;
+      push o);
+
+  (* ---- conversions and type queries ---- *)
+  def "type" (fun () -> push (name_exec (type_name (pop ()))));
+  def "cvi" (fun () ->
+      let o = pop () in
+      match o.v with
+      | Int _ -> push o
+      | Real f -> push (int (int_of_float (Float.trunc f)))
+      | Str s -> (
+          match int_of_string_opt (String.trim s) with
+          | Some n -> push (int n)
+          | None -> err "typecheck" "cvi")
+      | _ -> err "typecheck" "cvi");
+  def "cvr" (fun () ->
+      let o = pop () in
+      match o.v with
+      | Real _ -> push o
+      | Int n -> push (real (float_of_int n))
+      | Str s -> (
+          match float_of_string_opt (String.trim s) with
+          | Some f -> push (real f)
+          | None -> err "typecheck" "cvr")
+      | _ -> err "typecheck" "cvr");
+  def "cvn" (fun () ->
+      let o = pop () in
+      push { v = Name (to_str o); exec = o.exec });
+  def "cvs" (fun () -> push (str (to_text (pop ()))));
+  def "cvx" (fun () -> push (cvx (pop ())));
+  def "cvlit" (fun () -> push (cvlit (pop ())));
+  def "xcheck" (fun () -> push (bool (pop ()).exec));
+
+  (* ---- output ---- *)
+  def "print" (fun () -> Buffer.add_string t.Interp.out (Interp.pop_str t));
+  def "SysPrint" (fun () -> Buffer.add_string t.Interp.out (Interp.pop_str t));
+  def "=" (fun () ->
+      Buffer.add_string t.Interp.out (to_text (pop ()));
+      Buffer.add_char t.Interp.out '\n');
+  def "==" (fun () ->
+      Buffer.add_string t.Interp.out (to_syntax (pop ()));
+      Buffer.add_char t.Interp.out '\n');
+  def "pstack" (fun () ->
+      List.iter
+        (fun v ->
+          Buffer.add_string t.Interp.out (to_syntax v);
+          Buffer.add_char t.Interp.out '\n')
+        t.Interp.ostack);
+  def "flush" (fun () -> ());
+
+  (* ---- the prettyprinter interface (Sec. 5) ---- *)
+  def "Put" (fun () -> Pp.put t.Interp.pp (Interp.pop_str t));
+  def "Break" (fun () -> Pp.break t.Interp.pp (pop_int ()));
+  def "Begin" (fun () -> Pp.begin_group t.Interp.pp (pop_int ()));
+  def "End" (fun () -> Pp.end_group t.Interp.pp);
+  def "Newline" (fun () -> Pp.newline t.Interp.pp);
+  def "PPWidth" (fun () -> Pp.set_width t.Interp.pp (pop_int ()));
+  ()

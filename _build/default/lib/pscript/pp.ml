@@ -1,0 +1,47 @@
+(** The prettyprinter behind the [Put]/[Break]/[Begin]/[End] operators.
+
+    The paper's ldb exposes an interface to a prettyprinter supplied with
+    Modula-3; the PostScript code that prints structured data calls it so
+    that large values wrap sensibly.  This is a small greedy version: [Put]
+    appends text, [Break] marks a place where a newline may be taken, and
+    [Begin]/[End] bracket groups whose continuation lines are indented. *)
+
+type t = {
+  out : Buffer.t;
+  mutable width : int;       (** right margin *)
+  mutable column : int;      (** current output column *)
+  mutable indents : int list;
+}
+
+let create ?(width = 72) out = { out; width; column = 0; indents = [] }
+
+let set_width t w = t.width <- max 8 w
+
+let current_indent t = match t.indents with i :: _ -> i | [] -> 0
+
+let put t (s : string) =
+  String.iter
+    (fun c ->
+      Buffer.add_char t.out c;
+      if c = '\n' then t.column <- 0 else t.column <- t.column + 1)
+    s
+
+(** Begin a group: continuation lines inside the group indent to the
+    current column plus [offset]. *)
+let begin_group t offset = t.indents <- (t.column + offset) :: t.indents
+
+let end_group t = match t.indents with _ :: rest -> t.indents <- rest | [] -> ()
+
+(** A break opportunity: if the line has passed the margin, take a newline
+    and indent by the group indent plus [offset]. *)
+let break t offset =
+  if t.column >= t.width then begin
+    Buffer.add_char t.out '\n';
+    t.column <- 0;
+    let ind = max 0 (current_indent t + offset) in
+    put t (String.make ind ' ')
+  end
+
+let newline t =
+  Buffer.add_char t.out '\n';
+  t.column <- 0

@@ -1,0 +1,114 @@
+(** The machine-independent PostScript support code: the printing
+    procedures referenced by compiler-emitted type dictionaries (INT,
+    CHAR, ARRAY, STRUCT, ...) and the [print] dispatcher.
+
+    This corresponds to the paper's ~1200 lines of shared PostScript; the
+    compiler's type dictionaries carry any machine-dependent information
+    (element sizes, field offsets), so these procedures stay
+    machine-independent. *)
+
+let source = {|
+% ---- ldb shared PostScript prelude ----
+
+/PrintLimit 10 def      % adjustable element limit for aggregate printing
+
+% print: mem loc typedict -> (prints the value)
+% dispatches on the /printer procedure stored in the type dictionary;
+% applied to a plain string it behaves like the system print, so the
+% builtin remains usable
+/print {
+  dup type /dicttype eq { dup /printer get exec } { SysPrint } ifelse
+} def
+
+% INT: mem loc type -> ; fetches a 32-bit integer and prints it
+/INT { pop FetchI32 cvs Put } def
+
+% UNSIGNED: as INT but unsigned
+/UNSIGNED { pop FetchU32 cvs Put } def
+
+% SHORT/USHORT: 16-bit integers
+/SHORT { pop FetchI16 cvs Put } def
+/USHORT { pop FetchU16 cvs Put } def
+
+% CHAR: print a character as 'c' (or its code when unprintable); the
+% dialect has no mutable strings, so one-character strings come from the
+% charstr operator
+/CHAR {
+  pop FetchI8
+  dup dup 32 ge exch 127 lt and {
+    (') Put charstr Put (') Put
+  } {
+    cvs Put
+  } ifelse
+} def
+
+% FLOAT/DOUBLE/LDOUBLE: floating values of the three supported widths
+/FLOAT  { pop FetchF32 cvs Put } def
+/DOUBLE { pop FetchF64 cvs Put } def
+/LDOUBLE { pop FetchF80 cvs Put } def
+
+% POINTER: print the address in hex
+/POINTER { pop FetchI32 hexstr Put } def
+
+% CSTRING: fetch the char* then print the NUL-terminated text it points to
+/CSTRING {
+  pop               % mem loc
+  exch dup          % loc mem mem
+  3 -1 roll         % mem mem loc
+  FetchI32          % mem addr
+  dup 0 eq {
+    pop pop (0x0) Put
+  } {
+    DataLoc 128 FetchString
+    (") Put Put (") Put
+  } ifelse
+} def
+
+% ARRAY: mem loc type -> ; loops through element offsets (Sec. 2)
+/ARRAY {
+  8 dict begin
+  /&type exch def /&loc exch def /&machine exch def
+  /&elemtype &type /elemtype get def
+  /&elemsize &type /elemsize get def
+  /&arraysize &type /arraysize get def
+  /&limit PrintLimit &elemsize mul def
+  ({) Put 0 Begin
+  0 &elemsize &arraysize 1 sub {
+    dup 0 ne { (, ) Put 0 Break } if
+    dup &limit ge { (...) Put pop exit } if
+    &machine &loc 3 -1 roll Shifted &elemtype print
+  } for
+  (}) Put End
+  end
+} def
+
+% STRUCT: mem loc type -> ; fields is an array of [name offset type]
+/STRUCT {
+  8 dict begin
+  /&type exch def /&loc exch def /&machine exch def
+  /&first true def
+  ({) Put 2 Begin
+  &type /fields get {
+    /&f exch def
+    &first { /&first false def } { (, ) Put 0 Break } ifelse
+    &f 0 get Put (=) Put
+    &machine &loc &f 1 get Shifted &f 2 get print
+  } forall
+  (}) Put End
+  end
+} def
+
+% helper: find the symbol-table entry for a name by walking the uplink
+% tree from a starting entry (name resolution, Sec. 2); returns entry true
+% or false
+/FindLocal {            % startentry namestring -> entry true | false
+  2 dict begin
+  /&want exch def
+  {                     % entry
+    dup null eq { pop false exit } if
+    dup /name get &want eq { true exit } if
+    dup /uplink known { /uplink get } { pop false exit } ifelse
+  } loop
+  end
+} def
+|}

@@ -1,0 +1,27 @@
+(** Facade: create a fully equipped interpreter (standard operators,
+    debugging extensions, shared prelude). *)
+
+let create () =
+  let t = Interp.create_raw () in
+  Ops.install t;
+  Dbgops.install t;
+  Value.dict_put t.Interp.systemdict "charstr"
+    (Value.op "charstr" (fun () ->
+         let c = Interp.pop_int t in
+         Interp.push t (Value.str (String.make 1 (Char.chr (c land 0xff))))));
+  Interp.run_string t Prelude.source;
+  t
+
+(** Create without the prelude — used by the startup-phase benchmark to
+    time "read initial PostScript" separately. *)
+let create_bare () =
+  let t = Interp.create_raw () in
+  Ops.install t;
+  Dbgops.install t;
+  Value.dict_put t.Interp.systemdict "charstr"
+    (Value.op "charstr" (fun () ->
+         let c = Interp.pop_int t in
+         Interp.push t (Value.str (String.make 1 (Char.chr (c land 0xff))))));
+  t
+
+let load_prelude t = Interp.run_string t Prelude.source

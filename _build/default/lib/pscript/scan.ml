@@ -1,0 +1,163 @@
+(** Tokenizer for the PostScript dialect.
+
+    Notable dialect points: radix numbers ([16#2a]), literal names
+    ([/name]), immediately-evaluated names are not supported, and ['&'] is
+    an ordinary name character (the paper's symbol-table code uses names
+    like [&elemsize]).
+
+    The scanner is deliberately fast on parenthesized strings: the deferral
+    technique of Sec. 5 wraps large symbol-table bodies in parentheses so
+    they are scanned as strings (cheap) and only tokenized when executed. *)
+
+open Value
+
+type token =
+  | TNum of Value.t        (** integer or real *)
+  | TStr of string
+  | TName of string * bool (** text, literal? *)
+  | TProcStart             (** [{] *)
+  | TProcEnd               (** [}] *)
+  | TEof
+
+let is_space c = c = ' ' || c = '\t' || c = '\n' || c = '\r' || c = '\012' || c = '\000'
+let is_delim c = c = '(' || c = ')' || c = '{' || c = '}' || c = '[' || c = ']' || c = '/' || c = '%'
+let is_regular c = not (is_space c) && not (is_delim c)
+
+let rec skip_ws_and_comments f =
+  match file_getc f with
+  | None -> ()
+  | Some c when is_space c -> skip_ws_and_comments f
+  | Some '%' ->
+      let rec to_eol () =
+        match file_getc f with
+        | None | Some '\n' -> ()
+        | Some _ -> to_eol ()
+      in
+      to_eol ();
+      skip_ws_and_comments f
+  | Some c -> file_ungetc f c
+
+(* ( strings ) with nesting and backslash escapes *)
+let scan_string f =
+  let buf = Buffer.create 32 in
+  let rec go depth =
+    match file_getc f with
+    | None -> err "syntaxerror" "unterminated string"
+    | Some '\\' -> (
+        match file_getc f with
+        | None -> err "syntaxerror" "unterminated escape"
+        | Some 'n' -> Buffer.add_char buf '\n'; go depth
+        | Some 't' -> Buffer.add_char buf '\t'; go depth
+        | Some 'r' -> Buffer.add_char buf '\r'; go depth
+        | Some 'b' -> Buffer.add_char buf '\b'; go depth
+        | Some 'f' -> Buffer.add_char buf '\012'; go depth
+        | Some '\n' -> go depth (* line continuation *)
+        | Some ('0' .. '7' as d) ->
+            (* up to three octal digits *)
+            let v = ref (Char.code d - Char.code '0') in
+            let n = ref 1 in
+            let fin = ref false in
+            while !n < 3 && not !fin do
+              match file_getc f with
+              | Some ('0' .. '7' as d2) ->
+                  v := (!v * 8) + (Char.code d2 - Char.code '0');
+                  incr n
+              | Some other ->
+                  file_ungetc f other;
+                  fin := true
+              | None -> fin := true
+            done;
+            Buffer.add_char buf (Char.chr (!v land 0xff));
+            go depth
+        | Some c -> Buffer.add_char buf c; go depth)
+    | Some '(' ->
+        Buffer.add_char buf '(';
+        go (depth + 1)
+    | Some ')' -> if depth = 0 then () else begin Buffer.add_char buf ')'; go (depth - 1) end
+    | Some c ->
+        Buffer.add_char buf c;
+        go depth
+  in
+  go 0;
+  Buffer.contents buf
+
+let scan_word f first =
+  let buf = Buffer.create 16 in
+  Buffer.add_char buf first;
+  let rec go () =
+    match file_getc f with
+    | None -> ()
+    | Some c when is_regular c ->
+        Buffer.add_char buf c;
+        go ()
+    | Some c -> file_ungetc f c
+  in
+  go ();
+  Buffer.contents buf
+
+(** Classify a bare word as number (decimal, real, or radix) or name. *)
+let classify (w : string) : token =
+  let num_opt =
+    match int_of_string_opt w with
+    | Some n -> Some (TNum (Value.int n))
+    | None -> (
+        (* radix form base#digits *)
+        match String.index_opt w '#' with
+        | Some i when i > 0 -> (
+            match int_of_string_opt (String.sub w 0 i) with
+            | Some base when base >= 2 && base <= 36 -> (
+                let digits = String.sub w (i + 1) (String.length w - i - 1) in
+                let value_of_digit c =
+                  if c >= '0' && c <= '9' then Some (Char.code c - Char.code '0')
+                  else if c >= 'a' && c <= 'z' then Some (Char.code c - Char.code 'a' + 10)
+                  else if c >= 'A' && c <= 'Z' then Some (Char.code c - Char.code 'A' + 10)
+                  else None
+                in
+                let rec go acc j =
+                  if j >= String.length digits then Some acc
+                  else
+                    match value_of_digit digits.[j] with
+                    | Some d when d < base -> go ((acc * base) + d) (j + 1)
+                    | _ -> None
+                in
+                if String.length digits = 0 then None
+                else match go 0 0 with Some v -> Some (TNum (Value.int v)) | None -> None)
+            | _ -> None)
+        | _ -> (
+            match float_of_string_opt w with
+            | Some f
+              when String.exists (fun c -> c = '.' || c = 'e' || c = 'E') w ->
+                Some (TNum (Value.real f))
+            | _ -> None))
+  in
+  match num_opt with Some t -> t | None -> TName (w, false)
+
+(** Read the next token from [f]. *)
+let token (f : Value.file) : token =
+  skip_ws_and_comments f;
+  match file_getc f with
+  | None -> TEof
+  | Some '(' -> TStr (scan_string f)
+  | Some ')' -> err "syntaxerror" "unmatched )"
+  | Some '{' -> TProcStart
+  | Some '}' -> TProcEnd
+  | Some '[' -> TName ("[", false)
+  | Some ']' -> TName ("]", false)
+  | Some '/' -> (
+      match file_getc f with
+      | None -> err "syntaxerror" "lone /"
+      | Some c when is_regular c -> TName (scan_word f c, true)
+      | Some c ->
+          file_ungetc f c;
+          err "syntaxerror" "bad literal name")
+  | Some '<' -> (
+      (* only << is supported (no hex strings in the dialect) *)
+      match file_getc f with
+      | Some '<' -> TName ("<<", false)
+      | _ -> err "syntaxerror" "expected <<")
+  | Some '>' -> (
+      match file_getc f with
+      | Some '>' -> TName (">>", false)
+      | _ -> err "syntaxerror" "expected >>")
+  | Some c when is_regular c -> classify (scan_word f c)
+  | Some c -> err "syntaxerror" (Printf.sprintf "unexpected character %C" c)

@@ -1,0 +1,1 @@
+lib/stabsdbg/stabsdbg.ml: Char Hashtbl Ldb_cc Ldb_link List String

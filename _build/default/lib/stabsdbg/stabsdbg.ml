@@ -1,0 +1,110 @@
+(** A minimal dbx/gdb-style baseline debugger front end that reads the
+    {e binary, machine-dependent} stabs emitted by the compiler
+    (lib/cc/stabsemit).
+
+    This exists for the paper's comparisons (Sec. 7):
+    - startup time: "dbx: start and read a.out for lcc: 1.5s; gdb: 1.1s"
+      versus ldb's PostScript interpretation — reading flat binary records
+      is much faster, which T2 reproduces;
+    - size: dbx stabs are ~9x smaller than the PostScript tables (T5).
+
+    The cost of the speed is exactly what the paper says: this reader is
+    machine-dependent (it bakes in record layout and the meaning of each
+    value field) and language-dependent (the type codes are C-specific),
+    and it cannot print structured values without knowing C's data layout
+    itself. *)
+
+type stab = {
+  st_type : int;
+  st_desc : int;  (** typically a source line *)
+  st_value : int;
+  st_name : string;
+}
+
+type t = {
+  stabs : stab list;
+  by_name : (string, stab) Hashtbl.t;
+  functions : stab list;
+  nlines : int;
+}
+
+let u16 s i = Char.code s.[i] lor (Char.code s.[i + 1] lsl 8)
+
+let u32 s i =
+  Char.code s.[i]
+  lor (Char.code s.[i + 1] lsl 8)
+  lor (Char.code s.[i + 2] lsl 16)
+  lor (Char.code s.[i + 3] lsl 24)
+
+exception Corrupt of string
+
+(** Parse a raw stabs byte string. *)
+let parse (raw : string) : t =
+  let n = String.length raw in
+  let stabs = ref [] in
+  let pos = ref 0 in
+  while !pos < n do
+    if !pos + 9 > n then raise (Corrupt "truncated record header");
+    let st_type = Char.code raw.[!pos] in
+    let st_desc = u16 raw (!pos + 1) in
+    let st_value = u32 raw (!pos + 3) in
+    let nstr = u16 raw (!pos + 7) in
+    if !pos + 9 + nstr > n then raise (Corrupt "truncated record name");
+    let st_name = String.sub raw (!pos + 9) nstr in
+    stabs := { st_type; st_desc; st_value; st_name } :: !stabs;
+    pos := !pos + 9 + nstr
+  done;
+  let stabs = List.rev !stabs in
+  let by_name = Hashtbl.create 64 in
+  List.iter
+    (fun s ->
+      match String.index_opt s.st_name ':' with
+      | Some i -> Hashtbl.replace by_name (String.sub s.st_name 0 i) s
+      | None -> ())
+    stabs;
+  let functions = List.filter (fun s -> s.st_type = Ldb_cc.Stabsemit.n_fun) stabs in
+  let nlines = List.length (List.filter (fun s -> s.st_type = Ldb_cc.Stabsemit.n_sline) stabs) in
+  { stabs; by_name; functions; nlines }
+
+(** "Start and read" an image, like dbx/gdb starting on an a.out. *)
+let start (img : Ldb_link.Link.image) : t = parse img.Ldb_link.Link.i_stabs
+
+let find t name = Hashtbl.find_opt t.by_name name
+
+let function_names t =
+  List.filter_map
+    (fun s -> match String.index_opt s.st_name ':' with
+      | Some i -> Some (String.sub s.st_name 0 i)
+      | None -> None)
+    t.functions
+
+(** Decode a type code back to a display string (machine- and
+    C-dependent, unlike ldb's interpreted printers). *)
+let rec type_display (code : string) : string =
+  if code = "" then "?"
+  else
+    match code.[0] with
+    | 'v' -> "void"
+    | 'c' -> "char"
+    | 's' -> "short"
+    | 'i' -> "int"
+    | 'u' -> "unsigned"
+    | 'f' -> "float"
+    | 'd' -> "double"
+    | 'x' -> "long double"
+    | '*' -> type_display (String.sub code 1 (String.length code - 1)) ^ " *"
+    | 'S' -> "struct " ^ String.sub code 1 (String.length code - 1)
+    | 'F' -> type_display (String.sub code 1 (String.length code - 1)) ^ " ()"
+    | 'a' -> (
+        match String.index_opt code ',' with
+        | Some i ->
+            let count = String.sub code 1 (i - 1) in
+            type_display (String.sub code (i + 1) (String.length code - i - 1))
+            ^ "[" ^ count ^ "]"
+        | None -> "array")
+    | _ -> "?"
+
+let sym_type_display (s : stab) =
+  match String.index_opt s.st_name ':' with
+  | Some i -> type_display (String.sub s.st_name (i + 1) (String.length s.st_name - i - 1))
+  | None -> "?"

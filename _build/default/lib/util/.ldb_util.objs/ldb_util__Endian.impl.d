@@ -1,0 +1,1 @@
+lib/util/endian.ml: Bytes Char Fmt Int32 Int64 Sys

@@ -1,0 +1,1 @@
+lib/util/loc.ml: Array Filename In_channel List String Sys

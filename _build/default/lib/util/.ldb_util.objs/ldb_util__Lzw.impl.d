@@ -1,0 +1,1 @@
+lib/util/lzw.ml: Buffer Char Hashtbl String

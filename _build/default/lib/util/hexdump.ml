@@ -1,0 +1,26 @@
+(** Hex dumps for debugging target memory and wire traffic. *)
+
+let printable c = Char.code c >= 0x20 && Char.code c < 0x7f
+
+(** [pp ?base ppf s] renders [s] as a classic 16-bytes-per-row hex dump,
+    addressing rows starting at [base] (default 0). *)
+let pp ?(base = 0) ppf (s : string) =
+  let n = String.length s in
+  let row_start = ref 0 in
+  while !row_start < n do
+    let row_end = min n (!row_start + 16) in
+    Fmt.pf ppf "%08x  " (base + !row_start);
+    for i = !row_start to !row_start + 15 do
+      if i < row_end then Fmt.pf ppf "%02x " (Char.code s.[i]) else Fmt.string ppf "   ";
+      if i - !row_start = 7 then Fmt.string ppf " "
+    done;
+    Fmt.string ppf " |";
+    for i = !row_start to row_end - 1 do
+      Fmt.char ppf (if printable s.[i] then s.[i] else '.')
+    done;
+    Fmt.string ppf "|";
+    if row_end < n then Fmt.cut ppf ();
+    row_start := row_end
+  done
+
+let to_string ?base s = Fmt.str "%a" (fun ppf -> pp ?base ppf) s

@@ -1,0 +1,139 @@
+(** An LZW codec equivalent in spirit to UNIX [compress(1)], used to
+    reproduce the paper's "PostScript symbol tables are ~9x dbx stabs, ~2x
+    after compression" measurement (Sec. 7).
+
+    Variable-width codes (9..16 bits).  Encoder and decoder derive the code
+    width from the same counter of codes transmitted, so the two sides can
+    never disagree about the width schedule. *)
+
+let min_bits = 9
+let max_bits = 16
+let max_entries = 1 lsl max_bits
+let first_code = 256
+
+(* Width in effect for the [n]-th (1-based) code of the stream: wide enough
+   for every code the encoder could possibly send at that point. *)
+let width_at n =
+  let virtual_next = min (first_code + (n - 1)) max_entries in
+  let b = ref min_bits in
+  while 1 lsl !b < virtual_next do
+    incr b
+  done;
+  !b
+
+type bitwriter = { out : Buffer.t; mutable acc : int; mutable nbits : int }
+
+let bw_make () = { out = Buffer.create 1024; acc = 0; nbits = 0 }
+
+let bw_put bw code bits =
+  bw.acc <- bw.acc lor (code lsl bw.nbits);
+  bw.nbits <- bw.nbits + bits;
+  while bw.nbits >= 8 do
+    Buffer.add_char bw.out (Char.chr (bw.acc land 0xff));
+    bw.acc <- bw.acc lsr 8;
+    bw.nbits <- bw.nbits - 8
+  done
+
+let bw_flush bw = if bw.nbits > 0 then Buffer.add_char bw.out (Char.chr (bw.acc land 0xff))
+
+type bitreader = { src : string; mutable pos : int; mutable racc : int; mutable rbits : int }
+
+let br_make src = { src; pos = 0; racc = 0; rbits = 0 }
+
+let br_get br bits =
+  while br.rbits < bits && br.pos < String.length br.src do
+    br.racc <- br.racc lor (Char.code br.src.[br.pos] lsl br.rbits);
+    br.rbits <- br.rbits + 8;
+    br.pos <- br.pos + 1
+  done;
+  if br.rbits < bits then None
+  else begin
+    let code = br.racc land ((1 lsl bits) - 1) in
+    br.racc <- br.racc lsr bits;
+    br.rbits <- br.rbits - bits;
+    Some code
+  end
+
+(** [compress s] returns the LZW-compressed form of [s]. *)
+let compress (s : string) : string =
+  let n = String.length s in
+  if n = 0 then ""
+  else begin
+    let table = Hashtbl.create 4096 in
+    for i = 0 to 255 do
+      Hashtbl.replace table (String.make 1 (Char.chr i)) i
+    done;
+    let bw = bw_make () in
+    let next_code = ref first_code in
+    let sent = ref 0 in
+    let emit code =
+      incr sent;
+      bw_put bw code (width_at !sent)
+    in
+    let w = ref (String.make 1 s.[0]) in
+    for i = 1 to n - 1 do
+      let c = String.make 1 s.[i] in
+      let wc = !w ^ c in
+      if Hashtbl.mem table wc then w := wc
+      else begin
+        emit (Hashtbl.find table !w);
+        if !next_code < max_entries then begin
+          Hashtbl.replace table wc !next_code;
+          incr next_code
+        end;
+        w := c
+      end
+    done;
+    emit (Hashtbl.find table !w);
+    bw_flush bw;
+    Buffer.contents bw.out
+  end
+
+(** [decompress s] inverts {!compress}.  Raises [Invalid_argument] on a
+    corrupt stream. *)
+let decompress (s : string) : string =
+  if s = "" then ""
+  else begin
+    let dict = Hashtbl.create 4096 in
+    for i = 0 to 255 do
+      Hashtbl.replace dict i (String.make 1 (Char.chr i))
+    done;
+    let br = br_make s in
+    let next_code = ref first_code in
+    let received = ref 0 in
+    let read () =
+      incr received;
+      br_get br (width_at !received)
+    in
+    let out = Buffer.create (String.length s * 3) in
+    match read () with
+    | None -> ""
+    | Some c0 ->
+        let prev = ref (try Hashtbl.find dict c0 with Not_found -> invalid_arg "Lzw.decompress") in
+        Buffer.add_string out !prev;
+        let continue = ref true in
+        while !continue do
+          match read () with
+          | None -> continue := false
+          | Some code ->
+              let entry =
+                match Hashtbl.find_opt dict code with
+                | Some e -> e
+                | None ->
+                    if code = !next_code then !prev ^ String.make 1 !prev.[0]
+                    else invalid_arg "Lzw.decompress: corrupt stream"
+              in
+              Buffer.add_string out entry;
+              if !next_code < max_entries then begin
+                Hashtbl.replace dict !next_code (!prev ^ String.make 1 entry.[0]);
+                incr next_code
+              end;
+              prev := entry
+        done;
+        Buffer.contents out
+  end
+
+(** Compression ratio original/compressed; 1.0 for empty input. *)
+let ratio s =
+  if s = "" then 1.0
+  else float_of_int (String.length s) /. float_of_int (String.length (compress s))

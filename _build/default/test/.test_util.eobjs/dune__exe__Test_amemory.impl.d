@@ -1,0 +1,1 @@
+test/test_amemory.ml: Alcotest Arch Cpu Hashtbl Ldb_amemory Ldb_machine Ldb_nub List Proc Ram String Target

@@ -1,0 +1,1 @@
+test/test_cc.ml: Alcotest Arch Asm Ast Compile Ctype Ldb_cc Ldb_link Ldb_machine Ldb_pscript Lex List Parse Peephole Printf Sched String Testkit

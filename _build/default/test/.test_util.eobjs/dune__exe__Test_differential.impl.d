@@ -1,0 +1,1 @@
+test/test_differential.ml: Alcotest Arch Buffer Ldb_link Ldb_machine List Printf Proc QCheck Signal String Testkit

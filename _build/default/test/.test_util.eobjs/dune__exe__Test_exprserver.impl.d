@@ -1,0 +1,1 @@
+test/test_exprserver.ml: Alcotest Arch Hashtbl Ldb_exprserver Ldb_ldb Ldb_machine List String Testkit

@@ -1,0 +1,1 @@
+test/test_ldb.ml: Alcotest Arch Ldb_ldb Ldb_machine List Proc Ram String Target Testkit

@@ -1,0 +1,1 @@
+test/test_link.ml: Alcotest Driver Ldb_cc Ldb_link Ldb_machine Ldb_pscript Link List Nm Proc Ram Rpt String Testkit

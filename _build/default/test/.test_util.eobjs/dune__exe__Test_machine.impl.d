@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Arch Buffer Char Cpu Float Float80 Insn Int32 Ldb_machine List Optab Printf Proc QCheck Ram Rpt Signal String Target Testkit

@@ -1,0 +1,1 @@
+test/test_nub.ml: Alcotest Arch Bytes Char Cpu Fmt Int64 Ldb_machine Ldb_nub Ldb_util List Proc QCheck Ram Target Testkit

@@ -1,0 +1,1 @@
+test/test_pscript.ml: Alcotest Ldb_cc Ldb_pscript Printf String

@@ -1,0 +1,1 @@
+test/test_stabsdbg.ml: Alcotest Ldb_cc Ldb_link Ldb_stabsdbg List Testkit

@@ -1,0 +1,1 @@
+test/test_stepping.ml: Alcotest Arch Int32 Ldb_amemory Ldb_ldb Ldb_link Ldb_machine Ldb_nub List Ram String Target

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Bytes Endian Hexdump Int32 Int64 Ldb_util List Loc Lzw Printf QCheck String Testkit

@@ -1,0 +1,130 @@
+(** Shared helpers for the test suites: canned programs, debug-session
+    construction, and qcheck generators. *)
+
+open Ldb_machine
+module Ldb = Ldb_ldb.Ldb
+module Host = Ldb_ldb.Host
+
+let fib_c = {|
+void fib(int n)
+{
+    static int a[20];
+    if (n > 20) n = 20;
+    a[0] = a[1] = 1;
+    { int i;
+      for (i=2; i<n; i++)
+          a[i] = a[i-1] + a[i-2];
+    }
+    { int j;
+      for (j=0; j<n; j++)
+          printf("%d ", a[j]);
+    }
+    printf("\n");
+}
+
+int main(void)
+{
+    fib(10);
+    return 0;
+}
+|}
+
+(** Build and run a program to completion, returning status and output. *)
+let run_program ~arch sources =
+  let img, _ = Ldb_link.Driver.build ~arch sources in
+  let proc = Ldb_link.Link.load img in
+  let status = Proc.run proc in
+  (status, Proc.output proc)
+
+(** Expect a clean exit and return (status, stdout). *)
+let run_ok ~arch sources =
+  match run_program ~arch sources with
+  | Proc.Exited n, out -> (n, out)
+  | Proc.Stopped (s, code), out ->
+      Alcotest.failf "program stopped with %s (code %#x), output %S" (Signal.name s) code out
+  | Proc.Running, out -> Alcotest.failf "program ran out of fuel, output %S" out
+
+(** The same program must behave identically on every architecture. *)
+let run_all_archs sources ~expect_status ~expect_out =
+  List.iter
+    (fun arch ->
+      let st, out = run_ok ~arch sources in
+      Alcotest.(check int) (Arch.name arch ^ " status") expect_status st;
+      Alcotest.(check string) (Arch.name arch ^ " output") expect_out out)
+    Arch.all
+
+type session = {
+  d : Ldb.t;
+  tg : Ldb.target;
+  proc : Host.process;
+}
+
+(** A connected, paused debug session for [sources]. *)
+let debug_session ?debug ?defer ~arch sources : session =
+  let d = Ldb.create () in
+  let proc, tg = Host.spawn d ?debug ?defer ~arch ~name:(Arch.name arch) sources in
+  { d; tg; proc }
+
+(** Continue until the nth stop (1 = first). *)
+let continue_n (s : session) n =
+  let rec go k last =
+    if k = 0 then last
+    else
+      match Ldb.continue_ s.d s.tg with
+      | Ldb.Stopped _ as st -> go (k - 1) st
+      | st -> st
+  in
+  go n (Ldb.Running)
+
+let top (s : session) = Ldb.top_frame s.d s.tg
+
+let arch_testable = Alcotest.testable Arch.pp Arch.equal
+
+(** qcheck: arbitrary abstract instruction (well-formed for [arch]). *)
+let gen_insn (arch : Arch.t) : Insn.t QCheck.Gen.t =
+  let open QCheck.Gen in
+  let nregs = Arch.nregs arch and nfregs = Arch.nfregs arch in
+  let reg = int_bound (nregs - 1) in
+  let freg = int_bound (nfregs - 1) in
+  let imm = map Int32.of_int (int_range (-1000000) 1000000) in
+  let aluop =
+    oneofl [ Insn.Add; Sub; Mul; Div; Rem; Divu; Remu; And; Or; Xor; Shl; Shr; Slt; Sltu ]
+  in
+  let cond = oneofl [ Insn.Eq; Ne; Lt; Le; Gt; Ge ] in
+  let size = oneofl [ Insn.S8; S16; S32 ] in
+  let fsize =
+    if Arch.max_float_bits arch = 80 then oneofl [ Insn.F32; F64; F80 ]
+    else oneofl [ Insn.F32; F64 ]
+  in
+  oneof
+    [
+      map2 (fun r v -> Insn.Li (r, v)) reg imm;
+      map2 (fun a b -> Insn.Mov (a, b)) reg reg;
+      (aluop >>= fun op -> map3 (fun a b c -> Insn.Alu (op, a, b, c)) reg reg reg);
+      (aluop >>= fun op -> map3 (fun a b v -> Insn.Alui (op, a, b, v)) reg reg imm);
+      (size >>= fun sz -> map3 (fun a b v -> Insn.Load (sz, a, b, v)) reg reg imm);
+      (size >>= fun sz -> map3 (fun a b v -> Insn.Loadu (sz, a, b, v)) reg reg imm);
+      (size >>= fun sz -> map3 (fun a b v -> Insn.Store (sz, a, b, v)) reg reg imm);
+      (fsize >>= fun sz -> map3 (fun a b v -> Insn.Fload (sz, a, b, v)) freg reg imm);
+      (fsize >>= fun sz -> map3 (fun a b v -> Insn.Fstore (sz, a, b, v)) freg reg imm);
+      map3 (fun a b c -> Insn.Falu (Insn.Fadd, a, b, c)) freg freg freg;
+      (cond >>= fun c -> map3 (fun r a b -> Insn.Fcmp (c, r, a, b)) reg freg freg);
+      map2 (fun a b -> Insn.Fmov (a, b)) freg freg;
+      map2 (fun f r -> Insn.Cvtif (f, r)) freg reg;
+      map2 (fun r f -> Insn.Cvtfi (r, f)) reg freg;
+      (cond >>= fun c ->
+       map3 (fun a b v -> Insn.Br (c, a, b, Int32.logand v 0xffffffl)) reg reg imm);
+      map (fun v -> Insn.Jmp (Int32.logand v 0xffffffl)) imm;
+      map (fun r -> Insn.Jr r) reg;
+      map (fun v -> Insn.Call (Int32.logand v 0xffffffl)) imm;
+      map (fun r -> Insn.Callr r) reg;
+      return Insn.Ret;
+      map (fun r -> Insn.Push r) reg;
+      map (fun r -> Insn.Pop r) reg;
+      return Insn.Nop;
+      return Insn.Break;
+      map (fun n -> Insn.Syscall (n land 0xf)) (int_bound 15);
+    ]
+
+let qtest name ?(count = 200) arb prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count arb prop)

@@ -1,0 +1,119 @@
+(** Tests for the linker, nm, the loader table, and multi-unit programs. *)
+
+open Ldb_machine
+open Ldb_link
+
+let check = Alcotest.check
+
+let two_units =
+  [
+    ( "main.c",
+      {|extern int shared;
+        int helper(int x);
+        int main(void) {
+          shared = 3;
+          printf("%d %d\n", helper(4), shared);
+          return 0;
+        }|} );
+    ( "helper.c",
+      {|int shared = 0;
+        static int scale = 10;
+        int helper(int x) { shared += 1; return x * scale; }|} );
+  ]
+
+let test_multi_unit_link_and_run () =
+  Testkit.run_all_archs two_units ~expect_status:0 ~expect_out:"40 3\n"
+
+let test_undefined_symbol () =
+  let obj =
+    Ldb_cc.Compile.compile ~arch:Mips ~file:"u.c" "int main(void) { return missing(); }"
+  in
+  match Link.link [ obj ] with
+  | exception Link.Error m ->
+      Alcotest.(check bool) "mentions symbol" true
+        (let has sub =
+           let n = String.length sub in
+           let rec go i = i + n <= String.length m && (String.sub m i n = sub || go (i + 1)) in
+           go 0
+         in
+         has "_missing")
+  | _ -> Alcotest.fail "expected link error"
+
+let test_duplicate_symbol () =
+  let a = Ldb_cc.Compile.compile ~arch:Vax ~file:"a.c" "int v = 1;" in
+  let b = Ldb_cc.Compile.compile ~arch:Vax ~file:"b.c" "int v = 2;" in
+  match Link.link [ a; b ] with
+  | exception Link.Error _ -> ()
+  | _ -> Alcotest.fail "expected duplicate-symbol error"
+
+let test_mixed_arch_rejected () =
+  let a = Ldb_cc.Compile.compile ~arch:Vax ~file:"a.c" "int main(void){return 0;}" in
+  let b = Ldb_cc.Compile.compile ~arch:Mips ~file:"b.c" "int w = 2;" in
+  match Link.link [ a; b ] with
+  | exception Link.Error _ -> ()
+  | _ -> Alcotest.fail "expected mixed-arch error"
+
+let test_nm_output () =
+  let img, _ = Driver.build ~arch:Sparc two_units in
+  let entries = Nm.run img in
+  let find n = List.find_opt (fun e -> e.Nm.name = n) entries in
+  (match find "_main" with
+  | Some e -> check Alcotest.char "main is global text" 'T' e.Nm.kind
+  | None -> Alcotest.fail "no _main");
+  (match find "_shared" with
+  | Some e -> check Alcotest.char "shared is global data" 'D' e.Nm.kind
+  | None -> Alcotest.fail "no _shared");
+  (* the anchor symbols appear so the loader table can map them *)
+  Alcotest.(check bool) "anchors present" true
+    (List.exists (fun e -> Nm.is_anchor e.Nm.name) entries);
+  (* text of nm looks classic *)
+  let text = Nm.to_text entries in
+  Alcotest.(check bool) "text format" true (String.length text > 0)
+
+let test_loader_table_is_postscript () =
+  let img, ps = Driver.build ~arch:M68k two_units in
+  let t = Ldb_pscript.Ps.create () in
+  Ldb_pscript.Interp.run_string t ps;
+  (match Ldb_pscript.Interp.lookup t "__loader" with
+  | Some _ -> ()
+  | None -> Alcotest.fail "no __loader");
+  (* proctable contains main and helper *)
+  Ldb_pscript.Interp.run_string t "__loader /proctable get length";
+  let n = Ldb_pscript.Interp.pop_int t in
+  Alcotest.(check bool) "proctable entries" true (n >= 4);
+  ignore img
+
+let test_rpt_only_on_mips () =
+  let img_m, _ = Driver.build ~arch:Mips two_units in
+  let img_v, _ = Driver.build ~arch:Vax two_units in
+  Alcotest.(check bool) "mips rpt" true (List.length img_m.Link.i_rpt >= 2);
+  (* the table is built for every target but only loaded on MIPS *)
+  let p = Link.load img_v in
+  check Alcotest.int32 "vax has no RPT in memory" 0l (Ram.get_u32 p.Proc.ram Rpt.base);
+  let pm = Link.load img_m in
+  Alcotest.(check bool) "mips RPT in target memory" true
+    (Ram.get_u32 pm.Proc.ram Rpt.base <> 0l)
+
+let test_entry_calls_main_then_exits () =
+  let img, _ = Driver.build ~arch:Vax [ ("r.c", "int main(void) { return 42; }") ] in
+  let p = Link.load img in
+  match Proc.run p with
+  | Proc.Exited 42 -> ()
+  | _ -> Alcotest.fail "startup stub did not propagate main's result"
+
+let case name f = Alcotest.test_case name `Quick f
+
+let () =
+  Alcotest.run "link"
+    [
+      ( "linking",
+        [ case "multi-unit program runs everywhere" test_multi_unit_link_and_run;
+          case "undefined symbol" test_undefined_symbol;
+          case "duplicate symbol" test_duplicate_symbol;
+          case "mixed architectures rejected" test_mixed_arch_rejected;
+          case "startup stub" test_entry_calls_main_then_exits ] );
+      ( "nm and loader",
+        [ case "nm output" test_nm_output;
+          case "loader table interprets" test_loader_table_is_postscript;
+          case "runtime procedure table" test_rpt_only_on_mips ] );
+    ]

@@ -1,0 +1,294 @@
+(** Tests for lib/machine: instruction encoders (round-trip properties per
+    target), RAM, 80-bit floats, CPU semantics including the SIM-MIPS load
+    delay slot, processes and the simulated kernel, and the runtime
+    procedure table. *)
+
+open Ldb_machine
+
+let check = Alcotest.check
+
+(* --- encoders: roundtrip property per target ------------------------------ *)
+
+let insn_eq (a : Insn.t) b = a = b
+
+let roundtrip_prop arch =
+  let target = Target.of_arch arch in
+  Testkit.qtest
+    (Printf.sprintf "%s encode/decode roundtrip" (Arch.name arch))
+    ~count:500
+    (QCheck.make (Testkit.gen_insn arch) ~print:Insn.to_string)
+    (fun insn ->
+      let bytes = Target.encode target insn in
+      let fetch i = Char.code bytes.[i] in
+      let decoded, len = Target.decode target ~fetch 0 in
+      len = String.length bytes && insn_eq decoded insn)
+
+let test_lengths_differ () =
+  (* the four targets genuinely differ in instruction width *)
+  let nop_len arch = String.length (Target.of_arch arch).Target.nop in
+  check Alcotest.int "mips nop" 4 (nop_len Mips);
+  check Alcotest.int "sparc nop" 4 (nop_len Sparc);
+  check Alcotest.int "m68k nop" 2 (nop_len M68k);
+  check Alcotest.int "vax nop" 1 (nop_len Vax)
+
+let test_real_bit_patterns () =
+  (* the trap/no-op encodings are the real machines' *)
+  check Alcotest.string "mips break" "\x00\x00\x00\x0d" (Target.of_arch Mips).Target.brk;
+  check Alcotest.string "sparc nop" "\x01\x00\x00\x00" (Target.of_arch Sparc).Target.nop;
+  check Alcotest.string "m68k nop" "\x4e\x71" (Target.of_arch M68k).Target.nop;
+  check Alcotest.string "vax bpt" "\x03" (Target.of_arch Vax).Target.brk
+
+let test_nop_brk_same_length () =
+  List.iter
+    (fun arch ->
+      let t = Target.of_arch arch in
+      check Alcotest.int
+        (Arch.name arch ^ " nop/brk same length")
+        (String.length t.Target.nop) (String.length t.Target.brk))
+    Arch.all
+
+let test_bad_encoding_rejected () =
+  List.iter
+    (fun arch ->
+      let target = Target.of_arch arch in
+      let junk = "\xff\xff\xff\xff\xff\xff\xff\xff" in
+      let fetch i = Char.code junk.[i mod 8] in
+      match Target.decode target ~fetch 0 with
+      | exception Optab.Bad_encoding _ -> ()
+      | _insn, _ -> Alcotest.failf "%s accepted junk" (Arch.name arch))
+    Arch.all
+
+(* --- ram -------------------------------------------------------------------- *)
+
+let test_ram_endianness () =
+  let big = Ram.create Big and little = Ram.create Little in
+  Ram.set_u32 big 0x1000 0xAABBCCDDl;
+  Ram.set_u32 little 0x1000 0xAABBCCDDl;
+  check Alcotest.int "BE first byte" 0xAA (Ram.get_u8 big 0x1000);
+  check Alcotest.int "LE first byte" 0xDD (Ram.get_u8 little 0x1000)
+
+let test_ram_fault () =
+  let m = Ram.create Big in
+  (match Ram.get_u8 m (-1) with
+  | exception Ram.Fault _ -> ()
+  | _ -> Alcotest.fail "negative address accepted");
+  match Ram.get_u32 m (Ram.Layout.size - 2) with
+  | exception Ram.Fault _ -> ()
+  | _ -> Alcotest.fail "overrun accepted"
+
+let test_ram_cstring () =
+  let m = Ram.create Big in
+  Ram.blit_in m ~addr:0x2000 "hello\000world";
+  check Alcotest.string "cstring" "hello" (Ram.read_cstring m ~addr:0x2000)
+
+let test_ram_floats () =
+  let m = Ram.create Little in
+  Ram.set_f64 m 0x100 3.14159;
+  check (Alcotest.float 1e-12) "f64" 3.14159 (Ram.get_f64 m 0x100);
+  Ram.set_f32 m 0x200 1.5;
+  check (Alcotest.float 1e-6) "f32" 1.5 (Ram.get_f32 m 0x200)
+
+(* --- float80 ------------------------------------------------------------------ *)
+
+let test_float80_exact () =
+  List.iter
+    (fun x ->
+      let b = Float80.to_bytes x in
+      check Alcotest.int "10 bytes" 10 (String.length b);
+      check (Alcotest.float 0.0) "exact roundtrip" x (Float80.of_bytes b))
+    [ 0.0; 1.0; -1.0; 3.141592653589793; 1e300; -1e-300; 0.1 ]
+
+let test_float80_specials () =
+  check Alcotest.bool "inf" true (Float80.of_bytes (Float80.to_bytes infinity) = infinity);
+  check Alcotest.bool "-inf" true
+    (Float80.of_bytes (Float80.to_bytes neg_infinity) = neg_infinity);
+  check Alcotest.bool "nan" true (Float.is_nan (Float80.of_bytes (Float80.to_bytes nan)))
+
+let prop_float80_roundtrip =
+  Testkit.qtest "float80 roundtrip" ~count:500 QCheck.float (fun x ->
+      let y = Float80.of_bytes (Float80.to_bytes x) in
+      (Float.is_nan x && Float.is_nan y) || x = y)
+
+(* --- cpu semantics -------------------------------------------------------------- *)
+
+(** Assemble a list of instructions at the code base and run until
+    Break/exit, returning the CPU. *)
+let run_insns arch insns =
+  let target = Target.of_arch arch in
+  let proc = Proc.create target in
+  let buf = Buffer.create 64 in
+  List.iter (fun i -> Buffer.add_string buf (Target.encode target i)) insns;
+  Ram.blit_in proc.Proc.ram ~addr:Ram.Layout.code_base (Buffer.contents buf);
+  Proc.set_pc proc Ram.Layout.code_base;
+  ignore (Proc.run ~fuel:10000 proc);
+  proc
+
+let test_alu_all_archs () =
+  List.iter
+    (fun arch ->
+      let proc =
+        run_insns arch
+          [ Insn.Li (1, 20l); Insn.Li (2, 22l); Insn.Alu (Insn.Add, 3, 1, 2);
+            Insn.Alui (Insn.Mul, 3, 3, 10l); Insn.Break ]
+      in
+      check Alcotest.int32 (Arch.name arch ^ " alu") 420l (Cpu.reg proc.Proc.cpu 3))
+    Arch.all
+
+let test_load_store_endian_insulated () =
+  (* identical code on BE and LE targets computes identical results *)
+  List.iter
+    (fun arch ->
+      let base = Int32.of_int Ram.Layout.data_base in
+      let proc =
+        run_insns arch
+          [ Insn.Li (1, base); Insn.Li (2, 0x11223344l); Insn.Store (Insn.S32, 2, 1, 0l);
+            Insn.Load (Insn.S8, 3, 1, 0l); Insn.Nop; Insn.Break ]
+      in
+      (* the byte at offset 0 differs by endianness: that is real machine
+         behaviour, visible to machine code *)
+      let expected = if Arch.endian arch = Big then 0x11l else 0x44l in
+      check Alcotest.int32 (Arch.name arch ^ " ls byte") expected (Cpu.reg proc.Proc.cpu 3))
+    Arch.all
+
+let test_div_by_zero_faults () =
+  List.iter
+    (fun arch ->
+      let proc = run_insns arch [ Insn.Li (1, 5l); Insn.Li (2, 0l); Insn.Alu (Insn.Div, 3, 1, 2) ] in
+      match proc.Proc.status with
+      | Proc.Stopped (SIGFPE, _) -> ()
+      | st ->
+          Alcotest.failf "%s: expected SIGFPE, got %s" (Arch.name arch)
+            (match st with
+            | Proc.Stopped (s, _) -> Signal.name s
+            | Proc.Exited n -> Printf.sprintf "exit %d" n
+            | Proc.Running -> "running"))
+    Arch.all
+
+let test_bad_fetch_faults () =
+  List.iter
+    (fun arch ->
+      let proc = run_insns arch [ Insn.Li (1, 0x7fffff00l); Insn.Jr 1 ] in
+      match proc.Proc.status with
+      | Proc.Stopped (SIGSEGV, _) -> ()
+      | _ -> Alcotest.failf "%s: expected SIGSEGV" (Arch.name arch))
+    Arch.all
+
+let test_mips_load_delay () =
+  (* the instruction after a load sees the OLD register value *)
+  let base = Int32.of_int Ram.Layout.data_base in
+  let proc =
+    run_insns Mips
+      [ Insn.Li (1, base); Insn.Li (2, 777l); Insn.Store (Insn.S32, 2, 1, 0l);
+        Insn.Li (3, 111l);
+        Insn.Load (Insn.S32, 3, 1, 0l);  (* r3 <- 777, delayed *)
+        Insn.Mov (4, 3);                 (* delay slot: sees 111 *)
+        Insn.Mov (5, 3);                 (* after: sees 777 *)
+        Insn.Break ]
+  in
+  check Alcotest.int32 "delay slot sees old value" 111l (Cpu.reg proc.Proc.cpu 4);
+  check Alcotest.int32 "next insn sees new value" 777l (Cpu.reg proc.Proc.cpu 5)
+
+let test_no_delay_on_others () =
+  List.iter
+    (fun arch ->
+      let base = Int32.of_int Ram.Layout.data_base in
+      let proc =
+        run_insns arch
+          [ Insn.Li (1, base); Insn.Li (2, 777l); Insn.Store (Insn.S32, 2, 1, 0l);
+            Insn.Li (3, 111l); Insn.Load (Insn.S32, 3, 1, 0l); Insn.Mov (4, 3); Insn.Break ]
+      in
+      check Alcotest.int32 (Arch.name arch ^ " no delay") 777l (Cpu.reg proc.Proc.cpu 4))
+    [ Sparc; M68k; Vax ]
+
+let test_call_ret_conventions () =
+  (* mips/sparc link in a register; m68k/vax push the return address *)
+  List.iter
+    (fun arch ->
+      let target = Target.of_arch arch in
+      let cb = Ram.Layout.code_base in
+      (* layout: [entry: call f; break] [f: li r1 99; ret] *)
+      let call_len = Target.insn_length target (Insn.Call 0l) in
+      let brk_len = Target.insn_length target Insn.Break in
+      let f_addr = cb + call_len + brk_len in
+      let proc =
+        run_insns arch
+          [ Insn.Call (Int32.of_int f_addr); Insn.Break; Insn.Li (1, 99l); Insn.Ret ]
+      in
+      check Alcotest.int32 (Arch.name arch ^ " call/ret") 99l (Cpu.reg proc.Proc.cpu 1);
+      (* stopped at the Break after the call *)
+      check Alcotest.int (Arch.name arch ^ " return pc") (cb + call_len) (Proc.pc proc))
+    Arch.all
+
+(* --- processes and the kernel ------------------------------------------------- *)
+
+let test_printf_syscall () =
+  List.iter
+    (fun arch ->
+      let target = Target.of_arch arch in
+      let proc = Proc.create target in
+      let fmt_addr = Ram.Layout.data_base in
+      Ram.blit_in proc.Proc.ram ~addr:fmt_addr "x=%d y=%s f=%g!\000";
+      Ram.blit_in proc.Proc.ram ~addr:(fmt_addr + 64) "str\000";
+      let sys = Ram.Layout.sysarg_base in
+      Ram.set_u32 proc.Proc.ram sys (Int32.of_int fmt_addr);
+      Ram.set_u32 proc.Proc.ram (sys + 4) 42l;
+      Ram.set_u32 proc.Proc.ram (sys + 8) (Int32.of_int (fmt_addr + 64));
+      Ram.set_f64 proc.Proc.ram (sys + 12) 2.5;
+      Proc.do_syscall proc Proc.Sys_abi.printf;
+      check Alcotest.string (Arch.name arch ^ " printf") "x=42 y=str f=2.5!" (Proc.output proc))
+    Arch.all
+
+let test_rpt_roundtrip () =
+  let ram = Ram.create Big in
+  let entries =
+    [ { Rpt.addr = 0x1000; frame_size = 32; ra_offset = 28 };
+      { Rpt.addr = 0x1100; frame_size = 64; ra_offset = 60 } ]
+  in
+  Rpt.write ram entries;
+  let back = Rpt.read (fun a -> Ram.get_u32 ram a) in
+  check Alcotest.int "count" 2 (List.length back);
+  check Alcotest.bool "same" true (back = entries);
+  match Rpt.find back ~pc:0x1104 with
+  | Some e -> check Alcotest.int "find" 0x1100 e.Rpt.addr
+  | None -> Alcotest.fail "find failed"
+
+let () =
+  Alcotest.run "machine"
+    [
+      ( "encoders",
+        List.map roundtrip_prop Arch.all
+        @ [
+            Alcotest.test_case "instruction widths differ" `Quick test_lengths_differ;
+            Alcotest.test_case "real trap/no-op bit patterns" `Quick test_real_bit_patterns;
+            Alcotest.test_case "nop/brk same length" `Quick test_nop_brk_same_length;
+            Alcotest.test_case "bad encodings rejected" `Quick test_bad_encoding_rejected;
+          ] );
+      ( "ram",
+        [
+          Alcotest.test_case "endianness" `Quick test_ram_endianness;
+          Alcotest.test_case "faults" `Quick test_ram_fault;
+          Alcotest.test_case "cstring" `Quick test_ram_cstring;
+          Alcotest.test_case "floats" `Quick test_ram_floats;
+        ] );
+      ( "float80",
+        [
+          Alcotest.test_case "exact roundtrip" `Quick test_float80_exact;
+          Alcotest.test_case "specials" `Quick test_float80_specials;
+          prop_float80_roundtrip;
+        ] );
+      ( "cpu",
+        [
+          Alcotest.test_case "alu on all targets" `Quick test_alu_all_archs;
+          Alcotest.test_case "load/store endianness" `Quick test_load_store_endian_insulated;
+          Alcotest.test_case "divide by zero faults" `Quick test_div_by_zero_faults;
+          Alcotest.test_case "bad fetch faults" `Quick test_bad_fetch_faults;
+          Alcotest.test_case "mips load delay slot" `Quick test_mips_load_delay;
+          Alcotest.test_case "no delay elsewhere" `Quick test_no_delay_on_others;
+          Alcotest.test_case "call/ret conventions" `Quick test_call_ret_conventions;
+        ] );
+      ( "proc",
+        [
+          Alcotest.test_case "printf syscall" `Quick test_printf_syscall;
+          Alcotest.test_case "runtime procedure table" `Quick test_rpt_roundtrip;
+        ] );
+    ]

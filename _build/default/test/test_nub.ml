@@ -1,0 +1,223 @@
+(** Tests for the nub and its little-endian protocol: codec round-trips
+    (the protocol validation), channel semantics, byte-order handling, the
+    SIM-MIPS floating-save word-swap quirk, context save/restore, and
+    reconnection after a debugger "crash". *)
+
+open Ldb_machine
+module Chan = Ldb_nub.Chan
+module Proto = Ldb_nub.Proto
+module Nub = Ldb_nub.Nub
+
+let check = Alcotest.check
+
+(* --- channels -------------------------------------------------------------- *)
+
+let test_chan_basic () =
+  let a, b = Chan.pair () in
+  Chan.send a "hello";
+  check Alcotest.string "recv" "hello" (Chan.recv_exactly b 5);
+  Chan.send b "xy";
+  check Alcotest.int "u8" (Char.code 'x') (Chan.recv_u8 a);
+  check Alcotest.int "u8 2" (Char.code 'y') (Chan.recv_u8 a)
+
+let test_chan_pump () =
+  let a, b = Chan.pair () in
+  (* b's data arrives only when a pumps *)
+  Chan.set_pump a (fun () -> Chan.send b "pumped!");
+  check Alcotest.string "pump delivers" "pumped!" (Chan.recv_exactly a 7)
+
+let test_chan_disconnect () =
+  let a, b = Chan.pair () in
+  Chan.send a "x";
+  Chan.disconnect a;
+  (* buffered data still readable *)
+  check Alcotest.string "buffered" "x" (Chan.recv_exactly b 1);
+  match Chan.recv_exactly b 1 with
+  | exception Chan.Disconnected -> ()
+  | _ -> Alcotest.fail "expected Disconnected"
+
+(* --- protocol codec -------------------------------------------------------- *)
+
+let roundtrip_request (r : Proto.request) =
+  let a, b = Chan.pair () in
+  Proto.send_request a r;
+  Proto.read_request b = r
+
+let roundtrip_reply (r : Proto.reply) =
+  let a, b = Chan.pair () in
+  Proto.send_reply a r;
+  Proto.read_reply b = r
+
+let test_request_roundtrips () =
+  List.iter
+    (fun r -> Alcotest.(check bool) "request" true (roundtrip_request r))
+    [ Proto.Hello;
+      Proto.Fetch { space = 'd'; addr = 0x123456; size = 4 };
+      Proto.Fetch { space = 'c'; addr = 0; size = 10 };
+      Proto.Store { space = 'd'; addr = 0xffff; bytes = "\x01\x02\x03\x04" };
+      Proto.Continue; Proto.Kill; Proto.Detach ]
+
+let test_reply_roundtrips () =
+  List.iter
+    (fun r -> Alcotest.(check bool) "reply" true (roundtrip_reply r))
+    [ Proto.Hello_reply { arch = "mips"; state = Proto.St_running; can_step = true };
+      Proto.Hello_reply
+        { arch = "vax"; state = Proto.St_stopped { signal = 5; code = 0; ctx_addr = 99 };
+          can_step = false };
+      Proto.Hello_reply { arch = "m68k"; state = Proto.St_exited 3; can_step = true };
+      Proto.Fetched "\xde\xad\xbe\xef";
+      Proto.Stored;
+      Proto.Event { signal = 11; code = 0x1234; ctx_addr = 0x1f0000 };
+      Proto.Exit_event 0;
+      Proto.Nub_error "no such space" ]
+
+let prop_fetch_roundtrip =
+  Testkit.qtest "random fetch requests roundtrip" ~count:300
+    QCheck.(triple (int_bound 0xffffff) (int_range 1 16) bool)
+    (fun (addr, size, code_space) ->
+      roundtrip_request
+        (Proto.Fetch { space = (if code_space then 'c' else 'd'); addr; size }))
+
+let prop_store_roundtrip =
+  Testkit.qtest "random store requests roundtrip" ~count:300
+    QCheck.(pair (int_bound 0xffffff) (string_gen_of_size (QCheck.Gen.int_range 1 16) QCheck.Gen.char))
+    (fun (addr, bytes) -> roundtrip_request (Proto.Store { space = 'd'; addr; bytes }))
+
+(* --- nub service ------------------------------------------------------------ *)
+
+let stopped_nub arch =
+  let proc = Proc.create (Target.of_arch arch) in
+  let nub = Nub.create proc in
+  proc.Proc.status <- Proc.Stopped (SIGTRAP, 0);
+  Nub.save_context nub;
+  let dbg, nubend = Chan.pair () in
+  Nub.attach nub nubend;
+  Chan.set_pump dbg (fun () -> Nub.pump nub);
+  (proc, nub, dbg)
+
+let rpc dbg req =
+  Proto.send_request dbg req;
+  Proto.read_reply dbg
+
+(** Values travel little-endian regardless of target byte order. *)
+let test_fetch_little_endian_wire () =
+  List.iter
+    (fun arch ->
+      let proc, _, dbg = stopped_nub arch in
+      Ram.set_u32 proc.Proc.ram 0x2000 0x11223344l;
+      match rpc dbg (Proto.Fetch { space = 'd'; addr = 0x2000; size = 4 }) with
+      | Proto.Fetched bytes ->
+          check Alcotest.string
+            (Arch.name arch ^ " wire value is little-endian")
+            "\x44\x33\x22\x11" bytes
+      | _ -> Alcotest.fail "bad reply")
+    Arch.all
+
+let test_store_roundtrip_all_archs () =
+  List.iter
+    (fun arch ->
+      let proc, _, dbg = stopped_nub arch in
+      (match rpc dbg (Proto.Store { space = 'd'; addr = 0x3000; bytes = "\x78\x56\x34\x12" }) with
+      | Proto.Stored -> ()
+      | _ -> Alcotest.fail "store failed");
+      check Alcotest.int32 (Arch.name arch ^ " stored value") 0x12345678l
+        (Ram.get_u32 proc.Proc.ram 0x3000))
+    Arch.all
+
+let test_hello () =
+  let _, _, dbg = stopped_nub M68k in
+  match rpc dbg Proto.Hello with
+  | Proto.Hello_reply { arch = "m68k"; state = Proto.St_stopped { signal = 5; _ }; _ } -> ()
+  | r -> Alcotest.failf "bad hello reply %s" (Fmt.str "%a" Proto.pp_reply r)
+
+let test_bad_space_error () =
+  let _, _, dbg = stopped_nub Vax in
+  match rpc dbg (Proto.Fetch { space = 'q'; addr = 0; size = 4 }) with
+  | Proto.Nub_error _ -> ()
+  | _ -> Alcotest.fail "expected error for bad space"
+
+(** The SIM-MIPS kernel saves FP registers least-significant-word first;
+    the nub swaps on 8-byte accesses to the saved-FP area, so the debugger
+    sees a normal double. *)
+let test_mips_fp_word_swap () =
+  let proc = Proc.create (Target.of_arch Mips) in
+  Cpu.set_freg proc.Proc.cpu 3 1.2345;
+  let nub = Nub.create proc in
+  proc.Proc.status <- Proc.Stopped (SIGTRAP, 0);
+  Nub.save_context nub;
+  let dbg, nubend = Chan.pair () in
+  Nub.attach nub nubend;
+  Chan.set_pump dbg (fun () -> Nub.pump nub);
+  let t = Target.of_arch Mips in
+  let addr = Nub.ctx_base + t.Target.ctx_freg_off 3 in
+  (* raw words in memory are swapped (LSW first) *)
+  let bits = Int64.bits_of_float 1.2345 in
+  check Alcotest.int32 "LSW stored first" (Int64.to_int32 bits)
+    (Ram.get_u32 proc.Proc.ram addr);
+  (* ... but an 8-byte wire fetch sees a proper little-endian double *)
+  match rpc dbg (Proto.Fetch { space = 'd'; addr; size = 8 }) with
+  | Proto.Fetched bytes ->
+      let v = Ldb_util.Endian.get_u64 Little (Bytes.of_string bytes) 0 in
+      check (Alcotest.float 0.0) "double reassembled" 1.2345 (Int64.float_of_bits v)
+  | _ -> Alcotest.fail "fetch failed"
+
+let test_context_save_restore () =
+  List.iter
+    (fun arch ->
+      let proc = Proc.create (Target.of_arch arch) in
+      let nub = Nub.create proc in
+      Cpu.set_reg proc.Proc.cpu 3 111l;
+      Cpu.set_freg proc.Proc.cpu 1 9.5;
+      Proc.set_pc proc 0x1234;
+      proc.Proc.status <- Proc.Stopped (SIGTRAP, 0);
+      Nub.save_context nub;
+      (* clobber, then restore *)
+      Cpu.set_reg proc.Proc.cpu 3 0l;
+      Cpu.set_freg proc.Proc.cpu 1 0.0;
+      Proc.set_pc proc 0;
+      Nub.restore_context nub;
+      let an = Arch.name arch in
+      check Alcotest.int32 (an ^ " reg restored") 111l (Cpu.reg proc.Proc.cpu 3);
+      check (Alcotest.float 0.0) (an ^ " freg restored") 9.5 (Cpu.freg proc.Proc.cpu 1);
+      check Alcotest.int (an ^ " pc restored") 0x1234 (Proc.pc proc))
+    Arch.all
+
+(** A debugger crash must not lose target state: the nub keeps the
+    process, and a new debugger instance can attach. *)
+let test_reconnect_preserves_state () =
+  let proc, nub, dbg1 = stopped_nub Sparc in
+  Ram.set_u32 proc.Proc.ram 0x2000 4242l;
+  (* debugger 1 "crashes" *)
+  Chan.disconnect dbg1;
+  (* a new debugger connects *)
+  let dbg2, nubend2 = Chan.pair () in
+  Nub.attach nub nubend2;
+  Chan.set_pump dbg2 (fun () -> Nub.pump nub);
+  (match rpc dbg2 Proto.Hello with
+  | Proto.Hello_reply { state = Proto.St_stopped _; _ } -> ()
+  | _ -> Alcotest.fail "state not preserved");
+  match rpc dbg2 (Proto.Fetch { space = 'd'; addr = 0x2000; size = 4 }) with
+  | Proto.Fetched "\x92\x10\x00\x00" -> ()
+  | Proto.Fetched b -> Alcotest.failf "wrong bytes %S" b
+  | _ -> Alcotest.fail "fetch after reconnect failed"
+
+let case name f = Alcotest.test_case name `Quick f
+
+let () =
+  Alcotest.run "nub"
+    [
+      ( "channels",
+        [ case "basic" test_chan_basic; case "pump" test_chan_pump;
+          case "disconnect" test_chan_disconnect ] );
+      ( "protocol",
+        [ case "requests" test_request_roundtrips; case "replies" test_reply_roundtrips;
+          prop_fetch_roundtrip; prop_store_roundtrip ] );
+      ( "service",
+        [ case "hello" test_hello;
+          case "fetch is little-endian on the wire" test_fetch_little_endian_wire;
+          case "store on all targets" test_store_roundtrip_all_archs;
+          case "bad space" test_bad_space_error;
+          case "mips fp word swap" test_mips_fp_word_swap;
+          case "context save/restore" test_context_save_restore;
+          case "reconnect preserves state" test_reconnect_preserves_state ] );
+    ]

@@ -1,0 +1,288 @@
+(** Tests for the embedded PostScript dialect: scanner, core operators,
+    control flow, dictionaries, the stopped mechanism, deferred execution,
+    the prettyprinter, and the debugging extensions. *)
+
+module I = Ldb_pscript.Interp
+module V = Ldb_pscript.Value
+module Ps = Ldb_pscript.Ps
+
+let check = Alcotest.check
+
+(** Run source and return printed output. *)
+let out src =
+  let t = Ps.create () in
+  I.run_string t src;
+  I.take_output t
+
+(** Run source and return the top of stack as text. *)
+let top src =
+  let t = Ps.create () in
+  I.run_string t src;
+  V.to_text (I.pop t)
+
+let expect name src expected = check Alcotest.string name expected (out src)
+let expect_top name src expected = check Alcotest.string name expected (top src)
+
+(* --- scanner ------------------------------------------------------------- *)
+
+let test_numbers () =
+  expect_top "int" "42" "42";
+  expect_top "negative" "-7" "-7";
+  expect_top "real" "2.5" "2.5";
+  expect_top "exponent" "1e3" "1000.0";
+  expect_top "radix 16" "16#2a" "42";
+  expect_top "radix 8" "8#17" "15";
+  expect_top "radix 2" "2#1010" "10";
+  expect_top "radix with letters" "16#00ff" "255"
+
+let test_strings () =
+  expect_top "simple" "(hello)" "hello";
+  expect_top "nested parens" "(a(b)c)" "a(b)c";
+  expect_top "escapes" {|(x\ny)|} "x\ny";
+  expect_top "octal escape" {|(\101)|} "A";
+  expect "string length" "(hi(nested)) length =" "10\n"
+
+let test_comments () = expect_top "comment" "1 % junk ( ) { }\n2 add" "3"
+
+let test_names () =
+  expect_top "literal name" "/foo" "foo";
+  expect "executable name undefined" "" "";
+  match out "undefined_name_xyz" with
+  | exception V.Error ("undefined", _) -> ()
+  | _ -> Alcotest.fail "undefined name did not raise"
+
+(* --- arithmetic and comparison ---------------------------------------------- *)
+
+let test_arith () =
+  expect_top "add" "1 2 add" "3";
+  expect_top "mixed add" "1 2.5 add" "3.5";
+  expect_top "sub" "10 3 sub" "7";
+  expect_top "idiv" "17 5 idiv" "3";
+  expect_top "mod" "17 5 mod" "2";
+  expect_top "div real" "1 2 div" "0.5";
+  expect_top "neg" "5 neg" "-5";
+  expect_top "abs" "-3.5 abs" "3.5";
+  expect_top "bitshift left" "1 4 bitshift" "16";
+  expect_top "bitshift right" "16 -4 bitshift" "1";
+  expect_top "sqrt" "16 sqrt" "4.0"
+
+let test_compare () =
+  expect_top "lt" "1 2 lt" "true";
+  expect_top "string compare" "(abc) (abd) lt" "true";
+  expect_top "eq num" "2 2.0 eq" "true";
+  expect_top "ne" "1 2 ne" "true";
+  expect_top "and bool" "true false and" "false";
+  expect_top "and int" "12 10 and" "8";
+  expect_top "not" "true not" "false"
+
+(* --- stack ops ----------------------------------------------------------------- *)
+
+let test_stack () =
+  expect_top "exch" "1 2 exch pop" "2";
+  expect_top "dup" "5 dup add" "10";
+  expect_top "index" "10 20 30 2 index" "10";
+  expect_top "copy" "1 2 2 copy pop pop pop" "1";
+  expect "roll" "1 2 3 3 -1 roll pstack" "1\n3\n2\n";
+  expect "count" "9 9 9 count = clear" "3\n";
+  expect "counttomark" "mark 4 5 6 counttomark = cleartomark" "3\n"
+
+(* --- control flow ----------------------------------------------------------------- *)
+
+let test_control () =
+  expect_top "if true" "1 true {10 add} if" "11";
+  expect_top "ifelse" "false {1} {2} ifelse" "2";
+  expect "for" "0 1 4 { cvs print ( ) print } for" "0 1 2 3 4 ";
+  expect "for step" "10 -2 4 { cvs print ( ) print } for" "10 8 6 4 ";
+  expect "repeat" "3 { (x) print } repeat" "xxx";
+  expect_top "loop exit" "0 { 1 add dup 5 ge { exit } if } loop" "5";
+  expect_top "exit in for" "0 1 100 { dup 3 ge { exit } if pop } for" "3";
+  expect_top "stopped catches stop" "{ 1 2 stop 99 } stopped" "true";
+  expect_top "stopped false" "{ 42 } stopped not" "true"
+
+let test_forall () =
+  expect "array forall" "[1 2 3] { cvs print } forall" "123";
+  expect "string forall" "(AB) { cvs print ( ) print } forall" "65 66 ";
+  expect "dict forall" "<< /b 2 /a 1 >> { exch print cvs print } forall" "a1b2"
+
+(* --- dictionaries ------------------------------------------------------------------ *)
+
+let test_dicts () =
+  expect_top "def and lookup" "/x 42 def x" "42";
+  expect_top "dict literal" "<< /a 1 /b 2 >> /b get" "2";
+  expect_top "nested dict" "<< /t << /u 9 >> >> /t get /u get" "9";
+  expect_top "known true" "<< /a 1 >> /a known" "true";
+  expect_top "known false" "<< /a 1 >> /z known" "false";
+  expect_top "begin/end scoping" "3 dict begin /v 7 def v end" "7";
+  expect_top "length" "<< /a 1 /b 2 /c 3 >> length" "3";
+  expect_top "store rebinds" "/g 1 def 5 dict begin /g 2 store end g" "2";
+  expect_top "where finds" "/w 1 def /w where { /w get } { -1 } ifelse" "1";
+  expect_top "integer keys" "<< 5 (five) >> 5 get" "five"
+
+let test_dict_stack_rebinding () =
+  (* the paper's architecture-switch mechanism: pushing a dictionary
+     rebinds machine-dependent names *)
+  expect_top "rebinding"
+    "/Regset0 (r) def /archdict << /Regset0 (q) >> def archdict begin Regset0 end" "q"
+
+(* --- arrays, procedures, conversion -------------------------------------------------- *)
+
+let test_arrays () =
+  expect_top "array get" "[10 20 30] 1 get" "20";
+  expect_top "array put" "[10 20 30] dup 1 99 put 1 get" "99";
+  expect_top "array length" "5 array length" "5";
+  expect_top "aload" "[7 8] aload pop add" "15";
+  expect_top "astore" "1 2 2 array astore 0 get" "1"
+
+let test_exec_attr () =
+  expect_top "cvx string executes" "(1 2 add) cvx exec" "3";
+  expect_top "literal proc pushed" "{ 1 2 add } exec" "3";
+  expect_top "xcheck proc" "{ } xcheck" "true";
+  expect_top "xcheck literal" "[ ] xcheck" "false";
+  expect_top "cvlit prevents execution" "{ 1 } cvlit type" "arraytype";
+  (* executing a literal object pushes it: procedures interpreted at most
+     once can be replaced with their results *)
+  expect_top "literal replacement" "/p { 40 2 add } def /r p def r" "42"
+
+let test_conversions () =
+  expect_top "cvi real" "3.99 cvi" "3";
+  expect_top "cvi string" "(123) cvi" "123";
+  expect_top "cvr" "2 cvr" "2.0";
+  expect_top "cvs" "17 cvs length" "2";
+  expect_top "cvn" "(foo) cvn" "foo";
+  expect_top "type int" "3 type" "integertype";
+  expect_top "type mem" "LocalMemory type" "memorytype"
+
+let test_immutable_strings () =
+  match out "(abc) 0 65 put" with
+  | exception V.Error ("invalidaccess", _) -> ()
+  | _ -> Alcotest.fail "string put should be invalidaccess"
+
+(* --- deferral (Sec. 5) ---------------------------------------------------------------- *)
+
+let test_deferred_execution () =
+  (* a quoted body reads as a string, then executes on demand *)
+  expect_top "deferred" "/body (/answer 42 def) def body cvx exec answer" "42"
+
+let test_deferred_nested_strings () =
+  let t = Ps.create () in
+  (* emulate a deferred symbol table body containing strings *)
+  let inner = "/name (fib.c) def" in
+  let escaped = Ldb_cc.Psemit.ps_escape inner in
+  I.run_string t (Printf.sprintf "/b (%s) def b cvx exec name" escaped);
+  check Alcotest.string "nested" "fib.c" (V.to_text (I.pop t))
+
+(* --- prettyprinter ------------------------------------------------------------------------ *)
+
+let test_prettyprinter () =
+  let o = out "20 PPWidth ({) Put 0 Begin 0 1 9 { dup 0 ne {(, ) Put 0 Break} if cvs Put } for (}) Put End" in
+  Alcotest.(check bool) "wrapped" true (String.contains o '\n');
+  Alcotest.(check bool) "has content" true (String.length o > 20)
+
+(* --- debugging extensions ------------------------------------------------------------------- *)
+
+let test_locations () =
+  expect_top "Absolute offset" "30 (r) Absolute LocOffset" "30";
+  expect_top "Absolute space" "30 (r) Absolute LocSpace" "r";
+  expect_top "Shifted" "100 (d) Absolute 8 Shifted LocOffset" "108";
+  expect_top "DataLoc" "64 DataLoc LocSpace" "d";
+  expect_top "Immediate fetch" "/m LocalMemory def m 1234 Immediate FetchI32" "1234"
+
+let test_fetch_store () =
+  expect_top "i32" "/m LocalMemory def m 0 DataLoc -42 StoreI32 m 0 DataLoc FetchI32" "-42";
+  expect_top "u8" "/m LocalMemory def m 4 DataLoc 255 StoreI8 m 4 DataLoc FetchU8" "255";
+  expect_top "i8 sign" "/m LocalMemory def m 4 DataLoc 255 StoreI8 m 4 DataLoc FetchI8" "-1";
+  expect_top "i16" "/m LocalMemory def m 8 DataLoc -1000 StoreI16 m 8 DataLoc FetchI16" "-1000";
+  expect_top "f64" "/m LocalMemory def m 16 DataLoc 2.5 StoreF64 m 16 DataLoc FetchF64" "2.5";
+  expect_top "f32" "/m LocalMemory def m 24 DataLoc 1.5 StoreF32 m 24 DataLoc FetchF32" "1.5";
+  expect_top "f80" "/m LocalMemory def m 32 DataLoc 0.1 StoreF80 m 32 DataLoc FetchF80" "0.1"
+
+let test_fetch_string () =
+  expect_top "FetchString"
+    "/m LocalMemory def m 0 DataLoc 72 StoreI8 m 1 DataLoc 105 StoreI8 m 0 DataLoc 16 FetchString"
+    "Hi"
+
+let test_prelude_printers () =
+  (* INT printer: mem loc typedict -> prints *)
+  expect "INT printer"
+    "/m LocalMemory def m 0 DataLoc 7 StoreI32 m 0 DataLoc << /printer {INT} >> print" "7";
+  (* ARRAY printer over a little local array *)
+  expect "ARRAY printer"
+    {|/m LocalMemory def
+      m 0 DataLoc 10 StoreI32 m 4 DataLoc 20 StoreI32 m 8 DataLoc 30 StoreI32
+      m 0 DataLoc
+      << /printer {ARRAY} /elemsize 4 /arraysize 12
+         /elemtype << /printer {INT} >> >>
+      print|}
+    "{10, 20, 30}";
+  (* STRUCT printer *)
+  expect "STRUCT printer"
+    {|/m LocalMemory def
+      m 0 DataLoc 3 StoreI32 m 4 DataLoc 4 StoreI32
+      m 0 DataLoc
+      << /printer {STRUCT}
+         /fields [ [ (x) 0 << /printer {INT} >> ] [ (y) 4 << /printer {INT} >> ] ] >>
+      print|}
+    "{x=3, y=4}";
+  (* CHAR printer *)
+  expect "CHAR printer"
+    "/m LocalMemory def m 0 DataLoc 65 StoreI8 m 0 DataLoc << /printer {CHAR} >> print"
+    "'A'"
+
+let test_find_local () =
+  expect_top "FindLocal hit"
+    {|/S1 << /name (a) /uplink null >> def
+      /S2 << /name (i) /uplink S1 >> def
+      S2 (a) FindLocal { /name get } { (missing) } ifelse|}
+    "a";
+  expect_top "FindLocal miss"
+    {|/S1 << /name (a) /uplink null >> def
+      S1 (zz) FindLocal { (found) exch pop } { (missing) } ifelse|}
+    "missing"
+
+let test_concatstr () = expect_top "concatstr" "(foo) (bar) concatstr" "foobar"
+
+let test_declsubst () =
+  expect_top "array decl" "(int %s[20]) (a) DeclSubst" "int a[20]";
+  expect_top "pointer decl" "(char *%s) (msg) DeclSubst" "char *msg";
+  expect_top "no hole" "(double) (x) DeclSubst" "double x"
+
+let test_interp_errors () =
+  (match out "1 (x) add" with
+  | exception V.Error ("typecheck", _) -> ()
+  | _ -> Alcotest.fail "typecheck expected");
+  (match out "pop" with
+  | exception V.Error ("stackunderflow", _) -> ()
+  | _ -> Alcotest.fail "stackunderflow expected");
+  match out "[1 2] 5 get" with
+  | exception V.Error ("rangecheck", _) -> ()
+  | _ -> Alcotest.fail "rangecheck expected"
+
+let case name f = Alcotest.test_case name `Quick f
+
+let () =
+  Alcotest.run "pscript"
+    [
+      ( "scanner",
+        [ case "numbers" test_numbers; case "strings" test_strings;
+          case "comments" test_comments; case "names" test_names ] );
+      ( "operators",
+        [ case "arithmetic" test_arith; case "comparison" test_compare;
+          case "stack" test_stack; case "conversions" test_conversions ] );
+      ( "control",
+        [ case "flow" test_control; case "forall" test_forall ] );
+      ( "dicts",
+        [ case "basics" test_dicts; case "rebinding" test_dict_stack_rebinding ] );
+      ( "objects",
+        [ case "arrays" test_arrays; case "exec attribute" test_exec_attr;
+          case "immutable strings" test_immutable_strings ] );
+      ( "deferral",
+        [ case "basic" test_deferred_execution;
+          case "nested strings" test_deferred_nested_strings ] );
+      ( "prettyprint", [ case "wrapping" test_prettyprinter ] );
+      ( "debug extensions",
+        [ case "locations" test_locations; case "fetch/store" test_fetch_store;
+          case "fetch string" test_fetch_string; case "prelude printers" test_prelude_printers;
+          case "FindLocal" test_find_local; case "concatstr" test_concatstr;
+          case "DeclSubst" test_declsubst;
+          case "errors" test_interp_errors ] );
+    ]

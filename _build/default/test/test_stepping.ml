@@ -1,0 +1,254 @@
+(** Tests for the Sec. 7.1 extensions: the nub's single-step protocol
+    extension, breakpoints over arbitrary instructions, source-level
+    stepping, graceful degradation when the extension is absent, and the
+    event-driven client interface with conditional breakpoints. *)
+
+open Ldb_machine
+module Ldb = Ldb_ldb.Ldb
+module Host = Ldb_ldb.Host
+module Client = Ldb_ldb.Client
+module Frame = Ldb_ldb.Frame
+module Breakpoint = Ldb_ldb.Breakpoint
+
+let check = Alcotest.check
+
+let prog =
+  {|
+int triple(int x) { return 3 * x; }
+int main(void)
+{
+    int i;
+    int acc;
+    acc = 0;
+    for (i = 1; i <= 6; i++)
+        acc = acc + triple(i);
+    printf("%d\n", acc);
+    return 0;
+}
+|}
+
+let session ?can_step arch =
+  let d = Ldb.create () in
+  let p =
+    let img, loader_ps = Ldb_link.Driver.build ~arch [ ("t.c", prog) ] in
+    let proc = Ldb_link.Link.load img in
+    let nub = Ldb_nub.Nub.create ?can_step proc in
+    Ldb_nub.Nub.start ~paused:true nub;
+    { Host.hp_proc = proc; hp_nub = nub; hp_image = img; hp_loader_ps = loader_ps }
+  in
+  let tg = Ldb.connect d ~name:"step" ~loader_ps:p.Host.hp_loader_ps (Host.open_channel p) in
+  (d, tg, p)
+
+(* --- instruction stepping ----------------------------------------------- *)
+
+let test_step_instruction_all_archs () =
+  List.iter
+    (fun arch ->
+      let d, tg, _ = session arch in
+      ignore (Ldb.break_function d tg "main");
+      ignore (Ldb.continue_ d tg);
+      let pc0 = (Ldb.top_frame d tg).Frame.fr_pc in
+      (* leaving the breakpoint takes the no-op skip; drive a few steps *)
+      (match tg.Ldb.tg_state with
+      | Ldb.Stopped { ctx_addr; _ } ->
+          Ldb_amemory.Amemory.store_i32 tg.Ldb.tg_wire
+            (Ldb_amemory.Amemory.absolute 'd' (ctx_addr + tg.Ldb.tg_tdesc.Target.ctx_pc_off))
+            (Int32.of_int (pc0 + tg.Ldb.tg_tdesc.Target.nop_advance))
+      | _ -> Alcotest.fail "not stopped");
+      (match Ldb.step_instruction d tg with
+      | Ldb.Stopped { signal = SIGTRAP; code = 1; _ } -> ()
+      | _ -> Alcotest.fail "step did not stop with a step event");
+      let pc1 = (Ldb.top_frame d tg).Frame.fr_pc in
+      Alcotest.(check bool) (Arch.name arch ^ " pc advanced") true (pc1 <> pc0))
+    Arch.all
+
+let test_step_unsupported () =
+  let d, tg, _ = session ~can_step:false Vax in
+  Alcotest.(check bool) "capability reported" false tg.Ldb.tg_can_step;
+  ignore (Ldb.break_function d tg "main");
+  ignore (Ldb.continue_ d tg);
+  (match Ldb.step_instruction d tg with
+  | exception Ldb.Error _ -> ()
+  | _ -> Alcotest.fail "step accepted without nub support");
+  (* but the no-op breakpoint scheme keeps working *)
+  match Ldb.continue_ d tg with
+  | Ldb.Exited 0 -> ()
+  | _ -> Alcotest.fail "no-op scheme broken without stepping"
+
+(* --- general breakpoints -------------------------------------------------- *)
+
+let test_general_breakpoint () =
+  List.iter
+    (fun arch ->
+      let d, tg, p = session arch in
+      (* plant over the *second* instruction of triple: not a no-op *)
+      let entry = Ldb.break_function d tg "triple" in
+      Ldb.clear_breakpoint tg ~addr:entry;
+      let nop_len = String.length tg.Ldb.tg_tdesc.Target.nop in
+      (* skip consecutive stopping-point no-ops to real code *)
+      let rec first_real a =
+        if Breakpoint.fetch_bytes tg.Ldb.tg_wire a nop_len = tg.Ldb.tg_tdesc.Target.nop then
+          first_real (a + nop_len)
+        else a
+      in
+      let addr = first_real entry in
+      Ldb.break_address d tg ~addr;
+      (* six calls to triple: the general breakpoint must hit six times and
+         execution must stay correct (restore / step / replant) *)
+      let hits = ref 0 in
+      let rec drive () =
+        match Ldb.continue_ d tg with
+        | Ldb.Stopped { signal = SIGTRAP; _ } ->
+            incr hits;
+            drive ()
+        | Ldb.Exited 0 -> ()
+        | _ -> Alcotest.fail "unexpected stop"
+      in
+      drive ();
+      check Alcotest.int (Arch.name arch ^ " hits") 6 !hits;
+      check Alcotest.string (Arch.name arch ^ " output intact") "63\n" (Host.output p))
+    Arch.all
+
+let test_general_needs_stepping () =
+  let d, tg, _ = session ~can_step:false M68k in
+  match Ldb.break_address d tg ~addr:Ram.Layout.code_base with
+  | exception Ldb.Error _ -> ()
+  | _ -> Alcotest.fail "general breakpoint planted without step support"
+
+(* --- source-level stepping -------------------------------------------------- *)
+
+let test_step_source () =
+  let d, tg, _ = session Mips in
+  ignore (Ldb.break_function d tg "main");
+  ignore (Ldb.continue_ d tg);
+  (* stepping from main's entry: each step lands on a stopping point *)
+  let lines = ref [] in
+  for _ = 1 to 4 do
+    match Ldb.step_source d tg with
+    | Ldb.Stopped _ -> (
+        let fr = Ldb.top_frame d tg in
+        match Ldb.stop_of_frame d tg fr with
+        | Some s -> lines := s.Ldb_ldb.Symtab.stop_line :: !lines
+        | None -> Alcotest.fail "step landed off a stopping point")
+    | _ -> Alcotest.fail "step_source did not stop"
+  done;
+  (* main: acc=0 (line 7), i=1 (line 8), i<=6 (line 8), then into the body *)
+  Alcotest.(check bool) "visited several distinct points" true
+    (List.length (List.sort_uniq compare !lines) >= 2)
+
+let test_step_source_enters_callee () =
+  let d, tg, _ = session Sparc in
+  ignore (Ldb.break_line d tg ~line:9);  (* acc = acc + triple(i) *)
+  ignore (Ldb.continue_ d tg);
+  (* stepping from the call statement eventually lands in triple *)
+  let rec go n =
+    if n = 0 then Alcotest.fail "never reached triple"
+    else
+      match Ldb.step_source d tg with
+      | Ldb.Stopped _ ->
+          let fr = Ldb.top_frame d tg in
+          if Ldb.frame_function d tg fr = "triple" then ()
+          else go (n - 1)
+      | _ -> Alcotest.fail "lost the target"
+  in
+  go 6
+
+(* --- event-driven client / conditional breakpoints ---------------------------- *)
+
+let test_conditional_breakpoint () =
+  let d, tg, _p = session Vax in
+  let client = Client.create d tg in
+  let addr = Ldb.break_function d tg "triple" in
+  (* only stop when x > 4: should fire exactly twice (x=5, x=6) *)
+  Client.break_when client ~addr (fun fr -> Ldb.read_int_var d tg fr "x" > 4);
+  let stops = ref [] in
+  let ev =
+    Client.run client ~handler:(fun ev ->
+        match ev with
+        | Client.Ev_breakpoint { frame; _ } ->
+            stops := Ldb.read_int_var d tg frame "x" :: !stops;
+            Client.Resume
+        | Client.Ev_signal _ -> Client.Resume
+        | Client.Ev_exit _ -> Client.Pause)
+  in
+  (match ev with Client.Ev_exit 0 -> () | _ -> Alcotest.fail "did not run to exit");
+  check Alcotest.(list int) "fired for x=5,6 only" [ 5; 6 ] (List.rev !stops)
+
+let test_event_classification () =
+  let d, tg, _ = session M68k in
+  let client = Client.create d tg in
+  ignore (Ldb.break_function d tg "main");
+  let ev = Client.run client ~handler:(fun _ -> Client.Pause) in
+  match ev with
+  | Client.Ev_breakpoint { frame; _ } ->
+      check Alcotest.string "in main" "main" (Ldb.frame_function d tg frame)
+  | _ -> Alcotest.fail "expected a breakpoint event"
+
+(* --- watchpoints --------------------------------------------------------- *)
+
+let watch_prog =
+  {|
+int counter = 0;
+int spin(int n) { int i; int s; s = 0; for (i = 0; i < n; i++) s += i; return s; }
+int main(void)
+{
+    int a;
+    a = spin(5);
+    counter = a + 1;    /* the watched modification */
+    a = spin(3);
+    printf("%d %d\n", counter, a);
+    return 0;
+}
+|}
+
+let test_watchpoint () =
+  let d = Ldb.create () in
+  let p, tg = Host.spawn d ~arch:Sparc ~name:"w" [ ("w.c", watch_prog) ] in
+  ignore p;
+  let client = Client.create d tg in
+  (* address of the global through the symbol machinery *)
+  let main_bp = Ldb.break_function d tg "main" in
+  ignore (Ldb.continue_ d tg);
+  (* the watch single-steps from here: restore the no-op first *)
+  Ldb.clear_breakpoint tg ~addr:main_bp;
+  let fr = Ldb.top_frame d tg in
+  let addr =
+    match Ldb.resolve d tg fr "counter" with
+    | Some entry -> (
+        match Ldb.location_of d tg fr entry with
+        | Ldb_amemory.Amemory.Absolute { offset; _ } -> offset
+        | _ -> Alcotest.fail "no address")
+    | None -> Alcotest.fail "counter not found"
+  in
+  (match Client.watch client ~addr () with
+  | Client.Ev_signal { frame; _ } | Client.Ev_breakpoint { frame; _ } ->
+      (* stopped right after the store: counter already has its new value *)
+      Alcotest.(check string) "stopped in main" "main" (Ldb.frame_function d tg frame);
+      Alcotest.(check int) "new value visible" 11
+        (Int32.to_int
+           (Ldb_amemory.Amemory.fetch_i32 tg.Ldb.tg_wire
+              (Ldb_amemory.Amemory.absolute 'd' addr)))
+  | Client.Ev_exit _ -> Alcotest.fail "exited before the watch fired");
+  match Ldb.continue_ d tg with
+  | Ldb.Exited 0 -> ()
+  | _ -> Alcotest.fail "did not finish after the watch"
+
+let case name f = Alcotest.test_case name `Quick f
+
+let () =
+  Alcotest.run "stepping"
+    [
+      ( "instruction stepping",
+        [ case "steps on all targets" test_step_instruction_all_archs;
+          case "unsupported nub degrades gracefully" test_step_unsupported ] );
+      ( "general breakpoints",
+        [ case "restore/step/replant on all targets" test_general_breakpoint;
+          case "requires the extension" test_general_needs_stepping ] );
+      ( "source stepping",
+        [ case "lands on stopping points" test_step_source;
+          case "enters callees" test_step_source_enters_callee ] );
+      ( "client events",
+        [ case "conditional breakpoints" test_conditional_breakpoint;
+          case "classification" test_event_classification;
+          case "data watchpoint" test_watchpoint ] );
+    ]

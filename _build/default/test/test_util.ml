@@ -1,0 +1,136 @@
+(** Unit and property tests for lib/util: endian codecs, the LZW codec,
+    hexdump, and line counting. *)
+
+open Ldb_util
+
+let check = Alcotest.check
+
+(* --- endian ------------------------------------------------------------- *)
+
+let test_u16_roundtrip () =
+  let b = Bytes.create 2 in
+  List.iter
+    (fun order ->
+      List.iter
+        (fun v ->
+          Endian.set_u16 order b 0 v;
+          check Alcotest.int "u16" v (Endian.get_u16 order b 0))
+        [ 0; 1; 0x1234; 0xfffe; 0xffff ])
+    [ Endian.Little; Endian.Big ]
+
+let test_u32_roundtrip () =
+  let b = Bytes.create 4 in
+  List.iter
+    (fun order ->
+      List.iter
+        (fun v ->
+          Endian.set_u32 order b 0 v;
+          check Alcotest.int32 "u32" v (Endian.get_u32 order b 0))
+        [ 0l; 1l; 0x12345678l; -1l; Int32.min_int; Int32.max_int ])
+    [ Endian.Little; Endian.Big ]
+
+let test_byte_order_differs () =
+  let b = Bytes.create 4 in
+  Endian.set_u32 Big b 0 0x11223344l;
+  check Alcotest.int "big-endian MSB first" 0x11 (Endian.get_u8 b 0);
+  Endian.set_u32 Little b 0 0x11223344l;
+  check Alcotest.int "little-endian LSB first" 0x44 (Endian.get_u8 b 0)
+
+let test_u64_roundtrip () =
+  let b = Bytes.create 8 in
+  List.iter
+    (fun order ->
+      List.iter
+        (fun v ->
+          Endian.set_u64 order b 0 v;
+          check Alcotest.int64 "u64" v (Endian.get_u64 order b 0))
+        [ 0L; 1L; 0x1122334455667788L; -1L; Int64.min_int ])
+    [ Endian.Little; Endian.Big ]
+
+let test_sext () =
+  check Alcotest.int "sext 8 of 0xff" (-1) (Endian.sext 0xff 8);
+  check Alcotest.int "sext 8 of 0x7f" 127 (Endian.sext 0x7f 8);
+  check Alcotest.int "sext 16 of 0x8000" (-32768) (Endian.sext 0x8000 16);
+  check Alcotest.int "sext 16 of 42" 42 (Endian.sext 42 16)
+
+let prop_u32_any_order =
+  Testkit.qtest "u32 round trip at random offsets"
+    QCheck.(pair int32 (int_bound 28))
+    (fun (v, off) ->
+      let b = Bytes.create 32 in
+      Endian.set_u32 Big b off v;
+      let big_ok = Endian.get_u32 Big b off = v in
+      Endian.set_u32 Little b off v;
+      big_ok && Endian.get_u32 Little b off = v)
+
+(* --- LZW ---------------------------------------------------------------- *)
+
+let test_lzw_simple () =
+  List.iter
+    (fun s -> check Alcotest.string "roundtrip" s (Lzw.decompress (Lzw.compress s)))
+    [ ""; "a"; "ab"; "aaaa"; "abcabcabcabc"; String.make 10000 'x';
+      "the quick brown fox jumps over the lazy dog" ]
+
+let test_lzw_compresses_repetitive () =
+  let s = String.concat "" (List.init 500 (fun i -> Printf.sprintf "/S%d symbol " i)) in
+  let c = Lzw.compress s in
+  Alcotest.(check bool) "smaller" true (String.length c < String.length s / 2)
+
+let test_lzw_ratio () =
+  Alcotest.(check bool) "ratio > 1 on text" true (Lzw.ratio (String.make 1000 'a') > 5.0)
+
+let prop_lzw_roundtrip =
+  Testkit.qtest "lzw roundtrip on random strings" ~count:300
+    QCheck.(string_gen_of_size (QCheck.Gen.int_bound 2000) QCheck.Gen.char)
+    (fun s -> Lzw.decompress (Lzw.compress s) = s)
+
+let prop_lzw_printable =
+  Testkit.qtest "lzw roundtrip on printable strings" ~count:300
+    QCheck.(string_gen_of_size (QCheck.Gen.int_bound 5000) QCheck.Gen.printable)
+    (fun s -> Lzw.decompress (Lzw.compress s) = s)
+
+(* --- hexdump / loc -------------------------------------------------------- *)
+
+let test_hexdump () =
+  let d = Hexdump.to_string "Hello, world! 0123456789" in
+  Alcotest.(check bool) "contains hex" true
+    (String.length d > 0
+    &&
+    let re = "48 65 6c 6c 6f" in
+    (* "Hello" *)
+    let rec find i =
+      i + String.length re <= String.length d
+      && (String.sub d i (String.length re) = re || find (i + 1))
+    in
+    find 0)
+
+let test_loc_count () =
+  let src = "let x = 1\n\n(* comment *)\nlet y = 2\n  \n" in
+  check Alcotest.int "counts code lines" 2 (Loc.count_string src)
+
+let () =
+  Alcotest.run "util"
+    [
+      ( "endian",
+        [
+          Alcotest.test_case "u16 roundtrip" `Quick test_u16_roundtrip;
+          Alcotest.test_case "u32 roundtrip" `Quick test_u32_roundtrip;
+          Alcotest.test_case "byte order differs" `Quick test_byte_order_differs;
+          Alcotest.test_case "u64 roundtrip" `Quick test_u64_roundtrip;
+          Alcotest.test_case "sign extension" `Quick test_sext;
+          prop_u32_any_order;
+        ] );
+      ( "lzw",
+        [
+          Alcotest.test_case "simple roundtrips" `Quick test_lzw_simple;
+          Alcotest.test_case "compresses repetitive text" `Quick test_lzw_compresses_repetitive;
+          Alcotest.test_case "ratio" `Quick test_lzw_ratio;
+          prop_lzw_roundtrip;
+          prop_lzw_printable;
+        ] );
+      ( "misc",
+        [
+          Alcotest.test_case "hexdump" `Quick test_hexdump;
+          Alcotest.test_case "loc counting" `Quick test_loc_count;
+        ] );
+    ]
