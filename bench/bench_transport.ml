@@ -1,0 +1,138 @@
+(** Transport resilience benchmark: complete debug sessions (plant a
+    breakpoint, continue, inspect, run to exit) on every SIM target at
+    increasing fault rates, measuring session throughput and how hard the
+    retry machinery had to work.  Emits BENCH_transport.json.
+
+    Run with: dune exec bench/bench_transport.exe *)
+
+open Ldb_machine
+module Ldb = Ldb_ldb.Ldb
+module Host = Ldb_ldb.Host
+module Transport = Ldb_ldb.Transport
+module Faultchan = Ldb_nub.Faultchan
+
+let fib_c =
+  {|void fib(int n)
+{
+    static int a[20];
+    if (n > 20) n = 20;
+    a[0] = a[1] = 1;
+    { int i;
+      for (i=2; i<n; i++)
+          a[i] = a[i-1] + a[i-2];
+    }
+    { int j;
+      for (j=0; j<n; j++)
+          printf("%d ", a[j]);
+    }
+    printf("\n");
+}
+
+int main(void)
+{
+    fib(10);
+    return 0;
+}
+|}
+
+let sources = [ ("fib.c", fib_c) ]
+
+(* disconnects are excluded: their recovery (reattach) is a different
+   code path with its own test coverage, and here we measure the retry
+   machinery *)
+let bench_kinds =
+  Faultchan.[ Drop; Corrupt; Truncate; Duplicate; Stall ]
+
+(** One full session; returns the transport's work counters. *)
+let session ~arch ~rate ~seed : Transport.stats =
+  let d = Ldb.create () in
+  let p = Host.launch ~paused:true ~arch sources in
+  let tg =
+    if rate = 0.0 then
+      Ldb.connect d ~name:(Arch.name arch) ~loader_ps:p.Host.hp_loader_ps
+        (Host.open_channel p)
+    else begin
+      let prof = Faultchan.profile ~rate ~kinds:bench_kinds ~stall_ticks:4 () in
+      let chan, fc = Host.open_faulty_channel ~armed:false p ~seed prof in
+      let tg =
+        Ldb.connect d ~name:(Arch.name arch) ~loader_ps:p.Host.hp_loader_ps chan
+      in
+      Faultchan.set_armed fc true;
+      tg
+    end
+  in
+  ignore (Ldb.break_function d tg "fib" : int);
+  (match Ldb.continue_ d tg with
+  | Ldb.Stopped _ -> ()
+  | _ -> failwith "no stop at breakpoint");
+  assert (Ldb.read_int_var d tg (Ldb.top_frame d tg) "n" = 10);
+  (match Ldb.continue_ d tg with
+  | Ldb.Exited 0 -> ()
+  | _ -> failwith "no clean exit");
+  assert (Host.output p = "1 1 2 3 5 8 13 21 34 55 \n");
+  Transport.stats tg.Ldb.tg_tr
+
+type row = {
+  rate : float;
+  sessions : int;
+  mutable failed : int;
+  mutable seconds : float;
+  mutable rpcs : int;
+  mutable retries : int;
+  mutable corrupt : int;
+  mutable timeouts : int;
+  mutable stale : int;
+}
+
+let sessions_per_cell = 5
+
+let run_rate rate : row =
+  let row =
+    { rate; sessions = sessions_per_cell * List.length Arch.all; failed = 0;
+      seconds = 0.0; rpcs = 0; retries = 0; corrupt = 0; timeouts = 0; stale = 0 }
+  in
+  let t0 = Sys.time () in
+  List.iter
+    (fun arch ->
+      for i = 1 to sessions_per_cell do
+        let arch_ix = match arch with Arch.Mips -> 0 | Sparc -> 1 | M68k -> 2 | Vax -> 3 in
+        let seed = (int_of_float (rate *. 1000.0) * 1000) + (arch_ix * 100) + i in
+        match session ~arch ~rate ~seed with
+        | st ->
+            row.rpcs <- row.rpcs + st.Transport.st_rpcs;
+            row.retries <- row.retries + st.Transport.st_retries;
+            row.corrupt <- row.corrupt + st.Transport.st_corrupt;
+            row.timeouts <- row.timeouts + st.Transport.st_timeouts;
+            row.stale <- row.stale + st.Transport.st_stale
+        | exception Transport.Error _ -> row.failed <- row.failed + 1
+      done)
+    Arch.all;
+  row.seconds <- Sys.time () -. t0;
+  row
+
+let () =
+  let rates = [ 0.0; 0.01; 0.05 ] in
+  let rows = List.map run_rate rates in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n  \"benchmark\": \"transport resilience\",\n";
+  Buffer.add_string buf
+    "  \"workload\": \"break fib / continue / inspect / run to exit, all 4 targets\",\n";
+  Buffer.add_string buf "  \"rates\": [\n";
+  List.iteri
+    (fun i r ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"fault_rate\": %.2f, \"sessions\": %d, \"failed\": %d, \
+            \"seconds\": %.3f, \"sessions_per_sec\": %.1f, \"rpcs\": %d, \
+            \"retries\": %d, \"corrupt_frames\": %d, \"timeouts\": %d, \
+            \"stale_replies\": %d}%s\n"
+           r.rate r.sessions r.failed r.seconds
+           (float_of_int (r.sessions - r.failed) /. (r.seconds +. 1e-9))
+           r.rpcs r.retries r.corrupt r.timeouts r.stale
+           (if i = List.length rows - 1 then "" else ",")))
+    rows;
+  Buffer.add_string buf "  ]\n}\n";
+  let oc = open_out "BENCH_transport.json" in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  print_string (Buffer.contents buf)

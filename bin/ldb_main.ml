@@ -103,6 +103,7 @@ let run_session ~arch ~sources =
           | _ -> Printf.printf "unknown command: %s\n" line
         with
         | Ldb.Error m -> Printf.printf "ldb: %s\n" m
+        | Transport.Error (_, m) -> Printf.printf "ldb: %s\n" m
         | Breakpoint.Error m -> Printf.printf "ldb: %s\n" m
         | Ldb_exprserver.Eval.Error m -> Printf.printf "ldb: %s\n" m
         | Ldb_exprserver.Exprserver.Error m -> Printf.printf "ldb: %s\n" m)

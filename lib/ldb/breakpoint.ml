@@ -95,3 +95,20 @@ let is_breakpoint_fault (tbl : table) ~(signal : Signal.t) ~pc =
   && (match Hashtbl.find_opt tbl pc with Some bp -> bp.bp_planted | None -> false)
 
 let planted (tbl : table) = Hashtbl.fold (fun _ bp acc -> if bp.bp_planted then bp :: acc else acc) tbl []
+
+(** After reattaching to a nub, confirm every breakpoint the debugger
+    believes is planted still has its trap bytes in target memory, and
+    replant any that do not (the nub preserves memory across debugger
+    crashes, so this is normally a pure check).  Returns the number of
+    breakpoints that had to be replanted. *)
+let revalidate (tbl : table) (target : Target.t) (wire : A.t) : int =
+  let brk = target.Target.brk in
+  Hashtbl.fold
+    (fun addr bp replanted ->
+      if not bp.bp_planted then replanted
+      else if String.equal (fetch_bytes wire addr (String.length brk)) brk then replanted
+      else begin
+        store_bytes wire addr brk;
+        replanted + 1
+      end)
+    tbl 0

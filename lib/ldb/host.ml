@@ -35,11 +35,28 @@ let open_channel (p : process) : Chan.endpoint =
   Chan.set_pump dbg_end (fun () -> Nub.pump p.hp_nub);
   dbg_end
 
+(** Like {!open_channel}, but with {!Ldb_nub.Faultchan} interposed on the
+    link: messages in both directions suffer seeded, reproducible faults.
+    Returns the injector so callers can inspect what was injected. *)
+let open_faulty_channel ?armed (p : process) ~(seed : int)
+    (profile : Ldb_nub.Faultchan.profile) : Chan.endpoint * Ldb_nub.Faultchan.t =
+  let dbg_end, nub_end = Chan.pair ~labels:("ldb", "nub") () in
+  Nub.attach p.hp_nub nub_end;
+  Chan.set_pump dbg_end (fun () -> Nub.pump p.hp_nub);
+  let fc = Ldb_nub.Faultchan.install ?armed ~seed profile ~dbg:dbg_end ~nub:nub_end in
+  (dbg_end, fc)
+
 (** Spawn under the debugger: launch paused and connect. *)
 let spawn (d : Ldb.t) ?debug ?defer ~arch ~name sources : process * Ldb.target =
   let p = launch ?debug ?defer ~paused:true ~arch sources in
   let tg = Ldb.connect d ~name ~loader_ps:p.hp_loader_ps (open_channel p) in
   (p, tg)
+
+(** Reattach a target to its (surviving) nub after the link died: open a
+    fresh channel and run the debugger's resync — replay Hello, re-read
+    the stop context, re-validate breakpoints. *)
+let reattach (d : Ldb.t) (tg : Ldb.target) (p : process) : Ldb.state =
+  Ldb.reattach d tg (open_channel p)
 
 (** Run a program with no debugger attached until it faults or exits; the
     nub catches the fault and preserves the state, waiting for a

@@ -32,7 +32,7 @@ type target = {
   tg_name : string;
   tg_arch : Arch.t;
   tg_tdesc : Target.t;
-  tg_chan : Chan.endpoint;
+  tg_tr : Transport.t;  (** retrying, reconnectable link to the nub *)
   tg_wire : A.t;
   tg_defs : V.dict;       (** dictionary holding this program's PS definitions *)
   tg_arch_dict : V.dict;  (** machine-dependent PostScript *)
@@ -130,11 +130,13 @@ let check_anchors (tg : target) =
 (** Connect to a nub over [chan], reading the program's loader-table
     PostScript.  Works for all connection mechanisms: the nub end may be a
     fresh paused process, a long-running faulty one, or a process across
-    the simulated network. *)
-let connect (d : t) ~(name : string) ~(loader_ps : string) (chan : Chan.endpoint) : target =
-  Proto.send_request chan Proto.Hello;
+    the simulated network.  [deadline] and [max_retries] tune the
+    transport's recovery policy. *)
+let connect ?deadline ?max_retries (d : t) ~(name : string) ~(loader_ps : string)
+    (chan : Chan.endpoint) : target =
+  let tr = Transport.make ?deadline ?max_retries chan in
   let arch, st, can_step =
-    match Proto.read_reply chan with
+    match Transport.rpc tr Proto.Hello with
     | Proto.Hello_reply { arch; state; can_step } -> (
         match Arch.of_name arch with
         | Some a -> (a, state, can_step)
@@ -147,7 +149,7 @@ let connect (d : t) ~(name : string) ~(loader_ps : string) (chan : Chan.endpoint
   if not (Arch.equal symtab.Symtab.arch arch) then
     fail "symbol table is for %s but the target runs %s" (Arch.name symtab.Symtab.arch)
       (Arch.name arch);
-  let wire = A.wire chan in
+  let wire = A.rpc_wire (Transport.rpc tr) in
   let li = Linkerif.make ~arch ~loader ~wire in
   let arch_dict = V.dict_create () in
   (* interpret the machine-dependent PostScript into its dictionary *)
@@ -159,7 +161,7 @@ let connect (d : t) ~(name : string) ~(loader_ps : string) (chan : Chan.endpoint
       tg_name = name;
       tg_arch = arch;
       tg_tdesc = Target.of_arch arch;
-      tg_chan = chan;
+      tg_tr = tr;
       tg_wire = wire;
       tg_defs = defs;
       tg_arch_dict = arch_dict;
@@ -189,9 +191,13 @@ let read_ctx_pc tg ctx_addr =
 let write_ctx_pc tg ctx_addr pc =
   A.store_i32 tg.tg_wire (A.absolute 'd' (ctx_pc_addr tg ctx_addr)) (Int32.of_int pc)
 
-let read_run_reply (tg : target) : state =
+(** Issue a run request ([Continue] or [Step]) and interpret the event
+    that answers it.  The transport retries transient faults; the nub's
+    duplicate suppression guarantees the target runs at most once no
+    matter how many times the request had to be re-sent. *)
+let run_rpc (tg : target) (req : Proto.request) : state =
   let st =
-    match Proto.read_reply tg.tg_chan with
+    match Transport.rpc tg.tg_tr req with
     | Proto.Event { signal; code; ctx_addr } ->
         let signal = Option.value ~default:Signal.SIGINT (Signal.of_number signal) in
         Stopped { signal; code; ctx_addr }
@@ -208,8 +214,7 @@ let step_instruction (_d : t) (tg : target) : state =
   (match tg.tg_state with
   | Stopped _ -> ()
   | _ -> fail "target %s is not stopped" tg.tg_name);
-  Proto.send_request tg.tg_chan Proto.Step;
-  read_run_reply tg
+  run_rpc tg Proto.Step
 
 (** Resume the target and wait for the next event.
 
@@ -241,19 +246,49 @@ let continue_ (d : t) (tg : target) : state =
   | Detached -> fail "target %s is detached" tg.tg_name);
   match tg.tg_state with
   | Exited _ -> tg.tg_state
-  | _ ->
-      Proto.send_request tg.tg_chan Proto.Continue;
-      read_run_reply tg
+  | _ -> run_rpc tg Proto.Continue
 
 let kill (tg : target) =
-  Proto.send_request tg.tg_chan Proto.Kill;
+  Transport.send_oneway tg.tg_tr Proto.Kill;
   tg.tg_state <- Exited 137
 
 (** Break the connection, preserving target state in the nub. *)
 let detach (tg : target) =
-  (try Proto.send_request tg.tg_chan Proto.Detach with Chan.Disconnected -> ());
-  Chan.disconnect tg.tg_chan;
+  Transport.send_oneway tg.tg_tr Proto.Detach;
+  Chan.disconnect (Transport.endpoint tg.tg_tr);
   tg.tg_state <- Detached
+
+(* --- reattach and resync (debugger-crash survival, Sec. 4.2) -------------- *)
+
+(** Reconnect a target whose link died — the debugger-crash-survival
+    scenario, from this side: the nub preserved the target's state, and
+    the debugger re-establishes everything it knew over a fresh channel.
+
+    Replays [Hello] to re-learn the stop state (and re-check the
+    architecture), re-reads the stop context address, and re-validates
+    every planted breakpoint against target memory, replanting any whose
+    trap bytes are gone.  The target's symbol tables, loader tables and
+    wire memory survive untouched — they hang off the transport, which
+    [Transport.reconnect] preserves. *)
+let reattach (d : t) (tg : target) (chan : Chan.endpoint) : state =
+  ignore d;
+  Transport.reconnect tg.tg_tr chan;
+  let st =
+    match Transport.rpc tg.tg_tr Proto.Hello with
+    | Proto.Hello_reply { arch; state; can_step = _ } -> (
+        match Arch.of_name arch with
+        | Some a when Arch.equal a tg.tg_arch -> state_of_hello state
+        | Some a ->
+            fail "reattach: nub now reports %s but target %s runs %s" (Arch.name a)
+              tg.tg_name (Arch.name tg.tg_arch)
+        | None -> fail "reattach: nub reports unknown architecture %s" arch)
+    | r -> fail "unexpected reply to Hello: %s" (Fmt.str "%a" Proto.pp_reply r)
+  in
+  tg.tg_state <- st;
+  (* the nub preserved target memory, so planted traps should still be
+     there — but verify rather than trust, and replant any that are not *)
+  ignore (Breakpoint.revalidate tg.tg_breaks tg.tg_tdesc tg.tg_wire : int);
+  st
 
 (* --- stopping points and breakpoints ----------------------------------------- *)
 

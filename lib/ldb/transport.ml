@@ -1,0 +1,138 @@
+(** The debugger's resilient end of the ldb↔nub link.
+
+    Wraps a {!Ldb_nub.Chan} endpoint with the recovery policy the raw
+    channel deliberately does not have:
+
+    - every request travels as a checksummed, sequence-numbered frame
+      ({!Ldb_nub.Frame});
+    - a checksum failure or timeout triggers a bounded retry of the same
+      request {e under the same sequence number} — the nub executes at
+      most once and retransmits its cached reply to duplicates;
+    - waiting "backs off" by doubling the pump deadline each attempt,
+      the discrete-event analogue of exponential backoff, which rides
+      out injected stalls;
+    - stale replies (sequence number below the outstanding request) are
+      discarded, so a duplicated or delayed reply can never be taken for
+      the answer to a later question;
+    - failures surface as one typed exception, {!Error}, classified
+      {!Timeout} (link up, peer silent — retrying may help),
+      {!Corrupt} (retries exhausted on damaged frames) or
+      {!Disconnected} (link down — only {!reconnect}, followed by the
+      caller's resync, can help).
+
+    The transport survives its channel: [reconnect] swaps in a fresh
+    endpoint after the old link died, preserving the caller's wire
+    abstract memory and everything built over it. *)
+
+module Chan = Ldb_nub.Chan
+module Frame = Ldb_nub.Frame
+module Proto = Ldb_nub.Proto
+
+type kind = Timeout | Corrupt | Disconnected
+
+let kind_name = function
+  | Timeout -> "timeout"
+  | Corrupt -> "corrupt"
+  | Disconnected -> "disconnected"
+
+exception Error of kind * string
+
+let error kind fmt =
+  Fmt.kstr (fun m -> raise (Error (kind, Printf.sprintf "%s: %s" (kind_name kind) m))) fmt
+
+type stats = {
+  mutable st_rpcs : int;            (** requests issued *)
+  mutable st_retries : int;         (** re-sends after a failed attempt *)
+  mutable st_corrupt : int;         (** corrupt frames observed *)
+  mutable st_timeouts : int;        (** attempts that timed out *)
+  mutable st_stale : int;           (** stale duplicate replies discarded *)
+  mutable st_reconnects : int;      (** endpoints swapped in *)
+}
+
+type t = {
+  mutable ep : Chan.endpoint;
+  mutable seq : int;
+  base_deadline : int;   (** pump deadline of the first attempt *)
+  max_retries : int;     (** re-sends after the initial attempt *)
+  stats : stats;
+}
+
+let make ?(deadline = 8) ?(max_retries = 4) (ep : Chan.endpoint) : t =
+  {
+    ep;
+    seq = 0;
+    base_deadline = max 1 deadline;
+    max_retries = max 0 max_retries;
+    stats =
+      { st_rpcs = 0; st_retries = 0; st_corrupt = 0; st_timeouts = 0; st_stale = 0;
+        st_reconnects = 0 };
+  }
+
+let stats t = t.stats
+let endpoint t = t.ep
+let is_connected t = Chan.is_connected t.ep
+
+(** Swap in a fresh endpoint after the old link died.  Sequence numbers
+    restart — the nub resets its duplicate-detection state on attach. *)
+let reconnect (t : t) (ep : Chan.endpoint) : unit =
+  t.ep <- ep;
+  t.seq <- 0;
+  t.stats.st_reconnects <- t.stats.st_reconnects + 1
+
+(** Issue [req] and wait for its reply, retrying with exponential
+    deadline backoff on damage or silence.  Raises {!Error}. *)
+let rpc (t : t) (req : Proto.request) : Proto.reply =
+  t.stats.st_rpcs <- t.stats.st_rpcs + 1;
+  t.seq <- t.seq + 1;
+  let seq = t.seq in
+  let payload = Proto.encode_request req in
+  let describe () = Fmt.str "%a (seq %d)" Proto.pp_request req seq in
+  (* await a reply numbered [seq]; anything older is a stale duplicate *)
+  let await deadline =
+    let rec go () =
+      match Frame.recv ~deadline t.ep with
+      | Ok f when f.Frame.fr_seq = seq -> (
+          match Proto.decode_reply f.Frame.fr_payload with
+          | Ok r -> `Reply r
+          | Error m ->
+              t.stats.st_corrupt <- t.stats.st_corrupt + 1;
+              `Failed (Corrupt, m))
+      | Ok f when f.Frame.fr_seq < seq ->
+          t.stats.st_stale <- t.stats.st_stale + 1;
+          go ()
+      | Ok f -> `Failed (Corrupt, Fmt.str "reply from the future (seq %d)" f.Frame.fr_seq)
+      | Error m ->
+          t.stats.st_corrupt <- t.stats.st_corrupt + 1;
+          `Failed (Corrupt, m)
+      | exception Chan.Timeout ->
+          t.stats.st_timeouts <- t.stats.st_timeouts + 1;
+          `Failed (Timeout, "no reply")
+      | exception Chan.Disconnected -> `Disconnected
+    in
+    go ()
+  in
+  let rec attempt k last =
+    if k > t.max_retries then
+      let kind, m = last in
+      error kind "%s after %d attempts: %s" (describe ()) (k) m
+    else begin
+      if k > 0 then t.stats.st_retries <- t.stats.st_retries + 1;
+      match Frame.send t.ep ~seq payload with
+      | exception Chan.Disconnected -> error Disconnected "%s: link down" (describe ())
+      | () -> (
+          match await (t.base_deadline * (1 lsl k)) with
+          | `Reply r -> r
+          | `Disconnected -> error Disconnected "%s: link down" (describe ())
+          | `Failed (kind, m) -> attempt (k + 1) (kind, m))
+    end
+  in
+  attempt 0 (Timeout, "no reply")
+
+(** Send a request that has no reply ([Kill], [Detach]).  A dead link is
+    ignored: the nub is unreachable, and both requests are about letting
+    the target go. *)
+let send_oneway (t : t) (req : Proto.request) : unit =
+  t.stats.st_rpcs <- t.stats.st_rpcs + 1;
+  t.seq <- t.seq + 1;
+  try Frame.send t.ep ~seq:t.seq (Proto.encode_request req)
+  with Chan.Disconnected -> ()

@@ -1,0 +1,131 @@
+(** Deterministic fault injection for the ldb↔nub link.
+
+    Wraps a {!Chan} endpoint pair: every message either passes through or
+    suffers one of the classic network faults, chosen by a PRNG seeded by
+    the test, so every failure mode is exactly reproducible.
+
+    Fault classes:
+    - {b Drop}: the message vanishes.
+    - {b Corrupt}: one random bit is flipped (the frame checksum must
+      catch it).
+    - {b Truncate}: only a strict prefix is delivered; the rest never
+      arrives.
+    - {b Duplicate}: the message is delivered twice (the sequence number
+      must make the second copy harmless).
+    - {b Stall}: delivery is postponed for a number of pump ticks — the
+      link looks alive but silent, exercising the timeout/retry path.
+    - {b Disconnect}: a prefix is delivered and the link is cut
+      mid-message — the debugger-crash/network-partition scenario; only
+      reattaching to the surviving nub recovers.
+
+    The injector hooks both endpoints' [on_send], so faults hit requests
+    and replies alike, and it piggybacks a {e tick} on the debugger
+    endpoint's pump to age stalled messages. *)
+
+type kind = Drop | Corrupt | Truncate | Duplicate | Stall | Disconnect
+
+let kind_name = function
+  | Drop -> "drop"
+  | Corrupt -> "corrupt"
+  | Truncate -> "truncate"
+  | Duplicate -> "duplicate"
+  | Stall -> "stall"
+  | Disconnect -> "disconnect"
+
+let all_kinds = [ Drop; Corrupt; Truncate; Duplicate; Stall; Disconnect ]
+
+type profile = {
+  fp_rate : float;       (** probability that a given message is faulted *)
+  fp_kinds : kind list;  (** fault classes to draw from *)
+  fp_max_faults : int;   (** injection budget; negative = unlimited *)
+  fp_stall_ticks : int;  (** pump ticks a stalled message waits *)
+}
+
+let profile ?(rate = 0.05) ?(kinds = all_kinds) ?(max_faults = -1) ?(stall_ticks = 6) () =
+  { fp_rate = rate; fp_kinds = kinds; fp_max_faults = max_faults;
+    fp_stall_ticks = stall_ticks }
+
+type t = {
+  rng : Random.State.t;
+  prof : profile;
+  mutable armed : bool;           (** disarmed injectors pass everything through *)
+  mutable injected : int;         (** faults actually injected *)
+  mutable messages : int;         (** messages that crossed the link *)
+  mutable delayed : (int ref * Chan.endpoint * string) list;
+  mutable log : (kind * int) list;  (** injected (kind, message length), newest first *)
+}
+
+let injected t = t.injected
+let messages t = t.messages
+let log t = List.rev t.log
+
+(** Turn injection on or off; a disarmed injector still counts messages.
+    Useful for letting a session connect cleanly before the weather
+    turns. *)
+let set_armed t b = t.armed <- b
+
+let budget_left t = t.prof.fp_max_faults < 0 || t.injected < t.prof.fp_max_faults
+
+let flip_one_bit rng s =
+  let b = Bytes.of_string s in
+  let i = Random.State.int rng (Bytes.length b) in
+  let bit = 1 lsl Random.State.int rng 8 in
+  Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor bit));
+  Bytes.to_string b
+
+(** Age stalled messages by one tick, delivering the expired ones. *)
+let tick t =
+  let due, still =
+    List.partition
+      (fun (left, _, _) ->
+        decr left;
+        !left <= 0)
+      t.delayed
+  in
+  t.delayed <- still;
+  List.iter (fun (_, ep, bytes) -> Chan.deliver ep bytes) (List.rev due)
+
+let inject t (sender : Chan.endpoint) (bytes : string) =
+  t.messages <- t.messages + 1;
+  if
+    (not t.armed)
+    || String.length bytes = 0
+    || (not (budget_left t))
+    || t.prof.fp_kinds = []
+    || Random.State.float t.rng 1.0 >= t.prof.fp_rate
+  then Chan.deliver sender bytes
+  else begin
+    let kind = List.nth t.prof.fp_kinds (Random.State.int t.rng (List.length t.prof.fp_kinds)) in
+    t.injected <- t.injected + 1;
+    t.log <- (kind, String.length bytes) :: t.log;
+    match kind with
+    | Drop -> ()
+    | Corrupt -> Chan.deliver sender (flip_one_bit t.rng bytes)
+    | Truncate ->
+        Chan.deliver sender (String.sub bytes 0 (Random.State.int t.rng (String.length bytes)))
+    | Duplicate ->
+        Chan.deliver sender bytes;
+        Chan.deliver sender bytes
+    | Stall ->
+        t.delayed <- (ref (max 1 t.prof.fp_stall_ticks), sender, bytes) :: t.delayed
+    | Disconnect ->
+        Chan.deliver sender (String.sub bytes 0 (Random.State.int t.rng (String.length bytes)));
+        Chan.disconnect sender
+  end
+
+(** Interpose on an endpoint pair.  [dbg] is the debugger-side endpoint
+    (its pump is wrapped to age stalled messages); [nub] is the
+    target-side endpoint.  Install {e after} the pumps are wired. *)
+let install ?(armed = true) ~(seed : int) (prof : profile) ~(dbg : Chan.endpoint)
+    ~(nub : Chan.endpoint) : t =
+  let t =
+    { rng = Random.State.make [| seed; 0xfa017 |]; prof; armed; injected = 0; messages = 0;
+      delayed = []; log = [] }
+  in
+  Chan.set_on_send dbg (Some (inject t dbg));
+  Chan.set_on_send nub (Some (inject t nub));
+  let old_pump = Chan.pump_of dbg in
+  Chan.set_pump dbg (fun () ->
+      tick t;
+      old_pump ());
+  t

@@ -30,13 +30,21 @@ type t = {
   mutable fuel : int;     (** instruction budget per continue, then SIGINT *)
   mutable notified : bool; (** current stop already reported to the debugger *)
   can_step : bool;        (** whether this nub offers the Step extension *)
+  (* at-most-once request transport state (see Frame): *)
+  mutable last_seq : int;   (** highest request sequence number served *)
+  mutable cur_seq : int;    (** sequence number replies are tagged with *)
+  mutable last_reply : string option;  (** sealed frame of the last reply,
+                                           retransmitted on duplicates *)
+  mutable rx_mark : int;   (** buffered byte count at the last quiet pump *)
+  mutable rx_quiet : int;  (** consecutive pumps with bytes buffered but no
+                               frame completed — a lying length field *)
 }
 
 let ctx_base = Ram.Layout.context_base
 
 let create ?(fuel = 50_000_000) ?(can_step = true) (proc : Proc.t) =
   { proc; conn = None; resume = false; step = false; killed = false; fuel; notified = false;
-    can_step }
+    can_step; last_seq = 0; cur_seq = 0; last_reply = None; rx_mark = 0; rx_quiet = 0 }
 
 let target n = n.proc.Proc.target
 let ram n = n.proc.Proc.ram
@@ -170,17 +178,32 @@ let stop_state n : Proto.stop_state =
       Proto.St_stopped { signal = Signal.number s; code; ctx_addr = ctx_base }
   | Proc.Exited st -> Proto.St_exited st
 
+(** Send a reply framed with the sequence number of the request being
+    served, and remember the sealed frame so a duplicate of that request
+    can be answered by retransmission instead of re-execution.  A dead
+    link is not an error here: the nub preserves the target's state and
+    waits for a reattach. *)
+let send_reply n (ep : Chan.endpoint) (r : Proto.reply) =
+  let sealed = Frame.seal ~seq:n.cur_seq (Proto.encode_reply r) in
+  n.last_reply <- Some sealed;
+  try Chan.send ep sealed with Chan.Disconnected -> ()
+
 let notify n =
   match (n.conn, n.proc.Proc.status) with
   | Some ep, Proc.Stopped (s, code) when Chan.is_connected ep && not n.notified ->
       n.notified <- true;
-      Proto.send_reply ep (Proto.Event { signal = Signal.number s; code; ctx_addr = ctx_base })
+      send_reply n ep (Proto.Event { signal = Signal.number s; code; ctx_addr = ctx_base })
   | Some ep, Proc.Exited st when Chan.is_connected ep && not n.notified ->
       n.notified <- true;
-      Proto.send_reply ep (Proto.Exit_event st)
+      send_reply n ep (Proto.Exit_event st)
   | _ -> ()
 
 (* --- main service pump ------------------------------------------------- *)
+
+(** Consecutive quiet pumps tolerated while bytes are buffered but no
+    frame completes, before assuming a lying length field and forcing a
+    resync. *)
+let rx_stall_limit = 8
 
 let run_target n =
   (match Proc.run ~fuel:n.fuel n.proc with
@@ -197,18 +220,18 @@ let run_target n =
 let serve_one n (ep : Chan.endpoint) (req : Proto.request) =
   match req with
   | Proto.Hello ->
-      Proto.send_reply ep
+      send_reply n ep
         (Proto.Hello_reply
            { arch = Arch.name (Proc.arch n.proc); state = stop_state n;
              can_step = n.can_step })
   | Proto.Fetch { space; addr; size } -> (
       match do_fetch n ~space ~addr ~size with
-      | Ok bytes -> Proto.send_reply ep (Proto.Fetched bytes)
-      | Error m -> Proto.send_reply ep (Proto.Nub_error m))
+      | Ok bytes -> send_reply n ep (Proto.Fetched bytes)
+      | Error m -> send_reply n ep (Proto.Nub_error m))
   | Proto.Store { space; addr; bytes } -> (
       match do_store n ~space ~addr bytes with
-      | Ok () -> Proto.send_reply ep Proto.Stored
-      | Error m -> Proto.send_reply ep (Proto.Nub_error m))
+      | Ok () -> send_reply n ep Proto.Stored
+      | Error m -> send_reply n ep (Proto.Nub_error m))
   | Proto.Continue ->
       restore_context n;
       Proc.set_running n.proc;
@@ -219,7 +242,7 @@ let serve_one n (ep : Chan.endpoint) (req : Proto.request) =
         Proc.set_running n.proc;
         n.step <- true
       end
-      else Proto.send_reply ep (Proto.Nub_error "nub: single-step not supported")
+      else send_reply n ep (Proto.Nub_error "nub: single-step not supported")
   | Proto.Kill ->
       n.killed <- true;
       n.proc.Proc.status <- Proc.Exited 137
@@ -230,18 +253,65 @@ let serve_one n (ep : Chan.endpoint) (req : Proto.request) =
           n.conn <- None
       | None -> ())
 
+(** Serve one incoming frame, enforcing at-most-once execution: a frame
+    numbered below the last served request is a stale duplicate and is
+    dropped; one numbered equal is a retry whose effect already happened,
+    so the cached reply is retransmitted; only a fresh number executes.
+    This is what makes the debugger's retry of a lost [Continue] safe —
+    re-running it would resume the target a second time. *)
+let serve_frame n (ep : Chan.endpoint) (f : Frame.frame) =
+  let seq = f.Frame.fr_seq in
+  if seq < n.last_seq then ()
+  else if seq = n.last_seq && n.last_seq > 0 then (
+    match n.last_reply with
+    | Some sealed -> ( try Chan.send ep sealed with Chan.Disconnected -> ())
+    | None -> ())
+  else begin
+    n.last_seq <- seq;
+    n.cur_seq <- seq;
+    n.last_reply <- None;
+    match Proto.decode_request f.Frame.fr_payload with
+    | Ok req -> serve_one n ep req
+    | Error m -> send_reply n ep (Proto.Nub_error ("nub: bad request: " ^ m))
+  end
+
 (** Process every pending request, running the target when a continue has
     been received.  This is the closure installed as the debugger
-    endpoint's pump. *)
+    endpoint's pump.  A link failure mid-service is absorbed: the nub
+    drops the dead connection and keeps the target's state for the next
+    attach. *)
 let rec pump n =
   match n.conn with
   | None -> ()
   | Some ep ->
-      let progressed = ref false in
-      while Chan.available ep > 0 do
-        progressed := true;
-        serve_one n ep (Proto.read_request ep)
-      done;
+      (try
+         let draining = ref true in
+         while !draining do
+           match Frame.try_recv ep with
+           | `Frame f ->
+               n.rx_quiet <- 0;
+               serve_frame n ep f
+           | `Corrupt _ -> ()  (* dropped; the debugger retries *)
+           | `Incomplete ->
+               (* a header whose corrupted length field promises bytes
+                  that never arrive would block the stream forever: after
+                  enough quiet pumps, discard its magic and rescan *)
+               let avail = Chan.available ep in
+               if avail > 0 && avail = n.rx_mark then begin
+                 n.rx_quiet <- n.rx_quiet + 1;
+                 if n.rx_quiet > rx_stall_limit then begin
+                   Chan.skip ep 2;
+                   n.rx_quiet <- 0
+                 end
+                 else draining := false
+               end
+               else begin
+                 n.rx_mark <- avail;
+                 n.rx_quiet <- 0;
+                 draining := false
+               end
+         done
+       with Chan.Disconnected -> n.conn <- None);
       if n.step then begin
         n.step <- false;
         (* one instruction, then stop and report *)
@@ -262,13 +332,18 @@ let rec pump n =
         (* servicing the continue may have queued more requests *)
         pump n
       end
-      else if not !progressed then ()
 
 (** Attach a (new) debugger connection.  Any previous connection is
     forgotten; target state is preserved, so a fresh debugger instance can
-    pick up where a crashed one left off. *)
+    pick up where a crashed one left off.  The request-sequence state
+    resets with the connection: a fresh debugger numbers from 1 again. *)
 let attach n (ep : Chan.endpoint) =
   n.conn <- Some ep;
+  n.last_seq <- 0;
+  n.cur_seq <- 0;
+  n.last_reply <- None;
+  n.rx_mark <- 0;
+  n.rx_quiet <- 0;
   n.notified <- true (* new debugger learns state from its Hello *)
 
 (** Start the target under the nub.  [paused] mimics the one-line "pause"

@@ -7,8 +7,14 @@
     the target-order access and re-serializes; this is what lets the same
     debugger code drive big- and little-endian targets.
 
-    The paper notes the protocol was validated; here the codec is validated
-    by qcheck round-trip properties in the test suite.
+    Messages are {e pure byte strings} here; putting them on a wire —
+    framing, sequencing, checksumming — is {!Frame}'s job, and the
+    decoders below are total: [decode_request] and [decode_reply] return
+    [Error] on any malformed input (unknown opcode, out-of-range size
+    field, truncated or over-long body) and never raise, so a corrupted
+    frame that slips past the checksum still cannot crash either end.
+    The codec is validated by qcheck round-trip and never-raises
+    properties in the test suite.
 
     Deliberately absent, as in the paper: breakpoint messages.
     Breakpoints are implemented entirely in the debugger with ordinary
@@ -44,21 +50,44 @@ type reply =
   | Exit_event of int
   | Nub_error of string
 
+(* --- field limits ------------------------------------------------------ *)
+
+(** Fetch and Store move at most this many bytes per request; larger
+    transfers are split by the caller.  A decoded size outside 1..16 is a
+    protocol violation, not a request the nub should try to honor. *)
+let max_transfer = 16
+
+(** Strings (architecture names, error messages) are bounded so a
+    corrupted length field cannot demand an absurd allocation. *)
+let max_string = 4096
+
 (* --- serialization ---------------------------------------------------- *)
+
+exception Encode_error of string
 
 let u32_to_le (v : int) =
   let b = Bytes.create 4 in
   Endian.set_u32 Little b 0 (Int32.of_int v);
   Bytes.to_string b
 
-let str16 s = u32_to_le (String.length s) ^ s
+let str16 s =
+  if String.length s > max_string then
+    raise (Encode_error (Printf.sprintf "string of %d bytes exceeds protocol limit"
+                           (String.length s)));
+  u32_to_le (String.length s) ^ s
+
+let check_transfer what n =
+  if n < 1 || n > max_transfer then
+    raise (Encode_error (Printf.sprintf "%s size %d outside 1..%d" what n max_transfer))
 
 let encode_request (r : request) : string =
   match r with
   | Hello -> "H"
   | Fetch { space; addr; size } ->
+      check_transfer "fetch" size;
       Printf.sprintf "F%c" space ^ u32_to_le addr ^ String.make 1 (Char.chr size)
   | Store { space; addr; bytes } ->
+      check_transfer "store" (String.length bytes);
       Printf.sprintf "S%c" space ^ u32_to_le addr
       ^ String.make 1 (Char.chr (String.length bytes))
       ^ bytes
@@ -78,74 +107,122 @@ let encode_reply (r : reply) : string =
         | St_exited status -> "x" ^ u32_to_le status ^ u32_to_le 0 ^ u32_to_le 0
       in
       "h" ^ st ^ (if can_step then "S" else "-") ^ str16 arch
-  | Fetched bytes -> "f" ^ String.make 1 (Char.chr (String.length bytes)) ^ bytes
+  | Fetched bytes ->
+      if String.length bytes > 255 then raise (Encode_error "fetched value too long");
+      "f" ^ String.make 1 (Char.chr (String.length bytes)) ^ bytes
   | Stored -> "a"
   | Event { signal; code; ctx_addr } ->
       "e" ^ u32_to_le signal ^ u32_to_le code ^ u32_to_le ctx_addr
   | Exit_event status -> "X" ^ u32_to_le status
   | Nub_error msg -> "E" ^ str16 msg
 
-(* --- deserialization over a channel endpoint --------------------------- *)
+(* --- deserialization (total) ------------------------------------------- *)
 
-let recv_u32 ep =
-  let s = Chan.recv_exactly ep 4 in
-  Int32.to_int (Endian.get_u32 Little (Bytes.of_string s) 0)
+(* Internal cursor over a complete message.  [Bad] never escapes the
+   decoders below. *)
+exception Bad of string
 
-let recv_str ep =
-  let n = recv_u32 ep in
-  if n < 0 || n > 1_000_000 then failwith "Proto: bad string length"
-  else Chan.recv_exactly ep n
+type cursor = { src : string; mutable pos : int }
 
-exception Protocol_error of string
+let need c n what =
+  if c.pos + n > String.length c.src then raise (Bad ("truncated " ^ what))
 
-let read_request ep : request =
-  match Char.chr (Chan.recv_u8 ep) with
-  | 'H' -> Hello
-  | 'F' ->
-      let space = Char.chr (Chan.recv_u8 ep) in
-      let addr = recv_u32 ep in
-      let size = Chan.recv_u8 ep in
-      Fetch { space; addr; size }
-  | 'S' ->
-      let space = Char.chr (Chan.recv_u8 ep) in
-      let addr = recv_u32 ep in
-      let len = Chan.recv_u8 ep in
-      let bytes = Chan.recv_exactly ep len in
-      Store { space; addr; bytes }
-  | 'C' -> Continue
-  | 'T' -> Step
-  | 'K' -> Kill
-  | 'D' -> Detach
-  | c -> raise (Protocol_error (Printf.sprintf "bad request opcode %C" c))
+let u8 c what =
+  need c 1 what;
+  let v = Char.code c.src.[c.pos] in
+  c.pos <- c.pos + 1;
+  v
 
-let read_reply ep : reply =
-  match Char.chr (Chan.recv_u8 ep) with
-  | 'h' ->
-      let st = Char.chr (Chan.recv_u8 ep) in
-      let a = recv_u32 ep and b = recv_u32 ep and c = recv_u32 ep in
-      let can_step = Char.chr (Chan.recv_u8 ep) = 'S' in
-      let arch = recv_str ep in
-      let state =
-        match st with
-        | 'r' -> St_running
-        | 's' -> St_stopped { signal = a; code = b; ctx_addr = c }
-        | 'x' -> St_exited a
-        | c -> raise (Protocol_error (Printf.sprintf "bad hello state %C" c))
-      in
-      Hello_reply { arch; state; can_step }
-  | 'f' ->
-      let len = Chan.recv_u8 ep in
-      Fetched (Chan.recv_exactly ep len)
-  | 'a' -> Stored
-  | 'e' ->
-      let signal = recv_u32 ep and code = recv_u32 ep and ctx_addr = recv_u32 ep in
-      Event { signal; code; ctx_addr }
-  | 'X' -> Exit_event (recv_u32 ep)
-  | 'E' -> Nub_error (recv_str ep)
-  | c -> raise (Protocol_error (Printf.sprintf "bad reply opcode %C" c))
+let chr c what = Char.chr (u8 c what)
 
-let send_request ep r = Chan.send ep (encode_request r)
-let send_reply ep r = Chan.send ep (encode_reply r)
+let u32 c what =
+  need c 4 what;
+  let v = Int32.to_int (Endian.get_u32 Little (Bytes.of_string (String.sub c.src c.pos 4)) 0) in
+  c.pos <- c.pos + 4;
+  v
+
+let take c n what =
+  if n < 0 then raise (Bad ("negative length for " ^ what));
+  need c n what;
+  let s = String.sub c.src c.pos n in
+  c.pos <- c.pos + n;
+  s
+
+let str c what =
+  let n = u32 c what in
+  if n < 0 || n > max_string then raise (Bad ("bad string length for " ^ what));
+  take c n what
+
+let finish c (v : 'a) : 'a =
+  if c.pos <> String.length c.src then raise (Bad "trailing bytes");
+  v
+
+let run (f : cursor -> 'a) (s : string) : ('a, string) result =
+  let c = { src = s; pos = 0 } in
+  match finish c (f c) with
+  | v -> Ok v
+  | exception Bad m -> Error m
+
+(** Decode a complete request message.  Total: any input that is not the
+    exact encoding of a request yields [Error]. *)
+let decode_request : string -> (request, string) result =
+  run (fun c ->
+      match chr c "request opcode" with
+      | 'H' -> Hello
+      | 'F' ->
+          let space = chr c "fetch space" in
+          let addr = u32 c "fetch address" in
+          let size = u8 c "fetch size" in
+          if size < 1 || size > max_transfer then raise (Bad "fetch size outside 1..16");
+          Fetch { space; addr; size }
+      | 'S' ->
+          let space = chr c "store space" in
+          let addr = u32 c "store address" in
+          let len = u8 c "store size" in
+          if len < 1 || len > max_transfer then raise (Bad "store size outside 1..16");
+          Store { space; addr; bytes = take c len "store bytes" }
+      | 'C' -> Continue
+      | 'T' -> Step
+      | 'K' -> Kill
+      | 'D' -> Detach
+      | op -> raise (Bad (Printf.sprintf "unknown request opcode %C" op)))
+
+(** Decode a complete reply message.  Total, like {!decode_request}. *)
+let decode_reply : string -> (reply, string) result =
+  run (fun c ->
+      match chr c "reply opcode" with
+      | 'h' ->
+          let st = chr c "hello state" in
+          let a = u32 c "hello a" in
+          let b = u32 c "hello b" in
+          let cx = u32 c "hello c" in
+          let can_step =
+            match chr c "hello step flag" with
+            | 'S' -> true
+            | '-' -> false
+            | f -> raise (Bad (Printf.sprintf "bad step flag %C" f))
+          in
+          let arch = str c "hello arch" in
+          let state =
+            match st with
+            | 'r' -> St_running
+            | 's' -> St_stopped { signal = a; code = b; ctx_addr = cx }
+            | 'x' -> St_exited a
+            | s -> raise (Bad (Printf.sprintf "bad hello state %C" s))
+          in
+          Hello_reply { arch; state; can_step }
+      | 'f' ->
+          let len = u8 c "fetched length" in
+          Fetched (take c len "fetched bytes")
+      | 'a' -> Stored
+      | 'e' ->
+          let signal = u32 c "event signal" in
+          let code = u32 c "event code" in
+          let ctx_addr = u32 c "event context" in
+          Event { signal; code; ctx_addr }
+      | 'X' -> Exit_event (u32 c "exit status")
+      | 'E' -> Nub_error (str c "error message")
+      | op -> raise (Bad (Printf.sprintf "unknown reply opcode %C" op)))
 
 let pp_request ppf = function
   | Hello -> Fmt.string ppf "Hello"

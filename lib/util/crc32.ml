@@ -1,0 +1,37 @@
+(** CRC-32 (IEEE 802.3 polynomial, reflected), table-driven.
+
+    Used by the nub transport to detect corruption and truncation of
+    frames on the simulated wire: a frame whose payload no longer matches
+    its checksum is discarded and retransmitted rather than mis-decoded. *)
+
+let polynomial = 0xedb88320
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then polynomial lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+(** Feed [s.[pos..pos+len)] into a running CRC.  Start from [init ()];
+    finish with [finish]. *)
+let update (crc : int) (s : string) ~(pos : int) ~(len : int) : int =
+  let t = Lazy.force table in
+  let crc = ref crc in
+  for i = pos to pos + len - 1 do
+    crc := t.((!crc lxor Char.code s.[i]) land 0xff) lxor (!crc lsr 8)
+  done;
+  !crc
+
+let init () = 0xffffffff
+let finish crc = crc lxor 0xffffffff land 0xffffffff
+
+(** CRC-32 of a whole string. *)
+let string (s : string) : int =
+  finish (update (init ()) s ~pos:0 ~len:(String.length s))
+
+(** CRC-32 of a substring. *)
+let substring (s : string) ~(pos : int) ~(len : int) : int =
+  finish (update (init ()) s ~pos ~len)

@@ -1,11 +1,14 @@
-(** Tests for the nub and its little-endian protocol: codec round-trips
-    (the protocol validation), channel semantics, byte-order handling, the
-    SIM-MIPS floating-save word-swap quirk, context save/restore, and
-    reconnection after a debugger "crash". *)
+(** Tests for the nub and its little-endian protocol: pure codec
+    round-trips and totality (the decoders never raise), framing with
+    CRC-32 integrity and resynchronization, channel failure semantics
+    (timeout vs. disconnect), byte-order handling, the SIM-MIPS
+    floating-save word-swap quirk, context save/restore, and reconnection
+    after a debugger "crash". *)
 
 open Ldb_machine
 module Chan = Ldb_nub.Chan
 module Proto = Ldb_nub.Proto
+module Frame = Ldb_nub.Frame
 module Nub = Ldb_nub.Nub
 
 let check = Alcotest.check
@@ -36,17 +39,46 @@ let test_chan_disconnect () =
   | exception Chan.Disconnected -> ()
   | _ -> Alcotest.fail "expected Disconnected"
 
-(* --- protocol codec -------------------------------------------------------- *)
+(** A silent peer on a live link is a {!Chan.Timeout}; a dead link is
+    {!Chan.Disconnected}.  The two demand different recoveries (retry
+    vs. reattach), so they must be distinguishable. *)
+let test_chan_timeout_vs_disconnect () =
+  let a, _b = Chan.pair () in
+  (match Chan.recv_exactly ~deadline:3 a 1 with
+  | exception Chan.Timeout -> ()
+  | _ -> Alcotest.fail "expected Timeout on a silent but live link");
+  check Alcotest.bool "still connected" true (Chan.is_connected a);
+  Chan.disconnect a;
+  match Chan.recv_exactly ~deadline:3 a 1 with
+  | exception Chan.Disconnected -> ()
+  | exception Chan.Timeout -> Alcotest.fail "dead link misreported as timeout"
+  | _ -> Alcotest.fail "expected Disconnected"
+
+(** The deadline is configurable: a pump that needs several calls to
+    produce output succeeds under a generous deadline and times out under
+    a stingy one. *)
+let test_chan_deadline () =
+  let slow_pair () =
+    let a, b = Chan.pair () in
+    let countdown = ref 5 in
+    Chan.set_pump a (fun () ->
+        decr countdown;
+        if !countdown <= 0 then Chan.send b "!");
+    a
+  in
+  (match Chan.recv_exactly ~deadline:2 (slow_pair ()) 1 with
+  | exception Chan.Timeout -> ()
+  | _ -> Alcotest.fail "deadline 2 should time out");
+  check Alcotest.string "deadline 10 succeeds" "!"
+    (Chan.recv_exactly ~deadline:10 (slow_pair ()) 1)
+
+(* --- protocol codec (pure) -------------------------------------------------- *)
 
 let roundtrip_request (r : Proto.request) =
-  let a, b = Chan.pair () in
-  Proto.send_request a r;
-  Proto.read_request b = r
+  Proto.decode_request (Proto.encode_request r) = Ok r
 
 let roundtrip_reply (r : Proto.reply) =
-  let a, b = Chan.pair () in
-  Proto.send_reply a r;
-  Proto.read_reply b = r
+  Proto.decode_reply (Proto.encode_reply r) = Ok r
 
 let test_request_roundtrips () =
   List.iter
@@ -55,7 +87,7 @@ let test_request_roundtrips () =
       Proto.Fetch { space = 'd'; addr = 0x123456; size = 4 };
       Proto.Fetch { space = 'c'; addr = 0; size = 10 };
       Proto.Store { space = 'd'; addr = 0xffff; bytes = "\x01\x02\x03\x04" };
-      Proto.Continue; Proto.Kill; Proto.Detach ]
+      Proto.Continue; Proto.Step; Proto.Kill; Proto.Detach ]
 
 let test_reply_roundtrips () =
   List.iter
@@ -71,17 +103,156 @@ let test_reply_roundtrips () =
       Proto.Exit_event 0;
       Proto.Nub_error "no such space" ]
 
-let prop_fetch_roundtrip =
-  Testkit.qtest "random fetch requests roundtrip" ~count:300
-    QCheck.(triple (int_bound 0xffffff) (int_range 1 16) bool)
-    (fun (addr, size, code_space) ->
-      roundtrip_request
-        (Proto.Fetch { space = (if code_space then 'c' else 'd'); addr; size }))
+(** Out-of-range size fields are rejected with [Error], not served. *)
+let test_decode_rejects_bad_sizes () =
+  let fetch size =
+    (* hand-built F frame: opcode, space, addr, size byte *)
+    "Fd\x00\x20\x00\x00" ^ String.make 1 (Char.chr size)
+  in
+  (match Proto.decode_request (fetch 4) with
+  | Ok (Proto.Fetch { size = 4; _ }) -> ()
+  | _ -> Alcotest.fail "well-formed fetch should decode");
+  List.iter
+    (fun size ->
+      match Proto.decode_request (fetch size) with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "fetch size %d accepted" size)
+    [ 0; 17; 255 ];
+  match Proto.decode_request "Z" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown opcode accepted"
 
-let prop_store_roundtrip =
-  Testkit.qtest "random store requests roundtrip" ~count:300
-    QCheck.(pair (int_bound 0xffffff) (string_gen_of_size (QCheck.Gen.int_range 1 16) QCheck.Gen.char))
-    (fun (addr, bytes) -> roundtrip_request (Proto.Store { space = 'd'; addr; bytes }))
+let gen_request : Proto.request QCheck.arbitrary =
+  QCheck.oneof
+    [ QCheck.always Proto.Hello;
+      QCheck.map
+        (fun (addr, size, code_space) ->
+          Proto.Fetch { space = (if code_space then 'c' else 'd'); addr; size })
+        QCheck.(triple (int_bound 0xffffff) (int_range 1 16) bool);
+      QCheck.map
+        (fun (addr, bytes) -> Proto.Store { space = 'd'; addr; bytes })
+        QCheck.(pair (int_bound 0xffffff)
+                  (string_gen_of_size (QCheck.Gen.int_range 1 16) QCheck.Gen.char));
+      QCheck.always Proto.Continue; QCheck.always Proto.Step;
+      QCheck.always Proto.Kill; QCheck.always Proto.Detach ]
+
+let prop_request_roundtrip =
+  Testkit.qtest "random requests roundtrip" ~count:500 gen_request roundtrip_request
+
+(** Totality: the decoders return [Error] on junk, they never raise. *)
+let prop_decode_never_raises =
+  Testkit.qtest "decoders never raise on arbitrary bytes" ~count:1000
+    QCheck.(string_gen QCheck.Gen.char)
+    (fun s ->
+      (match Proto.decode_request s with Ok _ | Error _ -> true)
+      && (match Proto.decode_reply s with Ok _ | Error _ -> true))
+
+(** Every strict prefix of a valid encoding is malformed — truncation is
+    detected cleanly at any cut point. *)
+let prop_truncation_detected =
+  Testkit.qtest "every strict prefix decodes to Error" ~count:300 gen_request
+    (fun r ->
+      let enc = Proto.encode_request r in
+      let ok = ref true in
+      for n = 0 to String.length enc - 1 do
+        (match Proto.decode_request (String.sub enc 0 n) with
+        | Error _ -> ()
+        | Ok _ -> ok := false)
+      done;
+      !ok)
+
+(* --- frames ----------------------------------------------------------------- *)
+
+let frame_testable : Frame.recv_status Alcotest.testable =
+  Alcotest.testable
+    (fun ppf -> function
+      | `Frame f -> Fmt.pf ppf "Frame(seq %d, %S)" f.Frame.fr_seq f.Frame.fr_payload
+      | `Corrupt m -> Fmt.pf ppf "Corrupt(%s)" m
+      | `Incomplete -> Fmt.string ppf "Incomplete")
+    (fun a b ->
+      match (a, b) with
+      | `Frame f, `Frame g -> f.Frame.fr_seq = g.Frame.fr_seq && f.Frame.fr_payload = g.Frame.fr_payload
+      | `Corrupt _, `Corrupt _ -> true
+      | `Incomplete, `Incomplete -> true
+      | _ -> false)
+
+let test_frame_roundtrip () =
+  let a, b = Chan.pair () in
+  Frame.send a ~seq:7 "payload bytes";
+  check frame_testable "roundtrip" (`Frame { Frame.fr_seq = 7; fr_payload = "payload bytes" })
+    (Frame.try_recv b);
+  check frame_testable "drained" `Incomplete (Frame.try_recv b)
+
+let test_frame_detects_corruption () =
+  let sealed = Frame.seal ~seq:3 "precious cargo" in
+  (* flip one bit in every position; the receiver must never deliver a
+     damaged payload as a valid frame *)
+  for i = 0 to String.length sealed - 1 do
+    for bit = 0 to 7 do
+      let mangled = Bytes.of_string sealed in
+      Bytes.set mangled i (Char.chr (Char.code (Bytes.get mangled i) lxor (1 lsl bit)));
+      let a, b = Chan.pair () in
+      Chan.deliver a (Bytes.to_string mangled);
+      match Frame.try_recv b with
+      | `Frame { Frame.fr_seq = 3; fr_payload = "precious cargo" } ->
+          Alcotest.failf "bit %d of byte %d: damaged frame accepted" bit i
+      | `Frame f -> Alcotest.failf "byte %d: wrong frame decoded (seq %d)" i f.Frame.fr_seq
+      | `Corrupt _ | `Incomplete -> ()
+    done
+  done
+
+(** Garbage before a frame is skipped; the frame after it is recovered. *)
+let test_frame_resync_after_garbage () =
+  let a, b = Chan.pair () in
+  Chan.deliver a "some leading junk with no magic";
+  Frame.send a ~seq:9 "found me";
+  check frame_testable "resync" (`Frame { Frame.fr_seq = 9; fr_payload = "found me" })
+    (Frame.try_recv b)
+
+(** A truncated frame followed by its retry: the receiver reports damage
+    (possibly over several calls) but eventually yields the retry intact. *)
+let test_frame_resync_after_truncation () =
+  let a, b = Chan.pair () in
+  let sealed = Frame.seal ~seq:4 "first try" in
+  Chan.deliver a (String.sub sealed 0 (String.length sealed - 3));
+  Frame.send a ~seq:4 "second try";
+  let rec drain n =
+    if n > 100 then Alcotest.fail "no frame recovered after truncation"
+    else
+      match Frame.try_recv b with
+      | `Frame { Frame.fr_seq = 4; fr_payload = "second try" } -> ()
+      | `Frame f -> Alcotest.failf "recovered wrong payload %S" f.Frame.fr_payload
+      | `Corrupt _ -> drain (n + 1)
+      | `Incomplete -> Alcotest.fail "gave up before recovering the retry"
+  in
+  drain 0
+
+(** A length field claiming an absurd payload is damage, not a reason to
+    wait forever. *)
+let test_frame_bogus_length () =
+  let a, b = Chan.pair () in
+  let bogus =
+    let open Frame in
+    Printf.sprintf "%c%c" magic0 magic1
+    ^ u32_le 1 ^ u32_le 0x40000000 ^ u32_le 0xdeadbeef
+  in
+  Chan.deliver a bogus;
+  (match Frame.try_recv b with
+  | `Corrupt _ -> ()
+  | `Frame _ -> Alcotest.fail "bogus length accepted"
+  | `Incomplete -> Alcotest.fail "bogus length stalls the stream");
+  (* the stream recovers for the next real frame *)
+  Frame.send a ~seq:2 "after the storm";
+  let rec drain n =
+    if n > 100 then Alcotest.fail "never recovered"
+    else
+      match Frame.try_recv b with
+      | `Frame { Frame.fr_seq = 2; fr_payload = "after the storm" } -> ()
+      | `Frame _ -> Alcotest.fail "wrong frame"
+      | `Corrupt _ -> drain (n + 1)
+      | `Incomplete -> Alcotest.fail "stalled"
+  in
+  drain 0
 
 (* --- nub service ------------------------------------------------------------ *)
 
@@ -95,9 +266,19 @@ let stopped_nub arch =
   Chan.set_pump dbg (fun () -> Nub.pump nub);
   (proc, nub, dbg)
 
+(* fresh sequence numbers across every test rpc; the nub only requires
+   that they increase within one connection *)
+let seq_counter = ref 0
+
 let rpc dbg req =
-  Proto.send_request dbg req;
-  Proto.read_reply dbg
+  incr seq_counter;
+  Frame.send dbg ~seq:!seq_counter (Proto.encode_request req);
+  match Frame.recv dbg with
+  | Ok f -> (
+      match Proto.decode_reply f.Frame.fr_payload with
+      | Ok r -> r
+      | Error m -> Alcotest.failf "undecodable reply: %s" m)
+  | Error m -> Alcotest.failf "corrupt reply frame: %s" m
 
 (** Values travel little-endian regardless of target byte order. *)
 let test_fetch_little_endian_wire () =
@@ -135,6 +316,45 @@ let test_bad_space_error () =
   match rpc dbg (Proto.Fetch { space = 'q'; addr = 0; size = 4 }) with
   | Proto.Nub_error _ -> ()
   | _ -> Alcotest.fail "expected error for bad space"
+
+(** At-most-once: retrying a request under the same sequence number gets
+    the cached reply back, it does not re-execute.  (A re-executed
+    [Store] is idempotent, so probe with a fetch of a location the retry
+    mutates in between — if the nub re-executed, the second reply would
+    differ.) *)
+let test_duplicate_request_not_reexecuted () =
+  let proc, _, dbg = stopped_nub Mips in
+  Ram.set_u32 proc.Proc.ram 0x4000 1l;
+  incr seq_counter;
+  let seq = !seq_counter in
+  let payload = Proto.encode_request (Proto.Fetch { space = 'd'; addr = 0x4000; size = 4 }) in
+  Frame.send dbg ~seq payload;
+  let r1 = Frame.recv dbg in
+  (* mutate the fetched location, then replay the same request *)
+  Ram.set_u32 proc.Proc.ram 0x4000 2l;
+  Frame.send dbg ~seq payload;
+  let r2 = Frame.recv dbg in
+  match (r1, r2) with
+  | Ok f1, Ok f2 ->
+      check Alcotest.string "cached reply retransmitted, not re-executed"
+        f1.Frame.fr_payload f2.Frame.fr_payload;
+      check Alcotest.int "same seq" f1.Frame.fr_seq f2.Frame.fr_seq
+  | _ -> Alcotest.fail "frame recv failed"
+
+(** A corrupt request elicits a [Nub_error] reply (so the debugger's
+    retry logic wakes up), never an exception in the nub. *)
+let test_corrupt_request_gets_error_reply () =
+  let _, _, dbg = stopped_nub Sparc in
+  incr seq_counter;
+  Frame.send dbg ~seq:!seq_counter "Zmalformed";
+  match Frame.recv dbg with
+  | Ok f -> (
+      match Proto.decode_reply f.Frame.fr_payload with
+      | Ok (Proto.Nub_error _) -> ()
+      | r ->
+          Alcotest.failf "expected Nub_error, got %s"
+            (match r with Ok r -> Fmt.str "%a" Proto.pp_reply r | Error m -> m))
+  | Error m -> Alcotest.failf "corrupt reply frame: %s" m
 
 (** The SIM-MIPS kernel saves FP registers least-significant-word first;
     the nub swaps on 8-byte accesses to the saved-FP area, so the debugger
@@ -208,15 +428,26 @@ let () =
     [
       ( "channels",
         [ case "basic" test_chan_basic; case "pump" test_chan_pump;
-          case "disconnect" test_chan_disconnect ] );
+          case "disconnect" test_chan_disconnect;
+          case "timeout vs disconnect" test_chan_timeout_vs_disconnect;
+          case "configurable deadline" test_chan_deadline ] );
       ( "protocol",
         [ case "requests" test_request_roundtrips; case "replies" test_reply_roundtrips;
-          prop_fetch_roundtrip; prop_store_roundtrip ] );
+          case "bad sizes rejected" test_decode_rejects_bad_sizes;
+          prop_request_roundtrip; prop_decode_never_raises; prop_truncation_detected ] );
+      ( "frames",
+        [ case "roundtrip" test_frame_roundtrip;
+          case "corruption detected" test_frame_detects_corruption;
+          case "resync after garbage" test_frame_resync_after_garbage;
+          case "resync after truncation" test_frame_resync_after_truncation;
+          case "bogus length" test_frame_bogus_length ] );
       ( "service",
         [ case "hello" test_hello;
           case "fetch is little-endian on the wire" test_fetch_little_endian_wire;
           case "store on all targets" test_store_roundtrip_all_archs;
           case "bad space" test_bad_space_error;
+          case "duplicate request not re-executed" test_duplicate_request_not_reexecuted;
+          case "corrupt request gets error reply" test_corrupt_request_gets_error_reply;
           case "mips fp word swap" test_mips_fp_word_swap;
           case "context save/restore" test_context_save_restore;
           case "reconnect preserves state" test_reconnect_preserves_state ] );
