@@ -15,6 +15,25 @@
 
 open Ldb_machine
 
+(** Static verification of the emitted table (pslint, Sec. 2): a finding
+    in generated PostScript is a compiler bug, so it fails the build.
+    [lint_enabled] exists so the seeded-defect tests can emit bad tables
+    on purpose. *)
+let lint_enabled = ref true
+
+let lint_body ~(unit_name : string) (body : string) =
+  if !lint_enabled then begin
+    let env = Ldb_pscheck.Pscheck.debugger_env () in
+    match
+      Ldb_pscheck.Pscheck.check_program ~env ~deep:true ~name:(unit_name ^ ":pstab") body
+    with
+    | [] -> ()
+    | fs ->
+        let msgs = List.map Ldb_pscheck.Lattice.finding_to_string fs in
+        failwith
+          ("psemit: generated symbol table fails pslint:\n" ^ String.concat "\n" msgs)
+  end
+
 let ps_escape s =
   let buf = Buffer.create (String.length s + 8) in
   String.iter
@@ -250,6 +269,7 @@ let emit_unit ?(defer = true) (ud : Sym.unit_debug) : Asm.ps_pieces =
   out e ">> def\n";
 
   let body = Buffer.contents e.buf in
+  lint_body ~unit_name:ud.Sym.ud_name body;
   let defs =
     if defer then
       (* Sec. 5 deferral: the whole body reads as one string; UNITBODY is

@@ -140,6 +140,16 @@ let parse_with_structs (s : t) (text : string) : Ldb_cc.Ast.expr =
   | _ -> raise (Ldb_cc.Parse.Error ("trailing tokens after expression", Ldb_cc.Parse.pos st)));
   e
 
+(** Static check (pslint) of compiled expression code before it ships:
+    a finding here is a rewriter bug, reported to ldb like any other
+    expression error instead of crashing the debugger's interpreter. *)
+let lint_expression (ps : string) : string option =
+  let env = Ldb_pscheck.Pscheck.debugger_env () in
+  match Ldb_pscheck.Pscheck.check_program ~env ~deep:true ~name:"%expr" ps with
+  | [] -> None
+  | fs ->
+      Some (String.concat "; " (List.map Ldb_pscheck.Lattice.finding_to_string fs))
+
 (** Handle one expression request: parse, translate, rewrite, reply. *)
 let serve_expression (s : t) (text : string) =
   match
@@ -147,10 +157,17 @@ let serve_expression (s : t) (text : string) =
     let ir, ty = Ldb_cc.Sema.rvalue (ectx s) ast in
     (Rewrite.rewrite ir, Ldb_cc.Ctype.to_string ty)
   with
-  | ps, tyname ->
-      send s ps;
-      send s (Printf.sprintf "(%s) ExpressionServer.result" (Ldb_cc.Psemit.ps_escape tyname));
-      s.bindings <- []
+  | ps, tyname -> (
+      (match lint_expression ps with
+      | None ->
+          send s ps;
+          send s
+            (Printf.sprintf "(%s) ExpressionServer.result" (Ldb_cc.Psemit.ps_escape tyname))
+      | Some msg ->
+          send s
+            (Printf.sprintf "(compiled expression fails pslint: %s) ExpressionServer.error"
+               (Ldb_cc.Psemit.ps_escape msg)));
+      s.bindings <- [])
   | exception Ldb_cc.Parse.Error (m, _) ->
       send s (Printf.sprintf "(parse error: %s) ExpressionServer.error" (Ldb_cc.Psemit.ps_escape m));
       s.bindings <- []

@@ -7,6 +7,12 @@ module I = Ldb_pscript.Interp
 
 exception Error of string
 
+(** Static pre-execution check (pslint) of deferred unit bodies: the body
+    string is verified before it is tokenized and run for the first time.
+    [`Fail] refuses to force a unit with findings, [`Warn] records them in
+    [lint_warnings] and forces anyway, [`Off] skips the check. *)
+let lint_mode : [ `Fail | `Warn | `Off ] ref = ref `Fail
+
 type t = {
   interp : I.t;
   symtab : V.dict;  (** the __symtab dictionary *)
@@ -15,6 +21,7 @@ type t = {
   mutable procs : V.t list;  (** procedure entries from all units *)
   mutable externs : V.dict list;  (** per-unit externs dictionaries *)
   mutable sourcefiles : string list;
+  mutable lint_warnings : string list;  (** findings kept under [`Warn] *)
 }
 
 let dict_str d key =
@@ -30,7 +37,28 @@ let make ~(interp : I.t) ~(symtab_dict : V.dict) : t =
     | None -> raise (Error "symbol table lacks /architecture")
   in
   { interp; symtab = symtab_dict; arch; forced = false; procs = []; externs = [];
-    sourcefiles = [] }
+    sourcefiles = []; lint_warnings = [] }
+
+(** Verify a deferred body before its first execution.  Bodies that are
+    already procedures were tokenized (and emit-time checked) by the
+    compiler, so only strings are re-verified here. *)
+let lint_body (st : t) ~file (body : V.t) =
+  match (!lint_mode, body.V.v) with
+  | `Off, _ | _, V.Arr _ -> ()
+  | mode, V.Str src -> (
+      let env = Ldb_pscheck.Pscheck.debugger_env () in
+      match
+        Ldb_pscheck.Pscheck.check_program ~env ~deep:true ~name:(file ^ ":pstab") src
+      with
+      | [] -> ()
+      | fs ->
+          let msgs = List.map Ldb_pscheck.Lattice.finding_to_string fs in
+          if mode = `Fail then
+            raise
+              (Error
+                 (Printf.sprintf "unit %s fails pslint:\n%s" file (String.concat "\n" msgs)))
+          else st.lint_warnings <- st.lint_warnings @ msgs)
+  | _, _ -> ()
 
 (** Force every unit body: execute the deferred strings (tokenizing them
     now) and collect each unit's result dictionary.  Requires the
@@ -59,6 +87,7 @@ let force (st : t) =
             in
             st.sourcefiles <- file :: st.sourcefiles;
             (* execute the body: a deferred string or a procedure *)
+            lint_body st ~file body;
             I.exec_value st.interp (V.cvx body);
             let result =
               match I.lookup st.interp ("UNITRESULT$" ^ tag) with

@@ -11,7 +11,7 @@ open Value
 module A = Ldb_amemory.Amemory
 
 let install (t : Interp.t) =
-  let def name f = dict_put t.Interp.systemdict name (op name f) in
+  let def name f = Interp.register_op t name f in
   let push = Interp.push t in
   let pop_int () = Interp.pop_int t in
   let pop_mem () = Interp.pop_mem t in

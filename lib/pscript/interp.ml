@@ -20,6 +20,7 @@ type t = {
   out : Buffer.t;        (** destination of print/Put *)
   pp : Pp.t;
   mutable deferred_tokens : int;  (** statistics: tokens scanned lazily *)
+  mutable registered : string list;  (** systemdict operator names, reverse registration order *)
 }
 
 let create_raw () =
@@ -34,7 +35,27 @@ let create_raw () =
     out;
     pp = Pp.create out;
     deferred_tokens = 0;
+    registered = [];
   }
+
+(* --- operator registration ------------------------------------------------ *)
+
+(** Install a builtin in systemdict.  Registration is collision-safe: a
+    duplicate name is a bug in the installer (the second definition would
+    silently shadow the first), so it fails fast. *)
+let register t name v =
+  if dict_mem t.systemdict name then
+    invalid_arg ("duplicate operator registration: " ^ name)
+  else begin
+    dict_put t.systemdict name v;
+    (match v.Value.v with Value.Op _ -> t.registered <- name :: t.registered | _ -> ())
+  end
+
+let register_op t name f = register t name (Value.op name f)
+
+(** Every operator registered so far, in registration order.  The static
+    checker's signature table is tested for exhaustiveness against this. *)
+let registered_ops t = List.rev t.registered
 
 (* --- operand stack ------------------------------------------------------ *)
 
@@ -108,14 +129,28 @@ and exec_proc t (elems : Value.t array) =
 
 (** Scan and execute tokens from a file until end of stream.  [Stop]
     propagates to the caller ([stopped] catches it), which is how the
-    expression server tells ldb to stop listening to the pipe. *)
+    expression server tells ldb to stop listening to the pipe.
+
+    Errors raised while executing a token are annotated with the position
+    of the token that triggered them, so a runtime [typecheck] names a
+    source location and not just an operator. *)
 and run_file t (f : Value.file) =
   let continue_ = ref true in
   while !continue_ do
     match Scan.token f with
     | Scan.TEof -> continue_ := false
-    | tok -> exec_token t f tok
+    | tok -> (
+        try exec_token t f tok
+        with Error (name, detail) when not (has_position detail) ->
+          let line, col = Value.file_token_pos f in
+          raise (Error (name, Printf.sprintf "%s [%s:%d:%d]" detail f.Value.file_name line col)))
   done
+
+and has_position detail =
+  (* already annotated by an inner (e.g. deferred-string) interpretation *)
+  let n = String.length detail in
+  let rec go i = i < n - 1 && ((detail.[i] = ' ' && detail.[i + 1] = '[') || go (i + 1)) in
+  go 0
 
 and exec_token t f (tok : Scan.token) =
   match tok with

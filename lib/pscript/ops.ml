@@ -7,7 +7,7 @@
 open Value
 
 let install (t : Interp.t) =
-  let def name f = dict_put t.Interp.systemdict name (op name f) in
+  let def name f = Interp.register_op t name f in
   let push = Interp.push t in
   let pop () = Interp.pop t in
   let pop_int () = Interp.pop_int t in
@@ -44,7 +44,11 @@ let install (t : Interp.t) =
       let j = pop_int () in
       let n = pop_int () in
       if n < 0 then err "rangecheck" "roll"
-      else if n > 0 then begin
+      else if n = 0 then
+        (* n = 0 is an explicit no-op per the spec: any j (including
+           negative) is legal and the stack is untouched *)
+        ()
+      else begin
         let rec take k stk acc =
           if k = 0 then (acc, stk)
           else
@@ -183,9 +187,9 @@ let install (t : Interp.t) =
       | Bool x -> push (bool (not x))
       | Int x -> push (int (lnot x))
       | _ -> err "typecheck" "not");
-  dict_put t.Interp.systemdict "true" (bool true);
-  dict_put t.Interp.systemdict "false" (bool false);
-  dict_put t.Interp.systemdict "null" null;
+  Interp.register t "true" (bool true);
+  Interp.register t "false" (bool false);
+  Interp.register t "null" null;
 
   (* ---- control ---- *)
   def "exec" (fun () -> Interp.exec_value t (pop ()));

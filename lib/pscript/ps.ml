@@ -5,10 +5,9 @@ let create () =
   let t = Interp.create_raw () in
   Ops.install t;
   Dbgops.install t;
-  Value.dict_put t.Interp.systemdict "charstr"
-    (Value.op "charstr" (fun () ->
-         let c = Interp.pop_int t in
-         Interp.push t (Value.str (String.make 1 (Char.chr (c land 0xff))))));
+  Interp.register_op t "charstr" (fun () ->
+      let c = Interp.pop_int t in
+      Interp.push t (Value.str (String.make 1 (Char.chr (c land 0xff)))));
   Interp.run_string t Prelude.source;
   t
 
@@ -18,10 +17,9 @@ let create_bare () =
   let t = Interp.create_raw () in
   Ops.install t;
   Dbgops.install t;
-  Value.dict_put t.Interp.systemdict "charstr"
-    (Value.op "charstr" (fun () ->
-         let c = Interp.pop_int t in
-         Interp.push t (Value.str (String.make 1 (Char.chr (c land 0xff))))));
+  Interp.register_op t "charstr" (fun () ->
+      let c = Interp.pop_int t in
+      Interp.push t (Value.str (String.make 1 (Char.chr (c land 0xff)))));
   t
 
 let load_prelude t = Interp.run_string t Prelude.source

@@ -132,9 +132,14 @@ let classify (w : string) : token =
   in
   match num_opt with Some t -> t | None -> TName (w, false)
 
-(** Read the next token from [f]. *)
+(** Read the next token from [f].  The position of the token's first
+    character is recorded in the file and can be read back with
+    [Value.file_token_pos] (or [token_pos] below) until the next token is
+    scanned. *)
 let token (f : Value.file) : token =
   skip_ws_and_comments f;
+  f.tok_line <- f.line;
+  f.tok_col <- f.col;
   match file_getc f with
   | None -> TEof
   | Some '(' -> TStr (scan_string f)
@@ -161,3 +166,6 @@ let token (f : Value.file) : token =
       | _ -> err "syntaxerror" "expected >>")
   | Some c when is_regular c -> classify (scan_word f c)
   | Some c -> err "syntaxerror" (Printf.sprintf "unexpected character %C" c)
+
+(** Position (line, column) of the most recently scanned token. *)
+let token_pos (f : Value.file) : int * int = Value.file_token_pos f

@@ -34,6 +34,12 @@ and file = {
   read_char : unit -> char option;  (** None at end of stream *)
   mutable pushback : char option;
   file_name : string;
+  mutable line : int;       (** 1-based line of the next character *)
+  mutable col : int;        (** 1-based column of the next character *)
+  mutable prev_line : int;  (** position before the last [file_getc] *)
+  mutable prev_col : int;
+  mutable tok_line : int;   (** position of the last token's first character *)
+  mutable tok_col : int;
 }
 
 exception Error of string * string
@@ -224,30 +230,45 @@ and escape_char c =
 
 (* --- files --------------------------------------------------------------- *)
 
+let file_of_fun name read_char : file =
+  { read_char; pushback = None; file_name = name;
+    line = 1; col = 1; prev_line = 1; prev_col = 1; tok_line = 1; tok_col = 1 }
+
 let file_of_string name s : file =
   let pos = ref 0 in
-  {
-    read_char =
-      (fun () ->
-        if !pos >= String.length s then None
-        else begin
-          let c = s.[!pos] in
-          incr pos;
-          Some c
-        end);
-    pushback = None;
-    file_name = name;
-  }
-
-let file_of_fun name read_char : file = { read_char; pushback = None; file_name = name }
+  file_of_fun name (fun () ->
+      if !pos >= String.length s then None
+      else begin
+        let c = s.[!pos] in
+        incr pos;
+        Some c
+      end)
 
 let file_getc f =
-  match f.pushback with
+  let c =
+    match f.pushback with
+    | Some c ->
+        f.pushback <- None;
+        Some c
+    | None -> f.read_char ()
+  in
+  (match c with
   | Some c ->
-      f.pushback <- None;
-      Some c
-  | None -> f.read_char ()
+      f.prev_line <- f.line;
+      f.prev_col <- f.col;
+      if c = '\n' then begin
+        f.line <- f.line + 1;
+        f.col <- 1
+      end
+      else f.col <- f.col + 1
+  | None -> ());
+  c
 
 let file_ungetc f c =
   assert (f.pushback = None);
-  f.pushback <- Some c
+  f.pushback <- Some c;
+  f.line <- f.prev_line;
+  f.col <- f.prev_col
+
+(** Position (line, column) where the most recent token started. *)
+let file_token_pos f = (f.tok_line, f.tok_col)

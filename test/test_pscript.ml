@@ -257,6 +257,52 @@ let test_interp_errors () =
   | exception V.Error ("rangecheck", _) -> ()
   | _ -> Alcotest.fail "rangecheck expected"
 
+(* --- satellite fixes: roll, registration, positions ----------------------- *)
+
+let test_roll_zero () =
+  (* n = 0 is a no-op for any j, including negative *)
+  expect_top "0 0" "1 2 0 0 roll" "2";
+  expect_top "0 1" "1 2 0 1 roll" "2";
+  expect_top "0 -1" "1 2 0 -1 roll" "2";
+  expect_top "0 -5 empty-below" "7 0 -5 roll" "7";
+  expect_top "plain" "1 2 3 3 -1 roll" "1"
+
+let test_roll_negative_n () =
+  match out "1 2 -1 5 roll" with
+  | exception V.Error ("rangecheck", _) -> ()
+  | _ -> Alcotest.fail "rangecheck expected for negative n"
+
+let test_duplicate_registration () =
+  let t = Ps.create () in
+  match I.register_op t "dup" (fun () -> ()) with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "duplicate registration must fail fast"
+
+let test_registered_ops () =
+  let t = Ps.create () in
+  let ops = I.registered_ops t in
+  List.iter
+    (fun name ->
+      if not (List.mem name ops) then Alcotest.failf "%s not in registered_ops" name)
+    [ "pop"; "roll"; "ifelse"; "FetchI32"; "charstr"; "Put" ];
+  (* constants are values, not operators *)
+  if List.mem "true" ops then Alcotest.fail "true is not an operator"
+
+let test_error_positions () =
+  (* a runtime error names the line and column of the offending token *)
+  match out "1 2 add\n(x) 1 add" with
+  | exception V.Error ("typecheck", detail) ->
+      if not (String.length detail > 0 && String.contains detail '[') then
+        Alcotest.failf "no position in %S" detail;
+      let has_pos =
+        let re = ":2:7]" in
+        let n = String.length detail and m = String.length re in
+        let rec go i = i + m <= n && (String.sub detail i m = re || go (i + 1)) in
+        go 0
+      in
+      if not has_pos then Alcotest.failf "expected line 2 col 7 in %S" detail
+  | _ -> Alcotest.fail "typecheck expected"
+
 let case name f = Alcotest.test_case name `Quick f
 
 let () =
@@ -285,4 +331,9 @@ let () =
           case "FindLocal" test_find_local; case "concatstr" test_concatstr;
           case "DeclSubst" test_declsubst;
           case "errors" test_interp_errors ] );
+      ( "regressions",
+        [ case "roll n=0" test_roll_zero; case "roll n<0" test_roll_negative_n;
+          case "duplicate registration" test_duplicate_registration;
+          case "registered ops" test_registered_ops;
+          case "error positions" test_error_positions ] );
     ]
