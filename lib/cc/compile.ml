@@ -22,6 +22,9 @@ let compile ?(debug = true) ?(defer = true) ?(optimize = true) ~(arch : Arch.t)
     with Sema.Error (m, p) ->
       raise (Error (Printf.sprintf "%s:%d:%d: %s" file p.Lex.line p.Lex.col m))
   in
+  (try Irlint.run ~file ui
+   with Irlint.Failed fs ->
+     raise (Error (String.concat "\n" (List.map Irlint.finding_to_string fs))));
   let unit_tag =
     String.map (fun c -> if c = '.' || c = '/' || c = '-' then '_' else c) file
   in

@@ -1,0 +1,358 @@
+(** IR-level dataflow lint (the compiler half of dbgcheck's static story).
+
+    Three checks over [Ir.stmt]/[Ir.exp], run after translation and before
+    code generation:
+
+    - {e definite assignment}: a read of a local that may happen before any
+      write on some path (forward may-uninitialized analysis);
+    - {e dead stores}: a store to a local whose value can never be read
+      (backward liveness);
+    - {e unreachable statements}: a stopping point the control-flow graph
+      cannot reach — in this system that is a user-visible defect, because
+      an unreachable stopping point is a place the user can set a
+      breakpoint that will never be hit.
+
+    Findings carry source positions taken from the stopping points the
+    compiler plants before every statement, so they point at real
+    file:line:col locations even though [Ir.exp] itself carries none.
+
+    Only {e named} locals whose every occurrence is a direct frame load or
+    store (or a register read/write, for [register] variables) are tracked;
+    a local whose address escapes — aggregates manipulated by address,
+    [&x], compiler temporaries — is left alone, which keeps the analysis
+    free of false positives at the cost of missing escapees. *)
+
+type kind = Uninit_read | Dead_store | Unreachable
+
+let kind_name = function
+  | Uninit_read -> "uninit-read"
+  | Dead_store -> "dead-store"
+  | Unreachable -> "unreachable"
+
+let kind_of_name = function
+  | "uninit-read" -> Some Uninit_read
+  | "dead-store" -> Some Dead_store
+  | "unreachable" -> Some Unreachable
+  | _ -> None
+
+type finding = { kind : kind; file : string; line : int; col : int; msg : string }
+
+let finding_to_string f =
+  Printf.sprintf "%s:%d:%d: %s: %s" f.file f.line f.col (kind_name f.kind) f.msg
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let finding_to_json f =
+  Printf.sprintf {|{"kind":"%s","file":"%s","line":%d,"col":%d,"msg":"%s"}|}
+    (kind_name f.kind) (json_escape f.file) f.line f.col (json_escape f.msg)
+
+(** [`Fail] makes a finding a compile error, [`Warn] (the default) records
+    it in [collected] for the driver/CLI to report, [`Off] skips the pass. *)
+let mode : [ `Fail | `Warn | `Off ] ref = ref `Warn
+
+exception Failed of finding list
+
+let collected : finding list ref = ref []
+let collected_cap = 1000
+
+(** Take (and clear) the findings accumulated under [`Warn]. *)
+let take () =
+  let fs = List.rev !collected in
+  collected := [];
+  fs
+
+(* --- tracked variables ------------------------------------------------------- *)
+
+type var = Voff of int | Vreg of int  (** frame slot / register variable *)
+
+let max_tracked = 60 (* state sets are bit masks in one native int *)
+
+(** Named locals of a function, found by walking the uplink chains of its
+    stopping points (the same walk the debugger's name resolution does). *)
+let named_locals (fd : Sym.func_debug) : (var * string) list =
+  let seen = Hashtbl.create 16 in
+  let acc = ref [] in
+  let rec chain = function
+    | None -> ()
+    | Some (s : Sym.t) ->
+        if not (Hashtbl.mem seen s.Sym.sid) then begin
+          Hashtbl.replace seen s.Sym.sid ();
+          (match (s.Sym.kind, s.Sym.where) with
+          | Sym.Kvar, Some (Sym.Frame off) when off < 0 -> acc := (Voff off, s.Sym.sym_name) :: !acc
+          | Sym.Kvar, Some (Sym.In_reg r) -> acc := (Vreg r, s.Sym.sym_name) :: !acc
+          | _ -> ());
+          chain s.Sym.uplink
+        end
+  in
+  List.iter (fun (sp : Sym.stop_point) -> chain sp.Sym.sp_scope) fd.Sym.fd_stops;
+  List.rev !acc
+
+(** Frame offsets that escape: any occurrence of [Addrl off] other than the
+    address of a direct scalar load or store means the address is taken (or
+    the slot holds an aggregate), so the slot cannot be tracked. *)
+let escaped_offsets (body : Ir.stmt list) : (int, unit) Hashtbl.t =
+  let escaped = Hashtbl.create 16 in
+  let rec exp (e : Ir.exp) =
+    match e with
+    | Ir.Indir (t, Ir.Addrl off) -> if t = Ir.V then Hashtbl.replace escaped off ()
+    | Ir.Asgn (t, Ir.Addrl off, v) ->
+        if t = Ir.V then Hashtbl.replace escaped off ();
+        exp v
+    | Ir.Addrl off -> Hashtbl.replace escaped off ()
+    | Ir.Cnst _ | Ir.Cnstf _ | Ir.Addrg _ | Ir.Reguse _ -> ()
+    | Ir.Indir (_, a) -> exp a
+    | Ir.Bin (_, _, a, b) | Ir.Cmp (_, _, a, b) -> exp a; exp b
+    | Ir.Cvt (_, _, a) | Ir.Regasgn (_, a) -> exp a
+    | Ir.Asgn (_, a, v) -> exp a; exp v
+    | Ir.Call (_, _, args) -> List.iter exp args
+    | Ir.Callind (_, f, args) -> exp f; List.iter exp args
+  in
+  List.iter
+    (function
+      | Ir.Sexp e -> exp e
+      | Ir.Scjump (_, _, a, b, _) -> exp a; exp b
+      | Ir.Sret (Some e) -> exp e
+      | Ir.Sret None | Ir.Slabel _ | Ir.Sjump _ | Ir.Sstop _ -> ())
+    body;
+  escaped
+
+(* --- the analysis ------------------------------------------------------------- *)
+
+let check_func ~(file : string) (fi : Sema.func_ir) : finding list =
+  match fi.Sema.fi_debug with
+  | None -> []
+  | Some fd ->
+      let stmts = Array.of_list fi.Sema.fi_body in
+      let n = Array.length stmts in
+      if n = 0 then []
+      else begin
+        let findings = ref [] in
+        let stop_pos = Hashtbl.create 16 in
+        List.iter
+          (fun (sp : Sym.stop_point) -> Hashtbl.replace stop_pos sp.Sym.sp_id sp.Sym.sp_pos)
+          fd.Sym.fd_stops;
+        let exit_stop_id =
+          List.fold_left (fun m (sp : Sym.stop_point) -> max m sp.Sym.sp_id) (-1)
+            fd.Sym.fd_stops
+        in
+        (* position of the nearest preceding stopping point, per statement *)
+        let pos_at = Array.make n fd.Sym.fd_sym.Sym.spos in
+        let cur = ref fd.Sym.fd_sym.Sym.spos in
+        Array.iteri
+          (fun i s ->
+            (match s with
+            | Ir.Sstop (id, _) -> (
+                match Hashtbl.find_opt stop_pos id with Some p -> cur := p | None -> ())
+            | _ -> ());
+            pos_at.(i) <- !cur)
+          stmts;
+        let report kind i msg =
+          let p = pos_at.(i) in
+          findings := { kind; file; line = p.Lex.line; col = p.Lex.col; msg } :: !findings
+        in
+
+        (* control flow *)
+        let label_at = Hashtbl.create 16 in
+        Array.iteri
+          (fun i s -> match s with Ir.Slabel l -> Hashtbl.replace label_at l i | _ -> ())
+          stmts;
+        let succs i =
+          match stmts.(i) with
+          | Ir.Sjump l -> (match Hashtbl.find_opt label_at l with Some j -> [ j ] | None -> [])
+          | Ir.Scjump (_, _, _, _, l) ->
+              let fall = if i + 1 < n then [ i + 1 ] else [] in
+              (match Hashtbl.find_opt label_at l with Some j -> j :: fall | None -> fall)
+          | Ir.Sret _ -> []
+          | _ -> if i + 1 < n then [ i + 1 ] else []
+        in
+        let preds = Array.make n [] in
+        Array.iteri (fun i _ -> List.iter (fun j -> preds.(j) <- i :: preds.(j)) (succs i)) stmts;
+
+        (* reachability, and the unreachable-stopping-point check *)
+        let reachable = Array.make n false in
+        let rec dfs i =
+          if not reachable.(i) then begin
+            reachable.(i) <- true;
+            List.iter dfs (succs i)
+          end
+        in
+        dfs 0;
+        Array.iteri
+          (fun i s ->
+            match s with
+            | Ir.Sstop (id, _) when (not reachable.(i)) && id <> exit_stop_id ->
+                report Unreachable i
+                  (Printf.sprintf
+                     "stopping point in %s can never be reached (a breakpoint here would never hit)"
+                     fi.Sema.fi_name)
+            | _ -> ())
+          stmts;
+
+        (* tracked variable set *)
+        let escaped = escaped_offsets fi.Sema.fi_body in
+        let vars =
+          List.filteri (fun i _ -> i < max_tracked)
+            (List.filter
+               (fun (v, _) -> match v with Voff off -> not (Hashtbl.mem escaped off) | Vreg _ -> true)
+               (named_locals fd))
+        in
+        let nvars = List.length vars in
+        let var_index = Hashtbl.create 16 in
+        List.iteri (fun i (v, _) -> Hashtbl.replace var_index v i) vars;
+        let var_name i = snd (List.nth vars i) in
+        let idx_of v = Hashtbl.find_opt var_index v in
+        if nvars = 0 then List.rev !findings
+        else begin
+          let all_mask = (1 lsl nvars) - 1 in
+
+          (* forward may-uninitialized: bit set = possibly uninitialized.
+             [transfer] threads the state through one statement in
+             evaluation order; [on_read] sees each tracked read with the
+             state at that moment. *)
+          let transfer ?(on_read = fun _ _ -> ()) (s0 : int) (stmt : Ir.stmt) : int =
+            let state = ref s0 in
+            let read v = match idx_of v with
+              | Some i -> on_read i !state
+              | None -> ()
+            in
+            let write v = match idx_of v with
+              | Some i -> state := !state land lnot (1 lsl i)
+              | None -> ()
+            in
+            let rec exp (e : Ir.exp) =
+              match e with
+              | Ir.Indir (_, Ir.Addrl off) -> read (Voff off)
+              | Ir.Reguse r -> read (Vreg r)
+              | Ir.Asgn (_, Ir.Addrl off, v) -> exp v; write (Voff off)
+              | Ir.Regasgn (r, v) -> exp v; write (Vreg r)
+              | Ir.Asgn (_, a, v) -> exp a; exp v
+              | Ir.Indir (_, a) -> exp a
+              | Ir.Bin (_, _, a, b) | Ir.Cmp (_, _, a, b) -> exp a; exp b
+              | Ir.Cvt (_, _, a) -> exp a
+              | Ir.Call (_, _, args) -> List.iter exp args
+              | Ir.Callind (_, f, args) -> exp f; List.iter exp args
+              | Ir.Cnst _ | Ir.Cnstf _ | Ir.Addrg _ | Ir.Addrl _ -> ()
+            in
+            (match stmt with
+            | Ir.Sexp e -> exp e
+            | Ir.Scjump (_, _, a, b, _) -> exp a; exp b
+            | Ir.Sret (Some e) -> exp e
+            | Ir.Sret None | Ir.Slabel _ | Ir.Sjump _ | Ir.Sstop _ -> ());
+            !state
+          in
+          let in_state = Array.make n (-1) (* -1: not yet visited *) in
+          in_state.(0) <- all_mask;
+          let work = Queue.create () in
+          Queue.add 0 work;
+          while not (Queue.is_empty work) do
+            let i = Queue.pop work in
+            let out = transfer in_state.(i) stmts.(i) in
+            List.iter
+              (fun j ->
+                let nw = if in_state.(j) = -1 then out else in_state.(j) lor out in
+                if nw <> in_state.(j) then begin
+                  in_state.(j) <- nw;
+                  Queue.add j work
+                end)
+              (succs i)
+          done;
+          let reported = Hashtbl.create 16 in
+          Array.iteri
+            (fun i stmt ->
+              if in_state.(i) <> -1 then
+                ignore
+                  (transfer
+                     ~on_read:(fun v st ->
+                       if st land (1 lsl v) <> 0 && not (Hashtbl.mem reported (i, v)) then begin
+                         Hashtbl.replace reported (i, v) ();
+                         report Uninit_read i
+                           (Printf.sprintf "%s may be read before it is assigned" (var_name v))
+                       end)
+                     in_state.(i) stmt))
+            stmts;
+
+          (* backward liveness: bit set = value may still be read *)
+          let gens = Array.make n 0 and kills = Array.make n 0 in
+          Array.iteri
+            (fun i stmt ->
+              let g = ref 0 and k = ref 0 in
+              ignore
+                (transfer ~on_read:(fun v _ -> g := !g lor (1 lsl v)) all_mask stmt);
+              let rec kexp (e : Ir.exp) =
+                match e with
+                | Ir.Asgn (_, Ir.Addrl off, v) ->
+                    (match idx_of (Voff off) with Some x -> k := !k lor (1 lsl x) | None -> ());
+                    kexp v
+                | Ir.Regasgn (r, v) ->
+                    (match idx_of (Vreg r) with Some x -> k := !k lor (1 lsl x) | None -> ());
+                    kexp v
+                | Ir.Asgn (_, a, v) -> kexp a; kexp v
+                | Ir.Indir (_, a) -> kexp a
+                | Ir.Bin (_, _, a, b) | Ir.Cmp (_, _, a, b) -> kexp a; kexp b
+                | Ir.Cvt (_, _, a) -> kexp a
+                | Ir.Call (_, _, args) -> List.iter kexp args
+                | Ir.Callind (_, f, args) -> kexp f; List.iter kexp args
+                | Ir.Cnst _ | Ir.Cnstf _ | Ir.Addrg _ | Ir.Addrl _ | Ir.Reguse _ -> ()
+              in
+              (match stmt with
+              | Ir.Sexp e -> kexp e
+              | Ir.Scjump (_, _, a, b, _) -> kexp a; kexp b
+              | Ir.Sret (Some e) -> kexp e
+              | Ir.Sret None | Ir.Slabel _ | Ir.Sjump _ | Ir.Sstop _ -> ());
+              gens.(i) <- !g;
+              kills.(i) <- !k)
+            stmts;
+          let live_in = Array.make n 0 in
+          let work = Queue.create () in
+          Array.iteri (fun i _ -> Queue.add i work) stmts;
+          while not (Queue.is_empty work) do
+            let i = Queue.pop work in
+            let out = List.fold_left (fun acc j -> acc lor live_in.(j)) 0 (succs i) in
+            let nw = gens.(i) lor (out land lnot kills.(i)) in
+            if nw <> live_in.(i) then begin
+              live_in.(i) <- nw;
+              List.iter (fun p -> Queue.add p work) preds.(i)
+            end
+          done;
+          Array.iteri
+            (fun i _ ->
+              if in_state.(i) <> -1 && kills.(i) <> 0 then begin
+                let out = List.fold_left (fun acc j -> acc lor live_in.(j)) 0 (succs i) in
+                List.iteri
+                  (fun v _ ->
+                    if kills.(i) land (1 lsl v) <> 0 && out land (1 lsl v) = 0
+                       && gens.(i) land (1 lsl v) = 0 then
+                      report Dead_store i
+                        (Printf.sprintf "value stored to %s is never read" (var_name v)))
+                  vars
+              end)
+            stmts;
+          List.rev !findings
+        end
+      end
+
+let check_unit ~(file : string) (ui : Sema.unit_ir) : finding list =
+  List.concat_map (fun fi -> check_func ~file fi) ui.Sema.ui_funcs
+
+(** Compiler hook: honour [mode].  Called by [Compile.compile]. *)
+let run ~(file : string) (ui : Sema.unit_ir) : unit =
+  match !mode with
+  | `Off -> ()
+  | m -> (
+      match check_unit ~file ui with
+      | [] -> ()
+      | fs when m = `Fail -> raise (Failed fs)
+      | fs ->
+          if List.length !collected < collected_cap then collected := List.rev_append fs !collected)

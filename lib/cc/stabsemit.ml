@@ -22,6 +22,26 @@ let n_psym = 0xa0 (* parameter *)
 let n_rsym = 0x40 (* register variable *)
 let n_sline = 0x44 (* line number / stopping point *)
 
+(** The desc field is a u16, so a source line past 65535 cannot be
+    represented — a real limitation of the stabs format that the PostScript
+    tables do not share.  Instead of silently emitting [line mod 65536]
+    (which would send the debugger to a wildly wrong line), clamp to the
+    maximum and record a diagnostic; dbgcheck's differential pass reports
+    the clamp when the two views of the module disagree. *)
+let clamp_diagnostics : string list ref = ref []
+
+let max_desc = 0xffff
+
+let clamp_desc ~what desc =
+  if desc >= 0 && desc <= max_desc then desc
+  else begin
+    clamp_diagnostics :=
+      Printf.sprintf "%s: line %d does not fit the u16 stabs desc field; clamped to %d" what
+        desc max_desc
+      :: !clamp_diagnostics;
+    if desc < 0 then 0 else max_desc
+  end
+
 let add_record buf ~ty ~desc ~value ~str =
   Buffer.add_char buf (Char.chr (ty land 0xff));
   Buffer.add_char buf (Char.chr (desc land 0xff));
@@ -69,7 +89,9 @@ let sym_stab_type (s : Sym.t) =
   | _, _ -> n_lsym
 
 let emit_sym buf arch (s : Sym.t) =
-  add_record buf ~ty:(sym_stab_type s) ~desc:s.Sym.spos.Lex.line ~value:(sym_value s)
+  add_record buf ~ty:(sym_stab_type s)
+    ~desc:(clamp_desc ~what:s.Sym.sym_name s.Sym.spos.Lex.line)
+    ~value:(sym_value s)
     ~str:(s.Sym.sym_name ^ ":" ^ type_code arch s.Sym.sym_ty)
 
 (** Serialize a unit's debug information as binary stabs. *)
@@ -96,8 +118,9 @@ let emit_unit (ud : Sym.unit_debug) : string =
                 end
           in
           chain sp.Sym.sp_scope;
-          add_record buf ~ty:n_sline ~desc:sp.Sym.sp_pos.Lex.line ~value:sp.Sym.sp_anchor
-            ~str:"")
+          add_record buf ~ty:n_sline
+            ~desc:(clamp_desc ~what:fd.Sym.fd_label sp.Sym.sp_pos.Lex.line)
+            ~value:sp.Sym.sp_anchor ~str:"")
         fd.Sym.fd_stops)
     ud.Sym.ud_funcs;
   Buffer.contents buf

@@ -1,0 +1,89 @@
+(** dbgcheck findings: one record per violation of the debug contract,
+    carrying the target, the check kind, and an address or file:line
+    position (the issue's "each finding carrying target, check kind, and
+    address or position").  The JSON shape is a contract, pinned by a
+    golden test. *)
+
+type kind =
+  (* stopping points *)
+  | Bad_nop          (** bytes at a stopping point are not the target's no-op *)
+  | Misaligned_stop  (** stopping point is not on an instruction boundary *)
+  | Nop_advance      (** decoded no-op width disagrees with [Target.nop_advance] *)
+  | Bad_decode       (** code segment bytes the disassembler rejects *)
+  (* symbols and anchors *)
+  | Unresolved_sym   (** a name the loader table cannot resolve through nm *)
+  | Bad_segment      (** an address outside the segment its kind demands *)
+  | Alias_clash      (** two views of one symbol (or address) disagree *)
+  | Dangling_slot    (** anchor slot index outside the anchor's data region *)
+  (* frames *)
+  | Frame_bounds     (** offset or size violating the frame layout *)
+  | Bad_reg_var      (** register variable in a non-allocatable register *)
+  | Rpt_mismatch     (** SIM-MIPS runtime procedure table disagrees *)
+  (* differential: stabs view vs PostScript view *)
+  | Stabs_mismatch   (** the two symbol tables disagree *)
+  | Line_clamped     (** stabs u16 desc clamped a line the PS table keeps *)
+  (* the table itself could not be interpreted *)
+  | Table_error
+
+let kind_name = function
+  | Bad_nop -> "bad-nop"
+  | Misaligned_stop -> "misaligned-stop"
+  | Nop_advance -> "nop-advance"
+  | Bad_decode -> "bad-decode"
+  | Unresolved_sym -> "unresolved-symbol"
+  | Bad_segment -> "bad-segment"
+  | Alias_clash -> "alias-clash"
+  | Dangling_slot -> "dangling-slot"
+  | Frame_bounds -> "frame-bounds"
+  | Bad_reg_var -> "bad-reg-var"
+  | Rpt_mismatch -> "rpt-mismatch"
+  | Stabs_mismatch -> "stabs-mismatch"
+  | Line_clamped -> "line-clamped"
+  | Table_error -> "table-error"
+
+let kind_of_name = function
+  | "bad-nop" -> Some Bad_nop
+  | "misaligned-stop" -> Some Misaligned_stop
+  | "nop-advance" -> Some Nop_advance
+  | "bad-decode" -> Some Bad_decode
+  | "unresolved-symbol" -> Some Unresolved_sym
+  | "bad-segment" -> Some Bad_segment
+  | "alias-clash" -> Some Alias_clash
+  | "dangling-slot" -> Some Dangling_slot
+  | "frame-bounds" -> Some Frame_bounds
+  | "bad-reg-var" -> Some Bad_reg_var
+  | "rpt-mismatch" -> Some Rpt_mismatch
+  | "stabs-mismatch" -> Some Stabs_mismatch
+  | "line-clamped" -> Some Line_clamped
+  | "table-error" -> Some Table_error
+  | _ -> None
+
+type t = {
+  kind : kind;
+  target : string;  (** architecture name *)
+  where : string;   (** "0x%06x" address, "file:line", or a symbol name *)
+  msg : string;
+}
+
+let at_addr addr = Printf.sprintf "0x%06x" addr
+let at_pos file line = Printf.sprintf "%s:%d" file line
+
+let to_string f = Printf.sprintf "%s: %s: %s: %s" f.target (kind_name f.kind) f.where f.msg
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json f =
+  Printf.sprintf {|{"target":"%s","kind":"%s","where":"%s","msg":"%s"}|}
+    (json_escape f.target) (kind_name f.kind) (json_escape f.where) (json_escape f.msg)

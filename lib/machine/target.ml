@@ -46,8 +46,46 @@ let decode t ~fetch addr = let (module E : Encoder.S) = t.encoder in E.decode ~f
 
 let numbered prefix n = Array.init n (fun i -> Printf.sprintf "%s%d" prefix i)
 
+(** Single source of truth for the paper's "four items of machine-dependent
+    data": [nop], [brk] and [nop_advance] are derived from the encoder
+    itself rather than restated by hand, so the target description can
+    never drift from [Enc_*].  Registration-time checks (run once, when
+    this module is initialized) verify the contract the debugger relies on:
+    the encoder's published [nop_bytes]/[break_bytes] agree with
+    [encode Nop]/[encode Break], the two patterns have the same length (so
+    planting a breakpoint is a plain store), the length is a positive
+    multiple of [insn_unit], and both patterns decode back to themselves. *)
+let stop_encoding ~(insn_unit : int) (encoder : Encoder.t) : string * string * int =
+  let (module E : Encoder.S) = encoder in
+  let fail fmt =
+    Printf.ksprintf
+      (fun s -> invalid_arg (Printf.sprintf "Target.stop_encoding(%s): %s" (Arch.name E.arch) s))
+      fmt
+  in
+  let nop = E.encode Insn.Nop and brk = E.encode Insn.Break in
+  if not (String.equal nop E.nop_bytes) then fail "encode Nop disagrees with nop_bytes";
+  if not (String.equal brk E.break_bytes) then fail "encode Break disagrees with break_bytes";
+  if String.length nop <> String.length brk then
+    fail "nop and break lengths differ (%d vs %d)" (String.length nop) (String.length brk);
+  if E.length Insn.Nop <> String.length nop then fail "length Nop disagrees with encode Nop";
+  if String.length nop = 0 || String.length nop mod insn_unit <> 0 then
+    fail "nop length %d is not a positive multiple of insn_unit %d" (String.length nop)
+      insn_unit;
+  let fetch_of s a = if a >= 0 && a < String.length s then Char.code s.[a] else 0 in
+  (match E.decode ~fetch:(fetch_of nop) 0 with
+  | Insn.Nop, w when w = String.length nop -> ()
+  | i, w -> fail "nop bytes decode to %s/%d, not Nop" (Insn.to_string i) w
+  | exception Optab.Bad_encoding _ -> fail "nop bytes do not decode");
+  (match E.decode ~fetch:(fetch_of brk) 0 with
+  | Insn.Break, w when w = String.length brk -> ()
+  | i, w -> fail "break bytes decode to %s/%d, not Break" (Insn.to_string i) w
+  | exception Optab.Bad_encoding _ -> fail "break bytes do not decode");
+  (nop, brk, String.length nop)
+
 let mips : t =
   let nregs = 32 and nfregs = 16 in
+  let insn_unit = 4 in
+  let nop, brk, nop_advance = stop_encoding ~insn_unit (module Enc_mips) in
   {
     arch = Mips;
     encoder = (module Enc_mips);
@@ -61,10 +99,10 @@ let mips : t =
     ftemps = [ 2; 3; 4; 5; 6; 7 ];
     reg_vars = [ 16; 17; 18; 19; 20; 21; 22; 23 ];
     scratch = 1;
-    nop = Enc_mips.nop_bytes;
-    brk = Enc_mips.break_bytes;
-    insn_unit = 4;
-    nop_advance = 4;
+    nop;
+    brk;
+    insn_unit;
+    nop_advance;
     (* sigcontext-style: pc first, then GPRs, then FPRs as doubles *)
     ctx_size = 4 + (4 * nregs) + (8 * nfregs);
     ctx_pc_off = 0;
@@ -77,6 +115,8 @@ let mips : t =
 
 let sparc : t =
   let nregs = 32 and nfregs = 16 in
+  let insn_unit = 4 in
+  let nop, brk, nop_advance = stop_encoding ~insn_unit (module Enc_sparc) in
   {
     arch = Sparc;
     encoder = (module Enc_sparc);
@@ -90,10 +130,10 @@ let sparc : t =
     ftemps = [ 2; 3; 4; 5; 6; 7 ];
     reg_vars = [ 20; 21; 22; 23; 24; 25 ];
     scratch = 19;
-    nop = Enc_sparc.nop_bytes;
-    brk = Enc_sparc.break_bytes;
-    insn_unit = 4;
-    nop_advance = 4;
+    nop;
+    brk;
+    insn_unit;
+    nop_advance;
     ctx_size = 4 + (4 * nregs) + (8 * nfregs);
     ctx_pc_off = 0;
     ctx_reg_off = (fun r -> 4 + (4 * r));
@@ -105,6 +145,8 @@ let sparc : t =
 
 let m68k : t =
   let nregs = 16 and nfregs = 8 in
+  let insn_unit = 2 in
+  let nop, brk, nop_advance = stop_encoding ~insn_unit (module Enc_m68k) in
   {
     arch = M68k;
     encoder = (module Enc_m68k);
@@ -118,10 +160,10 @@ let m68k : t =
     ftemps = [ 1; 2; 3; 4; 5 ];
     reg_vars = [ 10; 11; 12; 13 ];  (* a2-a5 *)
     scratch = 8;  (* a0 *)
-    nop = Enc_m68k.nop_bytes;
-    brk = Enc_m68k.break_bytes;
-    insn_unit = 2;
-    nop_advance = 2;
+    nop;
+    brk;
+    insn_unit;
+    nop_advance;
     (* "another representation must be used": GPRs first, then pc, then the
        FPRs in 80-bit extended format *)
     ctx_size = (4 * nregs) + 4 + (10 * nfregs);
@@ -136,6 +178,8 @@ let m68k : t =
 
 let vax : t =
   let nregs = 16 and nfregs = 8 in
+  let insn_unit = 1 in
+  let nop, brk, nop_advance = stop_encoding ~insn_unit (module Enc_vax) in
   {
     arch = Vax;
     encoder = (module Enc_vax);
@@ -149,10 +193,10 @@ let vax : t =
     ftemps = [ 1; 2; 3; 4; 5 ];
     reg_vars = [ 9; 10; 11; 12 ];
     scratch = 8;
-    nop = Enc_vax.nop_bytes;
-    brk = Enc_vax.break_bytes;
-    insn_unit = 1;
-    nop_advance = 1;
+    nop;
+    brk;
+    insn_unit;
+    nop_advance;
     (* GPRs, then FPRs, then pc at the end *)
     ctx_size = (4 * nregs) + (8 * nfregs) + 4;
     ctx_pc_off = (4 * nregs) + (8 * nfregs);

@@ -152,7 +152,6 @@ let builtin_sig : string -> (cls list * ty list) option = function
   | "idiv" | "mod" | "bitshift" -> Some ([ CInt; CInt ], [ Int ])
   | "sqrt" | "ln" | "log" | "sin" | "cos" -> Some ([ CNum ], [ Real ])
   | "atan" | "exp" -> Some ([ CNum; CNum ], [ Real ])
-  | "neg" | "abs" | "ceiling" | "floor" | "round" | "truncate" -> Some ([ CNum ], [ Num ])
   | "eq" | "ne" -> Some ([ CAny; CAny ], [ Bool ])
   | "dict" -> Some ([ CInt ], [ Dict ])
   | "known" -> Some ([ CKey; CDict ], [ Bool ])
@@ -189,7 +188,8 @@ let builtin_sig : string -> (cls list * ty list) option = function
 let special_ops =
   [
     "exch"; "dup"; "copy"; "index"; "roll"; "clear"; "count"; "cleartomark";
-    "counttomark"; "add"; "sub"; "mul"; "max"; "min"; "gt"; "ge"; "lt"; "le";
+    "counttomark"; "add"; "sub"; "mul"; "max"; "min"; "neg"; "abs"; "ceiling";
+    "floor"; "round"; "truncate"; "gt"; "ge"; "lt"; "le";
     "and"; "or"; "xor"; "not"; "exec"; "if"; "ifelse"; "for"; "repeat"; "loop";
     "exit"; "stop"; "stopped"; "quit"; "forall"; ">>"; "begin"; "end"; "def";
     "load"; "store"; "where"; "get"; "put"; "length"; "array"; "]"; "aload";
@@ -457,6 +457,24 @@ and exec_special ctx n st name : state =
             { t = Int; c = Some (KI k) }
         | Int, Int, _, _ -> of_ty Int
         | Real, _, _, _ | _, Real, _, _ -> of_ty Real
+        | _ -> of_ty Num
+      in
+      St (push v s)
+  | "neg" | "abs" | "ceiling" | "floor" | "round" | "truncate" ->
+      (* the interpreter keeps an Int an Int and anything else a Real, so
+         the abstract result must preserve the operand type — widening a
+         definite Real to Num here let "2.5 abs not" slip past the check
+         and trap at run time *)
+      let vs, s = popn ctx n name 1 s in
+      let a = List.hd vs in
+      chk ctx n name CNum a;
+      let v =
+        match (a.t, a.c) with
+        | Int, Some (KI x) ->
+            let k = match name with "neg" -> -x | "abs" -> abs x | _ -> x in
+            { t = Int; c = Some (KI k) }
+        | Int, _ -> of_ty Int
+        | Real, _ -> of_ty Real
         | _ -> of_ty Num
       in
       St (push v s)

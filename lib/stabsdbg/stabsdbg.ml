@@ -108,3 +108,61 @@ let sym_type_display (s : stab) =
   match String.index_opt s.st_name ':' with
   | Some i -> type_display (String.sub s.st_name (i + 1) (String.length s.st_name - i - 1))
   | None -> "?"
+
+(* --- grouping views (used by dbgcheck's differential pass) ----------------- *)
+
+let stab_name (s : stab) =
+  match String.index_opt s.st_name ':' with
+  | Some i -> String.sub s.st_name 0 i
+  | None -> s.st_name
+
+(** One function's records: the [n_fun] stab, the symbol stabs that follow
+    it, and its [n_sline] stopping points (desc = line, value = anchor
+    slot index). *)
+type func_view = { fv_fun : stab; fv_syms : stab list; fv_slines : stab list }
+
+(** One compilation unit: everything between an [n_so] record and the
+    next.  Symbols appearing before the first function are unit-level
+    (statics and globals). *)
+type unit_view = {
+  uv_name : string;
+  uv_toplevel : stab list;
+  uv_funcs : func_view list;
+}
+
+(** Split a parsed table into per-unit, per-function views, preserving
+    record order.  This is the structural inverse of
+    [Stabsemit.emit_unit]. *)
+let units (t : t) : unit_view list =
+  let module S = Ldb_cc.Stabsemit in
+  let finish_func uf syms slines funcs =
+    match uf with
+    | None -> funcs
+    | Some f -> { fv_fun = f; fv_syms = List.rev syms; fv_slines = List.rev slines } :: funcs
+  in
+  let finish_unit cur top uf syms slines funcs units =
+    match cur with
+    | None -> units
+    | Some name ->
+        let top = if uf = None then List.rev_append syms top else top in
+        {
+          uv_name = name;
+          uv_toplevel = List.rev top;
+          uv_funcs = List.rev (finish_func uf syms slines funcs);
+        }
+        :: units
+  in
+  let rec go cur top uf syms slines funcs units = function
+    | [] -> List.rev (finish_unit cur top uf syms slines funcs units)
+    | s :: rest ->
+        if s.st_type = S.n_so then
+          let units = finish_unit cur top uf syms slines funcs units in
+          go (Some s.st_name) [] None [] [] [] units rest
+        else if s.st_type = S.n_fun then
+          let funcs = finish_func uf syms slines funcs in
+          let top = if uf = None then List.rev_append syms top else top in
+          go cur top (Some s) [] [] funcs units rest
+        else if s.st_type = S.n_sline then go cur top uf syms (s :: slines) funcs units rest
+        else go cur top uf (s :: syms) slines funcs units rest
+  in
+  go None [] None [] [] [] [] t.stabs

@@ -23,6 +23,33 @@ let roundtrip_prop arch =
       let decoded, len = Target.decode target ~fetch 0 in
       len = String.length bytes && insn_eq decoded insn)
 
+(* Same property at every alignment the target allows: embed the encoding
+   at an arbitrary insn_unit-aligned offset in a padded buffer and decode
+   at that address.  This is the foundation dbgcheck's disassembly walk
+   stands on — instruction boundaries are wherever decoding lands, not
+   just address 0. *)
+let roundtrip_any_alignment_prop arch =
+  let target = Target.of_arch arch in
+  let unit = target.Target.insn_unit in
+  Testkit.qtest
+    (Printf.sprintf "%s roundtrip at any alignment" (Arch.name arch))
+    ~count:500
+    (QCheck.make
+       QCheck.Gen.(pair (Testkit.gen_insn arch) (int_bound 63))
+       ~print:(fun (i, k) -> Printf.sprintf "%s @+%d" (Insn.to_string i) (k * unit)))
+    (fun (insn, k) ->
+      let bytes = Target.encode target insn in
+      let addr = k * unit in
+      (* fill the padding with nops so every byte is meaningful *)
+      let buf = Buffer.create (addr + String.length bytes) in
+      while Buffer.length buf < addr do
+        Buffer.add_string buf target.Target.nop
+      done;
+      let buf = Buffer.(add_string buf bytes; contents buf) in
+      let fetch i = if i >= 0 && i < String.length buf then Char.code buf.[i] else 0 in
+      let decoded, len = Target.decode target ~fetch addr in
+      len = String.length bytes && insn_eq decoded insn)
+
 let test_lengths_differ () =
   (* the four targets genuinely differ in instruction width *)
   let nop_len arch = String.length (Target.of_arch arch).Target.nop in
@@ -46,6 +73,37 @@ let test_nop_brk_same_length () =
         (Arch.name arch ^ " nop/brk same length")
         (String.length t.Target.nop) (String.length t.Target.brk))
     Arch.all
+
+let test_stop_encoding_derived () =
+  (* Target.nop/brk/nop_advance are derived from the encoder at
+     registration time; verify the published contract on every target. *)
+  List.iter
+    (fun arch ->
+      let t = Target.of_arch arch in
+      let name s = Arch.name arch ^ " " ^ s in
+      check Alcotest.string (name "nop = encode Nop") (Target.encode t Insn.Nop) t.Target.nop;
+      check Alcotest.string (name "brk = encode Break") (Target.encode t Insn.Break) t.Target.brk;
+      check Alcotest.int (name "nop_advance = |nop|") (String.length t.Target.nop)
+        t.Target.nop_advance;
+      check Alcotest.int (name "nop_advance = length Nop") (Target.insn_length t Insn.Nop)
+        t.Target.nop_advance;
+      check Alcotest.bool
+        (name "nop length is a positive multiple of insn_unit")
+        true
+        (t.Target.nop_advance > 0 && t.Target.nop_advance mod t.Target.insn_unit = 0);
+      let decode_of s =
+        Target.decode t ~fetch:(fun i -> if i < String.length s then Char.code s.[i] else 0) 0
+      in
+      check Alcotest.bool (name "nop decodes to Nop") true
+        (decode_of t.Target.nop = (Insn.Nop, t.Target.nop_advance));
+      check Alcotest.bool (name "brk decodes to Break") true
+        (decode_of t.Target.brk = (Insn.Break, String.length t.Target.brk)))
+    Arch.all;
+  (* the derivation itself rejects a contract violation *)
+  Alcotest.check_raises "insn_unit mismatch rejected"
+    (Invalid_argument
+       "Target.stop_encoding(vax): nop length 1 is not a positive multiple of insn_unit 2")
+    (fun () -> ignore (Target.stop_encoding ~insn_unit:2 (module Enc_vax : Encoder.S)))
 
 let test_bad_encoding_rejected () =
   List.iter
@@ -257,10 +315,13 @@ let () =
     [
       ( "encoders",
         List.map roundtrip_prop Arch.all
+        @ List.map roundtrip_any_alignment_prop Arch.all
         @ [
             Alcotest.test_case "instruction widths differ" `Quick test_lengths_differ;
             Alcotest.test_case "real trap/no-op bit patterns" `Quick test_real_bit_patterns;
             Alcotest.test_case "nop/brk same length" `Quick test_nop_brk_same_length;
+            Alcotest.test_case "stop encodings derived from encoder" `Quick
+              test_stop_encoding_derived;
             Alcotest.test_case "bad encodings rejected" `Quick test_bad_encoding_rejected;
           ] );
       ( "ram",

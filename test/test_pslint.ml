@@ -123,6 +123,10 @@ let corpus : (string * L.kind * string) list =
     ("bad Absolute space", L.Range, "0 (rr) Absolute");
     ("ImmediateCell size", L.Range, "0 ImmediateCell");
     ("syntax unterminated", L.Syntax, "{1 2 add");
+    (* unary arithmetic must preserve the operand type: [abs] of a real
+       is a real, and the interpreter's [not] traps on it *)
+    ("not of real abs", L.Type_clash, "2.5 abs not");
+    ("not of real neg", L.Type_clash, "2.5 dup add neg not");
   ]
 
 let test_corpus () =
@@ -180,7 +184,9 @@ let test_clean_idioms () =
   assert_clean "begin/def/end" "1 dict begin /a 2 def a 1 add pop end";
   assert_clean "mark/clear" "[ 1 2 3 ] aload";
   assert_clean "loop exit" "0 { 1 add dup 10 gt { exit } if } loop pop";
-  assert_clean "stopped" "{ (oops) stop } stopped { pop } if"
+  assert_clean "stopped" "{ (oops) stop } stopped { pop } if";
+  assert_clean "abs of int stays int" "1 abs not pop";
+  assert_clean "neg of real compares" "2.5 neg 0.5 gt not pop"
 
 (* --- coverage: the signature table is exhaustive --------------------------- *)
 
