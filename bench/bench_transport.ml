@@ -3,7 +3,8 @@
     increasing fault rates, measuring session throughput and how hard the
     retry machinery had to work.  Emits BENCH_transport.json.
 
-    Run with: dune exec bench/bench_transport.exe *)
+    Run with: dune exec bench/bench_transport.exe
+    Flags: -smoke (reduced iterations, for CI), -o FILE (output path). *)
 
 open Ldb_machine
 module Ldb = Ldb_ldb.Ldb
@@ -84,7 +85,17 @@ type row = {
   mutable stale : int;
 }
 
-let sessions_per_cell = 5
+let smoke = Array.exists (( = ) "-smoke") Sys.argv
+
+let out_path =
+  let rec find i =
+    if i + 1 >= Array.length Sys.argv then "BENCH_transport.json"
+    else if Sys.argv.(i) = "-o" then Sys.argv.(i + 1)
+    else find (i + 1)
+  in
+  find 0
+
+let sessions_per_cell = if smoke then 1 else 5
 
 let run_rate rate : row =
   let row =
@@ -132,7 +143,7 @@ let () =
            (if i = List.length rows - 1 then "" else ",")))
     rows;
   Buffer.add_string buf "  ]\n}\n";
-  let oc = open_out "BENCH_transport.json" in
+  let oc = open_out out_path in
   output_string oc (Buffer.contents buf);
   close_out oc;
   print_string (Buffer.contents buf)

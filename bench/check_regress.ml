@@ -1,0 +1,247 @@
+(** Bench regression gate for CI: parse a committed BENCH_*.json and a
+    freshly produced one (bench -smoke -o fresh.json) and fail when the
+    fresh run violates the invariants the committed numbers promise.
+
+    Wall-clock seconds are not compared across machines — CI runners and
+    laptops differ wildly — so the gates are the {e shape} of the results:
+    zero failed sessions, indexed lookups beating the scans by the
+    required factor, lazy attach forcing only a fraction of the table.
+
+    Usage:
+      check_regress transport BENCH_transport.json fresh.json
+      check_regress symtab BENCH_symtab.json fresh.json [-min-speedup N]
+
+    No JSON library ships in the build environment, so a ~60-line
+    recursive-descent parser covers the subset the bench emitters use. *)
+
+type json =
+  | Obj of (string * json) list
+  | Arr of json list
+  | Str of string
+  | Num of float
+  | Bool of bool
+  | Null
+
+exception Parse of string
+
+let parse (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let fail msg = raise (Parse (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    if peek () = Some c then advance () else fail (Printf.sprintf "expected %c" c)
+  in
+  let string_lit () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' -> (
+          advance ();
+          match peek () with
+          | Some 'n' -> Buffer.add_char buf '\n'; advance (); go ()
+          | Some 't' -> Buffer.add_char buf '\t'; advance (); go ()
+          | Some 'u' ->
+              advance ();
+              for _ = 1 to 4 do advance () done;
+              Buffer.add_char buf '?';
+              go ()
+          | Some c -> Buffer.add_char buf c; advance (); go ()
+          | None -> fail "bad escape")
+      | Some c ->
+          Buffer.add_char buf c;
+          advance ();
+          go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then (advance (); Obj [])
+        else
+          let rec members acc =
+            skip_ws ();
+            let k = string_lit () in
+            skip_ws ();
+            expect ':';
+            let v = value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance (); members ((k, v) :: acc)
+            | Some '}' -> advance (); Obj (List.rev ((k, v) :: acc))
+            | _ -> fail "expected , or }"
+          in
+          members []
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then (advance (); Arr [])
+        else
+          let rec elements acc =
+            let v = value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance (); elements (v :: acc)
+            | Some ']' -> advance (); Arr (List.rev (v :: acc))
+            | _ -> fail "expected , or ]"
+          in
+          elements []
+    | Some '"' -> Str (string_lit ())
+    | Some 't' -> pos := !pos + 4; Bool true
+    | Some 'f' -> pos := !pos + 5; Bool false
+    | Some 'n' -> pos := !pos + 4; Null
+    | Some _ ->
+        let start = !pos in
+        let rec go () =
+          match peek () with
+          | Some ('0' .. '9' | '-' | '+' | '.' | 'e' | 'E') -> advance (); go ()
+          | _ -> ()
+        in
+        go ();
+        if !pos = start then fail "unexpected character"
+        else Num (float_of_string (String.sub s start (!pos - start)))
+    | None -> fail "unexpected end of input"
+  in
+  let v = value () in
+  skip_ws ();
+  v
+
+let of_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  try parse s with Parse m -> failwith (path ^ ": " ^ m)
+
+(* --- accessors ---------------------------------------------------------------- *)
+
+let member k = function
+  | Obj kvs -> (
+      match List.assoc_opt k kvs with
+      | Some v -> v
+      | None -> failwith ("missing key " ^ k))
+  | _ -> failwith ("not an object looking for " ^ k)
+
+let num j = match j with Num f -> f | _ -> failwith "expected a number"
+let str j = match j with Str s -> s | _ -> failwith "expected a string"
+let arr j = match j with Arr l -> l | _ -> failwith "expected an array"
+let keys = function Obj kvs -> List.map fst kvs | _ -> []
+
+(* --- the gates ----------------------------------------------------------------- *)
+
+let failures : string list ref = ref []
+let flag fmt = Printf.ksprintf (fun m -> failures := m :: !failures) fmt
+
+let require cond fmt =
+  Printf.ksprintf (fun m -> if not cond then failures := m :: !failures) fmt
+
+(** The fresh file must have the committed file's shape: a renamed or
+    dropped field silently disables a gate, so schema drift is an error. *)
+let check_schema ~committed ~fresh =
+  let rec go path c f =
+    match (c, f) with
+    | Obj _, Obj _ ->
+        List.iter
+          (fun k ->
+            match f with
+            | Obj kvs when List.mem_assoc k kvs -> go (path ^ "." ^ k) (member k c) (member k f)
+            | _ -> flag "schema: %s.%s is missing from the fresh output" path k)
+          (keys c)
+    | Arr (c0 :: _), Arr (f0 :: _) -> go (path ^ "[]") c0 f0
+    | Arr _, Arr _ -> ()
+    | _ -> ()
+  in
+  go "$" committed fresh
+
+let check_transport ~committed ~fresh =
+  check_schema ~committed ~fresh;
+  List.iter
+    (fun row ->
+      let rate = num (member "fault_rate" row) in
+      require
+        (num (member "failed" row) = 0.0)
+        "transport: %d sessions failed at fault rate %.2f"
+        (int_of_float (num (member "failed" row)))
+        rate;
+      if rate > 0.0 then
+        require
+          (num (member "retries" row) > 0.0)
+          "transport: no retries at fault rate %.2f — the fault machinery did not engage" rate)
+    (arr (member "rates" fresh))
+
+let check_symtab ~min_speedup ~committed ~fresh =
+  check_schema ~committed ~fresh;
+  let target_gates ~who ~min_speedup t =
+    let a = member "attach" t in
+    let archn = str (member "arch" t) in
+    require
+      (num (member "lazy_forced_units" a) < num (member "unit_count" a))
+      "%s %s: lazy attach forced every unit (%g of %g)" who archn
+      (num (member "lazy_forced_units" a))
+      (num (member "unit_count" a));
+    require
+      (num (member "lazy_forced_bytes" a) *. 2.0 < num (member "table_bytes" a))
+      "%s %s: lazy attach forced %g of %g table bytes — more than half" who archn
+      (num (member "lazy_forced_bytes" a))
+      (num (member "table_bytes" a));
+    List.iter
+      (fun q ->
+        require
+          (num (member "speedup" (member q t)) >= min_speedup)
+          "%s %s: %s indexed speedup %.1fx is below the %.0fx gate" who archn q
+          (num (member "speedup" (member q t)))
+          min_speedup)
+      [ "proc_by_name"; "stops_at_line" ];
+    require
+      (num (member "speedup" (member "pc_map" t)) >= 1.0)
+      "%s %s: the pc index is slower than the uncached walk" who archn
+  in
+  (* the committed numbers must meet the full acceptance criterion *)
+  List.iter (target_gates ~who:"committed" ~min_speedup:10.0) (arr (member "targets" committed));
+  (* the fresh (smoke) run gets a reduced gate: tiny iteration counts are
+     noisy, but an index that lost its edge still shows up *)
+  List.iter (target_gates ~who:"fresh" ~min_speedup) (arr (member "targets" fresh))
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let min_speedup =
+    let rec go = function
+      | "-min-speedup" :: v :: _ -> float_of_string v
+      | _ :: rest -> go rest
+      | [] -> 3.0
+    in
+    go args
+  in
+  match args with
+  | _ :: kind :: committed :: fresh :: _ ->
+      let committed = of_file committed and fresh = of_file fresh in
+      (match kind with
+      | "transport" -> check_transport ~committed ~fresh
+      | "symtab" -> check_symtab ~min_speedup ~committed ~fresh
+      | k ->
+          prerr_endline ("unknown benchmark kind " ^ k);
+          exit 2);
+      if !failures = [] then print_endline ("bench gate ok: " ^ kind)
+      else begin
+        List.iter prerr_endline (List.rev !failures);
+        exit 1
+      end
+  | _ ->
+      prerr_endline "usage: check_regress {transport|symtab} COMMITTED.json FRESH.json [-min-speedup N]";
+      exit 2

@@ -45,6 +45,16 @@ type ps_pieces = {
   pp_statics : (string * string) list;  (** unit-static name -> S-name *)
   pp_sourcemap : (string * string list) list;  (** file -> proc S-names *)
   pp_anchors : string list;  (** anchor symbol names used *)
+  pp_funcs : (string * string) list;
+      (** source-level name -> linker label of every procedure, shipped in
+          the top-level units dictionary so the debugger can force exactly
+          the unit that defines a queried procedure *)
+  pp_lines : (int * int) option;
+      (** min/max source line carrying a stopping point, the demand hint
+          for line-to-stop queries; [None] when the unit has no loci *)
+  pp_encoding : string option;
+      (** transfer encoding of the deferred body ([Some "lzw"]), decoded
+          transparently when the unit is forced *)
 }
 
 type t = {

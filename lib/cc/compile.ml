@@ -9,7 +9,7 @@ open Ldb_machine
 
 exception Error of string
 
-let compile ?(debug = true) ?(defer = true) ?(optimize = true) ~(arch : Arch.t)
+let compile ?(debug = true) ?(defer = true) ?(compress = false) ?(optimize = true) ~(arch : Arch.t)
     ~(file : string) (src : string) : Asm.t =
   let target = Target.of_arch arch in
   let ast =
@@ -72,7 +72,7 @@ let compile ?(debug = true) ?(defer = true) ?(optimize = true) ~(arch : Arch.t)
           :: List.map (fun l -> Asm.Dwordsym (l, 0)) slots)
     | None -> []
   in
-  let ps = Option.map (fun ud -> Psemit.emit_unit ~defer ud) ui.Sema.ui_debug in
+  let ps = Option.map (fun ud -> Psemit.emit_unit ~defer ~compress ud) ui.Sema.ui_debug in
   let stabs = match ui.Sema.ui_debug with Some ud -> Stabsemit.emit_unit ud | None -> "" in
   let rpt =
     List.map

@@ -181,9 +181,16 @@ let emit_chain (e : emitter) (ud : Sym.unit_debug) ~(emitted : (int, unit) Hasht
 
 (* --- whole unit -------------------------------------------------------------- *)
 
+(** Linker label of a function symbol, from its location info. *)
+let func_label (s : Sym.t) : string option =
+  match s.Sym.where with Some (Sym.Global label) -> Some label | _ -> None
+
 (** Emit the PostScript symbol table for one unit.  Returns the structured
-    pieces (the driver merges several units into a top-level dictionary). *)
-let emit_unit ?(defer = true) (ud : Sym.unit_debug) : Asm.ps_pieces =
+    pieces (the driver merges several units into a top-level dictionary).
+    With [~compress:true] (requires [~defer:true]) the deferred body ships
+    LZW-compressed, to be decompressed transparently when the unit is
+    forced — the paper compressed its tables the same way (Sec. 7). *)
+let emit_unit ?(defer = true) ?(compress = false) (ud : Sym.unit_debug) : Asm.ps_pieces =
   let tag = String.map (fun c -> if c = '.' || c = '/' || c = '-' then '_' else c) ud.Sym.ud_name in
   let e = { buf = Buffer.create 4096; arch = ud.Sym.ud_arch; tag; ntype = 0; types = ref [] } in
   let emitted = Hashtbl.create 64 in
@@ -270,14 +277,43 @@ let emit_unit ?(defer = true) (ud : Sym.unit_debug) : Asm.ps_pieces =
 
   let body = Buffer.contents e.buf in
   lint_body ~unit_name:ud.Sym.ud_name body;
+  let compress = compress && defer in
   let defs =
     if defer then
       (* Sec. 5 deferral: the whole body reads as one string; UNITBODY is
          executed (tokenized) only when the unit is first needed.  The body
          is re-escaped so that scanning the outer string reproduces it
-         exactly. *)
-      Printf.sprintf "/UNITBODY$%s (%s) def\n" tag (ps_escape body)
+         exactly.  A compressed body is the LZW stream of the source text,
+         escaped the same way (the scanner preserves arbitrary bytes). *)
+      let payload = if compress then Ldb_util.Lzw.compress body else body in
+      Printf.sprintf "/UNITBODY$%s (%s) def\n" tag (ps_escape payload)
     else Printf.sprintf "/UNITBODY$%s {%s} def\n" tag body
+  in
+  (* demand hints for the top-level units dictionary: which procedures and
+     global data the unit defines (by source name and linker label) and
+     which source lines carry stopping points *)
+  let funcs =
+    List.filter_map
+      (fun (fd : Sym.func_debug) ->
+        Option.map
+          (fun label -> (fd.Sym.fd_sym.Sym.sym_name, label))
+          (func_label fd.Sym.fd_sym))
+      ud.Sym.ud_funcs
+    @ List.filter_map
+        (fun (s : Sym.t) -> Option.map (fun label -> (s.Sym.sym_name, label)) (func_label s))
+        ud.Sym.ud_globals
+  in
+  let lines =
+    List.fold_left
+      (fun acc (fd : Sym.func_debug) ->
+        List.fold_left
+          (fun acc (sp : Sym.stop_point) ->
+            let l = sp.Sym.sp_pos.Lex.line in
+            match acc with
+            | None -> Some (l, l)
+            | Some (lo, hi) -> Some (min lo l, max hi l))
+          acc fd.Sym.fd_stops)
+      None ud.Sym.ud_funcs
   in
   {
     Asm.pp_defs = defs;
@@ -289,4 +325,7 @@ let emit_unit ?(defer = true) (ud : Sym.unit_debug) : Asm.ps_pieces =
         ud.Sym.ud_statics;
     pp_sourcemap = [ (ud.Sym.ud_name, procs) ];
     pp_anchors = [ ud.Sym.ud_anchor ];
+    pp_funcs = funcs;
+    pp_lines = lines;
+    pp_encoding = (if compress then Some "lzw" else None);
   }

@@ -67,6 +67,9 @@ type unit_view = {
   uv_file : string;
   uv_procs : proc_view list;
   uv_statics : sym_view list;
+  uv_names : string list option;  (** demand hints from the units dict, when present *)
+  uv_labels : string list;
+  uv_lines : (int * int) option;  (** /minline, /maxline hint *)
 }
 
 type ps_view = {
@@ -230,6 +233,30 @@ let ps_view_of ~(arch : Arch.t) (loader_ps : string) : ps_view =
                     let ed = V.to_dict entry in
                     let body = dget_exn ed "body" in
                     let tag = V.to_str (dget_exn ed "tag") in
+                    (* compressed bodies ship as LZW streams; decode before
+                       forcing, exactly as the debugger does *)
+                    let body =
+                      match dget ed "encoding" with
+                      | None -> body
+                      | Some enc when V.to_str enc = "lzw" -> (
+                          match body.V.v with
+                          | V.Str s -> (
+                              try V.str (Ldb_util.Lzw.decompress s)
+                              with Invalid_argument _ ->
+                                fail "unit %s: corrupt lzw body" file)
+                          | _ -> fail "unit %s: encoded body is not a string" file)
+                      | Some enc -> fail "unit %s: unknown body encoding %s" file (V.to_str enc)
+                    in
+                    let str_list key =
+                      match dget ed key with
+                      | Some v -> Some (Array.to_list (Array.map V.to_str (V.to_arr v)))
+                      | None -> None
+                    in
+                    let lines =
+                      match (dget ed "minline", dget ed "maxline") with
+                      | Some lo, Some hi -> Some (V.to_int lo, V.to_int hi)
+                      | _ -> None
+                    in
                     (* force the deferred body; its definitions land in the
                        arch dictionary, the top of the dictionary stack *)
                     I.exec_value interp (V.cvx body);
@@ -251,7 +278,15 @@ let ps_view_of ~(arch : Arch.t) (loader_ps : string) : ps_view =
                             (V.to_dict s).V.tbl []
                       | None -> []
                     in
-                    { uv_file = file; uv_procs = procs; uv_statics = statics } :: acc)
+                    {
+                      uv_file = file;
+                      uv_procs = procs;
+                      uv_statics = statics;
+                      uv_names = str_list "names";
+                      uv_labels = Option.value ~default:[] (str_list "labels");
+                      uv_lines = lines;
+                    }
+                    :: acc)
                   ud.V.tbl []
           in
           let kv_int d =
@@ -560,6 +595,46 @@ let check_symbols cx =
         uv.uv_statics)
     cx.ps.psv_units
 
+(** The demand hints in the units dictionary are an index the debugger
+    trusts to skip forcing units — stale hints silently break lazy lookup
+    (a query forces nothing, or the wrong unit), so verify them against
+    the forced unit's actual contents. *)
+let check_hints cx =
+  List.iter
+    (fun uv ->
+      (match uv.uv_names with
+      | None -> ()
+      | Some names ->
+          List.iter
+            (fun pv ->
+              if not (List.mem pv.pv_sym.sv_name names) then
+                report cx F.Hint_mismatch uv.uv_file
+                  "unit defines %s but its /names hint omits it" pv.pv_sym.sv_name;
+              match pv.pv_label with
+              | Some l when not (List.mem l uv.uv_labels) ->
+                  report cx F.Hint_mismatch uv.uv_file
+                    "unit defines label %s but its /labels hint omits it" l
+              | _ -> ())
+            uv.uv_procs);
+      match uv.uv_lines with
+      | None ->
+          if uv.uv_names <> None && List.exists (fun pv -> pv.pv_loci <> []) uv.uv_procs then
+            report cx F.Hint_mismatch uv.uv_file
+              "unit has stopping points but no /minline//maxline hint"
+      | Some (lo, hi) ->
+          List.iter
+            (fun pv ->
+              List.iter
+                (fun lv ->
+                  if lv.lv_line < lo || lv.lv_line > hi then
+                    report cx F.Hint_mismatch
+                      (F.at_pos uv.uv_file lv.lv_line)
+                      "%s: stopping point at line %d lies outside the hinted range %d..%d"
+                      pv.pv_sym.sv_name lv.lv_line lo hi)
+                pv.pv_loci)
+            uv.uv_procs)
+    cx.ps.psv_units
+
 (* --- family (c): frames -------------------------------------------------------- *)
 
 (** Smallest legal parameter offset under the target's convention:
@@ -831,7 +906,10 @@ let check ?(opts = all_checks) ?tdesc (img : Link.image) (loader_ps : string) : 
        }
      in
      if opts.stops then check_stops cx;
-     if opts.symbols then check_symbols cx;
+     if opts.symbols then begin
+       check_symbols cx;
+       check_hints cx
+     end;
      if opts.frames then check_frames cx;
      if opts.differential then check_differential cx
    with

@@ -22,6 +22,7 @@ type kind =
   (* differential: stabs view vs PostScript view *)
   | Stabs_mismatch   (** the two symbol tables disagree *)
   | Line_clamped     (** stabs u16 desc clamped a line the PS table keeps *)
+  | Hint_mismatch    (** units-dict demand hints disagree with the forced unit *)
   (* the table itself could not be interpreted *)
   | Table_error
 
@@ -39,6 +40,7 @@ let kind_name = function
   | Rpt_mismatch -> "rpt-mismatch"
   | Stabs_mismatch -> "stabs-mismatch"
   | Line_clamped -> "line-clamped"
+  | Hint_mismatch -> "hint-mismatch"
   | Table_error -> "table-error"
 
 let kind_of_name = function
@@ -55,6 +57,7 @@ let kind_of_name = function
   | "rpt-mismatch" -> Some Rpt_mismatch
   | "stabs-mismatch" -> Some Stabs_mismatch
   | "line-clamped" -> Some Line_clamped
+  | "hint-mismatch" -> Some Hint_mismatch
   | "table-error" -> Some Table_error
   | _ -> None
 

@@ -21,6 +21,10 @@ type t = {
   bp_general : bool;     (** planted over a real instruction, not a no-op:
                              resuming needs the nub's single-step extension *)
   mutable bp_planted : bool;
+  mutable bp_source : (string * int) option;
+      (** (procedure, line) this breakpoint was set from, when it came from
+          a source-level request — listing breakpoints names the source
+          location without another symbol-table query *)
 }
 
 type table = (int, t) Hashtbl.t
@@ -35,14 +39,16 @@ let fetch_bytes (wire : A.t) addr n =
 let store_bytes (wire : A.t) addr (s : string) =
   String.iteri (fun i c -> A.store_u8 wire (A.absolute 'c' (addr + i)) (Char.code c)) s
 
-(** Plant a breakpoint at [addr], which must hold a no-op. *)
-let plant (tbl : table) (target : Target.t) (wire : A.t) ~addr : t =
+(** Plant a breakpoint at [addr], which must hold a no-op.  [?source]
+    records the (procedure, line) the request named. *)
+let plant ?source (tbl : table) (target : Target.t) (wire : A.t) ~addr : t =
   match Hashtbl.find_opt tbl addr with
   | Some bp ->
       if not bp.bp_planted then begin
         store_bytes wire addr target.Target.brk;
         bp.bp_planted <- true
       end;
+      (match source with Some _ -> bp.bp_source <- source | None -> ());
       bp
   | None ->
       let nop = target.Target.nop in
@@ -53,7 +59,10 @@ let plant (tbl : table) (target : Target.t) (wire : A.t) ~addr : t =
              (Printf.sprintf "%#x does not hold a no-op (found %s)" addr
                 (String.concat "" (List.map (Printf.sprintf "%02x") (List.map Char.code (List.init (String.length current) (String.get current)))))));
       store_bytes wire addr target.Target.brk;
-      let bp = { bp_addr = addr; bp_original = nop; bp_general = false; bp_planted = true } in
+      let bp =
+        { bp_addr = addr; bp_original = nop; bp_general = false; bp_planted = true;
+          bp_source = source }
+      in
       Hashtbl.replace tbl addr bp;
       bp
 
@@ -73,7 +82,10 @@ let plant_general (tbl : table) (target : Target.t) (wire : A.t) ~addr : t =
       let brk = target.Target.brk in
       let original = fetch_bytes wire addr (String.length brk) in
       store_bytes wire addr brk;
-      let bp = { bp_addr = addr; bp_original = original; bp_general = true; bp_planted = true } in
+      let bp =
+        { bp_addr = addr; bp_original = original; bp_general = true; bp_planted = true;
+          bp_source = None }
+      in
       Hashtbl.replace tbl addr bp;
       bp
 

@@ -33,6 +33,26 @@ let break_when (c : t) ~(addr : int) (cond : Frame.t -> bool) : unit =
   ignore (Breakpoint.plant c.tg.Ldb.tg_breaks c.tg.Ldb.tg_tdesc c.tg.Ldb.tg_wire ~addr);
   c.conditions <- (addr, cond) :: List.remove_assoc addr c.conditions
 
+(** Conditional breakpoint by source line: plant at every stopping point
+    on [line] (in [?file], when given — only that unit's symbol table is
+    forced) and attach [cond] to each. *)
+let break_line_when ?file (c : t) ~(line : int) (cond : Frame.t -> bool) : int list =
+  let addrs = Ldb.break_line ?file c.d c.tg ~line in
+  List.iter
+    (fun addr -> c.conditions <- (addr, cond) :: List.remove_assoc addr c.conditions)
+    addrs;
+  addrs
+
+(** Source position of a frame, via the symbol table's pc index:
+    (procedure, line, column), when the pc maps to a known stopping
+    point. *)
+let source_of (c : t) (frame : Frame.t) : (string * int * int) option =
+  match Ldb.stop_of_frame c.d c.tg frame with
+  | None -> None
+  | Some s ->
+      Some
+        (Symtab.entry_name s.Symtab.stop_proc, s.Symtab.stop_line, s.Symtab.stop_col)
+
 (** Classify the current stop as an event. *)
 let classify (c : t) : event =
   match c.tg.Ldb.tg_state with

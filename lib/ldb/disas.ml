@@ -14,30 +14,38 @@ type line = {
   di_bytes : string;
   di_insn : Insn.t option;  (** None when the bytes decode to nothing *)
   di_label : string option; (** procedure name when the address starts one *)
+  di_stop : bool;           (** the address is a source-level stopping point *)
 }
 
 let fetch_via (mem : A.t) addr = A.fetch_u8 mem (A.absolute 'c' addr)
 
-(** Disassemble [count] instructions starting at [addr]. *)
-let window (tdesc : Target.t) (mem : A.t) ~(addr : int) ~(count : int)
-    ~(proc_of : int -> (int * string) option) : line list =
+(** Disassemble [count] instructions starting at [addr].  [stop_at] marks
+    source-level stopping points (the debugger supplies it from the
+    symbol table's pc index). *)
+let window ?(stop_at = fun _ -> false) (tdesc : Target.t) (mem : A.t) ~(addr : int)
+    ~(count : int) ~(proc_of : int -> (int * string) option) : line list =
   let rec go addr n acc =
     if n = 0 then List.rev acc
     else
       let label =
         match proc_of addr with Some (a, name) when a = addr -> Some name | _ -> None
       in
+      let stop = stop_at addr in
       match Target.decode tdesc ~fetch:(fetch_via mem) addr with
       | insn, len ->
           let bytes = String.init len (fun i -> Char.chr (fetch_via mem (addr + i))) in
           go (addr + len) (n - 1)
-            ({ di_addr = addr; di_bytes = bytes; di_insn = Some insn; di_label = label } :: acc)
+            ({ di_addr = addr; di_bytes = bytes; di_insn = Some insn; di_label = label;
+               di_stop = stop }
+            :: acc)
       | exception _ ->
           let bytes = String.init tdesc.Target.insn_unit (fun i -> Char.chr (fetch_via mem (addr + i))) in
           go
             (addr + tdesc.Target.insn_unit)
             (n - 1)
-            ({ di_addr = addr; di_bytes = bytes; di_insn = None; di_label = label } :: acc)
+            ({ di_addr = addr; di_bytes = bytes; di_insn = None; di_label = label;
+               di_stop = stop }
+            :: acc)
   in
   go addr count []
 
@@ -46,7 +54,9 @@ let hex_bytes s =
 
 let pp_line ppf (l : line) =
   (match l.di_label with Some n -> Fmt.pf ppf "%s:@\n" n | None -> ());
-  Fmt.pf ppf "  %06x  %-16s %s" l.di_addr (hex_bytes l.di_bytes)
+  Fmt.pf ppf "%s %06x  %-16s %s"
+    (if l.di_stop then "*" else " ")
+    l.di_addr (hex_bytes l.di_bytes)
     (match l.di_insn with Some i -> Insn.to_string i | None -> "<bad encoding>")
 
 let to_string lines = String.concat "\n" (List.map (Fmt.str "%a" pp_line) lines)

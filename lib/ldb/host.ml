@@ -18,9 +18,9 @@ type process = {
 
 (** Compile, link and load [sources] for [arch]; the program starts under
     its nub, paused before main. *)
-let launch ?(debug = true) ?(defer = true) ?(paused = true) ~(arch : Arch.t)
-    (sources : (string * string) list) : process =
-  let img, loader_ps = Ldb_link.Driver.build ~debug ~defer ~arch sources in
+let launch ?(debug = true) ?(defer = true) ?(compress = false) ?(paused = true)
+    ~(arch : Arch.t) (sources : (string * string) list) : process =
+  let img, loader_ps = Ldb_link.Driver.build ~debug ~defer ~compress ~arch sources in
   let proc = Ldb_link.Link.load img in
   let nub = Nub.create proc in
   Nub.start ~paused nub;
@@ -47,8 +47,8 @@ let open_faulty_channel ?armed (p : process) ~(seed : int)
   (dbg_end, fc)
 
 (** Spawn under the debugger: launch paused and connect. *)
-let spawn (d : Ldb.t) ?debug ?defer ~arch ~name sources : process * Ldb.target =
-  let p = launch ?debug ?defer ~paused:true ~arch sources in
+let spawn (d : Ldb.t) ?debug ?defer ?compress ~arch ~name sources : process * Ldb.target =
+  let p = launch ?debug ?defer ?compress ~paused:true ~arch sources in
   let tg = Ldb.connect d ~name ~loader_ps:p.hp_loader_ps (open_channel p) in
   (p, tg)
 

@@ -177,8 +177,14 @@ let connect ?deadline ?max_retries (d : t) ~(name : string) ~(loader_ps : string
   d.targets <- tg :: d.targets;
   tg
 
-(** Force the target's symbol tables (normally lazy). *)
-let force_symbols (d : t) (tg : target) = with_target d tg (fun () -> Symtab.force tg.tg_symtab)
+(** Force the target's whole symbol table (normally demand-driven: queries
+    force only the units they need). *)
+let force_symbols (d : t) (tg : target) =
+  with_target d tg (fun () -> Symtab.force_all tg.tg_symtab)
+
+(** Force the symbol table of one compilation unit. *)
+let force_unit (d : t) (tg : target) ~(file : string) =
+  with_target d tg (fun () -> Symtab.force_unit tg.tg_symtab ~file)
 
 (* --- execution control ------------------------------------------------------ *)
 
@@ -303,26 +309,32 @@ let stop_address (d : t) (tg : target) (s : Symtab.stop) : int =
       | V.Int n -> n
       | _ -> fail "stopping point location did not evaluate to a location")
 
-(** Set a breakpoint at the entry to [funcname]. *)
+(** Set a breakpoint at the entry to [funcname].  Demand-driven: only the
+    unit defining the procedure is forced. *)
 let break_function (d : t) (tg : target) (funcname : string) : int =
-  force_symbols d tg;
-  match Symtab.entry_stop tg.tg_symtab ~name:funcname with
+  match with_target d tg (fun () -> Symtab.entry_stop tg.tg_symtab ~name:funcname) with
   | None -> fail "no procedure named %s" funcname
   | Some s ->
       let addr = stop_address d tg s in
-      ignore (Breakpoint.plant tg.tg_breaks tg.tg_tdesc tg.tg_wire ~addr);
+      ignore
+        (Breakpoint.plant tg.tg_breaks tg.tg_tdesc tg.tg_wire ~addr
+           ~source:(Symtab.entry_name s.Symtab.stop_proc, s.Symtab.stop_line));
       addr
 
 (** Set breakpoints at every stopping point on a source line (a single
-    source location may correspond to more than one stopping point). *)
-let break_line (d : t) (tg : target) ~(line : int) : int list =
-  force_symbols d tg;
-  let stops = Symtab.stops_at_line tg.tg_symtab ~line in
+    source location may correspond to more than one stopping point).  With
+    [?file] only that unit is consulted — and forced. *)
+let break_line ?file (d : t) (tg : target) ~(line : int) : int list =
+  let stops =
+    with_target d tg (fun () -> Symtab.stops_at_line ?file tg.tg_symtab ~line)
+  in
   if stops = [] then fail "no stopping point at line %d" line;
   List.map
     (fun s ->
       let addr = stop_address d tg s in
-      ignore (Breakpoint.plant tg.tg_breaks tg.tg_tdesc tg.tg_wire ~addr);
+      ignore
+        (Breakpoint.plant tg.tg_breaks tg.tg_tdesc tg.tg_wire ~addr
+           ~source:(Symtab.entry_name s.Symtab.stop_proc, s.Symtab.stop_line));
       addr)
     stops
 
@@ -331,10 +343,12 @@ let clear_breakpoint (tg : target) ~addr = Breakpoint.remove tg.tg_breaks tg.tg_
 (* --- stack frames -------------------------------------------------------------- *)
 
 let proc_entry_at (d : t) (tg : target) ~pc : V.t option =
-  force_symbols d tg;
+  (* the loader's proctable maps the pc to a linker label without touching
+     the symbol table; only the unit defining that label is then forced *)
   match Linkerif.proc_of_pc tg.tg_linkerif ~pc with
   | None -> None
-  | Some (_, label) -> Symtab.proc_by_label tg.tg_symtab label
+  | Some (_, label) ->
+      with_target d tg (fun () -> Symtab.proc_by_label tg.tg_symtab label)
 
 let proc_info_of_entry (e : V.t) : Frame.proc_info =
   let d = V.to_dict e in
@@ -386,30 +400,24 @@ let backtrace (d : t) (tg : target) : Frame.t list =
   go [] (top_frame d tg)
 
 (** The stopping point governing a frame: the loci entry whose address is
-    nearest below the frame's pc. *)
+    nearest below the frame's pc (binary search over the symbol table's
+    per-procedure pc index; the index is built on first use). *)
 let stop_of_frame (d : t) (tg : target) (fr : Frame.t) : Symtab.stop option =
   match proc_entry_at d tg ~pc:fr.Frame.fr_pc with
   | None -> None
   | Some proc ->
-      let stops = Symtab.stops_of_proc proc in
-      List.fold_left
-        (fun best s ->
-          let addr = stop_address d tg s in
-          if addr <= fr.Frame.fr_pc then
-            match best with
-            | Some (baddr, _) when baddr >= addr -> best
-            | _ -> Some (addr, s)
-          else best)
-        None stops
-      |> Option.map snd
+      Symtab.stop_at_pc tg.tg_symtab ~addr_of:(stop_address d tg) proc
+        ~pc:fr.Frame.fr_pc
 
 (* --- variables -------------------------------------------------------------------- *)
 
 (** Resolve [name] in the context of [frame] and return its symbol-table
     entry. *)
 let resolve (d : t) (tg : target) (fr : Frame.t) (name : string) : V.t option =
-  force_symbols d tg;
-  Symtab.resolve tg.tg_symtab (stop_of_frame d tg fr) name
+  let stop = stop_of_frame d tg fr in
+  (* locals and statics need no further forcing; extern misses may force
+     the (hinted) unit defining the name *)
+  with_target d tg (fun () -> Symtab.resolve tg.tg_symtab stop name)
 
 (** Evaluate a symbol entry's /where in the context of a frame, yielding
     its location. *)
@@ -524,11 +532,12 @@ let break_address (d : t) (tg : target) ~(addr : int) : unit =
 
 (* --- source-level single stepping (Sec. 7.1) ------------------------------- *)
 
-(** Addresses of every stopping point in the procedure containing [pc]. *)
+(** Addresses of every stopping point in the procedure containing [pc]
+    (memoized by the pc index — this is the single-step loop's hot path). *)
 let stop_addresses (d : t) (tg : target) ~pc : int list =
   match proc_entry_at d tg ~pc with
   | None -> []
-  | Some proc -> List.map (stop_address d tg) (Symtab.stops_of_proc proc)
+  | Some proc -> Symtab.stop_addresses tg.tg_symtab ~addr_of:(stop_address d tg) proc
 
 (** Step to the next stopping point: single-step instructions until the pc
     lands on a stopping point different from the current one (entering
@@ -561,8 +570,15 @@ let step_source ?(limit = 200_000) (d : t) (tg : target) : state =
 (* --- disassembly ------------------------------------------------------------ *)
 
 (** Disassemble [count] instructions at [addr] through the wire; planted
-    breakpoints show up as the trap instructions they are. *)
+    breakpoints show up as the trap instructions they are, and addresses
+    that are source-level stopping points are marked (from the pc index of
+    the procedure containing [addr], forced on demand). *)
 let disassemble (d : t) (tg : target) ~(addr : int) ~(count : int) : Disas.line list =
-  ignore d;
+  let stops =
+    match proc_entry_at d tg ~pc:addr with
+    | None -> []
+    | Some proc -> Symtab.stop_addresses tg.tg_symtab ~addr_of:(stop_address d tg) proc
+  in
   Disas.window tg.tg_tdesc tg.tg_wire ~addr ~count
+    ~stop_at:(fun a -> List.mem a stops)
     ~proc_of:(fun pc -> Linkerif.proc_of_pc tg.tg_linkerif ~pc)

@@ -25,24 +25,42 @@ let loader_table_ps (img : Link.image) : string =
   let anchors =
     List.concat_map (fun (p : Asm.ps_pieces) -> p.Asm.pp_anchors) img.Link.i_ps
   in
-  let sourcemap =
-    List.concat_map (fun (p : Asm.ps_pieces) -> p.Asm.pp_sourcemap) img.Link.i_ps
-  in
   Buffer.add_string buf "/__symtab <<\n";
   Buffer.add_string buf (Printf.sprintf "  /architecture %s\n" (pstr arch));
   Buffer.add_string buf
     (Printf.sprintf "  /anchors [ %s ]\n"
        (String.concat " " (List.map (fun a -> "/" ^ a) anchors)));
-  (* unit bodies, keyed by source file name, forced on demand *)
+  (* unit bodies, keyed by source file name, forced on demand.  Each entry
+     also carries the demand hints psemit computed: the procedures the unit
+     defines (names and linker labels), the source-line range of its
+     stopping points, and the body's transfer encoding — the indexes that
+     let the debugger force exactly the units a query needs. *)
   Buffer.add_string buf "  /units <<\n";
   List.iter
-    (fun (file, _) ->
-      let tag = unit_tag_of file in
-      Buffer.add_string buf
-        (* load, don't execute: the eager form is an executable procedure *)
-        (Printf.sprintf "    %s << /body /UNITBODY$%s load cvlit /tag %s >>\n" (pstr file) tag
-           (pstr tag)))
-    sourcemap;
+    (fun (p : Asm.ps_pieces) ->
+      List.iter
+        (fun (file, _) ->
+          let tag = unit_tag_of file in
+          Buffer.add_string buf
+            (* load, don't execute: the eager form is an executable procedure *)
+            (Printf.sprintf "    %s << /body /UNITBODY$%s load cvlit /tag %s\n" (pstr file)
+               tag (pstr tag));
+          Buffer.add_string buf
+            (Printf.sprintf "      /names [ %s ]\n"
+               (String.concat " " (List.map (fun (n, _) -> pstr n) p.Asm.pp_funcs)));
+          Buffer.add_string buf
+            (Printf.sprintf "      /labels [ %s ]\n"
+               (String.concat " " (List.map (fun (_, l) -> pstr l) p.Asm.pp_funcs)));
+          (match p.Asm.pp_lines with
+          | Some (lo, hi) ->
+              Buffer.add_string buf (Printf.sprintf "      /minline %d /maxline %d\n" lo hi)
+          | None -> ());
+          (match p.Asm.pp_encoding with
+          | Some enc -> Buffer.add_string buf (Printf.sprintf "      /encoding %s\n" (pstr enc))
+          | None -> ());
+          Buffer.add_string buf "    >>\n")
+        p.Asm.pp_sourcemap)
+    img.Link.i_ps;
   Buffer.add_string buf "  >>\n";
   Buffer.add_string buf ">> def\n";
   (* the loader table proper, built from nm output *)
@@ -108,10 +126,13 @@ let run_dbgcheck (img : Link.image) (loader_ps : string) =
 
 (** Compile several C sources and link them, returning the image and the
     loader-table PostScript. *)
-let build ?(debug = true) ?(defer = true) ~(arch : Ldb_machine.Arch.t)
-    (sources : (string * string) list) : Link.image * string =
+let build ?(debug = true) ?(defer = true) ?(compress = false)
+    ~(arch : Ldb_machine.Arch.t) (sources : (string * string) list) :
+    Link.image * string =
   let objs =
-    List.map (fun (file, src) -> Compile.compile ~debug ~defer ~arch ~file src) sources
+    List.map
+      (fun (file, src) -> Compile.compile ~debug ~defer ~compress ~arch ~file src)
+      sources
   in
   let img = Link.link objs in
   let loader_ps = loader_table_ps img in

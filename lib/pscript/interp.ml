@@ -12,6 +12,10 @@ exception Stop
 exception Exit_loop
 exception Quit
 
+type cached_program = (Value.t * int * int) array
+(** A string scanned once: top-level tokens (procedures already collected)
+    paired with the source position of each, for error annotation. *)
+
 type t = {
   mutable ostack : Value.t list;
   mutable dstack : Value.dict list;  (** top first; bottom is systemdict *)
@@ -21,7 +25,17 @@ type t = {
   pp : Pp.t;
   mutable deferred_tokens : int;  (** statistics: tokens scanned lazily *)
   mutable registered : string list;  (** systemdict operator names, reverse registration order *)
+  progcache : (string, cached_program) Hashtbl.t;
+      (** tokenization cache: string body -> scanned program, so deferred
+          symbol-table bodies and repeated [run_string]s scan once *)
+  mutable scan_hits : int;    (** statistics: cache hits *)
+  mutable scan_misses : int;  (** statistics: strings actually scanned *)
 }
+
+(** Past this many distinct strings the cache is emptied rather than grown
+    (the expression server evaluates an unbounded stream of small one-shot
+    strings; symbol-table bodies are few and large). *)
+let progcache_limit = 512
 
 let create_raw () =
   let systemdict = dict_create () in
@@ -36,6 +50,9 @@ let create_raw () =
     pp = Pp.create out;
     deferred_tokens = 0;
     registered = [];
+    progcache = Hashtbl.create 64;
+    scan_hits = 0;
+    scan_misses = 0;
   }
 
 (* --- operator registration ------------------------------------------------ *)
@@ -113,7 +130,7 @@ let rec exec_value t (v : Value.t) =
     | Name n -> exec_value t (lookup_exn t n)
     | Op (_, f) -> f ()
     | Arr elems -> exec_proc t elems
-    | Str s -> run_file t (file_of_string "%string" s)
+    | Str s -> exec_string t "%string" s
     | File f -> run_file t f
     | Int _ | Real _ | Bool _ | Dict _ | Mark | Null | Mem _ | Loc _ -> push t v
 
@@ -188,7 +205,66 @@ and collect_proc t f : Value.t =
   go ();
   proc (Array.of_list (List.rev !items))
 
-let run_string t (s : string) = run_file t (file_of_string "%string" s)
+(** Scan a whole string into its top-level token sequence, collecting
+    procedures, without executing anything.  Each token keeps the position
+    of its first character for later error annotation. *)
+and scan_program t (f : Value.file) : cached_program =
+  let items = ref [] in
+  let continue_ = ref true in
+  while !continue_ do
+    match Scan.token f with
+    | Scan.TEof -> continue_ := false
+    | tok ->
+        let line, col = Value.file_token_pos f in
+        let v =
+          match tok with
+          | Scan.TEof -> assert false
+          | Scan.TNum v -> v
+          | Scan.TStr s -> str s
+          | Scan.TName (n, true) -> name_lit n
+          | Scan.TName (n, false) -> name_exec n
+          | Scan.TProcStart -> collect_proc t f
+          | Scan.TProcEnd -> err "syntaxerror" "unmatched }"
+        in
+        items := (v, line, col) :: !items
+  done;
+  Array.of_list (List.rev !items)
+
+(** Execute a scanned program, annotating errors with the recorded token
+    positions (the same annotation [run_file] produces while scanning). *)
+and exec_program t ~(name : string) (prog : cached_program) =
+  Array.iter
+    (fun ((v : Value.t), line, col) ->
+      try
+        match v.v with
+        | Arr _ when v.exec -> push t v (* top-level procedures are pushed *)
+        | _ -> if v.exec then exec_value t v else push t v
+      with Error (en, detail) when not (has_position detail) ->
+        raise (Error (en, Printf.sprintf "%s [%s:%d:%d]" detail name line col)))
+    prog
+
+(** The tokenization cache: scan [s] once and reuse the token array across
+    re-executions (deferred unit bodies, repeated [run_string]s). *)
+and program_of_string t ~(name : string) (s : string) : cached_program =
+  match Hashtbl.find_opt t.progcache s with
+  | Some p ->
+      t.scan_hits <- t.scan_hits + 1;
+      p
+  | None ->
+      t.scan_misses <- t.scan_misses + 1;
+      let p = scan_program t (file_of_string name s) in
+      if Hashtbl.length t.progcache >= progcache_limit then Hashtbl.reset t.progcache;
+      Hashtbl.replace t.progcache s p;
+      t.deferred_tokens <- t.deferred_tokens + Array.length p;
+      p
+
+and exec_string t (name : string) (s : string) =
+  exec_program t ~name (program_of_string t ~name s)
+
+let run_string t (s : string) = exec_string t "%string" s
+
+(** Tokenization-cache statistics: (hits, misses). *)
+let scan_stats t = (t.scan_hits, t.scan_misses)
 
 (** Execute [s] and return everything printed during its execution. *)
 let run_capture t (s : string) =

@@ -60,9 +60,11 @@ type session = {
 }
 
 (** A connected, paused debug session for [sources]. *)
-let debug_session ?debug ?defer ~arch sources : session =
+let debug_session ?debug ?defer ?compress ~arch sources : session =
   let d = Ldb.create () in
-  let proc, tg = Host.spawn d ?debug ?defer ~arch ~name:(Arch.name arch) sources in
+  let proc, tg =
+    Host.spawn d ?debug ?defer ?compress ~arch ~name:(Arch.name arch) sources
+  in
   { d; tg; proc }
 
 (** Continue until the nth stop (1 = first). *)

@@ -353,7 +353,7 @@ let test_json_pin () =
       check Alcotest.bool (F.kind_name k) true (F.kind_of_name (F.kind_name k) = Some k))
     [ F.Bad_nop; F.Misaligned_stop; F.Nop_advance; F.Bad_decode; F.Unresolved_sym;
       F.Bad_segment; F.Alias_clash; F.Dangling_slot; F.Frame_bounds; F.Bad_reg_var;
-      F.Rpt_mismatch; F.Stabs_mismatch; F.Line_clamped; F.Table_error ]
+      F.Rpt_mismatch; F.Stabs_mismatch; F.Line_clamped; F.Hint_mismatch; F.Table_error ]
 
 (* --- driver modes ---------------------------------------------------------------- *)
 

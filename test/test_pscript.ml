@@ -171,6 +171,33 @@ let test_deferred_nested_strings () =
   I.run_string t (Printf.sprintf "/b (%s) def b cvx exec name" escaped);
   check Alcotest.string "nested" "fib.c" (V.to_text (I.pop t))
 
+let test_token_cache () =
+  let t = Ps.create () in
+  let _, misses0 = I.scan_stats t in
+  I.run_string t "/v 1 def";
+  let hits1, misses1 = I.scan_stats t in
+  (* a string body is scanned exactly once... *)
+  check Alcotest.int "first run scans" (misses0 + 1) misses1;
+  I.run_string t "/v 1 def";
+  I.run_string t "/v 1 def";
+  let hits2, misses2 = I.scan_stats t in
+  (* ...and re-executions reuse the cached token array *)
+  check Alcotest.int "re-runs do not rescan" misses1 misses2;
+  check Alcotest.int "re-runs hit the cache" (hits1 + 2) hits2
+
+let test_token_cache_semantics () =
+  (* cached re-execution must behave exactly like a fresh scan, including
+     procedure collection and error positions *)
+  let t = Ps.create () in
+  let src = "/counter counter 1 add def { 1 2 add } exec" in
+  I.run_string t "/counter 0 def";
+  I.run_string t src;
+  I.run_string t src;
+  check Alcotest.string "sum" "3" (V.to_text (I.pop t));
+  check Alcotest.string "sum" "3" (V.to_text (I.pop t));
+  I.run_string t "counter";
+  check Alcotest.string "executed twice" "2" (V.to_text (I.pop t))
+
 (* --- prettyprinter ------------------------------------------------------------------------ *)
 
 let test_prettyprinter () =
@@ -323,7 +350,9 @@ let () =
           case "immutable strings" test_immutable_strings ] );
       ( "deferral",
         [ case "basic" test_deferred_execution;
-          case "nested strings" test_deferred_nested_strings ] );
+          case "nested strings" test_deferred_nested_strings;
+          case "token cache" test_token_cache;
+          case "token cache semantics" test_token_cache_semantics ] );
       ( "prettyprint", [ case "wrapping" test_prettyprinter ] );
       ( "debug extensions",
         [ case "locations" test_locations; case "fetch/store" test_fetch_store;
