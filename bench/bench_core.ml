@@ -1,0 +1,133 @@
+(** Core-dump benchmark: what post-mortem debugging costs.
+
+    For every target, a program is run to its SIGSEGV under the nub and
+    three things are measured:
+
+    - {b dump write}: serializing the stopped process into the LDBCORE1
+      format (size in bytes, dumps per second) — the sparse, zero-trimmed
+      sections must keep a dump of the 4 MB address space small;
+    - {b post-mortem attach}: decoding the dump and opening it as a
+      read-only target, up to and including the first backtrace — the
+      "how long until the crash makes sense" latency;
+    - {b fidelity}: whether the post-mortem backtrace equals the live one
+      ([live_matches], gated to 1 by bench/check_regress.ml).
+
+    Usage: bench_core [-smoke] [-o FILE.json]
+    Emits BENCH_core.json (or FILE.json). *)
+
+open Ldb_machine
+module Ldb = Ldb_ldb.Ldb
+module Host = Ldb_ldb.Host
+
+let segv_c =
+  {|
+int boom(int k)
+{
+    static int a[4];
+    a[0] = 7;
+    a[k] = 1;
+    return a[0];
+}
+int main(void)
+{
+    int n;
+    n = 4000000;
+    boom(n);
+    return 0;
+}
+|}
+
+let sources = [ ("segv.c", segv_c) ]
+
+let smoke = Array.exists (( = ) "-smoke") Sys.argv
+
+let out_path =
+  let rec find i =
+    if i + 1 >= Array.length Sys.argv then "BENCH_core.json"
+    else if Sys.argv.(i) = "-o" then Sys.argv.(i + 1)
+    else find (i + 1)
+  in
+  find 0
+
+let iters = if smoke then 1 else 25
+
+type row = {
+  arch : Arch.t;
+  dump_bytes : int;
+  dump_seconds : float;   (** per dump *)
+  attach_seconds : float; (** per attach, through the first backtrace *)
+  backtrace_depth : int;
+  live_matches : bool;
+}
+
+let run_target arch : row =
+  let d = Ldb.create () in
+  let p, tg = Host.spawn d ~arch ~name:(Arch.name arch) sources in
+  (match Ldb.continue_ d tg with
+  | Ok (Ldb.Stopped _) -> ()
+  | _ -> failwith (Arch.name arch ^ ": program did not fault"));
+  let live_bt = List.map (Ldb.frame_function d tg) (Ldb.backtrace d tg) in
+  (* dump write: what the nub does at the fault *)
+  let signal = Signal.number Signal.SIGSEGV in
+  let t0 = Sys.time () in
+  let bytes = ref "" in
+  for _ = 1 to iters do
+    bytes := Core.to_string (Core.of_proc p.Host.hp_proc ~signal ~code:0)
+  done;
+  let dump_seconds = (Sys.time () -. t0) /. float_of_int iters in
+  (* the wire transfer, once, so the chunking path is exercised too *)
+  let wire_bytes = Ldb.core_bytes tg in
+  assert (String.length wire_bytes = String.length !bytes);
+  (* post-mortem attach through the first backtrace *)
+  let loaded =
+    match Core.of_string !bytes with
+    | Ok r -> r
+    | Error m -> failwith (Arch.name arch ^ ": dump does not decode: " ^ m)
+  in
+  let dead_bt = ref [] in
+  let t0 = Sys.time () in
+  for _ = 1 to iters do
+    let d2 = Ldb.create () in
+    let tg2 =
+      Ldb.connect_core d2 ~name:"bench" ~loader_ps:p.Host.hp_loader_ps loaded
+    in
+    dead_bt := List.map (Ldb.frame_function d2 tg2) (Ldb.backtrace d2 tg2)
+  done;
+  let attach_seconds = (Sys.time () -. t0) /. float_of_int iters in
+  {
+    arch;
+    dump_bytes = String.length !bytes;
+    dump_seconds;
+    attach_seconds;
+    backtrace_depth = List.length !dead_bt;
+    live_matches = !dead_bt = live_bt;
+  }
+
+let () =
+  let rows = List.map run_target Arch.all in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n  \"benchmark\": \"core dumps\",\n";
+  Buffer.add_string buf
+    "  \"workload\": \"SIGSEGV at depth 2: dump the process, attach post-mortem, first backtrace\",\n";
+  Buffer.add_string buf "  \"targets\": [\n";
+  List.iteri
+    (fun i r ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"arch\": \"%s\", \"dump_bytes\": %d, \"dump_seconds\": %.6f, \
+            \"dumps_per_sec\": %.1f, \"attach_seconds\": %.6f, \
+            \"attaches_per_sec\": %.1f, \"backtrace_depth\": %d, \
+            \"live_matches\": %d}%s\n"
+           (Arch.name r.arch) r.dump_bytes r.dump_seconds
+           (1.0 /. (r.dump_seconds +. 1e-9))
+           r.attach_seconds
+           (1.0 /. (r.attach_seconds +. 1e-9))
+           r.backtrace_depth
+           (if r.live_matches then 1 else 0)
+           (if i = List.length rows - 1 then "" else ",")))
+    rows;
+  Buffer.add_string buf "  ]\n}\n";
+  let oc = open_out out_path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  print_string (Buffer.contents buf)

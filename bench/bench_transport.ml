@@ -12,6 +12,8 @@ module Host = Ldb_ldb.Host
 module Transport = Ldb_ldb.Transport
 module Faultchan = Ldb_nub.Faultchan
 
+let ok = function Ok v -> v | Error (`Dead_process m) -> failwith m
+
 let fib_c =
   {|void fib(int n)
 {
@@ -63,15 +65,15 @@ let session ~arch ~rate ~seed : Transport.stats =
     end
   in
   ignore (Ldb.break_function d tg "fib" : int);
-  (match Ldb.continue_ d tg with
+  (match ok (Ldb.continue_ d tg) with
   | Ldb.Stopped _ -> ()
   | _ -> failwith "no stop at breakpoint");
   assert (Ldb.read_int_var d tg (Ldb.top_frame d tg) "n" = 10);
-  (match Ldb.continue_ d tg with
+  (match ok (Ldb.continue_ d tg) with
   | Ldb.Exited 0 -> ()
   | _ -> failwith "no clean exit");
   assert (Host.output p = "1 1 2 3 5 8 13 21 34 55 \n");
-  Transport.stats tg.Ldb.tg_tr
+  Transport.stats (Ldb.transport tg)
 
 type row = {
   rate : float;

@@ -10,6 +10,7 @@
     Usage:
       check_regress transport BENCH_transport.json fresh.json
       check_regress symtab BENCH_symtab.json fresh.json [-min-speedup N]
+      check_regress core BENCH_core.json fresh.json
 
     No JSON library ships in the build environment, so a ~60-line
     recursive-descent parser covers the subset the bench emitters use. *)
@@ -218,6 +219,28 @@ let check_symtab ~min_speedup ~committed ~fresh =
      noisy, but an index that lost its edge still shows up *)
   List.iter (target_gates ~who:"fresh" ~min_speedup) (arr (member "targets" fresh))
 
+let check_core ~committed ~fresh =
+  check_schema ~committed ~fresh;
+  let target_gates ~who t =
+    let archn = str (member "arch" t) in
+    require
+      (num (member "live_matches" t) = 1.0)
+      "%s core %s: the post-mortem backtrace differs from the live one" who archn;
+    require
+      (num (member "backtrace_depth" t) >= 2.0)
+      "%s core %s: backtrace depth %g — the frame walk over the dump collapsed" who
+      archn
+      (num (member "backtrace_depth" t));
+    require
+      (num (member "dump_bytes" t) > 0.0
+      && num (member "dump_bytes" t) <= 1048576.0)
+      "%s core %s: dump is %g bytes — the zero-trimmed sections are not sparse" who
+      archn
+      (num (member "dump_bytes" t))
+  in
+  List.iter (target_gates ~who:"committed") (arr (member "targets" committed));
+  List.iter (target_gates ~who:"fresh") (arr (member "targets" fresh))
+
 let () =
   let args = Array.to_list Sys.argv in
   let min_speedup =
@@ -234,6 +257,7 @@ let () =
       (match kind with
       | "transport" -> check_transport ~committed ~fresh
       | "symtab" -> check_symtab ~min_speedup ~committed ~fresh
+      | "core" -> check_core ~committed ~fresh
       | k ->
           prerr_endline ("unknown benchmark kind " ^ k);
           exit 2);
@@ -243,5 +267,5 @@ let () =
         exit 1
       end
   | _ ->
-      prerr_endline "usage: check_regress {transport|symtab} COMMITTED.json FRESH.json [-min-speedup N]";
+      prerr_endline "usage: check_regress {transport|symtab|core} COMMITTED.json FRESH.json [-min-speedup N]";
       exit 2

@@ -423,7 +423,7 @@ int main(void) {
       plant d tg;
       let rec drive hits =
         match Ldb_ldb.Ldb.continue_ d tg with
-        | Ldb_ldb.Ldb.Stopped _ -> drive (hits + 1)
+        | Ok (Ldb_ldb.Ldb.Stopped _) -> drive (hits + 1)
         | _ -> hits
       in
       ignore (drive 0)

@@ -12,6 +12,7 @@
         -no-stops / -no-symbols / -no-frames / -no-differential
                          disable one check family
         -no-ir           skip the IR dataflow lint of the named C files
+        -no-core         skip the core-dump round-trip check
 
     Named C files are compiled and linked per target, then verified.
     Exit status: 0 clean, 1 findings, 2 usage error. *)
@@ -77,6 +78,7 @@ let () =
   let archs = ref Ldb_machine.Arch.all in
   let do_examples = ref false in
   let do_ir = ref true in
+  let do_core = ref true in
   let opts = ref D.all_checks in
   let files = ref [] in
   let usage fmt =
@@ -96,6 +98,7 @@ let () =
     | "-no-frames" :: rest -> opts := { !opts with D.frames = false }; parse rest
     | "-no-differential" :: rest -> opts := { !opts with D.differential = false }; parse rest
     | "-no-ir" :: rest -> do_ir := false; parse rest
+    | "-no-core" :: rest -> do_core := false; parse rest
     | "-ignore" :: k :: rest -> (
         match (F.kind_of_name k, Ldb_cc.Irlint.kind_of_name k) with
         | Some kind, _ -> ignored := kind :: !ignored; parse rest
@@ -125,7 +128,20 @@ let () =
             exit 2
         in
         ir_findings := !ir_findings @ Ldb_cc.Irlint.take ();
-        findings := !findings @ D.check ~opts:!opts img loader_ps)
+        findings := !findings @ D.check ~opts:!opts img loader_ps;
+        if !do_core then begin
+          (* dump the freshly loaded image and verify the dump a reader
+             would see: the codec round-trip is part of the contract *)
+          let proc = Ldb_link.Link.load img in
+          let core = Ldb_machine.Core.of_proc proc ~signal:5 ~code:0 in
+          (match Ldb_machine.Core.of_string (Ldb_machine.Core.to_string core) with
+          | Ok (co, _) -> findings := !findings @ D.check_core img co
+          | Error m ->
+              findings :=
+                !findings
+                @ [ { F.kind = F.Table_error; target = Ldb_machine.Arch.name arch;
+                      where = "core"; msg = "core round-trip failed: " ^ m } ])
+        end)
       !archs
   in
   if !do_examples then List.iter check_sources example_sources;

@@ -1,5 +1,6 @@
 (** The ldb command line: compile a C program for a simulated target,
-    start it under the nub, and debug it interactively.
+    start it under the nub, and debug it interactively — or, with
+    [-core FILE], examine a core dump post-mortem.
 
     Commands:
       break <func> | break :<line>   plant a breakpoint (at no-ops only)
@@ -13,11 +14,127 @@
       regs                           dump general-purpose registers
       disas [addr]                   disassemble at addr (default: pc)
       arch                           show target architecture
+      core <file>                    write a core dump of the stopped target
+      report                         one-shot crash report (best-effort)
       detach / kill / quit           connection control *)
 
 open Ldb_ldb
 
 let read_file path = In_channel.with_open_text path In_channel.input_all
+
+(** The interactive loop, shared by live and post-mortem sessions.
+    [proc] is the simulated process when there is one (live sessions);
+    post-mortem sessions have only the dump. *)
+let repl d tg sess ~(proc : Host.process option) =
+  let finished = ref false in
+  (* post-mortem queries may have tolerated damaged bytes; surface the
+     per-query warnings the way the answer itself was printed *)
+  let flush_salvage () =
+    List.iter (fun w -> Printf.printf "  ! salvage: %s\n" w) (Ldb.take_salvage tg)
+  in
+  let dead m = Printf.printf "ldb: %s\n" m in
+  while not !finished do
+    Printf.printf "(ldb) %!";
+    match In_channel.input_line stdin with
+    | None -> finished := true
+    | Some line ->
+        (let words =
+           String.split_on_char ' ' (String.trim line) |> List.filter (fun s -> s <> "")
+         in
+         try
+           match words with
+           | [] -> ()
+           | [ "quit" ] | [ "q" ] -> finished := true
+           | [ "arch" ] -> print_endline (Ldb_machine.Arch.name tg.Ldb.tg_arch)
+           | [ "break"; spec ] | [ "b"; spec ] ->
+               if String.length spec > 0 && spec.[0] = ':' then begin
+                 let line = int_of_string (String.sub spec 1 (String.length spec - 1)) in
+                 let addrs = Ldb.break_line d tg ~line in
+                 List.iter (Printf.printf "breakpoint at %#x\n") addrs
+               end
+               else Printf.printf "breakpoint at %#x\n" (Ldb.break_function d tg spec)
+           | [ "clear" ] -> Breakpoint.remove_all tg.Ldb.tg_breaks tg.Ldb.tg_wire
+           | [ "run" ] | [ "continue" ] | [ "c" ] -> (
+               match Ldb.continue_ d tg with
+               | Ok (Ldb.Exited n) ->
+                   Printf.printf "program exited with status %d\n" n;
+                   (match proc with
+                   | Some p ->
+                       let out = Ldb_machine.Proc.output p.Host.hp_proc in
+                       if out <> "" then Printf.printf "--- program output ---\n%s" out
+                   | None -> ())
+               | Ok _ -> print_endline (Ldb.where d tg)
+               | Error (`Dead_process m) -> dead m)
+           | [ "step" ] | [ "s" ] -> (
+               match Ldb.step_source d tg with
+               | Ok (Ldb.Exited n) -> Printf.printf "program exited with status %d\n" n
+               | Ok _ -> print_endline (Ldb.where d tg)
+               | Error (`Dead_process m) -> dead m)
+           | [ "stepi" ] | [ "si" ] -> (
+               match Ldb.step_instruction d tg with
+               | Ok (Ldb.Exited n) -> Printf.printf "program exited with status %d\n" n
+               | Ok _ -> print_endline (Ldb.where d tg)
+               | Error (`Dead_process m) -> dead m)
+           | [ "disas" ] | [ "disas"; _ ] -> (
+               let addr =
+                 match words with
+                 | [ _; spec ] -> int_of_string spec
+                 | _ -> (Ldb.top_frame d tg).Frame.fr_pc
+               in
+               print_endline (Disas.to_string (Ldb.disassemble d tg ~addr ~count:8)))
+           | [ "where" ] -> print_endline (Ldb.where d tg)
+           | [ "bt" ] | [ "backtrace" ] ->
+               List.iteri
+                 (fun i fr ->
+                   Printf.printf "#%d %s (pc=%#x base=%#x)\n" i (Ldb.frame_function d tg fr)
+                     fr.Frame.fr_pc fr.Frame.fr_base)
+                 (Ldb.backtrace d tg)
+           | [ "print"; name ] | [ "p"; name ] ->
+               Printf.printf "%s = %s\n" name (Ldb.print_value d tg (Ldb.top_frame d tg) name)
+           | "eval" :: rest | "e" :: rest ->
+               let expr = String.concat " " rest in
+               let v, ty =
+                 Ldb_exprserver.Eval.evaluate d tg (Ldb.top_frame d tg) sess expr
+               in
+               Printf.printf "(%s) %s\n" ty v
+           | [ "set"; name; "="; v ] -> (
+               match Ldb.assign_int d tg (Ldb.top_frame d tg) name (int_of_string v) with
+               | Ok () -> ()
+               | Error (`Dead_process m) -> dead m)
+           | [ "regs" ] ->
+               let fr = Ldb.top_frame d tg in
+               let t = tg.Ldb.tg_tdesc in
+               for r = 0 to Ldb_machine.Target.nregs t - 1 do
+                 Printf.printf "%4s=%08x%s"
+                   (Ldb_machine.Target.reg_name t r)
+                   (Frame.fetch_reg fr r)
+                   (if r mod 4 = 3 then "\n" else " ")
+               done
+           | [ "core"; path ] ->
+               let bytes = Ldb.core_bytes tg in
+               Out_channel.with_open_bin path (fun oc ->
+                   Out_channel.output_string oc bytes);
+               Printf.printf "wrote %d-byte core to %s\n" (String.length bytes) path
+           | [ "report" ] -> (
+               match Ldb.crash_report d tg with
+               | `Full r -> print_string (Ldb.render_crash_report r)
+               | `Salvage r ->
+                   print_string (Ldb.render_crash_report r);
+                   print_endline "(report assembled in salvage mode)")
+           | [ "detach" ] -> Ldb.detach tg
+           | [ "kill" ] ->
+               Ldb.kill tg;
+               finished := true
+           | _ -> Printf.printf "unknown command: %s\n" line
+         with
+         | Ldb.Error m -> Printf.printf "ldb: %s\n" m
+         | Coredump.Dead_process m -> Printf.printf "ldb: %s\n" m
+         | Transport.Error (_, m) -> Printf.printf "ldb: %s\n" m
+         | Breakpoint.Error m -> Printf.printf "ldb: %s\n" m
+         | Ldb_exprserver.Eval.Error m -> Printf.printf "ldb: %s\n" m
+         | Ldb_exprserver.Exprserver.Error m -> Printf.printf "ldb: %s\n" m);
+        flush_salvage ()
+  done
 
 let run_session ~arch ~sources =
   let d = Ldb.create () in
@@ -26,88 +143,36 @@ let run_session ~arch ~sources =
   Printf.printf "ldb: target %s, %d bytes of code, stopped before main\n%!"
     (Ldb_machine.Arch.name arch)
     (String.length proc.Host.hp_image.Ldb_link.Link.i_code);
-  let finished = ref false in
-  while not !finished do
-    Printf.printf "(ldb) %!";
-    match In_channel.input_line stdin with
-    | None -> finished := true
-    | Some line -> (
-        let words =
-          String.split_on_char ' ' (String.trim line) |> List.filter (fun s -> s <> "")
-        in
-        try
-          match words with
-          | [] -> ()
-          | [ "quit" ] | [ "q" ] -> finished := true
-          | [ "arch" ] -> print_endline (Ldb_machine.Arch.name tg.Ldb.tg_arch)
-          | [ "break"; spec ] | [ "b"; spec ] ->
-              if String.length spec > 0 && spec.[0] = ':' then begin
-                let line = int_of_string (String.sub spec 1 (String.length spec - 1)) in
-                let addrs = Ldb.break_line d tg ~line in
-                List.iter (Printf.printf "breakpoint at %#x\n") addrs
-              end
-              else Printf.printf "breakpoint at %#x\n" (Ldb.break_function d tg spec)
-          | [ "clear" ] -> Breakpoint.remove_all tg.Ldb.tg_breaks tg.Ldb.tg_wire
-          | [ "run" ] | [ "continue" ] | [ "c" ] -> (
-              match Ldb.continue_ d tg with
-              | Ldb.Exited n ->
-                  Printf.printf "program exited with status %d\n" n;
-                  let out = Ldb_machine.Proc.output proc.Host.hp_proc in
-                  if out <> "" then Printf.printf "--- program output ---\n%s" out
-              | _ -> print_endline (Ldb.where d tg))
-          | [ "step" ] | [ "s" ] -> (
-              match Ldb.step_source d tg with
-              | Ldb.Exited n -> Printf.printf "program exited with status %d\n" n
-              | _ -> print_endline (Ldb.where d tg))
-          | [ "stepi" ] | [ "si" ] -> (
-              match Ldb.step_instruction d tg with
-              | Ldb.Exited n -> Printf.printf "program exited with status %d\n" n
-              | _ -> print_endline (Ldb.where d tg))
-          | [ "disas" ] | [ "disas"; _ ] -> (
-              let addr =
-                match words with
-                | [ _; spec ] -> int_of_string spec
-                | _ -> (Ldb.top_frame d tg).Frame.fr_pc
-              in
-              print_endline (Disas.to_string (Ldb.disassemble d tg ~addr ~count:8)))
-          | [ "where" ] -> print_endline (Ldb.where d tg)
-          | [ "bt" ] | [ "backtrace" ] ->
-              List.iteri
-                (fun i fr ->
-                  Printf.printf "#%d %s (pc=%#x base=%#x)\n" i (Ldb.frame_function d tg fr)
-                    fr.Frame.fr_pc fr.Frame.fr_base)
-                (Ldb.backtrace d tg)
-          | [ "print"; name ] | [ "p"; name ] ->
-              Printf.printf "%s = %s\n" name (Ldb.print_value d tg (Ldb.top_frame d tg) name)
-          | "eval" :: rest | "e" :: rest ->
-              let expr = String.concat " " rest in
-              let v, ty =
-                Ldb_exprserver.Eval.evaluate d tg (Ldb.top_frame d tg) sess expr
-              in
-              Printf.printf "(%s) %s\n" ty v
-          | [ "set"; name; "="; v ] ->
-              Ldb.assign_int d tg (Ldb.top_frame d tg) name (int_of_string v)
-          | [ "regs" ] ->
-              let fr = Ldb.top_frame d tg in
-              let t = tg.Ldb.tg_tdesc in
-              for r = 0 to Ldb_machine.Target.nregs t - 1 do
-                Printf.printf "%4s=%08x%s"
-                  (Ldb_machine.Target.reg_name t r)
-                  (Frame.fetch_reg fr r)
-                  (if r mod 4 = 3 then "\n" else " ")
-              done
-          | [ "detach" ] -> Ldb.detach tg
-          | [ "kill" ] ->
-              Ldb.kill tg;
-              finished := true
-          | _ -> Printf.printf "unknown command: %s\n" line
-        with
-        | Ldb.Error m -> Printf.printf "ldb: %s\n" m
-        | Transport.Error (_, m) -> Printf.printf "ldb: %s\n" m
-        | Breakpoint.Error m -> Printf.printf "ldb: %s\n" m
-        | Ldb_exprserver.Eval.Error m -> Printf.printf "ldb: %s\n" m
-        | Ldb_exprserver.Exprserver.Error m -> Printf.printf "ldb: %s\n" m)
-  done
+  repl d tg sess ~proc:(Some proc)
+
+(** Post-mortem: rebuild the symbol tables from the same sources and open
+    the dump as a read-only target.  The architecture comes from the dump
+    itself; [-a] is ignored when it disagrees. *)
+let run_core_session ~core_path ~sources =
+  let raw = In_channel.with_open_bin core_path In_channel.input_all in
+  match Ldb_machine.Core.of_string raw with
+  | Error m ->
+      Printf.eprintf "ldb: %s is not a usable core: %s\n" core_path m;
+      exit 1
+  | Ok (core, warnings) ->
+      let arch = core.Ldb_machine.Core.co_arch in
+      let _, loader_ps = Ldb_link.Driver.build ~arch sources in
+      let d = Ldb.create () in
+      let tg = Ldb.connect_core d ~name:(Filename.basename core_path) ~loader_ps
+          (core, warnings) in
+      let sess = Ldb_exprserver.Eval.start ~arch in
+      Printf.printf "ldb: post-mortem on %s (%s), fault %s (code %#x)\n%!"
+        core_path
+        (Ldb_machine.Arch.name arch)
+        (match Ldb_machine.Signal.of_number core.Ldb_machine.Core.co_signal with
+        | Some s -> Ldb_machine.Signal.name s
+        | None -> Printf.sprintf "signal %d" core.Ldb_machine.Core.co_signal)
+        core.Ldb_machine.Core.co_code;
+      List.iter
+        (fun w ->
+          Printf.printf "  ! salvage: %s\n" (Ldb_machine.Core.salvage_to_string w))
+        warnings;
+      repl d tg sess ~proc:None
 
 open Cmdliner
 
@@ -124,17 +189,30 @@ let arch_t =
   Arg.(value & opt arch_arg Ldb_machine.Arch.Mips
        & info [ "a"; "arch" ] ~docv:"ARCH" ~doc:"Target architecture: mips, sparc, m68k, vax.")
 
+let core_t =
+  Arg.(value & opt (some file) None
+       & info [ "core" ] ~docv:"CORE"
+           ~doc:"Examine a core dump post-mortem instead of running the program. \
+                 The source files are still required to rebuild the symbol tables.")
+
 let files_t =
   Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE.c" ~doc:"C source files to debug.")
 
-let main arch files =
+let main arch core files =
   let sources = List.map (fun f -> (Filename.basename f, read_file f)) files in
-  try run_session ~arch ~sources with
+  try
+    match core with
+    | Some core_path -> run_core_session ~core_path ~sources
+    | None -> run_session ~arch ~sources
+  with
   | Ldb_cc.Compile.Error m -> Printf.eprintf "ldb: %s\n" m; exit 1
   | Ldb_link.Link.Error m -> Printf.eprintf "ldb: %s\n" m; exit 1
 
 let cmd =
   let doc = "a retargetable source-level debugger for simulated targets" in
-  Cmd.v (Cmd.info "ldb" ~doc) Term.(const main $ arch_t $ files_t)
+  Cmd.v (Cmd.info "ldb" ~doc) Term.(const main $ arch_t $ core_t $ files_t)
 
-let () = exit (Cmd.eval cmd)
+let () =
+  (* accept the traditional single-dash spelling: ldb -core FILE *)
+  let argv = Array.map (fun a -> if a = "-core" then "--core" else a) Sys.argv in
+  exit (Cmd.eval ~argv cmd)

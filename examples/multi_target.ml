@@ -10,6 +10,9 @@
 
 open Ldb_ldb
 
+(* run/step now answer with a result; a dead process cannot happen here *)
+let ok = function Ok v -> v | Error (`Dead_process m) -> failwith m
+
 let server_c =
   {|
 static int sequence;
@@ -76,7 +79,7 @@ let () =
   let cf = Ldb.top_frame d client in
   Printf.printf "\n== rewriting the client's packet from %s to 800 before it decodes\n"
     (Ldb.print_value d client cf "packet");
-  Ldb.assign_int d client cf "packet" 800;
+  ok (Ldb.assign_int d client cf "packet" 800);
 
   (* run both to completion *)
   Breakpoint.remove_all server.Ldb.tg_breaks server.Ldb.tg_wire;

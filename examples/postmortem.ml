@@ -11,6 +11,9 @@
 
 open Ldb_ldb
 
+(* run/step now answer with a result; a dead process cannot happen here *)
+let ok = function Ok v -> v | Error (`Dead_process m) -> failwith m
+
 let faulty_c =
   {|
 int average(int total, int samples)
@@ -70,7 +73,7 @@ let () =
 
   Printf.printf "\n== repairing the fault and resuming\n";
   let fr = Ldb.top_frame d2 tg2 in
-  Ldb.assign_int d2 tg2 fr "samples" 1;
+  ok (Ldb.assign_int d2 tg2 fr "samples" 1);
   (* rewind the pc to the statement's stopping point so the repaired value
      is reloaded: the pc is the 'x'-space extra register, and storing to it
      updates the context the nub restores from *)
@@ -80,7 +83,7 @@ let () =
       Ldb_amemory.Amemory.store_i32 fr.Frame.fr_mem
         (Ldb_amemory.Amemory.absolute 'x' 0) (Int32.of_int addr)
   | [] -> ());
-  (match Ldb.continue_ d2 tg2 with
+  (match ok (Ldb.continue_ d2 tg2) with
   | Ldb.Exited 0 -> Printf.printf "   program completed normally after the repair\n"
   | st ->
       Printf.printf "   %s\n"

@@ -9,6 +9,9 @@
 
 open Ldb_ldb
 
+(* run/step now answer with a result; a dead process cannot happen here *)
+let ok = function Ok v -> v | Error (`Dead_process m) -> failwith m
+
 (* Figure 1 of the paper (superscripts there mark the stopping points ldb
    discovers below). *)
 let fib_c =
@@ -125,9 +128,9 @@ let () =
 
   (* assignment into the stopped process: shorten the run *)
   Printf.printf "\n== assigning n = 6 in the stopped target, removing breakpoints\n";
-  Ldb.assign_int d tg fr "n" 6;
+  ok (Ldb.assign_int d tg fr "n" 6);
   List.iter (fun a -> Ldb.clear_breakpoint tg ~addr:a) addrs;
-  (match Ldb.continue_ d tg with
+  (match ok (Ldb.continue_ d tg) with
   | Ldb.Exited 0 -> Printf.printf "   program exited normally\n"
   | _ -> Printf.printf "   unexpected: %s\n" (Ldb.where d tg));
   Printf.printf "   program output: %s" (Host.output proc)

@@ -874,6 +874,63 @@ let check_differential cx =
             u.Sd.uv_toplevel)
     st_units
 
+(* --- core dumps ------------------------------------------------------------- *)
+
+module Crc32 = Ldb_util.Crc32
+
+(** Verify a core dump against the linked image it claims to come from:
+    the architecture identity, the register-file shape, every section's
+    checksum, and that the fault pc lies inside the image's code segment.
+    {!Ldb_machine.Core.of_string} {e tolerates} damage so that salvage
+    sessions can proceed; this check {e reports} it, and catches dumps
+    that were miswritten rather than damaged in flight. *)
+let check_core (img : Link.image) (co : Core.t) : F.t list =
+  let arch = img.Link.i_arch in
+  let out = ref [] in
+  let report kind where fmt =
+    Printf.ksprintf
+      (fun msg -> out := { F.kind; target = Arch.name arch; where; msg } :: !out)
+      fmt
+  in
+  if not (Arch.equal co.Core.co_arch arch) then
+    report F.Core_arch "core" "dumped on %s but the image is for %s"
+      (Arch.name co.Core.co_arch) (Arch.name arch);
+  (* register files must have exactly the dumping architecture's shape *)
+  let tdesc = Target.of_arch co.Core.co_arch in
+  if Array.length co.Core.co_regs <> Target.nregs tdesc then
+    report F.Core_reg_width "registers" "%d general registers in the dump, %d on %s"
+      (Array.length co.Core.co_regs) (Target.nregs tdesc) (Arch.name co.Core.co_arch);
+  if Array.length co.Core.co_fregs <> Target.nfregs tdesc then
+    report F.Core_reg_width "registers" "%d float registers in the dump, %d on %s"
+      (Array.length co.Core.co_fregs) (Target.nfregs tdesc) (Arch.name co.Core.co_arch);
+  if co.Core.co_freg_bytes <> tdesc.Target.ctx_freg_bytes then
+    report F.Core_reg_width "registers" "%d-byte float images, %s saves %d bytes"
+      co.Core.co_freg_bytes (Arch.name co.Core.co_arch) tdesc.Target.ctx_freg_bytes;
+  Array.iteri
+    (fun i image ->
+      if String.length image <> co.Core.co_freg_bytes then
+        report F.Core_reg_width (Printf.sprintf "f%d" i)
+          "float image is %d bytes, header promises %d" (String.length image)
+          co.Core.co_freg_bytes)
+    co.Core.co_fregs;
+  (* every section's bytes must checksum to its stored CRC *)
+  List.iter
+    (fun (s : Core.section) ->
+      let computed = Crc32.string s.Core.sec_bytes in
+      if computed <> s.Core.sec_crc then
+        report F.Core_crc s.Core.sec_name
+          "stored CRC %08x, %d bytes checksum to %08x" s.Core.sec_crc
+          (String.length s.Core.sec_bytes) computed
+      else if not s.Core.sec_ok then
+        report F.Core_crc s.Core.sec_name "section was recorded as damaged")
+    co.Core.co_sections;
+  (* the fault pc must point into the code segment the image defines *)
+  let code_end = Ram.Layout.code_base + String.length img.Link.i_code in
+  if co.Core.co_pc < Ram.Layout.code_base || co.Core.co_pc >= code_end then
+    report F.Core_pc (F.at_addr co.Core.co_pc)
+      "fault pc outside the code segment [%#x, %#x)" Ram.Layout.code_base code_end;
+  List.rev !out
+
 (* --- entry points -------------------------------------------------------------- *)
 
 type opts = { stops : bool; symbols : bool; frames : bool; differential : bool }

@@ -23,6 +23,11 @@ type kind =
   | Stabs_mismatch   (** the two symbol tables disagree *)
   | Line_clamped     (** stabs u16 desc clamped a line the PS table keeps *)
   | Hint_mismatch    (** units-dict demand hints disagree with the forced unit *)
+  (* core dumps *)
+  | Core_arch       (** the dump names a different architecture than the image *)
+  | Core_crc        (** a memory section's bytes do not checksum to its CRC *)
+  | Core_reg_width  (** register-file shape disagrees with the architecture *)
+  | Core_pc         (** the fault pc lies outside the image's code segment *)
   (* the table itself could not be interpreted *)
   | Table_error
 
@@ -41,6 +46,10 @@ let kind_name = function
   | Stabs_mismatch -> "stabs-mismatch"
   | Line_clamped -> "line-clamped"
   | Hint_mismatch -> "hint-mismatch"
+  | Core_arch -> "core-arch"
+  | Core_crc -> "core-crc"
+  | Core_reg_width -> "core-reg-width"
+  | Core_pc -> "core-pc"
   | Table_error -> "table-error"
 
 let kind_of_name = function
@@ -58,6 +67,10 @@ let kind_of_name = function
   | "stabs-mismatch" -> Some Stabs_mismatch
   | "line-clamped" -> Some Line_clamped
   | "hint-mismatch" -> Some Hint_mismatch
+  | "core-arch" -> Some Core_arch
+  | "core-crc" -> Some Core_crc
+  | "core-reg-width" -> Some Core_reg_width
+  | "core-pc" -> Some Core_pc
   | "table-error" -> Some Table_error
   | _ -> None
 

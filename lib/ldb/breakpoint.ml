@@ -21,6 +21,9 @@ type t = {
   bp_general : bool;     (** planted over a real instruction, not a no-op:
                              resuming needs the nub's single-step extension *)
   mutable bp_planted : bool;
+  mutable bp_suspended : bool;
+      (** unplanted by a detach, to be replanted on reattach — distinct
+          from a user's removal, which must {e not} come back *)
   mutable bp_source : (string * int) option;
       (** (procedure, line) this breakpoint was set from, when it came from
           a source-level request — listing breakpoints names the source
@@ -61,7 +64,7 @@ let plant ?source (tbl : table) (target : Target.t) (wire : A.t) ~addr : t =
       store_bytes wire addr target.Target.brk;
       let bp =
         { bp_addr = addr; bp_original = nop; bp_general = false; bp_planted = true;
-          bp_source = source }
+          bp_suspended = false; bp_source = source }
       in
       Hashtbl.replace tbl addr bp;
       bp
@@ -84,7 +87,7 @@ let plant_general (tbl : table) (target : Target.t) (wire : A.t) ~addr : t =
       store_bytes wire addr brk;
       let bp =
         { bp_addr = addr; bp_original = original; bp_general = true; bp_planted = true;
-          bp_source = None }
+          bp_suspended = false; bp_source = None }
       in
       Hashtbl.replace tbl addr bp;
       bp
@@ -94,11 +97,42 @@ let remove (tbl : table) (wire : A.t) ~addr =
   match Hashtbl.find_opt tbl addr with
   | Some bp when bp.bp_planted ->
       store_bytes wire addr bp.bp_original;
-      bp.bp_planted <- false
+      bp.bp_planted <- false;
+      bp.bp_suspended <- false
   | _ -> ()
 
 let remove_all (tbl : table) (wire : A.t) =
   Hashtbl.iter (fun addr _ -> remove tbl wire ~addr) tbl
+
+(** Unplant every planted breakpoint without forgetting it, so a released
+    target resumes over its own instructions (detach and kill must leave
+    no trap bytes behind).  Suspended breakpoints are replanted by
+    {!resume_suspended} on reattach.  Returns the number unplanted. *)
+let suspend_all (tbl : table) (wire : A.t) : int =
+  Hashtbl.fold
+    (fun addr bp n ->
+      if bp.bp_planted then begin
+        store_bytes wire addr bp.bp_original;
+        bp.bp_planted <- false;
+        bp.bp_suspended <- true;
+        n + 1
+      end
+      else n)
+    tbl 0
+
+(** Replant the breakpoints a detach suspended (user-removed ones stay
+    removed).  Returns the number replanted. *)
+let resume_suspended (tbl : table) (target : Target.t) (wire : A.t) : int =
+  Hashtbl.fold
+    (fun addr bp n ->
+      if bp.bp_suspended then begin
+        store_bytes wire addr target.Target.brk;
+        bp.bp_planted <- true;
+        bp.bp_suspended <- false;
+        n + 1
+      end
+      else n)
+    tbl 0
 
 (** The machine-dependent procedure that distinguishes breakpoint faults
     from other faults (Sec. 4.3). *)

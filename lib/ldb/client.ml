@@ -73,11 +73,12 @@ let classify (c : t) : event =
 let run (c : t) ~(handler : event -> decision) : event =
   let rec loop () =
     match Ldb.continue_ c.d c.tg with
-    | Ldb.Exited n ->
+    | Error (`Dead_process m) -> failwith m
+    | Ok (Ldb.Exited n) ->
         let ev = Ev_exit n in
         ignore (handler ev);
         ev
-    | Ldb.Stopped _ -> (
+    | Ok (Ldb.Stopped _) -> (
         let ev = classify c in
         let pass =
           match ev with
@@ -89,7 +90,7 @@ let run (c : t) ~(handler : event -> decision) : event =
         in
         if not pass then loop ()
         else match handler ev with Resume -> loop () | Pause -> ev)
-    | _ -> classify c
+    | Ok _ -> classify c
   in
   loop ()
 
@@ -108,10 +109,11 @@ let watch (c : t) ~(addr : int) ?(limit = 500_000) () : event =
     if n >= limit then failwith "watch: no modification within the step budget"
     else
       match Ldb.step_instruction c.d c.tg with
-      | Ldb.Stopped { signal = SIGTRAP; code = 1; _ } ->
+      | Ok (Ldb.Stopped { signal = SIGTRAP; code = 1; _ }) ->
           if read () <> initial then classify c else go (n + 1)
-      | Ldb.Exited code -> Ev_exit code
-      | Ldb.Stopped _ -> classify c
-      | _ -> Ev_exit (-1)
+      | Ok (Ldb.Exited code) -> Ev_exit code
+      | Ok (Ldb.Stopped _) -> classify c
+      | Error (`Dead_process m) -> failwith m
+      | Ok _ -> Ev_exit (-1)
   in
   go 0

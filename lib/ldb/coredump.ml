@@ -1,0 +1,87 @@
+(** A core dump presented as a read-only abstract memory.
+
+    The paper's abstract memories (Sec. 4.1) are what make the debugger's
+    machine-independent layers indifferent to where bytes come from; this
+    module supplies the post-mortem instance.  Fetches are answered from
+    the dump's rehydrated RAM with exactly the live nub's semantics
+    (sizes, canonical little-endian values, the SIM-MIPS word-swap quirk
+    — all via {!Ldb_machine.Core.Service}), so frame walkers, the
+    expression server, [print] and [disas] run unchanged over a dead
+    process.  Stores raise {!Dead_process}: a dump is evidence, not a
+    target.
+
+    Salvage discipline: reads that touch a truncated or CRC-damaged
+    section still answer with the bytes that survived, but each such
+    read is recorded as a {!note}; the session surfaces the accumulated
+    notes as per-query warnings instead of refusing the query. *)
+
+open Ldb_machine
+module A = Ldb_amemory.Amemory
+
+(** Raised by operations that need a live process — stores, run, step. *)
+exception Dead_process of string
+
+let dead fmt = Fmt.kstr (fun m -> raise (Dead_process m)) fmt
+
+(** Something a query had to tolerate: evidence the answer may be
+    tainted. *)
+type note =
+  | Damaged_read of { addr : int; size : int; section : string }
+      (** a fetch overlapped a section that is truncated or fails CRC *)
+
+let note_to_string = function
+  | Damaged_read { addr; size; section } ->
+      Printf.sprintf "read of %d byte(s) at %#x touches damaged section %S" size addr
+        section
+
+type t = {
+  cd_core : Core.t;
+  cd_tdesc : Target.t;
+  cd_ram : Ram.t;  (** sections rehydrated into an address space *)
+  cd_load_warnings : Core.salvage list;  (** what {!Core.of_string} papered over *)
+  cd_notes : note list ref;  (** damaged reads since the last {!take_notes} *)
+}
+
+let make ((core : Core.t), (warnings : Core.salvage list)) : t =
+  {
+    cd_core = core;
+    cd_tdesc = Target.of_arch core.Core.co_arch;
+    cd_ram = Core.to_ram core;
+    cd_load_warnings = warnings;
+    cd_notes = ref [];
+  }
+
+let core cd = cd.cd_core
+let load_warnings cd = cd.cd_load_warnings
+
+(** Drain the accumulated damaged-read notes (deduplicated, in first-seen
+    order).  Queries call this after running so each answer carries the
+    warnings it earned. *)
+let take_notes cd : note list =
+  let notes = List.rev !(cd.cd_notes) in
+  cd.cd_notes := [];
+  List.fold_left (fun acc n -> if List.mem n acc then acc else acc @ [ n ]) [] notes
+
+(** The dump as an abstract memory.  Read-only: stores are how debuggers
+    mutate targets, and this target is dead. *)
+let memory (cd : t) : A.t =
+  let fetch_abs ~space ~offset ~size =
+    (match Core.damaged_overlap cd.cd_core ~addr:offset ~size with
+    | [] -> ()
+    | damaged ->
+        List.iter
+          (fun s ->
+            cd.cd_notes :=
+              Damaged_read { addr = offset; size; section = s.Core.sec_name }
+              :: !(cd.cd_notes))
+          damaged);
+    match Core.Service.fetch cd.cd_tdesc cd.cd_ram ~space ~addr:offset ~size with
+    | Ok bytes -> bytes
+    | Error m -> raise (A.Error ("core: " ^ m))
+  in
+  let store_abs ~space ~offset ~bytes_ =
+    ignore bytes_;
+    dead "cannot store %c:%#x: target is a core dump (read-only)" space offset
+  in
+  { A.name = Printf.sprintf "core(%s)" (Arch.name cd.cd_core.Core.co_arch);
+    fetch_abs; store_abs }

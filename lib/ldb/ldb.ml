@@ -28,11 +28,23 @@ type state =
   | Exited of int
   | Detached
 
+(** What a target sits on: a live nub across a transport, or a core dump
+    (a dead process examined post mortem).  Everything above the wire
+    abstract memory — frame walkers, the expression server, printing,
+    disassembly — is indifferent to which. *)
+type conn =
+  | Live of Transport.t  (** retrying, reconnectable link to the nub *)
+  | Postmortem of Coredump.t
+
+(** The typed error run/step/store operations return on a dead process
+    instead of raising: a core dump answers queries, not commands. *)
+type dead = [ `Dead_process of string ]
+
 type target = {
   tg_name : string;
   tg_arch : Arch.t;
   tg_tdesc : Target.t;
-  tg_tr : Transport.t;  (** retrying, reconnectable link to the nub *)
+  tg_conn : conn;
   tg_wire : A.t;
   tg_defs : V.dict;       (** dictionary holding this program's PS definitions *)
   tg_arch_dict : V.dict;  (** machine-dependent PostScript *)
@@ -42,7 +54,20 @@ type target = {
   tg_breaks : Breakpoint.table;
   tg_can_step : bool;  (** nub offers the single-step protocol extension *)
   mutable tg_state : state;
+  mutable tg_core : Core.t option;
+      (** the core dump captured as (or after) the target died *)
 }
+
+(** The live transport under a target; post-mortem targets have none. *)
+let transport (tg : target) : Transport.t =
+  match tg.tg_conn with
+  | Live tr -> tr
+  | Postmortem _ -> fail "target %s is a core dump (no transport)" tg.tg_name
+
+let dead_msg tg =
+  Printf.sprintf "target %s is dead: examining a core dump (read-only)" tg.tg_name
+
+let is_postmortem tg = match tg.tg_conn with Postmortem _ -> true | Live _ -> false
 
 type t = {
   interp : I.t;
@@ -127,6 +152,25 @@ let check_anchors (tg : target) =
             fail "symbol table does not match object code: anchor %s missing" name)
         (V.to_arr anchors)
 
+(** Pull the whole serialized core dump across the wire in
+    {!Proto.max_core_chunk}-sized windows. *)
+let fetch_core_raw (tr : Transport.t) : string =
+  let buf = Buffer.create 4096 in
+  let rec go offset =
+    match Transport.rpc tr (Proto.Dump { offset }) with
+    | Proto.Core_chunk { total; offset = off; chunk } ->
+        if off <> offset then
+          fail "core transfer out of sync: wanted offset %d, nub sent %d" offset off;
+        if String.length chunk = 0 && offset < total then
+          fail "core transfer stalled at offset %d of %d" offset total;
+        Buffer.add_string buf chunk;
+        let next = offset + String.length chunk in
+        if next >= total then Buffer.contents buf else go next
+    | Proto.Nub_error m -> fail "no core dump: %s" m
+    | r -> fail "unexpected reply to Dump: %s" (Fmt.str "%a" Proto.pp_reply r)
+  in
+  go 0
+
 (** Connect to a nub over [chan], reading the program's loader-table
     PostScript.  Works for all connection mechanisms: the nub end may be a
     fresh paused process, a long-running faulty one, or a process across
@@ -161,7 +205,7 @@ let connect ?deadline ?max_retries (d : t) ~(name : string) ~(loader_ps : string
       tg_name = name;
       tg_arch = arch;
       tg_tdesc = Target.of_arch arch;
-      tg_tr = tr;
+      tg_conn = Live tr;
       tg_wire = wire;
       tg_defs = defs;
       tg_arch_dict = arch_dict;
@@ -171,8 +215,22 @@ let connect ?deadline ?max_retries (d : t) ~(name : string) ~(loader_ps : string
       tg_breaks = Breakpoint.create_table ();
       tg_can_step = can_step;
       tg_state = state_of_hello st;
+      tg_core = None;
     }
   in
+  (* On the way down — deliberate kill/detach, or an RPC finding the link
+     dead — grab the core of a fatally-stopped target while (if) the
+     channel still answers.  Best-effort by design: a lost link usually
+     cannot serve it, and the nub preserves the dump for a reattach. *)
+  Transport.set_on_down tr
+    (Some
+       (fun _reason ->
+         match (tg.tg_state, tg.tg_core) with
+         | Stopped { signal; _ }, None when Core.fatal_signal signal -> (
+             match Core.of_string (fetch_core_raw tr) with
+             | Ok (co, _) -> tg.tg_core <- Some co
+             | Error _ | (exception Error _) | (exception Transport.Error _) -> ())
+         | _ -> ()));
   check_anchors tg;
   d.targets <- tg :: d.targets;
   tg
@@ -203,7 +261,7 @@ let write_ctx_pc tg ctx_addr pc =
     matter how many times the request had to be re-sent. *)
 let run_rpc (tg : target) (req : Proto.request) : state =
   let st =
-    match Transport.rpc tg.tg_tr req with
+    match Transport.rpc (transport tg) req with
     | Proto.Event { signal; code; ctx_addr } ->
         let signal = Option.value ~default:Signal.SIGINT (Signal.of_number signal) in
         Stopped { signal; code; ctx_addr }
@@ -213,8 +271,14 @@ let run_rpc (tg : target) (req : Proto.request) : state =
   tg.tg_state <- st;
   st
 
+(* The execution-control entry points come in two layers: [_exn] versions
+   raising {!Error} (internal — continue/step compose), and the public
+   API, which returns [Error (`Dead_process _)] on a post-mortem target
+   instead of raising: a debugger script iterating "continue until exit"
+   must be able to see, typedly, that there is nothing left to run. *)
+
 (** Execute exactly one target instruction (the nub's Step extension). *)
-let step_instruction (_d : t) (tg : target) : state =
+let step_instruction_exn (_d : t) (tg : target) : state =
   if not tg.tg_can_step then
     fail "target %s: this nub does not support single-stepping" tg.tg_name;
   (match tg.tg_state with
@@ -229,7 +293,7 @@ let step_instruction (_d : t) (tg : target) : state =
     breakpoint (Sec. 7.1's model), the original instruction is restored,
     executed with one single step, and the trap replanted before
     continuing. *)
-let continue_ (d : t) (tg : target) : state =
+let continue_exn (d : t) (tg : target) : state =
   ignore d;
   (match tg.tg_state with
   | Stopped { signal; code = _; ctx_addr } -> (
@@ -239,7 +303,7 @@ let continue_ (d : t) (tg : target) : state =
         | Some bp when bp.Breakpoint.bp_general ->
             (* restore, single-step the original instruction, replant *)
             Breakpoint.remove tg.tg_breaks tg.tg_wire ~addr:pc;
-            (match step_instruction d tg with
+            (match step_instruction_exn d tg with
             | Stopped _ ->
                 ignore
                   (Breakpoint.plant_general tg.tg_breaks tg.tg_tdesc tg.tg_wire ~addr:pc)
@@ -254,14 +318,40 @@ let continue_ (d : t) (tg : target) : state =
   | Exited _ -> tg.tg_state
   | _ -> run_rpc tg Proto.Continue
 
+let guard_dead (tg : target) (f : unit -> 'a) : ('a, dead) result =
+  if is_postmortem tg then Error (`Dead_process (dead_msg tg))
+  else try Ok (f ()) with Coredump.Dead_process m -> Error (`Dead_process m)
+
+let continue_ (d : t) (tg : target) : (state, dead) result =
+  guard_dead tg (fun () -> continue_exn d tg)
+
+let step_instruction (d : t) (tg : target) : (state, dead) result =
+  guard_dead tg (fun () -> step_instruction_exn d tg)
+
+(** Unplant every breakpoint so the released target resumes (or dies)
+    over its own instructions, not the debugger's traps.  A dead link is
+    no reason to fail a kill or detach. *)
+let unplant_for_release (tg : target) : unit =
+  try ignore (Breakpoint.suspend_all tg.tg_breaks tg.tg_wire : int)
+  with Transport.Error _ -> ()
+
 let kill (tg : target) =
-  Transport.send_oneway tg.tg_tr Proto.Kill;
+  (match tg.tg_conn with
+  | Postmortem _ -> ()
+  | Live tr ->
+      unplant_for_release tg;
+      (* the going-down hook snapshots the core of a fatal stop before
+         the Kill goes out *)
+      Transport.shutdown tr Proto.Kill);
   tg.tg_state <- Exited 137
 
 (** Break the connection, preserving target state in the nub. *)
 let detach (tg : target) =
-  Transport.send_oneway tg.tg_tr Proto.Detach;
-  Chan.disconnect (Transport.endpoint tg.tg_tr);
+  (match tg.tg_conn with
+  | Postmortem _ -> ()
+  | Live tr ->
+      unplant_for_release tg;
+      Transport.shutdown ~disconnect:true tr Proto.Detach);
   tg.tg_state <- Detached
 
 (* --- reattach and resync (debugger-crash survival, Sec. 4.2) -------------- *)
@@ -278,9 +368,10 @@ let detach (tg : target) =
     [Transport.reconnect] preserves. *)
 let reattach (d : t) (tg : target) (chan : Chan.endpoint) : state =
   ignore d;
-  Transport.reconnect tg.tg_tr chan;
+  let tr = transport tg in
+  Transport.reconnect tr chan;
   let st =
-    match Transport.rpc tg.tg_tr Proto.Hello with
+    match Transport.rpc tr Proto.Hello with
     | Proto.Hello_reply { arch; state; can_step = _ } -> (
         match Arch.of_name arch with
         | Some a when Arch.equal a tg.tg_arch -> state_of_hello state
@@ -292,8 +383,10 @@ let reattach (d : t) (tg : target) (chan : Chan.endpoint) : state =
   in
   tg.tg_state <- st;
   (* the nub preserved target memory, so planted traps should still be
-     there — but verify rather than trust, and replant any that are not *)
+     there — but verify rather than trust, and replant any that are not;
+     breakpoints a detach unplanted come back too *)
   ignore (Breakpoint.revalidate tg.tg_breaks tg.tg_tdesc tg.tg_wire : int);
+  ignore (Breakpoint.resume_suspended tg.tg_breaks tg.tg_tdesc tg.tg_wire : int);
   st
 
 (* --- stopping points and breakpoints ----------------------------------------- *)
@@ -312,6 +405,7 @@ let stop_address (d : t) (tg : target) (s : Symtab.stop) : int =
 (** Set a breakpoint at the entry to [funcname].  Demand-driven: only the
     unit defining the procedure is forced. *)
 let break_function (d : t) (tg : target) (funcname : string) : int =
+  if is_postmortem tg then fail "%s" (dead_msg tg);
   match with_target d tg (fun () -> Symtab.entry_stop tg.tg_symtab ~name:funcname) with
   | None -> fail "no procedure named %s" funcname
   | Some s ->
@@ -325,6 +419,7 @@ let break_function (d : t) (tg : target) (funcname : string) : int =
     source location may correspond to more than one stopping point).  With
     [?file] only that unit is consulted — and forced. *)
 let break_line ?file (d : t) (tg : target) ~(line : int) : int list =
+  if is_postmortem tg then fail "%s" (dead_msg tg);
   let stops =
     with_target d tg (fun () -> Symtab.stops_at_line ?file tg.tg_symtab ~line)
   in
@@ -471,26 +566,33 @@ let read_int_var (d : t) (tg : target) (fr : Frame.t) (name : string) : int =
       Int32.to_int (A.fetch_i32 fr.Frame.fr_mem loc)
 
 (** Assign to a scalar variable (direct form; full expressions go through
-    the expression server). *)
-let assign_int (d : t) (tg : target) (fr : Frame.t) (name : string) (v : int) : unit =
-  match resolve d tg fr name with
-  | None -> fail "%s is not visible here" name
-  | Some entry ->
-      let loc = location_of d tg fr entry in
-      A.store_i32 fr.Frame.fr_mem loc (Int32.of_int v)
+    the expression server).  On a post-mortem target the store comes back
+    as a typed [`Dead_process] error: the dump is read-only evidence. *)
+let assign_int (d : t) (tg : target) (fr : Frame.t) (name : string) (v : int) :
+    (unit, dead) result =
+  try
+    match resolve d tg fr name with
+    | None -> fail "%s is not visible here" name
+    | Some entry ->
+        let loc = location_of d tg fr entry in
+        Ok (A.store_i32 fr.Frame.fr_mem loc (Int32.of_int v))
+  with Coredump.Dead_process m -> Error (`Dead_process m)
 
-let assign_float (d : t) (tg : target) (fr : Frame.t) (name : string) (v : float) : unit =
-  match resolve d tg fr name with
-  | None -> fail "%s is not visible here" name
-  | Some entry ->
-      let loc = location_of d tg fr entry in
-      let size =
-        match V.dict_get (V.to_dict entry) "type" with
-        | Some ty -> (
-            match V.dict_get (V.to_dict ty) "size" with Some s -> V.to_int s | None -> 8)
-        | None -> 8
-      in
-      A.store_float fr.Frame.fr_mem loc ~size v
+let assign_float (d : t) (tg : target) (fr : Frame.t) (name : string) (v : float) :
+    (unit, dead) result =
+  try
+    match resolve d tg fr name with
+    | None -> fail "%s is not visible here" name
+    | Some entry ->
+        let loc = location_of d tg fr entry in
+        let size =
+          match V.dict_get (V.to_dict entry) "type" with
+          | Some ty -> (
+              match V.dict_get (V.to_dict ty) "size" with Some s -> V.to_int s | None -> 8)
+          | None -> 8
+        in
+        Ok (A.store_float fr.Frame.fr_mem loc ~size v)
+  with Coredump.Dead_process m -> Error (`Dead_process m)
 
 (** Name of the procedure a frame is stopped in. *)
 let frame_function (d : t) (tg : target) (fr : Frame.t) : string =
@@ -526,6 +628,7 @@ let where (d : t) (tg : target) : string =
     extensions. *)
 let break_address (d : t) (tg : target) ~(addr : int) : unit =
   ignore d;
+  if is_postmortem tg then fail "%s" (dead_msg tg);
   if not tg.tg_can_step then
     fail "target %s: general breakpoints need the nub's single-step extension" tg.tg_name;
   ignore (Breakpoint.plant_general tg.tg_breaks tg.tg_tdesc tg.tg_wire ~addr)
@@ -543,7 +646,7 @@ let stop_addresses (d : t) (tg : target) ~pc : int list =
     lands on a stopping point different from the current one (entering
     callees counts — their entry point is a stopping point).  Returns the
     resulting state; gives up after [limit] instructions. *)
-let step_source ?(limit = 200_000) (d : t) (tg : target) : state =
+let step_source_exn ?(limit = 200_000) (d : t) (tg : target) : state =
   (match tg.tg_state with
   | Stopped { signal; ctx_addr; _ } ->
       (* leaving a breakpoint: skip its no-op first so the step makes
@@ -558,7 +661,7 @@ let step_source ?(limit = 200_000) (d : t) (tg : target) : state =
   let rec go n =
     if n >= limit then fail "step: no stopping point within %d instructions" limit
     else
-      match step_instruction d tg with
+      match step_instruction_exn d tg with
       | Stopped { signal = SIGTRAP; code = 1; ctx_addr } -> (
           let pc = read_ctx_pc tg ctx_addr in
           if pc <> start_pc && List.mem pc (stop_addresses d tg ~pc) then tg.tg_state
@@ -566,6 +669,9 @@ let step_source ?(limit = 200_000) (d : t) (tg : target) : state =
       | st -> st (* exit, fault, or a planted breakpoint: report it *)
   in
   go 0
+
+let step_source ?limit (d : t) (tg : target) : (state, dead) result =
+  guard_dead tg (fun () -> step_source_exn ?limit d tg)
 
 (* --- disassembly ------------------------------------------------------------ *)
 
@@ -582,3 +688,305 @@ let disassemble (d : t) (tg : target) ~(addr : int) ~(count : int) : Disas.line 
   Disas.window tg.tg_tdesc tg.tg_wire ~addr ~count
     ~stop_at:(fun a -> List.mem a stops)
     ~proc_of:(fun pc -> Linkerif.proc_of_pc tg.tg_linkerif ~pc)
+
+(* --- post-mortem debugging ---------------------------------------------------- *)
+
+(** The target's core dump.  On a live target this pulls the dump across
+    the wire (the nub serializes the current stop on demand, and keeps
+    serving the dump its target's death left behind even after an exit);
+    on a post-mortem target it is simply the dump the session opened.
+    The fetched core is cached on the target. *)
+let fetch_core (tg : target) : Core.t =
+  match tg.tg_conn with
+  | Postmortem cd -> Coredump.core cd
+  | Live tr -> (
+      match tg.tg_core with
+      | Some co -> co
+      | None -> (
+          match Core.of_string (fetch_core_raw tr) with
+          | Ok (co, _) ->
+              tg.tg_core <- Some co;
+              co
+          | Error m -> fail "nub sent an unreadable core: %s" m))
+
+(** The serialized dump, for writing to a file. *)
+let core_bytes (tg : target) : string = Core.to_string (fetch_core tg)
+
+(** Open a loaded core dump as a target: same symbol tables, loader
+    tables, machine-dependent PostScript and operators as a live
+    connection, but the wire abstract memory reads the dump.  The target
+    is permanently stopped at the fault; run/step/store answer with
+    typed [`Dead_process] errors. *)
+let connect_core (d : t) ~(name : string) ~(loader_ps : string)
+    ((core : Core.t), (warnings : Core.salvage list)) : target =
+  let cd = Coredump.make (core, warnings) in
+  let arch = core.Core.co_arch in
+  let defs = V.dict_create () in
+  let loader, symtab_dict = read_loader_ps d ~defs loader_ps in
+  let symtab = Symtab.make ~interp:d.interp ~symtab_dict in
+  if not (Arch.equal symtab.Symtab.arch arch) then
+    fail "symbol table is for %s but the core was dumped on %s"
+      (Arch.name symtab.Symtab.arch) (Arch.name arch);
+  let wire = Coredump.memory cd in
+  let li = Linkerif.make ~arch ~loader ~wire in
+  let arch_dict = V.dict_create () in
+  I.begin_dict d.interp arch_dict;
+  Fun.protect ~finally:(fun () -> I.end_dict d.interp) (fun () ->
+      I.run_string d.interp (Mdep_ps.source arch));
+  let signal =
+    Option.value ~default:Signal.SIGINT (Signal.of_number core.Core.co_signal)
+  in
+  let tg =
+    {
+      tg_name = name;
+      tg_arch = arch;
+      tg_tdesc = Target.of_arch arch;
+      tg_conn = Postmortem cd;
+      tg_wire = wire;
+      tg_defs = defs;
+      tg_arch_dict = arch_dict;
+      tg_ops = make_target_ops d li;
+      tg_symtab = symtab;
+      tg_linkerif = li;
+      tg_breaks = Breakpoint.create_table ();
+      tg_can_step = false;
+      tg_state =
+        Stopped { signal; code = core.Core.co_code; ctx_addr = core.Core.co_ctx_addr };
+      tg_core = Some core;
+    }
+  in
+  check_anchors tg;
+  d.targets <- tg :: d.targets;
+  tg
+
+(** Salvage warnings the dump earned at load time (truncations, CRC
+    failures); empty on a live target. *)
+let load_warnings (tg : target) : Core.salvage list =
+  match tg.tg_conn with
+  | Postmortem cd -> Coredump.load_warnings cd
+  | Live _ -> []
+
+(** Drain the damaged-read warnings the queries since the last call
+    accumulated (post-mortem targets only): each string names a read that
+    touched a truncated or CRC-damaged section, evidence that an answer
+    derived from it may be tainted. *)
+let take_salvage (tg : target) : string list =
+  match tg.tg_conn with
+  | Postmortem cd -> List.map Coredump.note_to_string (Coredump.take_notes cd)
+  | Live _ -> []
+
+(* --- crash reports -------------------------------------------------------------- *)
+
+type frame_line = {
+  fl_level : int;
+  fl_pc : int;
+  fl_func : string;
+  fl_line : int option;
+}
+
+(** Why a crash report is less than whole. *)
+type crash_note =
+  | Dump_note of Core.salvage  (** the dump itself was damaged *)
+  | Tainted of { what : string; detail : string }
+      (** produced, but from questionable bytes or a partial walk *)
+  | Missing of { what : string; reason : string }  (** could not be produced *)
+
+let crash_note_to_string = function
+  | Dump_note s -> "dump: " ^ Core.salvage_to_string s
+  | Tainted { what; detail } -> Printf.sprintf "%s may be tainted: %s" what detail
+  | Missing { what; reason } -> Printf.sprintf "%s unavailable: %s" what reason
+
+type crash_report = {
+  cr_target : string;
+  cr_arch : Arch.t;
+  cr_signal : Signal.t;
+  cr_code : int;
+  cr_pc : int;
+  cr_regs : (string * int32) list;
+  cr_frames : frame_line list;
+  cr_locals : (string * string) list;
+  cr_disas : string option;
+  cr_notes : crash_note list;
+}
+
+let exn_text = function
+  | Error m -> m
+  | Transport.Error (_, m) -> m
+  | A.Error m -> m
+  | Coredump.Dead_process m -> m
+  | e -> Printexc.to_string e
+
+(** One-shot best-effort summary of a stopped (normally: dead) target:
+    fault identity, registers, backtrace, the top frame's locals, and a
+    disassembly window around the fault pc.  Every piece degrades
+    independently — a corrupt data section costs the locals it covers,
+    not the report — and [`Salvage] marks a report that carries warnings,
+    [`Full] one that does not. *)
+let crash_report (d : t) (tg : target) :
+    [ `Full of crash_report | `Salvage of crash_report ] =
+  let signal, code, ctx_addr =
+    match tg.tg_state with
+    | Stopped { signal; code; ctx_addr } -> (signal, code, ctx_addr)
+    | _ -> fail "target %s is not stopped at a fault" tg.tg_name
+  in
+  let notes = ref [] in
+  let note n = notes := n :: !notes in
+  (match tg.tg_conn with
+  | Postmortem cd ->
+      List.iter (fun w -> note (Dump_note w)) (Coredump.load_warnings cd);
+      (* reset the damaged-read log so the notes below are this report's *)
+      ignore (Coredump.take_notes cd : Coredump.note list)
+  | Live _ -> ());
+  let pc =
+    try read_ctx_pc tg ctx_addr
+    with e ->
+      note (Missing { what = "fault pc"; reason = exn_text e });
+      0
+  in
+  let reg_name i =
+    let names = tg.tg_tdesc.Target.reg_names in
+    if i < Array.length names then names.(i) else Printf.sprintf "r%d" i
+  in
+  let regs =
+    try
+      match tg.tg_conn with
+      | Postmortem cd ->
+          let co = Coredump.core cd in
+          Array.to_list (Array.mapi (fun i v -> (reg_name i, v)) co.Core.co_regs)
+      | Live _ ->
+          List.init (Target.nregs tg.tg_tdesc) (fun r ->
+              ( reg_name r,
+                A.fetch_i32 tg.tg_wire
+                  (A.absolute 'd' (ctx_addr + tg.tg_tdesc.Target.ctx_reg_off r)) ))
+    with e ->
+      note (Missing { what = "registers"; reason = exn_text e });
+      []
+  in
+  let frames = ref [] in
+  let level = ref 0 in
+  (try
+     let rec walk fr =
+       let func =
+         try frame_function d tg fr
+         with e ->
+           note
+             (Tainted
+                { what = Printf.sprintf "frame #%d" !level; detail = exn_text e });
+           Printf.sprintf "%#x" fr.Frame.fr_pc
+       in
+       let line =
+         try Option.map (fun s -> s.Symtab.stop_line) (stop_of_frame d tg fr)
+         with _ -> None
+       in
+       frames :=
+         { fl_level = !level; fl_pc = fr.Frame.fr_pc; fl_func = func; fl_line = line }
+         :: !frames;
+       incr level;
+       match fr.Frame.fr_down () with Some fr' -> walk fr' | None -> ()
+     in
+     walk (top_frame d tg)
+   with e -> note (Tainted { what = "backtrace"; detail = exn_text e }));
+  let frames = List.rev !frames in
+  let locals =
+    try
+      let fr = top_frame d tg in
+      match stop_of_frame d tg fr with
+      | None ->
+          note
+            (Missing
+               { what = "locals"; reason = "no stopping point covers the fault pc" });
+          []
+      | Some stop ->
+          let rec scope_names (entry : V.t) acc =
+            match entry.V.v with
+            | V.Dict dd ->
+                let acc =
+                  match V.dict_get dd "name" with
+                  | Some n -> (
+                      match V.to_str n with
+                      | nm when not (List.mem nm acc) -> nm :: acc
+                      | _ | (exception _) -> acc)
+                  | None -> acc
+                in
+                (match V.dict_get dd "uplink" with
+                | Some up -> scope_names up acc
+                | None -> acc)
+            | _ -> acc
+          in
+          let names = List.rev (scope_names stop.Symtab.stop_scope []) in
+          List.filter_map
+            (fun nm ->
+              match print_value d tg fr nm with
+              | text -> Some (nm, String.trim text)
+              | exception e ->
+                  note (Missing { what = "local " ^ nm; reason = exn_text e });
+                  None)
+            names
+    with e ->
+      note (Missing { what = "locals"; reason = exn_text e });
+      []
+  in
+  let disas =
+    match disassemble d tg ~addr:pc ~count:6 with
+    | lines -> Some (Disas.to_string lines)
+    | exception e ->
+        note (Missing { what = "disassembly"; reason = exn_text e });
+        None
+  in
+  (match tg.tg_conn with
+  | Postmortem cd ->
+      List.iter
+        (fun n ->
+          note (Tainted { what = "memory"; detail = Coredump.note_to_string n }))
+        (Coredump.take_notes cd)
+  | Live _ -> ());
+  let r =
+    {
+      cr_target = tg.tg_name;
+      cr_arch = tg.tg_arch;
+      cr_signal = signal;
+      cr_code = code;
+      cr_pc = pc;
+      cr_regs = regs;
+      cr_frames = frames;
+      cr_locals = locals;
+      cr_disas = disas;
+      cr_notes = List.rev !notes;
+    }
+  in
+  if r.cr_notes = [] then `Full r else `Salvage r
+
+(** Render a crash report as the text the CLI prints. *)
+let render_crash_report (r : crash_report) : string =
+  let b = Buffer.create 1024 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  pf "=== crash report: %s (%s) ===\n" r.cr_target (Arch.name r.cr_arch);
+  pf "fault: %s (code %#x) at pc %#x\n" (Signal.name r.cr_signal) r.cr_code r.cr_pc;
+  if r.cr_regs <> [] then begin
+    pf "registers:\n";
+    List.iteri
+      (fun i (n, v) -> pf "  %-5s %08lx%s" n v (if i mod 4 = 3 then "\n" else ""))
+      r.cr_regs;
+    if List.length r.cr_regs mod 4 <> 0 then pf "\n"
+  end;
+  pf "backtrace:\n";
+  if r.cr_frames = [] then pf "  (none recovered)\n"
+  else
+    List.iter
+      (fun f ->
+        pf "  #%d %s%s (pc=%#x)\n" f.fl_level f.fl_func
+          (match f.fl_line with Some l -> Printf.sprintf " line %d" l | None -> "")
+          f.fl_pc)
+      r.cr_frames;
+  if r.cr_locals <> [] then begin
+    pf "locals (top frame):\n";
+    List.iter (fun (n, v) -> pf "  %s = %s\n" n v) r.cr_locals
+  end;
+  (match r.cr_disas with
+  | Some dis -> pf "disassembly at fault pc:\n%s\n" dis
+  | None -> ());
+  if r.cr_notes <> [] then begin
+    pf "salvage warnings:\n";
+    List.iter (fun n -> pf "  ! %s\n" (crash_note_to_string n)) r.cr_notes
+  end;
+  Buffer.contents b

@@ -55,6 +55,12 @@ type t = {
   base_deadline : int;   (** pump deadline of the first attempt *)
   max_retries : int;     (** re-sends after the initial attempt *)
   stats : stats;
+  mutable on_down : ([ `Deliberate | `Lost ] -> unit) option;
+      (** fired once per connection as the link goes down — [`Deliberate]
+          on a kill/detach shutdown, [`Lost] when an RPC finds the link
+          dead.  The debugger hooks this to grab a core dump on the way
+          down while the channel still works. *)
+  mutable down_done : bool;
 }
 
 let make ?(deadline = 8) ?(max_retries = 4) (ep : Chan.endpoint) : t =
@@ -66,17 +72,33 @@ let make ?(deadline = 8) ?(max_retries = 4) (ep : Chan.endpoint) : t =
     stats =
       { st_rpcs = 0; st_retries = 0; st_corrupt = 0; st_timeouts = 0; st_stale = 0;
         st_reconnects = 0 };
+    on_down = None;
+    down_done = false;
   }
 
 let stats t = t.stats
 let endpoint t = t.ep
 let is_connected t = Chan.is_connected t.ep
 
+let set_on_down t f = t.on_down <- f
+
+(** Run the going-down hook, at most once per connection.  [down_done] is
+    set {e before} the hook runs, so an RPC the hook itself issues cannot
+    re-enter it when that RPC also finds the link dead. *)
+let fire_down t reason =
+  if not t.down_done then begin
+    t.down_done <- true;
+    match t.on_down with
+    | Some f -> ( try f reason with _ -> ())
+    | None -> ()
+  end
+
 (** Swap in a fresh endpoint after the old link died.  Sequence numbers
     restart — the nub resets its duplicate-detection state on attach. *)
 let reconnect (t : t) (ep : Chan.endpoint) : unit =
   t.ep <- ep;
   t.seq <- 0;
+  t.down_done <- false;
   t.stats.st_reconnects <- t.stats.st_reconnects + 1
 
 (** Issue [req] and wait for its reply, retrying with exponential
@@ -118,11 +140,15 @@ let rpc (t : t) (req : Proto.request) : Proto.reply =
     else begin
       if k > 0 then t.stats.st_retries <- t.stats.st_retries + 1;
       match Frame.send t.ep ~seq payload with
-      | exception Chan.Disconnected -> error Disconnected "%s: link down" (describe ())
+      | exception Chan.Disconnected ->
+          fire_down t `Lost;
+          error Disconnected "%s: link down" (describe ())
       | () -> (
           match await (t.base_deadline * (1 lsl k)) with
           | `Reply r -> r
-          | `Disconnected -> error Disconnected "%s: link down" (describe ())
+          | `Disconnected ->
+              fire_down t `Lost;
+              error Disconnected "%s: link down" (describe ())
           | `Failed (kind, m) -> attempt (k + 1) (kind, m))
     end
   in
@@ -136,3 +162,12 @@ let send_oneway (t : t) (req : Proto.request) : unit =
   t.seq <- t.seq + 1;
   try Frame.send t.ep ~seq:t.seq (Proto.encode_request req)
   with Chan.Disconnected -> ()
+
+(** Deliberately take the link down with a final one-way [req] (Kill or
+    Detach).  The going-down hook runs {e first}, while the link still
+    answers — its last chance to pull a core dump across.  [disconnect]
+    also closes the local endpoint. *)
+let shutdown ?(disconnect = false) (t : t) (req : Proto.request) : unit =
+  fire_down t `Deliberate;
+  send_oneway t req;
+  if disconnect then Chan.disconnect t.ep

@@ -1,0 +1,418 @@
+(** Core dumps: a serialized image of a dead (or stopping) simulated
+    process.
+
+    The dump records everything the debugger's machine-independent layers
+    need to answer queries post mortem: the architecture identity, the
+    fatal signal with its code and pc, both register files, and the
+    occupied parts of memory as sparse, CRC-32'd sections.  A dump read
+    back through {!of_string} is deliberately forgiving — truncated files
+    and corrupted sections come back as typed {!salvage} warnings with
+    whatever was recoverable, never as a refusal to load — so a debugger
+    can still salvage a backtrace from a damaged artifact (the
+    graceful-degradation discipline of the wire and symbol-table layers,
+    applied to the target's death itself). *)
+
+open Ldb_util
+
+type section = {
+  sec_name : string;
+  sec_base : int;
+  sec_bytes : string;
+  sec_crc : int;   (** CRC-32 stored in the dump *)
+  sec_ok : bool;   (** false when truncated or the CRC disagrees *)
+}
+
+type t = {
+  co_arch : Arch.t;
+  co_signal : int;       (** fatal signal number *)
+  co_code : int;         (** signal code, e.g. the faulting address *)
+  co_pc : int;
+  co_ctx_addr : int;     (** where the nub's saved context lives *)
+  co_regs : int32 array;
+  co_freg_bytes : int;   (** bytes per floating register image: 8 or 10 *)
+  co_fregs : string array;  (** raw register images, [co_freg_bytes] each *)
+  co_sections : section list;
+}
+
+(** What the reader had to paper over.  These ride along with the loaded
+    dump; the debugger surfaces them as salvage warnings. *)
+type salvage =
+  | Truncated of { what : string; expected : int; got : int }
+  | Bad_crc of { section : string; stored : int; computed : int }
+
+let salvage_to_string = function
+  | Truncated { what; expected; got } ->
+      Printf.sprintf "truncated %s: expected %d bytes, got %d" what expected got
+  | Bad_crc { section; stored; computed } ->
+      Printf.sprintf "section %S fails CRC: stored %08x, computed %08x" section stored
+        computed
+
+let pp_salvage ppf s = Fmt.string ppf (salvage_to_string s)
+
+(** Signals whose delivery ends the process for good — the ones worth a
+    dump.  SIGTRAP (breakpoints) and SIGINT (fuel/debugger interrupts)
+    are recoverable stops, not deaths. *)
+let fatal_signal = function
+  | Signal.SIGSEGV | Signal.SIGILL | Signal.SIGFPE | Signal.SIGABRT -> true
+  | Signal.SIGTRAP | Signal.SIGINT -> false
+
+(* --- the fetch/store service ------------------------------------------- *)
+
+(** The byte-access semantics shared by the live nub and dump-backed
+    memories: sizes 1/2/4/8 are fetched in the target's byte order and
+    serialized little-endian (the protocol's canonical order), 10 is the
+    raw 80-bit extended format, and other positive sizes up to 64 are raw
+    byte runs.  Includes the SIM-MIPS context quirk: the kernel saves
+    floating-point registers least-significant-word first, so 8-byte
+    accesses into the saved-FP area swap words (the paper's footnote 3). *)
+module Service = struct
+  let ctx_base = Ram.Layout.context_base
+
+  let le_of_int32 v =
+    let b = Bytes.create 4 in
+    Endian.set_u32 Little b 0 v;
+    Bytes.to_string b
+
+  let le_of_int64 v =
+    let b = Bytes.create 8 in
+    Endian.set_u64 Little b 0 v;
+    Bytes.to_string b
+
+  let int32_of_le s = Endian.get_u32 Little (Bytes.of_string s) 0
+  let int64_of_le s = Endian.get_u64 Little (Bytes.of_string s) 0
+
+  (** Is [addr] an 8-byte access to a saved floating-point register in a
+      SIM-MIPS context? *)
+  let mips_fp_word_swap (t : Target.t) addr =
+    Arch.equal t.Target.arch Mips
+    &&
+    let lo = ctx_base + t.Target.ctx_freg_off 0
+    and hi = ctx_base + t.Target.ctx_freg_off (Target.nfregs t - 1) + 8 in
+    addr >= lo && addr + 8 <= hi
+
+  let fetch (t : Target.t) (ram : Ram.t) ~space ~addr ~size : (string, string) result =
+    if space <> 'c' && space <> 'd' then Error (Printf.sprintf "no space %c" space)
+    else
+      try
+        match size with
+        | 1 -> Ok (String.make 1 (Char.chr (Ram.get_u8 ram addr)))
+        | 2 ->
+            let v = Ram.get_u16 ram addr in
+            Ok (String.init 2 (fun i -> Char.chr ((v lsr (8 * i)) land 0xff)))
+        | 4 -> Ok (le_of_int32 (Ram.get_u32 ram addr))
+        | 8 ->
+            if mips_fp_word_swap t addr then begin
+              (* words were saved LSW-first; swap while fetching *)
+              let lo = Ram.get_u32 ram addr and hi = Ram.get_u32 ram (addr + 4) in
+              Ok (le_of_int32 lo ^ le_of_int32 hi)
+            end
+            else Ok (le_of_int64 (Ram.get_u64 ram addr))
+        | 10 ->
+            (* 80-bit extended: raw packed format, SIM-68020 only *)
+            Ok (Ram.read_string ram ~addr ~len:10)
+        | sz when sz > 0 && sz <= 64 ->
+            (* raw byte run, used for string and instruction fetches *)
+            Ok (Ram.read_string ram ~addr ~len:sz)
+        | _ -> Error "bad fetch size"
+      with Ram.Fault a -> Error (Printf.sprintf "fault at %#x" a)
+
+  let store (t : Target.t) (ram : Ram.t) ~space ~addr (bytes : string) :
+      (unit, string) result =
+    if space <> 'c' && space <> 'd' then Error (Printf.sprintf "no space %c" space)
+    else
+      try
+        (match String.length bytes with
+        | 1 -> Ram.set_u8 ram addr (Char.code bytes.[0])
+        | 2 ->
+            let v = Char.code bytes.[0] lor (Char.code bytes.[1] lsl 8) in
+            Ram.set_u16 ram addr v
+        | 4 -> Ram.set_u32 ram addr (int32_of_le bytes)
+        | 8 ->
+            if mips_fp_word_swap t addr then begin
+              Ram.set_u32 ram addr (int32_of_le (String.sub bytes 0 4));
+              Ram.set_u32 ram (addr + 4) (int32_of_le (String.sub bytes 4 4))
+            end
+            else Ram.set_u64 ram addr (int64_of_le bytes)
+        | 10 -> Ram.blit_in ram ~addr bytes
+        | _ -> Ram.blit_in ram ~addr bytes);
+        Ok ()
+      with Ram.Fault a -> Error (Printf.sprintf "fault at %#x" a)
+end
+
+(* --- writer ------------------------------------------------------------ *)
+
+(** Trim the all-zero margins off [bytes], keeping 8-byte alignment so the
+    trimmed section never splits a multi-byte value; zero margins are
+    semantically recoverable (fresh RAM is zero-filled).  [None] when the
+    whole range is zero. *)
+let trim_zeros ~(base : int) (bytes : string) : (int * string) option =
+  let n = String.length bytes in
+  let first = ref 0 in
+  while !first < n && bytes.[!first] = '\000' do
+    incr first
+  done;
+  if !first = n then None
+  else begin
+    let last = ref (n - 1) in
+    while bytes.[!last] = '\000' do
+      decr last
+    done;
+    let lo = !first land lnot 7 in
+    let hi = min n ((!last + 8) land lnot 7) in
+    Some (base + lo, String.sub bytes lo (hi - lo))
+  end
+
+let section_of (ram : Ram.t) ~name ~base ~limit : section option =
+  let raw = Ram.read_string ram ~addr:base ~len:(limit - base) in
+  match trim_zeros ~base raw with
+  | None -> None
+  | Some (sec_base, sec_bytes) ->
+      Some { sec_name = name; sec_base; sec_bytes; sec_crc = Crc32.string sec_bytes;
+             sec_ok = true }
+
+(** Freeze a stopped process into a dump.  The register files are taken
+    from the CPU (after draining any pending delayed load); memory is
+    split along the standard layout into code / data / ctx / stack
+    sections, each trimmed of zero margins and checksummed. *)
+let of_proc (p : Proc.t) ~(signal : int) ~(code : int) : t =
+  let t = p.Proc.target in
+  let cpu = p.Proc.cpu in
+  Cpu.drain cpu;
+  let freg_bytes = t.Target.ctx_freg_bytes in
+  let freg_image f =
+    let v = Cpu.freg cpu f in
+    if freg_bytes = 10 then Float80.to_bytes v
+    else
+      let b = Bytes.create 8 in
+      Endian.set_u64 Little b 0 (Int64.bits_of_float v);
+      Bytes.to_string b
+  in
+  let ram = p.Proc.ram in
+  let open Ram.Layout in
+  let sections =
+    List.filter_map
+      (fun (name, base, limit) -> section_of ram ~name ~base ~limit)
+      [
+        ("code", code_base, data_base);
+        ("data", data_base, context_base);
+        ("ctx", context_base, sysarg_base);
+        ("stack", sysarg_base, Ram.size ram);
+      ]
+  in
+  {
+    co_arch = t.Target.arch;
+    co_signal = signal;
+    co_code = code;
+    co_pc = Proc.pc p;
+    co_ctx_addr = Ram.Layout.context_base;
+    co_regs = Array.init (Target.nregs t) (fun r -> Cpu.reg cpu r);
+    co_freg_bytes = freg_bytes;
+    co_fregs = Array.init (Target.nfregs t) freg_image;
+    co_sections = sections;
+  }
+
+(* --- codec ------------------------------------------------------------- *)
+
+(* Layout (all integers little-endian u32 unless noted):
+     "LDBCORE1"
+     u32 len + arch name bytes
+     u32 signal | u32 code | u32 pc | u32 ctx_addr
+     u32 nregs | nregs × u32 register images
+     u32 nfregs | u32 freg_bytes | nfregs × freg_bytes raw images
+     u32 nsections
+     per section: u32 len + name bytes | u32 base | u32 len | u32 crc | bytes *)
+
+let magic = "LDBCORE1"
+
+let buf_u32 b (v : int) =
+  let cell = Bytes.create 4 in
+  Endian.set_u32 Little cell 0 (Int32.of_int v);
+  Buffer.add_bytes b cell
+
+let buf_i32 b (v : int32) =
+  let cell = Bytes.create 4 in
+  Endian.set_u32 Little cell 0 v;
+  Buffer.add_bytes b cell
+
+let buf_str b s =
+  buf_u32 b (String.length s);
+  Buffer.add_string b s
+
+let to_string (co : t) : string =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b magic;
+  buf_str b (Arch.name co.co_arch);
+  buf_u32 b co.co_signal;
+  buf_u32 b co.co_code;
+  buf_u32 b co.co_pc;
+  buf_u32 b co.co_ctx_addr;
+  buf_u32 b (Array.length co.co_regs);
+  Array.iter (fun r -> buf_i32 b r) co.co_regs;
+  buf_u32 b (Array.length co.co_fregs);
+  buf_u32 b co.co_freg_bytes;
+  Array.iter (fun s -> Buffer.add_string b s) co.co_fregs;
+  buf_u32 b (List.length co.co_sections);
+  List.iter
+    (fun s ->
+      buf_str b s.sec_name;
+      buf_u32 b s.sec_base;
+      buf_u32 b (String.length s.sec_bytes);
+      buf_u32 b s.sec_crc;
+      Buffer.add_string b s.sec_bytes)
+    co.co_sections;
+  Buffer.contents b
+
+(* Plausibility bounds: past these, a length field is garbage, not data. *)
+let max_regs = 4096
+let max_freg_bytes = 64
+let max_name = 256
+let max_section_bytes = 1 lsl 26
+
+exception Hard of string
+exception Short of string * int * int  (** what, needed, have *)
+
+(** Load a dump.  Damage in the fixed header is a hard error (there is
+    nothing to salvage without knowing the machine and the fault);
+    anything after that degrades: a short register file keeps the
+    registers that survived, short or corrupt sections are kept with
+    [sec_ok = false], and every concession is reported as a {!salvage}
+    warning. *)
+let of_string (s : string) : (t * salvage list, string) result =
+  let warnings = ref [] in
+  let warn w = warnings := w :: !warnings in
+  let pos = ref 0 in
+  let remaining () = String.length s - !pos in
+  let need what n = if remaining () < n then raise (Short (what, n, remaining ())) in
+  let u32 what =
+    need what 4;
+    let v = Endian.get_u32 Little (Bytes.unsafe_of_string s) !pos in
+    pos := !pos + 4;
+    Int32.to_int v land 0xffffffff
+  in
+  let i32 what =
+    need what 4;
+    let v = Endian.get_u32 Little (Bytes.unsafe_of_string s) !pos in
+    pos := !pos + 4;
+    v
+  in
+  let take what n =
+    need what n;
+    let r = String.sub s !pos n in
+    pos := !pos + n;
+    r
+  in
+  try
+    if String.length s < String.length magic || String.sub s 0 (String.length magic) <> magic
+    then raise (Hard "bad magic (not an LDBCORE1 dump)");
+    pos := String.length magic;
+    let arch_len = u32 "arch name length" in
+    if arch_len > max_name then raise (Hard "implausible arch name length");
+    let arch_name = take "arch name" arch_len in
+    let arch =
+      match Arch.of_name arch_name with
+      | Some a -> a
+      | None -> raise (Hard (Printf.sprintf "unknown architecture %S" arch_name))
+    in
+    let signal = u32 "signal" in
+    let code = u32 "code" in
+    let pc = u32 "pc" in
+    let ctx_addr = u32 "ctx addr" in
+    let nregs = u32 "register count" in
+    if nregs > max_regs then raise (Hard "implausible register count");
+    (* Header parsed: from here on, damage degrades instead of failing. *)
+    let regs = Array.make nregs 0l in
+    let fregs = ref [||] in
+    let freg_bytes = ref 8 in
+    let sections = ref [] in
+    (try
+       for r = 0 to nregs - 1 do
+         regs.(r) <- i32 "register file"
+       done;
+       let nfregs = u32 "floating register count" in
+       if nfregs > max_regs then raise (Hard "implausible floating register count");
+       let fb = u32 "floating register width" in
+       if fb > max_freg_bytes then raise (Hard "implausible floating register width");
+       freg_bytes := fb;
+       fregs := Array.init nfregs (fun f ->
+           take (Printf.sprintf "floating register %d" f) fb);
+       let nsections = u32 "section count" in
+       if nsections > max_regs then raise (Hard "implausible section count");
+       for _ = 1 to nsections do
+         let name_len = u32 "section name length" in
+         if name_len > max_name then raise (Hard "implausible section name length");
+         let name = take "section name" name_len in
+         let base = u32 "section base" in
+         let len = u32 "section length" in
+         if len > max_section_bytes then raise (Hard "implausible section length");
+         let crc = u32 "section crc" in
+         let have = min len (remaining ()) in
+         if have < len then
+           warn (Truncated { what = Printf.sprintf "section %S" name; expected = len;
+                             got = have });
+         let bytes = take "section bytes" have in
+         let ok =
+           have = len
+           &&
+           let computed = Crc32.string bytes in
+           if computed <> crc then begin
+             warn (Bad_crc { section = name; stored = crc; computed });
+             false
+           end
+           else true
+         in
+         sections :=
+           { sec_name = name; sec_base = base; sec_bytes = bytes; sec_crc = crc;
+             sec_ok = ok }
+           :: !sections
+       done
+     with
+     | Short (what, needed, have) -> warn (Truncated { what; expected = needed; got = have })
+     | Hard m ->
+         (* a garbage length field mid-body: keep what parsed, note the rest *)
+         warn (Truncated { what = "dump body (" ^ m ^ ")";
+                           expected = String.length s; got = !pos }));
+    let co =
+      { co_arch = arch; co_signal = signal; co_code = code; co_pc = pc;
+        co_ctx_addr = ctx_addr; co_regs = regs; co_freg_bytes = !freg_bytes;
+        co_fregs = !fregs; co_sections = List.rev !sections }
+    in
+    Ok (co, List.rev !warnings)
+  with
+  | Hard m -> Error m
+  | Short (what, needed, have) ->
+      Error (Printf.sprintf "truncated %s: need %d bytes, have %d" what needed have)
+
+(* --- rehydration -------------------------------------------------------- *)
+
+(** Rebuild an addressable memory from the dump's sections.  Damaged
+    sections are blitted too — partial bytes beat no bytes in salvage
+    mode; {!damaged_ranges} tells callers which reads to distrust. *)
+let to_ram (co : t) : Ram.t =
+  let ram = Ram.create (Arch.endian co.co_arch) in
+  let size = Ram.size ram in
+  List.iter
+    (fun s ->
+      let base = max 0 s.sec_base in
+      let skip = base - s.sec_base in
+      let len = min (String.length s.sec_bytes - skip) (size - base) in
+      if len > 0 then Ram.blit_in ram ~addr:base (String.sub s.sec_bytes skip len))
+    co.co_sections;
+  ram
+
+(** Sections marked not-ok whose span overlaps [\[addr, addr+size)]. *)
+let damaged_overlap (co : t) ~addr ~size : section list =
+  List.filter
+    (fun s ->
+      (not s.sec_ok)
+      && addr < s.sec_base + String.length s.sec_bytes
+      && addr + size > s.sec_base)
+    co.co_sections
+
+let find_section (co : t) name =
+  List.find_opt (fun s -> s.sec_name = name) co.co_sections
+
+(** Decode floating register [f] from its raw image. *)
+let freg_value (co : t) (f : int) : float =
+  let img = co.co_fregs.(f) in
+  if co.co_freg_bytes = 10 then Float80.of_bytes img
+  else Int64.float_of_bits (Endian.get_u64 Little (Bytes.of_string img) 0)

@@ -38,28 +38,23 @@ type t = {
   mutable rx_mark : int;   (** buffered byte count at the last quiet pump *)
   mutable rx_quiet : int;  (** consecutive pumps with bytes buffered but no
                                frame completed — a lying length field *)
+  mutable core : string option;
+      (** serialized {!Core} dump of the current stop; written when the
+          target dies (fatal signal, kill) and served in chunks to
+          [Dump] requests, surviving even the process's exit *)
 }
 
 let ctx_base = Ram.Layout.context_base
 
 let create ?(fuel = 50_000_000) ?(can_step = true) (proc : Proc.t) =
   { proc; conn = None; resume = false; step = false; killed = false; fuel; notified = false;
-    can_step; last_seq = 0; cur_seq = 0; last_reply = None; rx_mark = 0; rx_quiet = 0 }
+    can_step; last_seq = 0; cur_seq = 0; last_reply = None; rx_mark = 0; rx_quiet = 0;
+    core = None }
 
 let target n = n.proc.Proc.target
 let ram n = n.proc.Proc.ram
 
 (* --- context save/restore --------------------------------------------- *)
-
-let mips_fp_word_swap n addr =
-  (* Is [addr] an 8-byte access to a saved floating-point register in a
-     SIM-MIPS context? *)
-  let t = target n in
-  Arch.equal t.Target.arch Mips
-  &&
-  let lo = ctx_base + t.Target.ctx_freg_off 0
-  and hi = ctx_base + t.Target.ctx_freg_off (Target.nfregs t - 1) + 8 in
-  addr >= lo && addr + 8 <= hi
 
 let save_context n =
   let t = target n and p = n.proc in
@@ -107,67 +102,32 @@ let restore_context n =
 
 (* --- fetch/store service ---------------------------------------------- *)
 
-let le_of_int32 v =
-  let b = Bytes.create 4 in
-  Ldb_util.Endian.set_u32 Little b 0 v;
-  Bytes.to_string b
+(* The byte-access semantics (sizes, canonical little-endian values, the
+   SIM-MIPS word-swap quirk) live in {!Core.Service} so dump-backed
+   memories answer exactly like a live nub; here we only add the "nub: "
+   provenance to errors. *)
 
-let le_of_int64 v =
-  let b = Bytes.create 8 in
-  Ldb_util.Endian.set_u64 Little b 0 v;
-  Bytes.to_string b
-
-let int32_of_le s = Ldb_util.Endian.get_u32 Little (Bytes.of_string s) 0
-let int64_of_le s = Ldb_util.Endian.get_u64 Little (Bytes.of_string s) 0
+let nubbed r = Result.map_error (fun m -> "nub: " ^ m) r
 
 (** Fetch [size] bytes at [addr] using the target's byte order and return
     the value serialized little-endian (the protocol's canonical order). *)
 let do_fetch n ~space ~addr ~size : (string, string) result =
-  if space <> 'c' && space <> 'd' then Error (Printf.sprintf "nub: no space %c" space)
-  else
-    try
-      match size with
-      | 1 -> Ok (String.make 1 (Char.chr (Ram.get_u8 (ram n) addr)))
-      | 2 ->
-          let v = Ram.get_u16 (ram n) addr in
-          Ok (String.init 2 (fun i -> Char.chr ((v lsr (8 * i)) land 0xff)))
-      | 4 -> Ok (le_of_int32 (Ram.get_u32 (ram n) addr))
-      | 8 ->
-          if mips_fp_word_swap n addr then begin
-            (* words were saved LSW-first; swap while fetching *)
-            let lo = Ram.get_u32 (ram n) addr and hi = Ram.get_u32 (ram n) (addr + 4) in
-            Ok (le_of_int32 lo ^ le_of_int32 hi)
-          end
-          else Ok (le_of_int64 (Ram.get_u64 (ram n) addr))
-      | 10 ->
-          (* 80-bit extended: raw packed format, SIM-68020 only *)
-          Ok (Ram.read_string (ram n) ~addr ~len:10)
-      | sz when sz > 0 && sz <= 64 ->
-          (* raw byte run, used for string and instruction fetches *)
-          Ok (Ram.read_string (ram n) ~addr ~len:sz)
-      | _ -> Error "nub: bad fetch size"
-    with Ram.Fault a -> Error (Printf.sprintf "nub: fault at %#x" a)
+  nubbed (Core.Service.fetch (target n) (ram n) ~space ~addr ~size)
 
 let do_store n ~space ~addr (bytes : string) : (unit, string) result =
-  if space <> 'c' && space <> 'd' then Error (Printf.sprintf "nub: no space %c" space)
-  else
-    try
-      (match String.length bytes with
-      | 1 -> Ram.set_u8 (ram n) addr (Char.code bytes.[0])
-      | 2 ->
-          let v = Char.code bytes.[0] lor (Char.code bytes.[1] lsl 8) in
-          Ram.set_u16 (ram n) addr v
-      | 4 -> Ram.set_u32 (ram n) addr (int32_of_le bytes)
-      | 8 ->
-          if mips_fp_word_swap n addr then begin
-            Ram.set_u32 (ram n) addr (int32_of_le (String.sub bytes 0 4));
-            Ram.set_u32 (ram n) (addr + 4) (int32_of_le (String.sub bytes 4 4))
-          end
-          else Ram.set_u64 (ram n) addr (int64_of_le bytes)
-      | 10 -> Ram.blit_in (ram n) ~addr bytes
-      | _ -> Ram.blit_in (ram n) ~addr bytes);
-      Ok ()
-    with Ram.Fault a -> Error (Printf.sprintf "nub: fault at %#x" a)
+  nubbed (Core.Service.store (target n) (ram n) ~space ~addr bytes)
+
+(* --- core dumps --------------------------------------------------------- *)
+
+(** Freeze the current stop into a serialized core dump.  Fatal signals
+    dump automatically; [force] also dumps recoverable stops (the
+    debugger's explicit [core] command, or a kill). *)
+let record_core ?(force = false) n =
+  match n.proc.Proc.status with
+  | Proc.Stopped (s, code) when force || Core.fatal_signal s ->
+      n.core <-
+        Some (Core.to_string (Core.of_proc n.proc ~signal:(Signal.number s) ~code))
+  | _ -> ()
 
 (* --- stop reporting ---------------------------------------------------- *)
 
@@ -214,6 +174,7 @@ let run_target n =
   (match n.proc.Proc.status with
   | Proc.Stopped _ -> save_context n
   | _ -> ());
+  record_core n;
   n.notified <- false;
   notify n
 
@@ -233,17 +194,21 @@ let serve_one n (ep : Chan.endpoint) (req : Proto.request) =
       | Ok () -> send_reply n ep Proto.Stored
       | Error m -> send_reply n ep (Proto.Nub_error m))
   | Proto.Continue ->
+      n.core <- None;
       restore_context n;
       Proc.set_running n.proc;
       n.resume <- true
   | Proto.Step ->
       if n.can_step then begin
+        n.core <- None;
         restore_context n;
         Proc.set_running n.proc;
         n.step <- true
       end
       else send_reply n ep (Proto.Nub_error "nub: single-step not supported")
   | Proto.Kill ->
+      (* preserve the dying stop as a core before the state is gone *)
+      record_core ~force:true n;
       n.killed <- true;
       n.proc.Proc.status <- Proc.Exited 137
   | Proto.Detach -> (
@@ -252,6 +217,27 @@ let serve_one n (ep : Chan.endpoint) (req : Proto.request) =
           Chan.disconnect e;
           n.conn <- None
       | None -> ())
+  | Proto.Dump { offset } -> (
+      (* a live stopped target dumps on demand; a dead one serves the
+         dump its demise left behind *)
+      (match n.core with None -> record_core ~force:true n | Some _ -> ());
+      match n.core with
+      | None ->
+          let msg =
+            match n.proc.Proc.status with
+            | Proc.Running -> "nub: target is running"
+            | Proc.Exited _ -> "nub: target exited leaving no core"
+            | Proc.Stopped _ -> "nub: no core available"
+          in
+          send_reply n ep (Proto.Nub_error msg)
+      | Some dump ->
+          let total = String.length dump in
+          if offset < 0 || offset > total then
+            send_reply n ep (Proto.Nub_error "nub: dump offset out of range")
+          else
+            let len = min Proto.max_core_chunk (total - offset) in
+            send_reply n ep
+              (Proto.Core_chunk { total; offset; chunk = String.sub dump offset len }))
 
 (** Serve one incoming frame, enforcing at-most-once execution: a frame
     numbered below the last served request is a stale duplicate and is
@@ -322,6 +308,7 @@ let rec pump n =
         (match n.proc.Proc.status with
         | Proc.Stopped _ -> save_context n
         | _ -> ());
+        record_core n;
         n.notified <- false;
         notify n;
         pump n

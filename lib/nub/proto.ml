@@ -35,6 +35,10 @@ type request =
                   debugger must keep working without it. *)
   | Kill
   | Detach    (** break the connection but preserve target state *)
+  | Dump of { offset : int }
+      (** request a window of the target's core dump starting at byte
+          [offset]; the dump is serialized once per stop and served in
+          {!Core_chunk} pieces of at most {!max_core_chunk} bytes *)
 
 type stop_state =
   | St_running
@@ -49,6 +53,9 @@ type reply =
       (** unsolicited: the target hit a signal *)
   | Exit_event of int
   | Nub_error of string
+  | Core_chunk of { total : int; offset : int; chunk : string }
+      (** a window of the serialized core dump: [total] is the whole
+          dump's size, [chunk] the bytes starting at [offset] *)
 
 (* --- field limits ------------------------------------------------------ *)
 
@@ -60,6 +67,11 @@ let max_transfer = 16
 (** Strings (architecture names, error messages) are bounded so a
     corrupted length field cannot demand an absurd allocation. *)
 let max_string = 4096
+
+(** Core-dump windows per {!Core_chunk} reply; kept well under
+    [max_string] (and the frame payload limit) so a dump transfer is just
+    an ordinary sequence of framed RPCs. *)
+let max_core_chunk = 2048
 
 (* --- serialization ---------------------------------------------------- *)
 
@@ -95,6 +107,7 @@ let encode_request (r : request) : string =
   | Step -> "T"
   | Kill -> "K"
   | Detach -> "D"
+  | Dump { offset } -> "U" ^ u32_to_le offset
 
 let encode_reply (r : reply) : string =
   match r with
@@ -115,6 +128,10 @@ let encode_reply (r : reply) : string =
       "e" ^ u32_to_le signal ^ u32_to_le code ^ u32_to_le ctx_addr
   | Exit_event status -> "X" ^ u32_to_le status
   | Nub_error msg -> "E" ^ str16 msg
+  | Core_chunk { total; offset; chunk } ->
+      if String.length chunk > max_core_chunk then
+        raise (Encode_error "core chunk too long");
+      "u" ^ u32_to_le total ^ u32_to_le offset ^ str16 chunk
 
 (* --- deserialization (total) ------------------------------------------- *)
 
@@ -185,6 +202,7 @@ let decode_request : string -> (request, string) result =
       | 'T' -> Step
       | 'K' -> Kill
       | 'D' -> Detach
+      | 'U' -> Dump { offset = u32 c "dump offset" }
       | op -> raise (Bad (Printf.sprintf "unknown request opcode %C" op)))
 
 (** Decode a complete reply message.  Total, like {!decode_request}. *)
@@ -222,6 +240,13 @@ let decode_reply : string -> (reply, string) result =
           Event { signal; code; ctx_addr }
       | 'X' -> Exit_event (u32 c "exit status")
       | 'E' -> Nub_error (str c "error message")
+      | 'u' ->
+          let total = u32 c "core total" in
+          let offset = u32 c "core offset" in
+          let chunk = str c "core chunk" in
+          if String.length chunk > max_core_chunk then
+            raise (Bad "core chunk exceeds limit");
+          Core_chunk { total; offset; chunk }
       | op -> raise (Bad (Printf.sprintf "unknown reply opcode %C" op)))
 
 let pp_request ppf = function
@@ -233,6 +258,7 @@ let pp_request ppf = function
   | Step -> Fmt.string ppf "Step"
   | Kill -> Fmt.string ppf "Kill"
   | Detach -> Fmt.string ppf "Detach"
+  | Dump { offset } -> Fmt.pf ppf "Dump@%#x" offset
 
 let pp_reply ppf = function
   | Hello_reply { arch; _ } -> Fmt.pf ppf "HelloReply(%s)" arch
@@ -241,3 +267,5 @@ let pp_reply ppf = function
   | Event { signal; _ } -> Fmt.pf ppf "Event(sig %d)" signal
   | Exit_event s -> Fmt.pf ppf "Exit(%d)" s
   | Nub_error m -> Fmt.pf ppf "Error(%s)" m
+  | Core_chunk { total; offset; chunk } ->
+      Fmt.pf ppf "Core %d+%d/%d" offset (String.length chunk) total

@@ -67,12 +67,21 @@ let debug_session ?debug ?defer ?compress ~arch sources : session =
   in
   { d; tg; proc }
 
+(** Unwrap a run/step result; a [`Dead_process] error fails the test. *)
+let ok : (Ldb.state, Ldb.dead) result -> Ldb.state = function
+  | Ok st -> st
+  | Error (`Dead_process m) -> Alcotest.failf "dead process: %s" m
+
+let ok_unit : (unit, Ldb.dead) result -> unit = function
+  | Ok () -> ()
+  | Error (`Dead_process m) -> Alcotest.failf "dead process: %s" m
+
 (** Continue until the nth stop (1 = first). *)
 let continue_n (s : session) n =
   let rec go k last =
     if k = 0 then last
     else
-      match Ldb.continue_ s.d s.tg with
+      match ok (Ldb.continue_ s.d s.tg) with
       | Ldb.Stopped _ as st -> go (k - 1) st
       | st -> st
   in

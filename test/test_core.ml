@@ -1,0 +1,402 @@
+(** Post-mortem debugging tests: the core-dump codec, dump production on
+    fatal traps and on kill, dump-backed sessions on all four targets,
+    the live-vs-post-mortem differential the feature promises (a dump
+    must answer exactly like the live session it froze), salvage mode on
+    truncated and corrupted dumps, and the no-trap-bytes-left-behind
+    guarantee of detach and kill. *)
+
+open Ldb_machine
+module Ldb = Ldb_ldb.Ldb
+module Host = Ldb_ldb.Host
+module Coredump = Ldb_ldb.Coredump
+module Breakpoint = Ldb_ldb.Breakpoint
+module Disas = Ldb_ldb.Disas
+module Crc32 = Ldb_util.Crc32
+
+let check = Alcotest.check
+
+let contains ~needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+(* a program that dies of SIGSEGV: the store lands far past the 4 MB
+   simulated address space *)
+let segv_c =
+  {|
+int boom(int k)
+{
+    static int a[4];
+    a[0] = 7;
+    a[k] = 1;
+    return a[0];
+}
+int main(void)
+{
+    int n;
+    n = 4000000;
+    printf("before\n");
+    boom(n);
+    printf("after\n");
+    return 0;
+}
+|}
+
+let segv_sources = [ ("segv.c", segv_c) ]
+
+(** Run the SIGSEGV program under a live session up to its fault. *)
+let fault_session ~arch : Testkit.session =
+  let s = Testkit.debug_session ~arch segv_sources in
+  (match Testkit.ok (Ldb.continue_ s.Testkit.d s.Testkit.tg) with
+  | Ldb.Stopped { signal = Signal.SIGSEGV; _ } -> ()
+  | _ -> Alcotest.failf "%s: program did not die of SIGSEGV" (Arch.name arch));
+  s
+
+(* --- codec ----------------------------------------------------------------- *)
+
+let gen_core : Core.t QCheck.arbitrary =
+  let open QCheck.Gen in
+  let gen =
+    oneofl Arch.all >>= fun arch ->
+    let t = Target.of_arch arch in
+    int_bound 31 >>= fun signal ->
+    int_bound 0xffffff >>= fun code ->
+    int_bound 0xffffff >>= fun pc ->
+    int_bound 0xffffff >>= fun ctx_addr ->
+    array_repeat (Target.nregs t)
+      (map Int32.of_int (int_range (-0x40000000) 0x3fffffff))
+    >>= fun regs ->
+    oneofl [ 8; 10 ] >>= fun freg_bytes ->
+    array_repeat (Target.nfregs t)
+      (string_size ~gen:char (return freg_bytes))
+    >>= fun fregs ->
+    list_size (int_bound 4)
+      ( oneofl [ "code"; "data"; "ctx"; "stack" ] >>= fun name ->
+        int_bound 0x3ffff0 >>= fun base ->
+        string_size ~gen:char (int_range 1 64) >>= fun bytes ->
+        return
+          { Core.sec_name = name; sec_base = base; sec_bytes = bytes;
+            sec_crc = Crc32.string bytes; sec_ok = true } )
+    >>= fun sections ->
+    return
+      { Core.co_arch = arch; co_signal = signal; co_code = code; co_pc = pc;
+        co_ctx_addr = ctx_addr; co_regs = regs; co_freg_bytes = freg_bytes;
+        co_fregs = fregs; co_sections = sections }
+  in
+  QCheck.make gen
+
+let prop_codec_roundtrip =
+  Testkit.qtest "random cores roundtrip" ~count:300 gen_core (fun co ->
+      match Core.of_string (Core.to_string co) with
+      | Ok (co', []) -> co' = co
+      | Ok (_, _ :: _) | Error _ -> false)
+
+let prop_codec_total =
+  Testkit.qtest "of_string never raises" ~count:300
+    QCheck.(string_gen_of_size (Gen.int_bound 600) Gen.char)
+    (fun s -> match Core.of_string s with Ok _ | Error _ -> true)
+
+(* --- dumps exist on every target ------------------------------------------- *)
+
+let test_fault_dumps_all_archs () =
+  List.iter
+    (fun arch ->
+      let an = Arch.name arch in
+      let s = fault_session ~arch in
+      let co = Ldb.fetch_core s.Testkit.tg in
+      check Testkit.arch_testable (an ^ " arch") arch co.Core.co_arch;
+      check Alcotest.int (an ^ " signal") (Signal.number Signal.SIGSEGV)
+        co.Core.co_signal;
+      List.iter
+        (fun name ->
+          if
+            not
+              (List.exists
+                 (fun sec -> sec.Core.sec_name = name && sec.Core.sec_ok)
+                 co.Core.co_sections)
+          then Alcotest.failf "%s: dump has no intact %S section" an name)
+        [ "code"; "data"; "ctx"; "stack" ];
+      (* the dump names a pc inside the code segment *)
+      check Alcotest.bool (an ^ " pc in code") true
+        (co.Core.co_pc >= Ram.Layout.code_base
+        && co.Core.co_pc < Ram.Layout.data_base))
+    Arch.all
+
+(* --- the live-vs-post-mortem differential ---------------------------------- *)
+
+(** Everything a session would tell a user at the fault, as strings. *)
+type answers = {
+  a_where : string;
+  a_backtrace : string list;
+  a_k : string;  (** boom's parameter, top frame *)
+  a_n : string;  (** main's local, next frame *)
+  a_disas : string;
+}
+
+let answers d tg : answers =
+  let frames = Ldb.backtrace d tg in
+  let top = List.hd frames in
+  {
+    a_where = Ldb.where d tg;
+    a_backtrace = List.map (Ldb.frame_function d tg) frames;
+    a_k = Ldb.print_value d tg top "k";
+    a_n = Ldb.print_value d tg (List.nth frames 1) "n";
+    a_disas =
+      Disas.to_string (Ldb.disassemble d tg ~addr:top.Ldb_ldb.Frame.fr_pc ~count:6);
+  }
+
+let postmortem_of (s : Testkit.session) : Ldb.t * Ldb.target =
+  let bytes = Ldb.core_bytes s.Testkit.tg in
+  let d2 = Ldb.create () in
+  match Core.of_string bytes with
+  | Error m -> Alcotest.failf "core does not decode: %s" m
+  | Ok loaded ->
+      let tg2 =
+        Ldb.connect_core d2 ~name:"core"
+          ~loader_ps:s.Testkit.proc.Host.hp_loader_ps loaded
+      in
+      (d2, tg2)
+
+let test_live_vs_postmortem () =
+  List.iter
+    (fun arch ->
+      let an = Arch.name arch in
+      let s = fault_session ~arch in
+      let live = answers s.Testkit.d s.Testkit.tg in
+      let d2, tg2 = postmortem_of s in
+      check Alcotest.bool (an ^ " is postmortem") true (Ldb.is_postmortem tg2);
+      check Alcotest.(list string) (an ^ " no salvage") [] (Ldb.take_salvage tg2);
+      let dead = answers d2 tg2 in
+      check Alcotest.string (an ^ " where") live.a_where dead.a_where;
+      check Alcotest.(list string) (an ^ " backtrace") live.a_backtrace dead.a_backtrace;
+      check Alcotest.string (an ^ " k") live.a_k dead.a_k;
+      check Alcotest.string (an ^ " n") live.a_n dead.a_n;
+      check Alcotest.string (an ^ " disas") live.a_disas dead.a_disas)
+    Arch.all
+
+(** A dead process answers queries but refuses to run, step or store. *)
+let test_dead_process_is_typed () =
+  let s = fault_session ~arch:Arch.Mips in
+  let d2, tg2 = postmortem_of s in
+  let expect_dead what = function
+    | Error (`Dead_process _) -> ()
+    | Ok _ -> Alcotest.failf "%s succeeded on a core dump" what
+  in
+  expect_dead "continue" (Ldb.continue_ d2 tg2);
+  expect_dead "step" (Ldb.step_instruction d2 tg2);
+  expect_dead "assign"
+    (Ldb.assign_int d2 tg2 (Ldb.top_frame d2 tg2) "k" 1);
+  (match Ldb.break_function d2 tg2 "main" with
+  | exception Ldb.Error _ -> ()
+  | _ -> Alcotest.fail "breakpoint planted in a core dump")
+
+(* --- kill and the on-demand dump ------------------------------------------- *)
+
+(** Kill leaves a dump behind: the nub snapshots the stop before dying,
+    and the debugger can still pull it across and open it. *)
+let test_kill_leaves_a_core () =
+  let s = Testkit.debug_session ~arch:Arch.Sparc segv_sources in
+  let d = s.Testkit.d and tg = s.Testkit.tg in
+  ignore (Ldb.break_function d tg "boom" : int);
+  (match Testkit.ok (Ldb.continue_ d tg) with
+  | Ldb.Stopped { signal = Signal.SIGTRAP; _ } -> ()
+  | _ -> Alcotest.fail "no stop at the breakpoint");
+  let live_bt = List.map (Ldb.frame_function d tg) (Ldb.backtrace d tg) in
+  Ldb.kill tg;
+  (match tg.Ldb.tg_state with
+  | Ldb.Exited 137 -> ()
+  | _ -> Alcotest.fail "kill did not mark the target exited");
+  let d2, tg2 = postmortem_of s in
+  check Alcotest.(list string) "backtrace survives the kill" live_bt
+    (List.map (Ldb.frame_function d2 tg2) (Ldb.backtrace d2 tg2))
+
+(* --- detach and kill leave no trap bytes ----------------------------------- *)
+
+let code_bytes (s : Testkit.session) addr len =
+  String.init len (fun i ->
+      Char.chr (Ram.get_u8 s.Testkit.proc.Host.hp_proc.Proc.ram (addr + i)))
+
+let test_release_unplants () =
+  List.iter
+    (fun release ->
+      let s = Testkit.debug_session ~arch:Arch.Vax [ ("fib.c", Testkit.fib_c) ] in
+      let d = s.Testkit.d and tg = s.Testkit.tg in
+      let addr = Ldb.break_function d tg "fib" in
+      (match Testkit.ok (Ldb.continue_ d tg) with
+      | Ldb.Stopped _ -> ()
+      | _ -> Alcotest.fail "no stop");
+      let t = tg.Ldb.tg_tdesc in
+      check Alcotest.string "trap planted" t.Target.brk
+        (code_bytes s addr (String.length t.Target.brk));
+      (match release with
+      | `Detach -> Ldb.detach tg
+      | `Kill -> Ldb.kill tg);
+      (* the released target's memory holds its own instruction again *)
+      check Alcotest.string "no trap bytes left" t.Target.nop
+        (code_bytes s addr (String.length t.Target.nop)))
+    [ `Detach; `Kill ]
+
+(** Detach suspends breakpoints; reattach replants them and the session
+    keeps working (while a breakpoint the user removed stays removed). *)
+let test_detach_suspends_reattach_replants () =
+  let s = Testkit.debug_session ~arch:Arch.Mips [ ("fib.c", Testkit.fib_c) ] in
+  let d = s.Testkit.d and tg = s.Testkit.tg in
+  let addr = Ldb.break_function d tg "fib" in
+  Ldb.detach tg;
+  let t = tg.Ldb.tg_tdesc in
+  check Alcotest.string "unplanted while detached" t.Target.nop
+    (code_bytes s addr (String.length t.Target.nop));
+  (match Host.reattach d tg s.Testkit.proc with
+  | Ldb.Stopped _ -> ()
+  | _ -> Alcotest.fail "reattach failed");
+  check Alcotest.string "replanted on reattach" t.Target.brk
+    (code_bytes s addr (String.length t.Target.brk));
+  (match Testkit.ok (Ldb.continue_ d tg) with
+  | Ldb.Stopped _ -> ()
+  | _ -> Alcotest.fail "replanted breakpoint did not fire");
+  Ldb.clear_breakpoint tg ~addr;
+  Ldb.detach tg;
+  (match Host.reattach d tg s.Testkit.proc with
+  | Ldb.Stopped _ -> ()
+  | _ -> Alcotest.fail "second reattach failed");
+  (* the removed breakpoint must not come back *)
+  check Alcotest.string "cleared breakpoint stays cleared" t.Target.nop
+    (code_bytes s addr (String.length t.Target.nop));
+  match Testkit.ok (Ldb.continue_ d tg) with
+  | Ldb.Exited 0 -> ()
+  | _ -> Alcotest.fail "no clean exit"
+
+(* --- salvage mode ---------------------------------------------------------- *)
+
+let flip_first s =
+  let b = Bytes.of_string s in
+  Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor 0xff));
+  Bytes.to_string b
+
+(** Re-serialize [co] with one section's bytes corrupted but its stored
+    CRC intact, as if the dump was damaged at rest. *)
+let corrupt_section name (co : Core.t) : string =
+  let hit = ref false in
+  let sections =
+    List.map
+      (fun sec ->
+        if sec.Core.sec_name = name then begin
+          hit := true;
+          { sec with Core.sec_bytes = flip_first sec.Core.sec_bytes }
+        end
+        else sec)
+      co.Core.co_sections
+  in
+  if not !hit then Alcotest.failf "dump has no %S section" name;
+  Core.to_string { co with Core.co_sections = sections }
+
+let test_corrupt_data_section_salvages () =
+  List.iter
+    (fun arch ->
+      let an = Arch.name arch in
+      let s = fault_session ~arch in
+      let damaged = corrupt_section "data" (Ldb.fetch_core s.Testkit.tg) in
+      let co, warnings =
+        match Core.of_string damaged with
+        | Ok r -> r
+        | Error m -> Alcotest.failf "%s: corrupt section rejected the dump: %s" an m
+      in
+      (match warnings with
+      | [ Core.Bad_crc { section = "data"; _ } ] -> ()
+      | ws ->
+          Alcotest.failf "%s: expected one data Bad_crc, got: %s" an
+            (String.concat "; " (List.map Core.salvage_to_string ws)));
+      let d2 = Ldb.create () in
+      let tg2 =
+        Ldb.connect_core d2 ~name:"damaged"
+          ~loader_ps:s.Testkit.proc.Host.hp_loader_ps (co, warnings)
+      in
+      (* the report degrades, it does not abort *)
+      (match Ldb.crash_report d2 tg2 with
+      | `Full _ -> Alcotest.failf "%s: damaged dump reported as Full" an
+      | `Salvage r ->
+          check Alcotest.bool (an ^ " registers survive") true (r.Ldb.cr_regs <> []);
+          check Alcotest.(list string) (an ^ " backtrace survives")
+            [ "boom"; "main" ]
+            (List.map (fun f -> f.Ldb.fl_func) r.Ldb.cr_frames);
+          let rendered = Ldb.render_crash_report r in
+          check Alcotest.bool (an ^ " report names the damage") true
+            (contains ~needle:"data" rendered
+            || List.exists
+                 (fun n ->
+                   match n with Ldb.Dump_note (Core.Bad_crc _) -> true | _ -> false)
+                 r.Ldb.cr_notes));
+      (* a print that touches the damaged section answers, with a warning *)
+      let top = Ldb.top_frame d2 tg2 in
+      ignore (Ldb.print_value d2 tg2 top "a" : string);
+      match Ldb.take_salvage tg2 with
+      | [] -> Alcotest.failf "%s: damaged read produced no salvage warning" an
+      | w :: _ ->
+          check Alcotest.bool (an ^ " warning names the section") true
+            (contains ~needle:"data" w))
+    Arch.all
+
+let test_truncated_dump_salvages () =
+  let s = fault_session ~arch:Arch.M68k in
+  let whole = Ldb.core_bytes s.Testkit.tg in
+  (* cut the dump off mid-body: headers survive, some sections do not *)
+  let cut = String.sub whole 0 (String.length whole * 3 / 5) in
+  let co, warnings =
+    match Core.of_string cut with
+    | Ok r -> r
+    | Error m -> Alcotest.failf "truncated dump rejected outright: %s" m
+  in
+  if not (List.exists (function Core.Truncated _ -> true | _ -> false) warnings)
+  then Alcotest.fail "no Truncated warning for a cut dump";
+  check Alcotest.int "fault identity survives truncation"
+    (Signal.number Signal.SIGSEGV) co.Core.co_signal;
+  let d2 = Ldb.create () in
+  let tg2 =
+    Ldb.connect_core d2 ~name:"cut" ~loader_ps:s.Testkit.proc.Host.hp_loader_ps
+      (co, warnings)
+  in
+  match Ldb.crash_report d2 tg2 with
+  | `Full _ -> Alcotest.fail "truncated dump reported as Full"
+  | `Salvage r ->
+      check Alcotest.bool "registers recovered" true (r.Ldb.cr_regs <> []);
+      if not (List.exists (function Ldb.Dump_note _ -> true | _ -> false) r.Ldb.cr_notes)
+      then Alcotest.fail "report carries no dump note"
+
+(** A dump too short for even the header is an error, not a session. *)
+let test_hopeless_dump_is_an_error () =
+  let s = fault_session ~arch:Arch.Vax in
+  let whole = Ldb.core_bytes s.Testkit.tg in
+  (match Core.of_string (String.sub whole 0 6) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "6 bytes accepted as a core");
+  match Core.of_string ("XXXXXXXX" ^ String.sub whole 8 64) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bad magic accepted"
+
+let () =
+  Alcotest.run "core"
+    [
+      ( "codec",
+        [ prop_codec_roundtrip; prop_codec_total;
+          Alcotest.test_case "hopeless dumps rejected" `Quick
+            test_hopeless_dump_is_an_error ] );
+      ( "dumps",
+        [ Alcotest.test_case "fault dumps on all targets" `Quick
+            test_fault_dumps_all_archs;
+          Alcotest.test_case "kill leaves a core" `Quick test_kill_leaves_a_core ] );
+      ( "postmortem",
+        [ Alcotest.test_case "live = post-mortem on all targets" `Quick
+            test_live_vs_postmortem;
+          Alcotest.test_case "dead process errors are typed" `Quick
+            test_dead_process_is_typed ] );
+      ( "release",
+        [ Alcotest.test_case "detach/kill leave no trap bytes" `Quick
+            test_release_unplants;
+          Alcotest.test_case "detach suspends, reattach replants" `Quick
+            test_detach_suspends_reattach_replants ] );
+      ( "salvage",
+        [ Alcotest.test_case "corrupt data section degrades" `Quick
+            test_corrupt_data_section_salvages;
+          Alcotest.test_case "truncated dump degrades" `Quick
+            test_truncated_dump_salvages ] );
+    ]

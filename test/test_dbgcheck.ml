@@ -504,6 +504,54 @@ let test_ir_fail_mode () =
             (String.length m > 0
             && index_of m "uninit-read" >= 0))
 
+(* --- core dumps ----------------------------------------------------------------- *)
+
+let image_and_core ~arch =
+  let img, _ = build ~arch [ ("fib.c", Testkit.fib_c) ] in
+  let proc = Link.load img in
+  (img, Core.of_proc proc ~signal:5 ~code:0)
+
+let test_core_clean () =
+  List.iter
+    (fun arch ->
+      let img, core = image_and_core ~arch in
+      match Core.of_string (Core.to_string core) with
+      | Ok (co, warnings) ->
+          Alcotest.(check int) (Arch.name arch ^ " no salvage") 0 (List.length warnings);
+          check Alcotest.string (Arch.name arch ^ " core clean") ""
+            (pp_findings (D.check_core img co))
+      | Error m -> Alcotest.failf "%s: unreadable round-trip: %s" (Arch.name arch) m)
+    Arch.all
+
+let test_core_arch_mismatch () =
+  let img, _ = image_and_core ~arch:Arch.Sparc in
+  let _, core = image_and_core ~arch:Arch.Vax in
+  expect_flagged "foreign core" F.Core_arch (D.check_core img core)
+
+let test_core_bad_crc () =
+  let img, core = image_and_core ~arch:Arch.Sparc in
+  let sec = List.hd core.Core.co_sections in
+  let flipped =
+    patch_bytes sec.Core.sec_bytes 0
+      (String.make 1 (Char.chr (Char.code sec.Core.sec_bytes.[0] lxor 0xff)))
+  in
+  let core' =
+    { core with
+      Core.co_sections =
+        { sec with Core.sec_bytes = flipped } :: List.tl core.Core.co_sections }
+  in
+  expect_flagged "flipped byte" F.Core_crc (D.check_core img core')
+
+let test_core_reg_width () =
+  let img, core = image_and_core ~arch:Arch.Sparc in
+  let core' = { core with Core.co_regs = Array.sub core.Core.co_regs 0 8 } in
+  expect_flagged "truncated register file" F.Core_reg_width (D.check_core img core')
+
+let test_core_pc_outside () =
+  let img, core = image_and_core ~arch:Arch.Sparc in
+  let core' = { core with Core.co_pc = Ram.Layout.data_base } in
+  expect_flagged "pc in data segment" F.Core_pc (D.check_core img core')
+
 let () =
   Alcotest.run "dbgcheck"
     [
@@ -531,6 +579,14 @@ let () =
         [
           Alcotest.test_case "u16 boundary" `Quick test_clamp_boundary;
           Alcotest.test_case "end to end" `Quick test_clamp_end_to_end;
+        ] );
+      ( "core",
+        [
+          Alcotest.test_case "round-trip x targets: zero findings" `Quick test_core_clean;
+          Alcotest.test_case "architecture mismatch" `Quick test_core_arch_mismatch;
+          Alcotest.test_case "section CRC" `Quick test_core_bad_crc;
+          Alcotest.test_case "register-file width" `Quick test_core_reg_width;
+          Alcotest.test_case "fault pc outside code" `Quick test_core_pc_outside;
         ] );
       ( "format", [ Alcotest.test_case "JSON pin" `Quick test_json_pin ] );
       ( "driver", [ Alcotest.test_case "Fail/Warn/Off modes" `Quick test_driver_modes ] );

@@ -66,7 +66,7 @@ let run_scenario (d : Ldb.t) (p : Host.process) (tg : Ldb.target) : outcome =
   let pc_of st = match st with Ldb.Stopped { ctx_addr; _ } -> Ldb.read_ctx_pc tg ctx_addr | _ -> -1 in
   let rec resume () =
     let before = pc_of tg.Ldb.tg_state in
-    try Ldb.continue_ d tg
+    try Testkit.ok (Ldb.continue_ d tg)
     with Transport.Error (Transport.Disconnected, _) -> (
       reattach ();
       match tg.Ldb.tg_state with
@@ -168,7 +168,7 @@ let test_disconnect_reattach_resync () =
       let s = Testkit.debug_session ~arch sources in
       let d = s.Testkit.d and p = s.Testkit.proc and tg = s.Testkit.tg in
       let bp_addr = Ldb.break_function d tg "fib" in
-      (match Ldb.continue_ d tg with
+      (match Testkit.ok (Ldb.continue_ d tg) with
       | Ldb.Stopped _ -> ()
       | _ -> Alcotest.fail (an ^ ": no stop at breakpoint"));
       let pc_before =
@@ -177,7 +177,7 @@ let test_disconnect_reattach_resync () =
         | _ -> assert false
       in
       (* the link dies *)
-      Chan.disconnect (Transport.endpoint tg.Ldb.tg_tr);
+      Chan.disconnect (Transport.endpoint (Ldb.transport tg));
       (* ... and the failure is typed, not a hang or a random exception *)
       (match Ldb.read_int_var d tg (Ldb.top_frame d tg) "n" with
       | exception Transport.Error (Transport.Disconnected, _) -> ()
@@ -197,7 +197,7 @@ let test_disconnect_reattach_resync () =
             (Ldb.read_ctx_pc tg ctx_addr)
       | _ -> Alcotest.fail (an ^ ": reattach did not recover the stop"));
       check Alcotest.int (an ^ " one reconnect recorded") 1
-        (Transport.stats tg.Ldb.tg_tr).Transport.st_reconnects;
+        (Transport.stats (Ldb.transport tg)).Transport.st_reconnects;
       (* the clobbered breakpoint was replanted *)
       let brk = tg.Ldb.tg_tdesc.Target.brk in
       let in_ram =
@@ -209,7 +209,7 @@ let test_disconnect_reattach_resync () =
       check Alcotest.string (an ^ " function") "fib"
         (Ldb.frame_function d tg (Ldb.top_frame d tg));
       check Alcotest.int (an ^ " n") 10 (Ldb.read_int_var d tg (Ldb.top_frame d tg) "n");
-      (match Ldb.continue_ d tg with
+      (match Testkit.ok (Ldb.continue_ d tg) with
       | Ldb.Exited 0 -> ()
       | _ -> Alcotest.fail (an ^ ": did not run to a clean exit"));
       check Alcotest.string (an ^ " output") "1 1 2 3 5 8 13 21 34 55 \n" (Host.output p))
@@ -221,7 +221,7 @@ let test_detach_then_reattach () =
   let s = Testkit.debug_session ~arch sources in
   let d = s.Testkit.d and p = s.Testkit.proc and tg = s.Testkit.tg in
   ignore (Ldb.break_function d tg "fib" : int);
-  (match Ldb.continue_ d tg with Ldb.Stopped _ -> () | _ -> Alcotest.fail "no stop");
+  (match Testkit.ok (Ldb.continue_ d tg) with Ldb.Stopped _ -> () | _ -> Alcotest.fail "no stop");
   Ldb.detach tg;
   (match tg.Ldb.tg_state with
   | Ldb.Detached -> ()
@@ -231,7 +231,7 @@ let test_detach_then_reattach () =
   | _ -> Alcotest.fail "reattach after detach failed");
   check Alcotest.string "still stopped in fib" "fib"
     (Ldb.frame_function d tg (Ldb.top_frame d tg));
-  match Ldb.continue_ d tg with
+  match Testkit.ok (Ldb.continue_ d tg) with
   | Ldb.Exited 0 -> ()
   | _ -> Alcotest.fail "no clean exit after reattach"
 

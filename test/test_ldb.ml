@@ -61,7 +61,7 @@ let test_break_function_all_archs () =
       let s = session ~arch Testkit.fib_c in
       let addr = Ldb.break_function s.Testkit.d s.Testkit.tg "fib" in
       Alcotest.(check bool) "address in code" true (addr >= Ram.Layout.code_base);
-      match Ldb.continue_ s.Testkit.d s.Testkit.tg with
+      match Testkit.ok (Ldb.continue_ s.Testkit.d s.Testkit.tg) with
       | Ldb.Stopped { signal = SIGTRAP; _ } ->
           let fr = Ldb.top_frame s.Testkit.d s.Testkit.tg in
           check Alcotest.string (Arch.name arch ^ " stopped in fib") "fib"
@@ -94,7 +94,7 @@ let test_breakpoint_removal () =
   let addrs = Ldb.break_line s.Testkit.d s.Testkit.tg ~line:8 in
   ignore (Ldb.continue_ s.Testkit.d s.Testkit.tg);
   List.iter (fun addr -> Ldb.clear_breakpoint s.Testkit.tg ~addr) addrs;
-  match Ldb.continue_ s.Testkit.d s.Testkit.tg with
+  match Testkit.ok (Ldb.continue_ s.Testkit.d s.Testkit.tg) with
   | Ldb.Exited 0 ->
       check Alcotest.string "output intact" "1 1 2 3 5 8 13 21 34 55 \n"
         (Host.output s.Testkit.proc)
@@ -113,7 +113,7 @@ let test_breakpoints_survive_and_dont_corrupt () =
 
 let stop_in_work s =
   ignore (Ldb.break_line s.Testkit.d s.Testkit.tg ~line:19);
-  match Ldb.continue_ s.Testkit.d s.Testkit.tg with
+  match Testkit.ok (Ldb.continue_ s.Testkit.d s.Testkit.tg) with
   | Ldb.Stopped _ -> Ldb.top_frame s.Testkit.d s.Testkit.tg
   | _ -> Alcotest.fail "did not stop"
 
@@ -200,8 +200,8 @@ let test_assignment_changes_execution () =
       ignore (Ldb.break_function s.Testkit.d s.Testkit.tg "fib");
       ignore (Ldb.continue_ s.Testkit.d s.Testkit.tg);
       let fr = Ldb.top_frame s.Testkit.d s.Testkit.tg in
-      Ldb.assign_int s.Testkit.d s.Testkit.tg fr "n" 4;
-      (match Ldb.continue_ s.Testkit.d s.Testkit.tg with
+      Testkit.ok_unit (Ldb.assign_int s.Testkit.d s.Testkit.tg fr "n" 4);
+      (match Testkit.ok (Ldb.continue_ s.Testkit.d s.Testkit.tg) with
       | Ldb.Exited 0 -> ()
       | _ -> Alcotest.fail "did not finish");
       check Alcotest.string
@@ -213,7 +213,7 @@ let test_assignment_changes_execution () =
 let test_float_assignment () =
   let s = session ~arch:M68k values_c in
   let fr = stop_in_work s in
-  Ldb.assign_float s.Testkit.d s.Testkit.tg fr "d" 9.25;
+  Testkit.ok_unit (Ldb.assign_float s.Testkit.d s.Testkit.tg fr "d" 9.25);
   check Alcotest.string "d after assign" "9.25"
     (Ldb.print_value s.Testkit.d s.Testkit.tg fr "d")
 
@@ -233,7 +233,7 @@ let test_fault_caught () =
   List.iter
     (fun arch ->
       let s = session ~arch faulty_c in
-      match Ldb.continue_ s.Testkit.d s.Testkit.tg with
+      match Testkit.ok (Ldb.continue_ s.Testkit.d s.Testkit.tg) with
       | Ldb.Stopped { signal = SIGFPE; _ } ->
           let fr = Ldb.top_frame s.Testkit.d s.Testkit.tg in
           check Alcotest.string

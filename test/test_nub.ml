@@ -87,7 +87,8 @@ let test_request_roundtrips () =
       Proto.Fetch { space = 'd'; addr = 0x123456; size = 4 };
       Proto.Fetch { space = 'c'; addr = 0; size = 10 };
       Proto.Store { space = 'd'; addr = 0xffff; bytes = "\x01\x02\x03\x04" };
-      Proto.Continue; Proto.Step; Proto.Kill; Proto.Detach ]
+      Proto.Continue; Proto.Step; Proto.Kill; Proto.Detach;
+      Proto.Dump { offset = 0 }; Proto.Dump { offset = 0x12345 } ]
 
 let test_reply_roundtrips () =
   List.iter
@@ -101,6 +102,8 @@ let test_reply_roundtrips () =
       Proto.Stored;
       Proto.Event { signal = 11; code = 0x1234; ctx_addr = 0x1f0000 };
       Proto.Exit_event 0;
+      Proto.Core_chunk { total = 0; offset = 0; chunk = "" };
+      Proto.Core_chunk { total = 9000; offset = 4096; chunk = String.make 2048 'x' };
       Proto.Nub_error "no such space" ]
 
 (** Out-of-range size fields are rejected with [Error], not served. *)
@@ -134,7 +137,8 @@ let gen_request : Proto.request QCheck.arbitrary =
         QCheck.(pair (int_bound 0xffffff)
                   (string_gen_of_size (QCheck.Gen.int_range 1 16) QCheck.Gen.char));
       QCheck.always Proto.Continue; QCheck.always Proto.Step;
-      QCheck.always Proto.Kill; QCheck.always Proto.Detach ]
+      QCheck.always Proto.Kill; QCheck.always Proto.Detach;
+      QCheck.map (fun offset -> Proto.Dump { offset }) QCheck.(int_bound 0xffffff) ]
 
 let prop_request_roundtrip =
   Testkit.qtest "random requests roundtrip" ~count:500 gen_request roundtrip_request

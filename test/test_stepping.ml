@@ -55,7 +55,7 @@ let test_step_instruction_all_archs () =
             (Ldb_amemory.Amemory.absolute 'd' (ctx_addr + tg.Ldb.tg_tdesc.Target.ctx_pc_off))
             (Int32.of_int (pc0 + tg.Ldb.tg_tdesc.Target.nop_advance))
       | _ -> Alcotest.fail "not stopped");
-      (match Ldb.step_instruction d tg with
+      (match Testkit.ok (Ldb.step_instruction d tg) with
       | Ldb.Stopped { signal = SIGTRAP; code = 1; _ } -> ()
       | _ -> Alcotest.fail "step did not stop with a step event");
       let pc1 = (Ldb.top_frame d tg).Frame.fr_pc in
@@ -67,11 +67,11 @@ let test_step_unsupported () =
   Alcotest.(check bool) "capability reported" false tg.Ldb.tg_can_step;
   ignore (Ldb.break_function d tg "main");
   ignore (Ldb.continue_ d tg);
-  (match Ldb.step_instruction d tg with
+  (match Testkit.ok (Ldb.step_instruction d tg) with
   | exception Ldb.Error _ -> ()
   | _ -> Alcotest.fail "step accepted without nub support");
   (* but the no-op breakpoint scheme keeps working *)
-  match Ldb.continue_ d tg with
+  match Testkit.ok (Ldb.continue_ d tg) with
   | Ldb.Exited 0 -> ()
   | _ -> Alcotest.fail "no-op scheme broken without stepping"
 
@@ -97,7 +97,7 @@ let test_general_breakpoint () =
          execution must stay correct (restore / step / replant) *)
       let hits = ref 0 in
       let rec drive () =
-        match Ldb.continue_ d tg with
+        match Testkit.ok (Ldb.continue_ d tg) with
         | Ldb.Stopped { signal = SIGTRAP; _ } ->
             incr hits;
             drive ()
@@ -124,7 +124,7 @@ let test_step_source () =
   (* stepping from main's entry: each step lands on a stopping point *)
   let lines = ref [] in
   for _ = 1 to 4 do
-    match Ldb.step_source d tg with
+    match Testkit.ok (Ldb.step_source d tg) with
     | Ldb.Stopped _ -> (
         let fr = Ldb.top_frame d tg in
         match Ldb.stop_of_frame d tg fr with
@@ -144,7 +144,7 @@ let test_step_source_enters_callee () =
   let rec go n =
     if n = 0 then Alcotest.fail "never reached triple"
     else
-      match Ldb.step_source d tg with
+      match Testkit.ok (Ldb.step_source d tg) with
       | Ldb.Stopped _ ->
           let fr = Ldb.top_frame d tg in
           if Ldb.frame_function d tg fr = "triple" then ()
@@ -229,7 +229,7 @@ let test_watchpoint () =
            (Ldb_amemory.Amemory.fetch_i32 tg.Ldb.tg_wire
               (Ldb_amemory.Amemory.absolute 'd' addr)))
   | Client.Ev_exit _ -> Alcotest.fail "exited before the watch fired");
-  match Ldb.continue_ d tg with
+  match Testkit.ok (Ldb.continue_ d tg) with
   | Ldb.Exited 0 -> ()
   | _ -> Alcotest.fail "did not finish after the watch"
 

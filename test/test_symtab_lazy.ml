@@ -107,10 +107,10 @@ let test_stepping_forces_one_unit () =
   let s = two_unit_session ~arch () in
   let st = s.Testkit.tg.Ldb.tg_symtab in
   ignore (Ldb.break_function s.Testkit.d s.Testkit.tg "bfun" : int);
-  (match Ldb.continue_ s.Testkit.d s.Testkit.tg with
+  (match Testkit.ok (Ldb.continue_ s.Testkit.d s.Testkit.tg) with
   | Ldb.Stopped _ -> ()
   | _ -> Alcotest.fail "did not stop at bfun");
-  ignore (Ldb.step_source s.Testkit.d s.Testkit.tg : Ldb.state);
+  ignore (Testkit.ok (Ldb.step_source s.Testkit.d s.Testkit.tg) : Ldb.state);
   let fr = Ldb.top_frame s.Testkit.d s.Testkit.tg in
   check Alcotest.string "still in bfun" "bfun" (Ldb.frame_function s.Testkit.d s.Testkit.tg fr);
   (* stepping inside bfun needed b.c (for its stops) but never a.c *)
@@ -125,7 +125,7 @@ let test_lazy_eager_agree () =
       let eager_s = two_unit_session ~arch () in
       Ldb.force_symbols eager_s.Testkit.d eager_s.Testkit.tg;
       let stop s = ignore (Ldb.break_function s.Testkit.d s.Testkit.tg "bfun" : int);
-        match Ldb.continue_ s.Testkit.d s.Testkit.tg with
+        match Testkit.ok (Ldb.continue_ s.Testkit.d s.Testkit.tg) with
         | Ldb.Stopped _ -> Ldb.top_frame s.Testkit.d s.Testkit.tg
         | _ -> Alcotest.failf "%s: did not stop" (Arch.name arch)
       in
@@ -251,7 +251,7 @@ let test_compressed_sessions () =
       let s = two_unit_session ~compress:true ~arch () in
       let st = s.Testkit.tg.Ldb.tg_symtab in
       ignore (Ldb.break_function s.Testkit.d s.Testkit.tg "bfun" : int);
-      (match Ldb.continue_ s.Testkit.d s.Testkit.tg with
+      (match Testkit.ok (Ldb.continue_ s.Testkit.d s.Testkit.tg) with
       | Ldb.Stopped _ -> ()
       | _ -> Alcotest.failf "%s: did not stop in compressed session" (Arch.name arch));
       let fr = Ldb.top_frame s.Testkit.d s.Testkit.tg in
@@ -263,7 +263,7 @@ let test_compressed_sessions () =
       (* a compressed and a plain session print identical values *)
       let plain = two_unit_session ~arch () in
       ignore (Ldb.break_function plain.Testkit.d plain.Testkit.tg "bfun" : int);
-      (match Ldb.continue_ plain.Testkit.d plain.Testkit.tg with
+      (match Testkit.ok (Ldb.continue_ plain.Testkit.d plain.Testkit.tg) with
       | Ldb.Stopped _ -> ()
       | _ -> Alcotest.failf "%s: plain session did not stop" (Arch.name arch));
       let pf = Ldb.top_frame plain.Testkit.d plain.Testkit.tg in
