@@ -1,0 +1,200 @@
+(** Debug-server benchmark: N concurrent sessions multiplexed through one
+    {!Server.t} with its shared image cache, against today's baseline — N
+    isolated debuggers, one per session, each loading its own image.
+    Measures session throughput, per-session live-heap cost, and how much
+    symbol-table work the image cache saved.  Emits BENCH_server.json.
+
+    Run with: dune exec bench/bench_server.exe
+    Flags: -smoke (reduced session count, for CI), -o FILE (output path). *)
+
+open Ldb_machine
+module Ldb = Ldb_ldb.Ldb
+module Host = Ldb_ldb.Host
+module Server = Ldb_ldb.Server
+module Symtab = Ldb_ldb.Symtab
+
+let fib_c =
+  {|void fib(int n)
+{
+    static int a[20];
+    if (n > 20) n = 20;
+    a[0] = a[1] = 1;
+    { int i;
+      for (i=2; i<n; i++)
+          a[i] = a[i-1] + a[i-2];
+    }
+    { int j;
+      for (j=0; j<n; j++)
+          printf("%d ", a[j]);
+    }
+    printf("\n");
+}
+
+int main(void)
+{
+    fib(10);
+    return 0;
+}
+|}
+
+let sources = [ ("fib.c", fib_c) ]
+
+let smoke = Array.exists (( = ) "-smoke") Sys.argv
+
+let out_path =
+  let rec find i =
+    if i + 1 >= Array.length Sys.argv then "BENCH_server.json"
+    else if Sys.argv.(i) = "-o" then Sys.argv.(i + 1)
+    else find (i + 1)
+  in
+  find 0
+
+(* sessions per architecture; 4 arches -> 64 (bench) / 16 (smoke) sessions *)
+let per_arch = if smoke then 4 else 16
+let n_sessions = per_arch * List.length Arch.all
+
+let live_words () =
+  Gc.full_major ();
+  (Gc.stat ()).Gc.live_words
+
+let expect what = function
+  | Ok r -> r
+  | Error refusal ->
+      failwith (what ^ ": " ^ Server.refusal_to_string refusal)
+
+(** The per-session workload: stop in fib, inspect, run to exit. *)
+let script (sv : Server.t) (id : int) : unit =
+  ignore (expect "break" (Server.exec sv id (Server.Break_function "fib")));
+  ignore (expect "continue" (Server.exec sv id Server.Continue));
+  (match expect "read" (Server.exec sv id (Server.Read_int "n")) with
+  | Server.R_int 10 -> ()
+  | r -> failwith ("bad n: " ^ Server.reply_to_string r));
+  ignore (expect "backtrace" (Server.exec sv id Server.Backtrace));
+  ignore (expect "exit" (Server.exec sv id Server.Continue))
+
+type side = {
+  seconds : float;
+  per_session_words : int;
+  forced_units : int;
+  downs : int;
+  failed : int;
+  cache_hits : int;
+  images_loaded : int;
+}
+
+(** All sessions through one server, image per architecture shared. *)
+let run_server () : side =
+  let images = List.map (fun arch -> Host.build_image ~arch sources) Arch.all in
+  let w0 = live_words () in
+  let t0 = Sys.time () in
+  let sv = Server.create ~limits:{ Server.default_limits with Server.li_max_sessions = n_sessions } () in
+  let ids = ref [] in
+  let procs = ref [] in
+  List.iter
+    (fun image ->
+      for i = 1 to per_arch do
+        let p = Host.launch_image image in
+        procs := p :: !procs;
+        let id =
+          expect "open"
+            (Server.open_session sv
+               ~name:(Printf.sprintf "s%d" i)
+               ~loader_ps:p.Host.hp_loader_ps (Host.open_channel p))
+        in
+        script sv id;
+        ids := id :: !ids
+      done)
+    images;
+  let seconds = Sys.time () -. t0 in
+  let per_session_words = (live_words () - w0) / n_sessions in
+  let st = Server.stats sv in
+  let forced_units =
+    Hashtbl.fold
+      (fun _ im acc -> acc + List.length (Symtab.forced_units im.Ldb.im_symtab))
+      sv.Server.sv_images 0
+  in
+  List.iter (fun id -> Server.close_session ~kill:true sv id) !ids;
+  {
+    seconds;
+    per_session_words;
+    forced_units;
+    downs = st.Server.sv_downs;
+    failed = st.Server.sv_failed;
+    cache_hits = st.Server.sv_cache_hits;
+    images_loaded = st.Server.sv_cache_misses;
+  }
+
+(** The same workload, one isolated debugger (and private image) per
+    session — the pre-server architecture. *)
+let run_baseline () : side =
+  let images = List.map (fun arch -> Host.build_image ~arch sources) Arch.all in
+  let w0 = live_words () in
+  let t0 = Sys.time () in
+  let open_sessions = ref [] in
+  List.iter
+    (fun image ->
+      for _ = 1 to per_arch do
+        let p = Host.launch_image image in
+        let d = Ldb.create () in
+        let tg = Ldb.connect d ~name:"s" ~loader_ps:p.Host.hp_loader_ps (Host.open_channel p) in
+        ignore (Ldb.break_function d tg "fib" : int);
+        (match Ldb.continue_ d tg with
+        | Ok (Ldb.Stopped _) -> ()
+        | _ -> failwith "baseline: no stop");
+        assert (Ldb.read_int_var d tg (Ldb.top_frame d tg) "n" = 10);
+        ignore (Ldb.backtrace d tg : _ list);
+        (match Ldb.continue_ d tg with
+        | Ok (Ldb.Exited 0) -> ()
+        | _ -> failwith "baseline: no exit");
+        open_sessions := (d, tg, p) :: !open_sessions
+      done)
+    images;
+  let seconds = Sys.time () -. t0 in
+  let per_session_words = (live_words () - w0) / n_sessions in
+  let forced_units =
+    List.fold_left
+      (fun acc (_, tg, _) ->
+        acc + List.length (Symtab.forced_units tg.Ldb.tg_symtab))
+      0 !open_sessions
+  in
+  List.iter (fun (_, tg, _) -> Ldb.kill tg) !open_sessions;
+  {
+    seconds;
+    per_session_words;
+    forced_units;
+    downs = 0;
+    failed = 0;
+    cache_hits = 0;
+    images_loaded = n_sessions;
+  }
+
+let () =
+  let server = run_server () in
+  let baseline = run_baseline () in
+  let buf = Buffer.create 1024 in
+  let side_json s ~with_cache =
+    let cache =
+      if with_cache then
+        Printf.sprintf ", \"image_cache_hits\": %d, \"images_loaded\": %d"
+          s.cache_hits s.images_loaded
+      else ""
+    in
+    Printf.sprintf
+      "{\"seconds\": %.3f, \"sessions_per_sec\": %.1f, \"per_session_words\": %d, \
+       \"forced_units\": %d, \"downs\": %d, \"failed\": %d%s}"
+      s.seconds
+      (float_of_int n_sessions /. (s.seconds +. 1e-9))
+      s.per_session_words s.forced_units s.downs s.failed cache
+  in
+  Buffer.add_string buf "{\n  \"benchmark\": \"debug server\",\n";
+  Buffer.add_string buf
+    "  \"workload\": \"break fib / continue / inspect / backtrace / run to exit, all 4 targets\",\n";
+  Buffer.add_string buf (Printf.sprintf "  \"sessions\": %d,\n" n_sessions);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"server\": %s,\n" (side_json server ~with_cache:true));
+  Buffer.add_string buf
+    (Printf.sprintf "  \"baseline\": %s\n}\n" (side_json baseline ~with_cache:false));
+  let oc = open_out out_path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  print_string (Buffer.contents buf)

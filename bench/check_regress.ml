@@ -11,6 +11,11 @@
       check_regress transport BENCH_transport.json fresh.json
       check_regress symtab BENCH_symtab.json fresh.json [-min-speedup N]
       check_regress core BENCH_core.json fresh.json
+      check_regress server BENCH_server.json fresh.json
+
+    A missing or malformed bench file is a usage problem, not a gate
+    failure: it exits 2 with a message naming the file, never an
+    uncaught exception.
 
     No JSON library ships in the build environment, so a ~60-line
     recursive-descent parser covers the subset the bench emitters use. *)
@@ -123,12 +128,27 @@ let parse (s : string) : json =
   skip_ws ();
   v
 
+(* missing and malformed files exit 2 (usage problem) with a message a
+   human can act on, rather than escaping as Sys_error/Parse backtraces *)
 let of_file path =
-  let ic = open_in_bin path in
-  let len = in_channel_length ic in
-  let s = really_input_string ic len in
-  close_in ic;
-  try parse s with Parse m -> failwith (path ^ ": " ^ m)
+  let s =
+    try
+      let ic = open_in_bin path in
+      let len = in_channel_length ic in
+      let s = really_input_string ic len in
+      close_in ic;
+      s
+    with Sys_error m ->
+      Printf.eprintf "check_regress: cannot read bench file: %s\n" m;
+      Printf.eprintf
+        "(produce the fresh file with `bench_* -smoke -o FILE`; the committed file lives at the repo root)\n";
+      exit 2
+  in
+  match parse s with
+  | v -> v
+  | exception Parse m ->
+      Printf.eprintf "check_regress: %s is not valid bench JSON: %s\n" path m;
+      exit 2
 
 (* --- accessors ---------------------------------------------------------------- *)
 
@@ -241,6 +261,46 @@ let check_core ~committed ~fresh =
   List.iter (target_gates ~who:"committed") (arr (member "targets" committed));
   List.iter (target_gates ~who:"fresh") (arr (member "targets" fresh))
 
+let check_server ~committed ~fresh =
+  check_schema ~committed ~fresh;
+  let gates ~who t =
+    let sessions = num (member "sessions" t) in
+    let sv = member "server" t and base = member "baseline" t in
+    require
+      (num (member "downs" sv) = 0.0)
+      "%s server: %g sessions went down on clean links" who
+      (num (member "downs" sv));
+    require
+      (num (member "failed" sv) = 0.0)
+      "%s server: %g commands failed on clean links" who
+      (num (member "failed" sv));
+    require
+      (num (member "image_cache_hits" sv)
+      = sessions -. num (member "images_loaded" sv))
+      "%s server: %g cache hits for %g sessions over %g images — the image cache is not sharing"
+      who
+      (num (member "image_cache_hits" sv))
+      sessions
+      (num (member "images_loaded" sv));
+    require
+      (num (member "per_session_words" sv) < num (member "per_session_words" base))
+      "%s server: %g live words per session, no better than the %g of isolated sessions"
+      who
+      (num (member "per_session_words" sv))
+      (num (member "per_session_words" base));
+    require
+      (num (member "forced_units" sv) <= num (member "forced_units" base))
+      "%s server: %g units forced vs %g for isolated sessions — shared tables re-forced"
+      who
+      (num (member "forced_units" sv))
+      (num (member "forced_units" base));
+    require
+      (num (member "sessions_per_sec" sv) > 0.0)
+      "%s server: sessions/sec is not positive" who
+  in
+  gates ~who:"committed" committed;
+  gates ~who:"fresh" fresh
+
 let () =
   let args = Array.to_list Sys.argv in
   let min_speedup =
@@ -253,19 +313,29 @@ let () =
   in
   match args with
   | _ :: kind :: committed :: fresh :: _ ->
+      let committed_path = committed in
       let committed = of_file committed and fresh = of_file fresh in
-      (match kind with
-      | "transport" -> check_transport ~committed ~fresh
-      | "symtab" -> check_symtab ~min_speedup ~committed ~fresh
-      | "core" -> check_core ~committed ~fresh
-      | k ->
-          prerr_endline ("unknown benchmark kind " ^ k);
-          exit 2);
+      (try
+         match kind with
+         | "transport" -> check_transport ~committed ~fresh
+         | "symtab" -> check_symtab ~min_speedup ~committed ~fresh
+         | "core" -> check_core ~committed ~fresh
+         | "server" -> check_server ~committed ~fresh
+         | k ->
+             prerr_endline ("unknown benchmark kind " ^ k);
+             exit 2
+       with Failure m ->
+         (* a parseable file missing the fields a gate reads is as
+            malformed as bad JSON *)
+         Printf.eprintf "check_regress: malformed bench file (%s vs %s): %s\n"
+           committed_path kind m;
+         exit 2);
       if !failures = [] then print_endline ("bench gate ok: " ^ kind)
       else begin
         List.iter prerr_endline (List.rev !failures);
         exit 1
       end
   | _ ->
-      prerr_endline "usage: check_regress {transport|symtab|core} COMMITTED.json FRESH.json [-min-speedup N]";
+      prerr_endline
+        "usage: check_regress {transport|symtab|core|server} COMMITTED.json FRESH.json [-min-speedup N]";
       exit 2

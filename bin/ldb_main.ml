@@ -145,6 +145,48 @@ let run_session ~arch ~sources =
     (String.length proc.Host.hp_image.Ldb_link.Link.i_code);
   repl d tg sess ~proc:(Some proc)
 
+(** Server demo: [n] sessions of one program through a single supervised
+    server, sharing the image cache.  Each session stops in main and
+    reports its frame; the session table and cache stats follow. *)
+let run_server_demo ~arch ~sources ~n =
+  let image = Host.build_image ~arch sources in
+  let sv = Server.create ~limits:{ Server.default_limits with Server.li_max_sessions = n } () in
+  let ids =
+    List.init n (fun i ->
+        let p = Host.launch_image image in
+        match
+          Server.open_session sv
+            ~name:(Printf.sprintf "session-%d" i)
+            ~loader_ps:p.Host.hp_loader_ps (Host.open_channel p)
+        with
+        | Ok id -> id
+        | Error r ->
+            Printf.eprintf "ldb: open refused: %s\n" (Server.refusal_to_string r);
+            exit 1)
+  in
+  List.iter
+    (fun id ->
+      let run cmd =
+        match Server.exec sv id cmd with
+        | Ok r -> Server.reply_to_string r
+        | Error r -> Server.refusal_to_string r
+      in
+      ignore (run (Server.Break_function "main") : string);
+      ignore (run Server.Continue : string);
+      Printf.printf "session %d: %s\n" id (run Server.Where))
+    ids;
+  print_newline ();
+  print_string (Server.render_sessions sv);
+  let st = Server.stats sv in
+  Printf.printf
+    "opened %d, image cache %d hit%s / %d load%s, downs %d, failed %d\n"
+    st.Server.sv_opened st.Server.sv_cache_hits
+    (if st.Server.sv_cache_hits = 1 then "" else "s")
+    st.Server.sv_cache_misses
+    (if st.Server.sv_cache_misses = 1 then "" else "s")
+    st.Server.sv_downs st.Server.sv_failed;
+  List.iter (fun id -> Server.close_session ~kill:true sv id) ids
+
 (** Post-mortem: rebuild the symbol tables from the same sources and open
     the dump as a read-only target.  The architecture comes from the dump
     itself; [-a] is ignored when it disagrees. *)
@@ -195,24 +237,36 @@ let core_t =
            ~doc:"Examine a core dump post-mortem instead of running the program. \
                  The source files are still required to rebuild the symbol tables.")
 
+let serve_t =
+  Arg.(value & opt (some int) None
+       & info [ "serve" ] ~docv:"N"
+           ~doc:"Instead of one interactive session, run $(docv) sessions of the \
+                 program through one supervised debug server sharing an image \
+                 cache, and print the session table and server stats.")
+
 let files_t =
   Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE.c" ~doc:"C source files to debug.")
 
-let main arch core files =
+let main arch core serve files =
   let sources = List.map (fun f -> (Filename.basename f, read_file f)) files in
   try
-    match core with
-    | Some core_path -> run_core_session ~core_path ~sources
-    | None -> run_session ~arch ~sources
+    match (core, serve) with
+    | Some core_path, _ -> run_core_session ~core_path ~sources
+    | None, Some n -> run_server_demo ~arch ~sources ~n
+    | None, None -> run_session ~arch ~sources
   with
   | Ldb_cc.Compile.Error m -> Printf.eprintf "ldb: %s\n" m; exit 1
   | Ldb_link.Link.Error m -> Printf.eprintf "ldb: %s\n" m; exit 1
 
 let cmd =
   let doc = "a retargetable source-level debugger for simulated targets" in
-  Cmd.v (Cmd.info "ldb" ~doc) Term.(const main $ arch_t $ core_t $ files_t)
+  Cmd.v (Cmd.info "ldb" ~doc) Term.(const main $ arch_t $ core_t $ serve_t $ files_t)
 
 let () =
-  (* accept the traditional single-dash spelling: ldb -core FILE *)
-  let argv = Array.map (fun a -> if a = "-core" then "--core" else a) Sys.argv in
+  (* accept the traditional single-dash spellings: ldb -core FILE, -serve N *)
+  let argv =
+    Array.map
+      (fun a -> match a with "-core" -> "--core" | "-serve" -> "--serve" | a -> a)
+      Sys.argv
+  in
   exit (Cmd.eval ~argv cmd)

@@ -134,6 +134,22 @@ let resume_suspended (tbl : table) (target : Target.t) (wire : A.t) : int =
       else n)
     tbl 0
 
+(** Breakpoints whose trap bytes are still in target memory although the
+    debugger believes them unplanted (suspended or removed).  Non-empty
+    after a release whose stores were lost on a faulty wire: the caller
+    re-stores the originals until this comes back empty — leaving a trap
+    in a target nobody is debugging turns its next execution into an
+    unhandled fault. *)
+let residual_traps (tbl : table) (wire : A.t) : t list =
+  Hashtbl.fold
+    (fun addr bp acc ->
+      if bp.bp_planted then acc
+      else
+        let held = fetch_bytes wire addr (String.length bp.bp_original) in
+        if String.equal held bp.bp_original then acc
+        else { bp with bp_addr = addr } :: acc)
+    tbl []
+
 (** The machine-dependent procedure that distinguishes breakpoint faults
     from other faults (Sec. 4.3). *)
 let is_breakpoint_fault (tbl : table) ~(signal : Signal.t) ~pc =

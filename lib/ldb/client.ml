@@ -94,6 +94,20 @@ let run (c : t) ~(handler : event -> decision) : event =
   in
   loop ()
 
+(** Like {!run}, but with every failure typed instead of raised: a server
+    driving a client loop on behalf of a remote session must get a value
+    back whatever the wire does.  [`Dead_process] is the PR-6 post-mortem
+    answer; [`Transport_fault] carries the transport's classification so
+    the supervisor can distinguish a silent peer from a dead link. *)
+let try_run (c : t) ~(handler : event -> decision) :
+    ( event,
+      [ `Dead_process of string | `Transport_fault of Transport.kind * string ] )
+    result =
+  match run c ~handler with
+  | ev -> Ok ev
+  | exception Failure m -> Error (`Dead_process m)
+  | exception Transport.Error (kind, m) -> Error (`Transport_fault (kind, m))
+
 (* --- data watchpoints --------------------------------------------------- *)
 
 (** Run until the 32-bit word at [addr] changes (a software watchpoint,

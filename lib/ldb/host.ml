@@ -26,6 +26,22 @@ let launch ?(debug = true) ?(defer = true) ?(compress = false) ?(paused = true)
   Nub.start ~paused nub;
   { hp_proc = proc; hp_nub = nub; hp_image = img; hp_loader_ps = loader_ps }
 
+(** Compile, link and load once; launch a fresh process of the built
+    program.  A server hosting many sessions of the same program builds
+    with {!build_image} and launches each process with {!launch_image} —
+    recompiling per session would swamp the soak with compiler time. *)
+let build_image ?(debug = true) ?(defer = true) ?(compress = false) ~(arch : Arch.t)
+    (sources : (string * string) list) : Ldb_link.Link.image * string =
+  Ldb_link.Driver.build ~debug ~defer ~compress ~arch sources
+
+(** Load a prebuilt image into a fresh process under a fresh nub. *)
+let launch_image ?(paused = true) ((img : Ldb_link.Link.image), (loader_ps : string)) :
+    process =
+  let proc = Ldb_link.Link.load img in
+  let nub = Nub.create proc in
+  Nub.start ~paused nub;
+  { hp_proc = proc; hp_nub = nub; hp_image = img; hp_loader_ps = loader_ps }
+
 (** Open a debugger connection to a process: returns the debugger-side
     endpoint, with its pump wired to the process's nub (the discrete-event
     stand-in for a socket to another machine). *)

@@ -72,12 +72,24 @@ let is_postmortem tg = match tg.tg_conn with Postmortem _ -> true | Live _ -> fa
 type t = {
   interp : I.t;
   mutable targets : target list;
+  mutable arch_dicts : (Arch.t * V.dict) list;
+      (** machine-dependent PostScript, interpreted once per architecture
+          and shared by every target on it — the dictionaries are
+          read-only after interpretation, so sharing is safe *)
 }
 
-let create () : t = { interp = Ldb_pscript.Ps.create (); targets = [] }
+let create () : t =
+  { interp = Ldb_pscript.Ps.create (); targets = []; arch_dicts = [] }
 
 (** Create without loading the shared prelude (startup benchmarking). *)
-let create_bare () : t = { interp = Ldb_pscript.Ps.create_bare (); targets = [] }
+let create_bare () : t =
+  { interp = Ldb_pscript.Ps.create_bare (); targets = []; arch_dicts = [] }
+
+(** Forget a target (a server closing a session; the connection is the
+    caller's to shut down first).  Shared image state stays behind for the
+    image's other targets. *)
+let remove_target (d : t) (tg : target) : unit =
+  d.targets <- List.filter (fun t -> t != tg) d.targets
 
 (* --- interpreting in a target's context ---------------------------------- *)
 
@@ -106,6 +118,51 @@ let read_loader_ps (d : t) ~(defs : V.dict) (loader_ps : string) : V.dict * V.di
     | None -> fail "loader PostScript did not define /%s" k
   in
   (get "__loader", get "__symtab")
+
+(* --- images ---------------------------------------------------------------- *)
+
+(** Everything a debugged program contributes that is independent of any
+    particular process running it: the PostScript definitions its loader
+    table arrived as, the loader dictionary, and the (demand-driven)
+    symbol table with whatever units and indexes queries have forced so
+    far.  All of it is a pure function of the loader PostScript, so
+    sessions debugging the same program can share one image — forcing a
+    unit once serves them all — and [im_hash] is the cache key. *)
+type image = {
+  im_hash : string;  (** digest of the loader PostScript *)
+  im_loader_ps : string;
+  im_defs : V.dict;
+  im_loader : V.dict;
+  im_symtab : Symtab.t;
+}
+
+let image_hash (loader_ps : string) : string = Digest.to_hex (Digest.string loader_ps)
+
+(** Read a program's loader PostScript into a fresh image. *)
+let load_image (d : t) ~(loader_ps : string) : image =
+  let defs = V.dict_create () in
+  let loader, symtab_dict = read_loader_ps d ~defs loader_ps in
+  let symtab = Symtab.make ~interp:d.interp ~symtab_dict in
+  {
+    im_hash = image_hash loader_ps;
+    im_loader_ps = loader_ps;
+    im_defs = defs;
+    im_loader = loader;
+    im_symtab = symtab;
+  }
+
+(** The machine-dependent dictionary for [arch], interpreted on first use
+    and shared by every target on that architecture. *)
+let arch_dict_for (d : t) (arch : Arch.t) : V.dict =
+  match List.find_opt (fun (a, _) -> Arch.equal a arch) d.arch_dicts with
+  | Some (_, dict) -> dict
+  | None ->
+      let arch_dict = V.dict_create () in
+      I.begin_dict d.interp arch_dict;
+      Fun.protect ~finally:(fun () -> I.end_dict d.interp) (fun () ->
+          I.run_string d.interp (Mdep_ps.source arch));
+      d.arch_dicts <- (arch, arch_dict) :: d.arch_dicts;
+      arch_dict
 
 let state_of_hello (st : Proto.stop_state) : state =
   match st with
@@ -171,13 +228,14 @@ let fetch_core_raw (tr : Transport.t) : string =
   in
   go 0
 
-(** Connect to a nub over [chan], reading the program's loader-table
-    PostScript.  Works for all connection mechanisms: the nub end may be a
-    fresh paused process, a long-running faulty one, or a process across
-    the simulated network.  [deadline] and [max_retries] tune the
-    transport's recovery policy. *)
-let connect ?deadline ?max_retries (d : t) ~(name : string) ~(loader_ps : string)
-    (chan : Chan.endpoint) : target =
+(** Connect to a nub over [chan] using an already-loaded [image] — the
+    server's path, where many sessions debugging the same program share
+    one image and its forced symbol tables.  The per-process pieces —
+    transport, wire abstract memory, linker interface with its caches,
+    breakpoint table — are built fresh; everything image-derived is
+    shared. *)
+let connect_with_image ?deadline ?max_retries (d : t) ~(name : string)
+    ~(image : image) (chan : Chan.endpoint) : target =
   let tr = Transport.make ?deadline ?max_retries chan in
   let arch, st, can_step =
     match Transport.rpc tr Proto.Hello with
@@ -187,19 +245,11 @@ let connect ?deadline ?max_retries (d : t) ~(name : string) ~(loader_ps : string
         | None -> fail "nub reports unknown architecture %s" arch)
     | r -> fail "unexpected reply to Hello: %s" (Fmt.str "%a" Proto.pp_reply r)
   in
-  let defs = V.dict_create () in
-  let loader, symtab_dict = read_loader_ps d ~defs loader_ps in
-  let symtab = Symtab.make ~interp:d.interp ~symtab_dict in
-  if not (Arch.equal symtab.Symtab.arch arch) then
-    fail "symbol table is for %s but the target runs %s" (Arch.name symtab.Symtab.arch)
-      (Arch.name arch);
+  if not (Arch.equal image.im_symtab.Symtab.arch arch) then
+    fail "symbol table is for %s but the target runs %s"
+      (Arch.name image.im_symtab.Symtab.arch) (Arch.name arch);
   let wire = A.rpc_wire (Transport.rpc tr) in
-  let li = Linkerif.make ~arch ~loader ~wire in
-  let arch_dict = V.dict_create () in
-  (* interpret the machine-dependent PostScript into its dictionary *)
-  I.begin_dict d.interp arch_dict;
-  Fun.protect ~finally:(fun () -> I.end_dict d.interp) (fun () ->
-      I.run_string d.interp (Mdep_ps.source arch));
+  let li = Linkerif.make ~arch ~loader:image.im_loader ~wire in
   let tg =
     {
       tg_name = name;
@@ -207,10 +257,10 @@ let connect ?deadline ?max_retries (d : t) ~(name : string) ~(loader_ps : string
       tg_tdesc = Target.of_arch arch;
       tg_conn = Live tr;
       tg_wire = wire;
-      tg_defs = defs;
-      tg_arch_dict = arch_dict;
+      tg_defs = image.im_defs;
+      tg_arch_dict = arch_dict_for d arch;
       tg_ops = make_target_ops d li;
-      tg_symtab = symtab;
+      tg_symtab = image.im_symtab;
       tg_linkerif = li;
       tg_breaks = Breakpoint.create_table ();
       tg_can_step = can_step;
@@ -234,6 +284,16 @@ let connect ?deadline ?max_retries (d : t) ~(name : string) ~(loader_ps : string
   check_anchors tg;
   d.targets <- tg :: d.targets;
   tg
+
+(** Connect to a nub over [chan], reading the program's loader-table
+    PostScript into a private image.  Works for all connection mechanisms:
+    the nub end may be a fresh paused process, a long-running faulty one,
+    or a process across the simulated network.  [deadline] and
+    [max_retries] tune the transport's recovery policy. *)
+let connect ?deadline ?max_retries (d : t) ~(name : string) ~(loader_ps : string)
+    (chan : Chan.endpoint) : target =
+  connect_with_image ?deadline ?max_retries d ~name ~image:(load_image d ~loader_ps)
+    chan
 
 (** Force the target's whole symbol table (normally demand-driven: queries
     force only the units they need). *)
@@ -329,11 +389,33 @@ let step_instruction (d : t) (tg : target) : (state, dead) result =
   guard_dead tg (fun () -> step_instruction_exn d tg)
 
 (** Unplant every breakpoint so the released target resumes (or dies)
-    over its own instructions, not the debugger's traps.  A dead link is
-    no reason to fail a kill or detach. *)
+    over its own instructions, not the debugger's traps.
+
+    Releases happen on wires at their worst — a detach is often the
+    response to a link going bad — so the restores are verified: after the
+    unplant, any breakpoint whose trap bytes are still in target memory
+    ({!Breakpoint.residual_traps}) has its original bytes re-stored, a
+    bounded number of rounds.  A dead link ends the effort: the nub
+    preserves target state, and a reattach's revalidation cleans up. *)
 let unplant_for_release (tg : target) : unit =
-  try ignore (Breakpoint.suspend_all tg.tg_breaks tg.tg_wire : int)
-  with Transport.Error _ -> ()
+  let rec scrub round =
+    if round < 4 then
+      match
+        ignore (Breakpoint.suspend_all tg.tg_breaks tg.tg_wire : int);
+        Breakpoint.residual_traps tg.tg_breaks tg.tg_wire
+      with
+      | [] -> ()
+      | residuals ->
+          List.iter
+            (fun bp ->
+              Breakpoint.store_bytes tg.tg_wire bp.Breakpoint.bp_addr
+                bp.Breakpoint.bp_original)
+            residuals;
+          scrub (round + 1)
+      | exception Transport.Error (Transport.Disconnected, _) -> ()
+      | exception Transport.Error _ -> scrub (round + 1)
+  in
+  scrub 0
 
 let kill (tg : target) =
   (match tg.tg_conn with
@@ -717,22 +799,15 @@ let core_bytes (tg : target) : string = Core.to_string (fetch_core tg)
     connection, but the wire abstract memory reads the dump.  The target
     is permanently stopped at the fault; run/step/store answer with
     typed [`Dead_process] errors. *)
-let connect_core (d : t) ~(name : string) ~(loader_ps : string)
+let connect_core_with_image (d : t) ~(name : string) ~(image : image)
     ((core : Core.t), (warnings : Core.salvage list)) : target =
   let cd = Coredump.make (core, warnings) in
   let arch = core.Core.co_arch in
-  let defs = V.dict_create () in
-  let loader, symtab_dict = read_loader_ps d ~defs loader_ps in
-  let symtab = Symtab.make ~interp:d.interp ~symtab_dict in
-  if not (Arch.equal symtab.Symtab.arch arch) then
+  if not (Arch.equal image.im_symtab.Symtab.arch arch) then
     fail "symbol table is for %s but the core was dumped on %s"
-      (Arch.name symtab.Symtab.arch) (Arch.name arch);
+      (Arch.name image.im_symtab.Symtab.arch) (Arch.name arch);
   let wire = Coredump.memory cd in
-  let li = Linkerif.make ~arch ~loader ~wire in
-  let arch_dict = V.dict_create () in
-  I.begin_dict d.interp arch_dict;
-  Fun.protect ~finally:(fun () -> I.end_dict d.interp) (fun () ->
-      I.run_string d.interp (Mdep_ps.source arch));
+  let li = Linkerif.make ~arch ~loader:image.im_loader ~wire in
   let signal =
     Option.value ~default:Signal.SIGINT (Signal.of_number core.Core.co_signal)
   in
@@ -743,10 +818,10 @@ let connect_core (d : t) ~(name : string) ~(loader_ps : string)
       tg_tdesc = Target.of_arch arch;
       tg_conn = Postmortem cd;
       tg_wire = wire;
-      tg_defs = defs;
-      tg_arch_dict = arch_dict;
+      tg_defs = image.im_defs;
+      tg_arch_dict = arch_dict_for d arch;
       tg_ops = make_target_ops d li;
-      tg_symtab = symtab;
+      tg_symtab = image.im_symtab;
       tg_linkerif = li;
       tg_breaks = Breakpoint.create_table ();
       tg_can_step = false;
@@ -758,6 +833,10 @@ let connect_core (d : t) ~(name : string) ~(loader_ps : string)
   check_anchors tg;
   d.targets <- tg :: d.targets;
   tg
+
+let connect_core (d : t) ~(name : string) ~(loader_ps : string)
+    (loaded : Core.t * Core.salvage list) : target =
+  connect_core_with_image d ~name ~image:(load_image d ~loader_ps) loaded
 
 (** Salvage warnings the dump earned at load time (truncations, CRC
     failures); empty on a live target. *)

@@ -77,6 +77,13 @@ type t = {
   pc_index : (string, (int * stop) array) Hashtbl.t;
       (** proc label -> loci sorted by object-code address *)
   extern_cache : (string, V.t) Hashtbl.t;  (** memoized extern resolutions *)
+  quarantined : (string, string) Hashtbl.t;
+      (** file -> reason for every unit whose force failed.  A poisoned
+          body is never re-executed: a direct force raises the recorded
+          reason as a typed {!Error} immediately, and the demand-driven
+          search paths route around the unit — so, on a table shared by
+          many sessions, a broken unit degrades only the queries that
+          actually need it, in every session, without re-forcing. *)
 }
 
 let dict_str d key =
@@ -151,6 +158,7 @@ let make ~(interp : I.t) ~(symtab_dict : V.dict) : t =
     by_line = Hashtbl.create 64;
     pc_index = Hashtbl.create 16;
     extern_cache = Hashtbl.create 16;
+    quarantined = Hashtbl.create 4;
   }
 
 (* --- procedure entries ------------------------------------------------------ *)
@@ -254,42 +262,64 @@ let index_unit (st : t) (procs : V.t list) =
 
 (** Force one unit: execute its (decoded) body, collect the unit's result
     dictionary, extend the indexes.  A body that raises leaves the unit
-    unforced and the table untouched — the failure does not latch, so the
-    force can be retried after the environment is repaired.  Requires the
-    architecture dictionary on the interpreter's dictionary stack (register
-    locations are computed as the table is interpreted). *)
+    unforced and the table untouched, and {e quarantines} it: the failure
+    reason is recorded, the interpreter's operand stack is restored (a
+    body that died halfway may have left garbage on it), and every later
+    force of the unit raises the recorded reason immediately instead of
+    re-executing the poisoned body.  Requires the architecture dictionary
+    on the interpreter's dictionary stack (register locations are
+    computed as the table is interpreted). *)
 let force_unit_info (st : t) (u : unit_info) =
   if not u.u_forced then begin
-    let body = decoded_body u in
-    lint_body st ~file:u.u_file body;
-    !force_hook u.u_file;
-    I.exec_value st.interp (V.cvx body);
-    let result =
+    (match Hashtbl.find_opt st.quarantined u.u_file with
+    | Some reason -> raise (Error ("unit " ^ u.u_file ^ " is quarantined: " ^ reason))
+    | None -> ());
+    let saved_ostack = st.interp.I.ostack in
+    match
+      let body = decoded_body u in
+      lint_body st ~file:u.u_file body;
+      !force_hook u.u_file;
+      I.exec_value st.interp (V.cvx body);
       match I.lookup st.interp ("UNITRESULT$" ^ u.u_tag) with
       | Some r -> V.to_dict r
       | None -> raise (Error ("unit " ^ u.u_file ^ " did not define its result"))
-    in
-    (* only now, with the body fully executed, commit the unit *)
-    u.u_forced <- true;
-    let procs =
-      match V.dict_get result "procs" with
-      | Some ps -> Array.to_list (V.to_arr ps)
-      | None -> []
-    in
-    st.procs_rev <- List.rev_append procs st.procs_rev;
-    (match V.dict_get result "externs" with
-    | Some e -> st.externs <- (u, V.to_dict e) :: st.externs
-    | None -> ());
-    index_unit st procs
+    with
+    | result ->
+        (* only now, with the body fully executed, commit the unit *)
+        u.u_forced <- true;
+        let procs =
+          match V.dict_get result "procs" with
+          | Some ps -> Array.to_list (V.to_arr ps)
+          | None -> []
+        in
+        st.procs_rev <- List.rev_append procs st.procs_rev;
+        (match V.dict_get result "externs" with
+        | Some e -> st.externs <- (u, V.to_dict e) :: st.externs
+        | None -> ());
+        index_unit st procs
+    | exception e ->
+        st.interp.I.ostack <- saved_ostack;
+        let reason = match e with Error m -> m | e -> Printexc.to_string e in
+        Hashtbl.replace st.quarantined u.u_file reason;
+        raise (Error ("unit " ^ u.u_file ^ ": " ^ reason))
   end
+
+(** Broken units and why they are quarantined, in file order. *)
+let quarantined_units (st : t) : (string * string) list =
+  Hashtbl.fold (fun f r acc -> (f, r) :: acc) st.quarantined []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let find_unit (st : t) ~file =
   match List.find_opt (fun u -> u.u_file = file) st.units with
   | Some u -> u
   | None -> raise (Error ("no unit for source file " ^ file))
 
-(** Force the unit for one source file. *)
-let force_unit (st : t) ~file = force_unit_info st (find_unit st ~file)
+(** Force the unit for one source file.  An explicit force is the repair
+    path: it lifts any quarantine and re-executes the body — unlike the
+    demand-driven lookups, which never retry a quarantined unit. *)
+let force_unit (st : t) ~file =
+  Hashtbl.remove st.quarantined file;
+  force_unit_info st (find_unit st ~file)
 
 (** Force every unit (differential tests, whole-table consumers). *)
 let force_all (st : t) = List.iter (force_unit_info st) st.units
@@ -325,7 +355,10 @@ let procs (st : t) =
 
 (** Force units until [found] answers, preferring units whose demand hints
     say they define [key] ([hint] selects the hint list); units without
-    hints are tried in file order. *)
+    hints are tried in file order.  A unit whose force fails (and is
+    thereby quarantined) is routed around: the search continues with the
+    remaining units, so a broken unit costs only the lookups whose answer
+    actually lives inside it. *)
 let search_units (st : t) ~(hint : unit_info -> string list) ~(key : string)
     (found : unit -> 'a option) : 'a option =
   match found () with
@@ -339,7 +372,7 @@ let search_units (st : t) ~(hint : unit_info -> string list) ~(key : string)
       let rec try_units = function
         | [] -> None
         | u :: us -> (
-            force_unit_info st u;
+            (try force_unit_info st u with Error _ -> ());
             match found () with Some _ as r -> r | None -> try_units us)
       in
       (match try_units candidates with
@@ -366,7 +399,7 @@ let proc_by_label (st : t) label =
     covers [line] is forced, and hintless units are forced defensively. *)
 let stops_at_line ?file (st : t) ~line : stop list =
   (match file with
-  | Some f -> force_unit st ~file:f
+  | Some f -> force_unit_info st (find_unit st ~file:f)
   | None ->
       List.iter
         (fun u ->
@@ -375,7 +408,8 @@ let stops_at_line ?file (st : t) ~line : stop list =
             | Some (lo, hi) -> line >= lo && line <= hi
             | None -> not u.u_has_hints  (* no hints: must look inside *)
           in
-          if covers then force_unit_info st u)
+          (* a quarantined unit costs only the lines it covers *)
+          if covers then try force_unit_info st u with Error _ -> ())
         st.units);
   let stops = Option.value ~default:[] (Hashtbl.find_opt st.by_line line) in
   match file with

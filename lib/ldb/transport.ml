@@ -47,6 +47,8 @@ type stats = {
   mutable st_timeouts : int;        (** attempts that timed out *)
   mutable st_stale : int;           (** stale duplicate replies discarded *)
   mutable st_reconnects : int;      (** endpoints swapped in *)
+  mutable st_down_fires : int;      (** going-down hook invocations — at
+                                        most one per connection *)
 }
 
 type t = {
@@ -71,7 +73,7 @@ let make ?(deadline = 8) ?(max_retries = 4) (ep : Chan.endpoint) : t =
     max_retries = max 0 max_retries;
     stats =
       { st_rpcs = 0; st_retries = 0; st_corrupt = 0; st_timeouts = 0; st_stale = 0;
-        st_reconnects = 0 };
+        st_reconnects = 0; st_down_fires = 0 };
     on_down = None;
     down_done = false;
   }
@@ -80,6 +82,13 @@ let stats t = t.stats
 let endpoint t = t.ep
 let is_connected t = Chan.is_connected t.ep
 
+(** Install (or clear) the going-down hook.  The hook is guaranteed to
+    fire {e at most once per connection}, no matter how the link dies or
+    how many observers notice: a deliberate kill followed by an RPC that
+    detects the same link as lost runs it only for the kill — the session
+    must not, e.g., record two core dumps for one dead target.  Swapping
+    the hook after the link already went down does {e not} re-arm it;
+    only {!reconnect} (a genuinely new connection) does. *)
 let set_on_down t f = t.on_down <- f
 
 (** Run the going-down hook, at most once per connection.  [down_done] is
@@ -88,10 +97,14 @@ let set_on_down t f = t.on_down <- f
 let fire_down t reason =
   if not t.down_done then begin
     t.down_done <- true;
+    t.stats.st_down_fires <- t.stats.st_down_fires + 1;
     match t.on_down with
     | Some f -> ( try f reason with _ -> ())
     | None -> ()
   end
+
+(** Whether the going-down hook has already run for this connection. *)
+let down_fired t = t.down_done
 
 (** Swap in a fresh endpoint after the old link died.  Sequence numbers
     restart — the nub resets its duplicate-detection state on attach. *)
@@ -102,8 +115,14 @@ let reconnect (t : t) (ep : Chan.endpoint) : unit =
   t.stats.st_reconnects <- t.stats.st_reconnects + 1
 
 (** Issue [req] and wait for its reply, retrying with exponential
-    deadline backoff on damage or silence.  Raises {!Error}. *)
-let rpc (t : t) (req : Proto.request) : Proto.reply =
+    deadline backoff on damage or silence.  Raises {!Error}.
+
+    [?deadline] and [?max_retries] override the transport's defaults for
+    this one call — heartbeat probes want to fail fast rather than ride
+    the full recovery policy. *)
+let rpc ?deadline ?max_retries (t : t) (req : Proto.request) : Proto.reply =
+  let base_deadline = match deadline with Some d -> max 1 d | None -> t.base_deadline in
+  let max_retries = match max_retries with Some r -> max 0 r | None -> t.max_retries in
   t.stats.st_rpcs <- t.stats.st_rpcs + 1;
   t.seq <- t.seq + 1;
   let seq = t.seq in
@@ -134,7 +153,7 @@ let rpc (t : t) (req : Proto.request) : Proto.reply =
     go ()
   in
   let rec attempt k last =
-    if k > t.max_retries then
+    if k > max_retries then
       let kind, m = last in
       error kind "%s after %d attempts: %s" (describe ()) (k) m
     else begin
@@ -144,7 +163,7 @@ let rpc (t : t) (req : Proto.request) : Proto.reply =
           fire_down t `Lost;
           error Disconnected "%s: link down" (describe ())
       | () -> (
-          match await (t.base_deadline * (1 lsl k)) with
+          match await (base_deadline * (1 lsl k)) with
           | `Reply r -> r
           | `Disconnected ->
               fire_down t `Lost;

@@ -33,8 +33,13 @@ type t = {
   (* at-most-once request transport state (see Frame): *)
   mutable last_seq : int;   (** highest request sequence number served *)
   mutable cur_seq : int;    (** sequence number replies are tagged with *)
-  mutable last_reply : string option;  (** sealed frame of the last reply,
-                                           retransmitted on duplicates *)
+  mutable replies : (int * string) list;
+      (** sealed frames of recent replies, newest first, keyed by request
+          sequence number and retransmitted on duplicates.  Bounded: a
+          fresh request acknowledges every older entry (the debugger only
+          advances after an answer), and {!max_cached_replies} caps the
+          list even against a peer that never advances — a long session
+          cannot grow the cache without limit. *)
   mutable rx_mark : int;   (** buffered byte count at the last quiet pump *)
   mutable rx_quiet : int;  (** consecutive pumps with bytes buffered but no
                                frame completed — a lying length field *)
@@ -46,10 +51,16 @@ type t = {
 
 let ctx_base = Ram.Layout.context_base
 
+(** Hard cap on cached retransmittable replies. *)
+let max_cached_replies = 8
+
 let create ?(fuel = 50_000_000) ?(can_step = true) (proc : Proc.t) =
   { proc; conn = None; resume = false; step = false; killed = false; fuel; notified = false;
-    can_step; last_seq = 0; cur_seq = 0; last_reply = None; rx_mark = 0; rx_quiet = 0;
+    can_step; last_seq = 0; cur_seq = 0; replies = []; rx_mark = 0; rx_quiet = 0;
     core = None }
+
+(** Number of sealed replies currently cached (tests assert the bound). *)
+let cached_replies n = List.length n.replies
 
 let target n = n.proc.Proc.target
 let ram n = n.proc.Proc.ram
@@ -145,7 +156,12 @@ let stop_state n : Proto.stop_state =
     waits for a reattach. *)
 let send_reply n (ep : Chan.endpoint) (r : Proto.reply) =
   let sealed = Frame.seal ~seq:n.cur_seq (Proto.encode_reply r) in
-  n.last_reply <- Some sealed;
+  let keep = List.filter (fun (s, _) -> s <> n.cur_seq) n.replies in
+  n.replies <-
+    (n.cur_seq, sealed)
+    :: (if List.length keep >= max_cached_replies then
+          List.filteri (fun i _ -> i < max_cached_replies - 1) keep
+        else keep);
   try Chan.send ep sealed with Chan.Disconnected -> ()
 
 let notify n =
@@ -240,22 +256,25 @@ let serve_one n (ep : Chan.endpoint) (req : Proto.request) =
               (Proto.Core_chunk { total; offset; chunk = String.sub dump offset len }))
 
 (** Serve one incoming frame, enforcing at-most-once execution: a frame
-    numbered below the last served request is a stale duplicate and is
-    dropped; one numbered equal is a retry whose effect already happened,
-    so the cached reply is retransmitted; only a fresh number executes.
+    numbered at or below the last served request is a duplicate of a
+    request whose effect already happened — its cached reply is
+    retransmitted when still held, and it is silently dropped otherwise
+    (the debugger has long since moved on); only a fresh number executes.
+    A fresh number also acknowledges every older cached reply — the
+    debugger issues sequence numbers in order and never retries a request
+    after advancing past it — so acknowledged entries are evicted here.
     This is what makes the debugger's retry of a lost [Continue] safe —
     re-running it would resume the target a second time. *)
 let serve_frame n (ep : Chan.endpoint) (f : Frame.frame) =
   let seq = f.Frame.fr_seq in
-  if seq < n.last_seq then ()
-  else if seq = n.last_seq && n.last_seq > 0 then (
-    match n.last_reply with
+  if seq <= n.last_seq && n.last_seq > 0 then (
+    match List.assoc_opt seq n.replies with
     | Some sealed -> ( try Chan.send ep sealed with Chan.Disconnected -> ())
     | None -> ())
   else begin
     n.last_seq <- seq;
     n.cur_seq <- seq;
-    n.last_reply <- None;
+    n.replies <- List.filter (fun (s, _) -> s >= seq) n.replies;
     match Proto.decode_request f.Frame.fr_payload with
     | Ok req -> serve_one n ep req
     | Error m -> send_reply n ep (Proto.Nub_error ("nub: bad request: " ^ m))
@@ -328,7 +347,7 @@ let attach n (ep : Chan.endpoint) =
   n.conn <- Some ep;
   n.last_seq <- 0;
   n.cur_seq <- 0;
-  n.last_reply <- None;
+  n.replies <- [];
   n.rx_mark <- 0;
   n.rx_quiet <- 0;
   n.notified <- true (* new debugger learns state from its Hello *)

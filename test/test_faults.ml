@@ -235,6 +235,87 @@ let test_detach_then_reattach () =
   | Ldb.Exited 0 -> ()
   | _ -> Alcotest.fail "no clean exit after reattach"
 
+(* --- teardown under fire ------------------------------------------------------ *)
+
+(** Detaching while the link is injecting faults must leave no trap bytes
+    in the target: the release path verifies its restores and re-stores
+    any the weather ate.  A trap left in a process nobody is debugging
+    turns its next execution into an unhandled fault. *)
+let test_teardown_under_fire () =
+  List.iter
+    (fun arch ->
+      List.iter
+        (fun seed ->
+          let an = Printf.sprintf "%s/seed %d" (Arch.name arch) seed in
+          let d = Ldb.create () in
+          let p = Host.launch ~paused:true ~arch sources in
+          let prof =
+            (* every kind but Disconnect: the wire stays up but hostile *)
+            Faultchan.profile ~rate:0.25
+              ~kinds:Faultchan.[ Drop; Corrupt; Truncate; Duplicate; Stall ]
+              ~stall_ticks:4 ()
+          in
+          let chan, fc = Host.open_faulty_channel ~armed:false p ~seed prof in
+          let tg = Ldb.connect d ~name:an ~loader_ps:p.Host.hp_loader_ps chan in
+          ignore (Ldb.break_function d tg "fib" : int);
+          (match Testkit.ok (Ldb.continue_ d tg) with
+          | Ldb.Stopped _ -> ()
+          | _ -> Alcotest.fail (an ^ ": no stop at breakpoint"));
+          (* the weather turns foul exactly when we leave *)
+          Faultchan.set_armed fc true;
+          Ldb.detach tg;
+          if Faultchan.injected fc = 0 then
+            Alcotest.failf "%s: the injector never fired during teardown" an;
+          (* inspect target RAM directly — the debugger is gone *)
+          Hashtbl.iter
+            (fun addr (bp : Ldb_ldb.Breakpoint.t) ->
+              let want = bp.Ldb_ldb.Breakpoint.bp_original in
+              let in_ram =
+                String.init (String.length want) (fun i ->
+                    Char.chr (Ram.get_u8 p.Host.hp_proc.Proc.ram (addr + i)))
+              in
+              check Alcotest.string
+                (Printf.sprintf "%s: no trap bytes at %#x after detach" an addr)
+                want in_ram)
+            tg.Ldb.tg_breaks)
+        [ 11; 23; 37 ])
+    Arch.all
+
+(* --- the going-down hook fires exactly once ----------------------------------- *)
+
+(** A deliberate kill followed by an RPC that finds the same link dead
+    must run the going-down hook once, not twice: the hook records core
+    dumps, and one dead target must not yield two. *)
+let test_down_hook_fires_once () =
+  List.iter
+    (fun arch ->
+      let an = Arch.name arch in
+      let s = Testkit.debug_session ~arch sources in
+      let d = s.Testkit.d and tg = s.Testkit.tg in
+      let tr = Ldb.transport tg in
+      let fires = ref 0 in
+      Transport.set_on_down tr (Some (fun _reason -> incr fires));
+      ignore (Ldb.break_function d tg "fib" : int);
+      (match Testkit.ok (Ldb.continue_ d tg) with
+      | Ldb.Stopped _ -> ()
+      | _ -> Alcotest.fail (an ^ ": no stop"));
+      (* kill: the hook runs while the link still answers *)
+      Ldb.kill tg;
+      check Alcotest.int (an ^ " hook ran on kill") 1 !fires;
+      Alcotest.(check bool) (an ^ " down_fired") true (Transport.down_fired tr);
+      (* now the link actually dies and an RPC notices: same connection,
+         no second firing *)
+      Chan.disconnect (Transport.endpoint tr);
+      (match Transport.rpc tr Ldb_nub.Proto.Hello with
+      | exception Transport.Error (Transport.Disconnected, _) -> ()
+      | exception e ->
+          Alcotest.failf "%s: expected Disconnected, got %s" an (Printexc.to_string e)
+      | _ -> Alcotest.fail (an ^ ": rpc over a dead link answered"));
+      check Alcotest.int (an ^ " hook did not re-fire") 1 !fires;
+      check Alcotest.int (an ^ " one firing in the stats") 1
+        (Transport.stats tr).Transport.st_down_fires)
+    Arch.all
+
 let case name f = Alcotest.test_case name `Quick f
 
 let () =
@@ -249,4 +330,7 @@ let () =
       ( "reattach",
         [ case "disconnect, reattach, resync" test_disconnect_reattach_resync;
           case "detach then reattach" test_detach_then_reattach ] );
+      ( "release",
+        [ case "teardown under fire leaves no traps" test_teardown_under_fire;
+          case "going-down hook fires exactly once" test_down_hook_fires_once ] );
     ]

@@ -345,6 +345,36 @@ let test_duplicate_request_not_reexecuted () =
       check Alcotest.int "same seq" f1.Frame.fr_seq f2.Frame.fr_seq
   | _ -> Alcotest.fail "frame recv failed"
 
+(** The per-seq reply cache is bounded, and a newer request acknowledges
+    (and evicts) every entry below its sequence number: a long session
+    cannot grow the nub's memory without limit, and replays that old are
+    impossible anyway — the transport never reuses an acknowledged seq. *)
+let test_reply_cache_bounded () =
+  let _, nub, dbg = stopped_nub Mips in
+  for _ = 1 to (3 * Nub.max_cached_replies) + 1 do
+    match rpc dbg (Proto.Fetch { space = 'd'; addr = 0x4000; size = 4 }) with
+    | Proto.Fetched _ -> ()
+    | r -> Alcotest.failf "fetch failed: %s" (Fmt.str "%a" Proto.pp_reply r)
+  done;
+  Alcotest.(check bool) "cache within its bound" true
+    (Nub.cached_replies nub <= Nub.max_cached_replies);
+  (* each fresh request acknowledged its predecessors: steady state is
+     exactly the in-flight entry *)
+  check Alcotest.int "acknowledged entries evicted" 1 (Nub.cached_replies nub);
+  (* the bound does not break at-most-once for the live request *)
+  incr seq_counter;
+  let seq = !seq_counter in
+  let payload = Proto.encode_request (Proto.Fetch { space = 'd'; addr = 0x4000; size = 4 }) in
+  Frame.send dbg ~seq payload;
+  let r1 = Frame.recv dbg in
+  Frame.send dbg ~seq payload;
+  let r2 = Frame.recv dbg in
+  match (r1, r2) with
+  | Ok f1, Ok f2 ->
+      check Alcotest.string "retransmit still served from cache" f1.Frame.fr_payload
+        f2.Frame.fr_payload
+  | _ -> Alcotest.fail "frame recv failed"
+
 (** A corrupt request elicits a [Nub_error] reply (so the debugger's
     retry logic wakes up), never an exception in the nub. *)
 let test_corrupt_request_gets_error_reply () =
@@ -451,6 +481,7 @@ let () =
           case "store on all targets" test_store_roundtrip_all_archs;
           case "bad space" test_bad_space_error;
           case "duplicate request not re-executed" test_duplicate_request_not_reexecuted;
+          case "reply cache bounded, acks evict" test_reply_cache_bounded;
           case "corrupt request gets error reply" test_corrupt_request_gets_error_reply;
           case "mips fp word swap" test_mips_fp_word_swap;
           case "context save/restore" test_context_save_restore;

@@ -214,6 +214,58 @@ let test_failing_unit_is_retryable () =
       Alcotest.(check bool) "lookup works after repair" true
         (Symtab.proc_by_name st "p1" <> None))
 
+(** A unit whose body fails is {e quarantined}: demand-driven searches
+    route around it and never re-execute the broken body, listing names
+    the unit and why, and only an explicit per-unit force (the repair
+    path) lifts the quarantine. *)
+let test_quarantine_routes_around () =
+  with_lint_off (fun () ->
+      let bad = "NoSuchOperatorABC /UNITRESULT$u1 << /procs [ << /name (p1) >> ] >> def" in
+      let good = "/UNITRESULT$u2 << /procs [ << /name (p2) >> ] >> def" in
+      let interp, st =
+        crafted_symtab
+          ~units_ps:
+            (Printf.sprintf "(u1.c) << /body (%s) /tag (u1) >> (u2.c) << /body (%s) /tag (u2) >>"
+               (Ldb_cc.Psemit.ps_escape bad) (Ldb_cc.Psemit.ps_escape good))
+      in
+      with_force_log (fun log ->
+          (* an unhinted search sweeps the units: u1 breaks (and is
+             quarantined), but the search routes around it and finds p2 *)
+          Alcotest.(check bool) "p2 found despite broken u1" true
+            (Symtab.proc_by_name st "p2" <> None);
+          check Alcotest.(list string) "only u2 latched" [ "u2.c" ]
+            (Symtab.forced_units st);
+          (match Symtab.quarantined_units st with
+          | [ ("u1.c", reason) ] ->
+              Alcotest.(check bool) "failure reason recorded" true (reason <> "")
+          | q ->
+              Alcotest.failf "expected u1.c quarantined, got [%s]"
+                (String.concat "; " (List.map fst q)));
+          let forces_after_first = List.length !log in
+          (* a second sweep must not re-execute the broken body *)
+          Alcotest.(check bool) "p1 not found" true (Symtab.proc_by_name st "p1" = None);
+          check Alcotest.int "quarantined unit not re-forced" forces_after_first
+            (List.length !log);
+          (* line queries degrade to the units that work, typed-ly *)
+          (match Symtab.stops_at_line st ~file:"u1.c" ~line:1 with
+          | _ -> Alcotest.fail "line query into a quarantined unit succeeded"
+          | exception Symtab.Error m ->
+              Alcotest.(check bool) "error names the quarantine" true
+                (let has_sub s sub =
+                   let n = String.length sub and h = String.length s in
+                   let rec go i = i + n <= h && (String.sub s i n = sub || go (i + 1)) in
+                   n = 0 || go 0
+                 in
+                 has_sub m "quarantined"));
+          (* repair the environment; the explicit per-unit force lifts the
+             quarantine and the unit joins the table *)
+          I.run_string interp "/NoSuchOperatorABC { } def";
+          Symtab.force_unit st ~file:"u1.c";
+          check Alcotest.(list (pair string string)) "quarantine lifted" []
+            (Symtab.quarantined_units st);
+          Alcotest.(check bool) "p1 found after repair" true
+            (Symtab.proc_by_name st "p1" <> None)))
+
 (* --- many units ----------------------------------------------------------------- *)
 
 let test_many_units () =
@@ -288,6 +340,7 @@ let () =
       ("agreement", [ case "lazy = eager on all targets" test_lazy_eager_agree ]);
       ( "failure",
         [ case "failing unit is retryable" test_failing_unit_is_retryable;
+          case "quarantine routes around" test_quarantine_routes_around;
           case "many units" test_many_units ] );
       ("compression", [ case "compressed sessions" test_compressed_sessions ]);
     ]
