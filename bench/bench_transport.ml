@@ -1,7 +1,11 @@
 (** Transport resilience benchmark: complete debug sessions (plant a
     breakpoint, continue, inspect, run to exit) on every SIM target at
     increasing fault rates, measuring session throughput and how hard the
-    retry machinery had to work.  Emits BENCH_transport.json.
+    retry machinery had to work.  Also measures the conditional-break
+    workload: a breakpoint with a condition true once in a hot loop,
+    evaluated nub-side (compiled bytecode shipped to the target) versus
+    debugger-side (round trips per trap), counting the RPCs each site
+    costs for byte-identical stop semantics.  Emits BENCH_transport.json.
 
     Run with: dune exec bench/bench_transport.exe
     Flags: -smoke (reduced iterations, for CI), -o FILE (output path). *)
@@ -10,7 +14,9 @@ open Ldb_machine
 module Ldb = Ldb_ldb.Ldb
 module Host = Ldb_ldb.Host
 module Transport = Ldb_ldb.Transport
+module Breakpoint = Ldb_ldb.Breakpoint
 module Faultchan = Ldb_nub.Faultchan
+module Eval = Ldb_exprserver.Eval
 
 let ok = function Ok v -> v | Error (`Dead_process m) -> failwith m
 
@@ -123,9 +129,116 @@ let run_rate rate : row =
   row.seconds <- Sys.time () -. t0;
   row
 
+(* ---------------------------------------------------------------------- *)
+(* the conditional-break workload: one breakpoint in a hot loop, its
+   condition true exactly once, evaluated at either site on a clean link *)
+
+let cond_iters = if smoke then 2_000 else 1_000_000
+
+let spin_c =
+  Printf.sprintf
+    {|int g = 0;
+
+void spin(int n)
+{
+    int i;
+    for (i = 0; i < n; i++)
+        g = g + 1;
+    printf("%%d\n", g);
+}
+
+int main(void)
+{
+    spin(%d);
+    return 0;
+}
+|}
+    cond_iters
+
+(* the hot statement's line, found rather than hardcoded so edits to the
+   source above cannot silently move the breakpoint *)
+let hot_line =
+  let contains line sub =
+    let n = String.length sub in
+    let rec go i =
+      i + n <= String.length line && (String.sub line i n = sub || go (i + 1))
+    in
+    go 0
+  in
+  let rec go n = function
+    | [] -> failwith "spin.c lost its hot statement"
+    | l :: rest -> if contains l "g = g + 1" then n else go (n + 1) rest
+  in
+  go 1 (String.split_on_char '\n' spin_c)
+
+type cond_result = { cr_rpcs : int; cr_suppressed : int }
+
+(** One conditional-break session: break the hot line with
+    [i == cond_iters - 1], run to the stop, and report how many RPCs the
+    continue cost and how many traps were silently resumed. *)
+let cond_session (site : Breakpoint.cond_site) : cond_result =
+  let d = Ldb.create () in
+  let p = Host.launch ~paused:true ~arch:Arch.Mips [ ("spin.c", spin_c) ] in
+  let tg =
+    Ldb.connect d ~name:(Arch.name Arch.Mips) ~loader_ps:p.Host.hp_loader_ps
+      (Host.open_channel p)
+  in
+  let addr =
+    let try_line l =
+      match Ldb.break_line d tg ~line:l with
+      | a :: _ -> Some a
+      | [] -> None
+      | exception Ldb.Error _ -> None
+    in
+    match try_line hot_line with
+    | Some a -> a
+    | None -> (
+        match try_line (hot_line + 1) with
+        | Some a -> a
+        | None -> failwith "no stopping point at the hot statement")
+  in
+  let expr = Printf.sprintf "i == %d" (cond_iters - 1) in
+  let prog =
+    match Eval.compile_condition d tg (Eval.start ~arch:Arch.Mips) ~addr expr with
+    | Ok prog -> prog
+    | Error _ -> failwith "the condition did not compile"
+  in
+  (match site with
+  | `Nub -> (
+      match Ldb.set_condition d tg ~addr ~text:expr prog with
+      | Ok `Nub -> ()
+      | _ -> failwith "nub site unavailable")
+  | `Debugger ->
+      (* force the fallback path a condition takes when the nub refuses
+         or predates the extension: installed locally, never shipped *)
+      let bp = Hashtbl.find tg.Ldb.tg_breaks addr in
+      bp.Breakpoint.bp_cond <-
+        Some
+          { Breakpoint.c_text = expr; c_prog = prog; c_site = `Debugger;
+            c_suppressed = 0 });
+  let before = (Transport.stats (Ldb.transport tg)).Transport.st_rpcs in
+  (match ok (Ldb.continue_ d tg) with
+  | Ldb.Stopped _ -> ()
+  | _ -> failwith "no stop at the condition");
+  let cr_rpcs = (Transport.stats (Ldb.transport tg)).Transport.st_rpcs - before in
+  (* identical stop semantics at either site, or the numbers mean nothing *)
+  assert (Ldb.read_int_var d tg (Ldb.top_frame d tg) "i" = cond_iters - 1);
+  let cr_suppressed =
+    match (Hashtbl.find tg.Ldb.tg_breaks addr).Breakpoint.bp_cond with
+    | Some c -> c.Breakpoint.c_suppressed
+    | None -> failwith "the condition vanished"
+  in
+  (match ok (Ldb.continue_ d tg) with
+  | Ldb.Exited 0 -> ()
+  | _ -> failwith "no clean exit");
+  assert (Host.output p = Printf.sprintf "%d\n" cond_iters);
+  { cr_rpcs; cr_suppressed }
+
 let () =
   let rates = [ 0.0; 0.01; 0.05 ] in
   let rows = List.map run_rate rates in
+  let nub = cond_session `Nub in
+  let dbg = cond_session `Debugger in
   let buf = Buffer.create 1024 in
   Buffer.add_string buf "{\n  \"benchmark\": \"transport resilience\",\n";
   Buffer.add_string buf
@@ -144,7 +257,16 @@ let () =
            r.rpcs r.retries r.corrupt r.timeouts r.stale
            (if i = List.length rows - 1 then "" else ",")))
     rows;
-  Buffer.add_string buf "  ]\n}\n";
+  Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"conditional_break\": {\"workload\": \"break spin.c hot line if i == \
+        N-1 over an N-iteration loop, SIM-MIPS, clean link\", \"iterations\": \
+        %d, \"nub_rpcs\": %d, \"nub_suppressed\": %d, \"debugger_rpcs\": %d, \
+        \"debugger_suppressed\": %d, \"rpc_ratio\": %.1f}\n"
+       cond_iters nub.cr_rpcs nub.cr_suppressed dbg.cr_rpcs dbg.cr_suppressed
+       (float_of_int dbg.cr_rpcs /. float_of_int (max 1 nub.cr_rpcs)));
+  Buffer.add_string buf "}\n";
   let oc = open_out out_path in
   output_string oc (Buffer.contents buf);
   close_out oc;

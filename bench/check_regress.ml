@@ -204,7 +204,32 @@ let check_transport ~committed ~fresh =
         require
           (num (member "retries" row) > 0.0)
           "transport: no retries at fault rate %.2f — the fault machinery did not engage" rate)
-    (arr (member "rates" fresh))
+    (arr (member "rates" fresh));
+  (* the conditional-break workload: nub-side evaluation must keep its
+     two-orders-of-magnitude RPC edge, at identical stop semantics *)
+  let cond_gates ~who j =
+    let c = member "conditional_break" j in
+    let iters = num (member "iterations" c) in
+    require
+      (num (member "nub_suppressed" c) = iters -. 1.0)
+      "%s conditional_break: nub suppressed %g traps of an expected %g" who
+      (num (member "nub_suppressed" c))
+      (iters -. 1.0);
+    require
+      (num (member "debugger_suppressed" c) = num (member "nub_suppressed" c))
+      "%s conditional_break: the two sites resumed different trap counts (%g vs %g)"
+      who
+      (num (member "debugger_suppressed" c))
+      (num (member "nub_suppressed" c));
+    require
+      (num (member "debugger_rpcs" c) >= 100.0 *. num (member "nub_rpcs" c))
+      "%s conditional_break: nub site used %g RPCs vs %g debugger-side — under the 100x gate"
+      who
+      (num (member "nub_rpcs" c))
+      (num (member "debugger_rpcs" c))
+  in
+  cond_gates ~who:"committed" committed;
+  cond_gates ~who:"fresh" fresh
 
 let check_symtab ~min_speedup ~committed ~fresh =
   check_schema ~committed ~fresh;

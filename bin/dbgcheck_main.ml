@@ -9,6 +9,9 @@
                          Finding.kind_name)
         -target NAME     check one architecture (default: all four)
         -examples        build and check the built-in example programs
+        -bpcverify       report the condition-bytecode verifier's verdict
+                         on the seeded corpus (a golden test pins it) and
+                         do nothing else
         -no-stops / -no-symbols / -no-frames / -no-differential
                          disable one check family
         -no-ir           skip the IR dataflow lint of the named C files
@@ -77,6 +80,7 @@ let () =
   let ir_ignored = ref [] in
   let archs = ref Ldb_machine.Arch.all in
   let do_examples = ref false in
+  let do_bpcverify = ref false in
   let do_ir = ref true in
   let do_core = ref true in
   let opts = ref D.all_checks in
@@ -93,6 +97,7 @@ let () =
     | "-json" :: rest -> json := true; parse rest
     | "-bare" :: rest -> bare := true; parse rest
     | "-examples" :: rest -> do_examples := true; parse rest
+    | "-bpcverify" :: rest -> do_bpcverify := true; parse rest
     | "-no-stops" :: rest -> opts := { !opts with D.stops = false }; parse rest
     | "-no-symbols" :: rest -> opts := { !opts with D.symbols = false }; parse rest
     | "-no-frames" :: rest -> opts := { !opts with D.frames = false }; parse rest
@@ -114,6 +119,19 @@ let () =
     | f :: rest -> files := !files @ [ f ]; parse rest
   in
   parse (List.tl (Array.to_list Sys.argv));
+  (* -bpcverify is a report, not a pass/fail check: the verdicts are the
+     output, and the golden diff is what gates drift.  Exit 0 always. *)
+  if !do_bpcverify then begin
+    let findings = List.concat_map D.check_bpcode !archs in
+    if !json then
+      print_endline ("[" ^ String.concat "," (List.map F.to_json findings) ^ "]")
+    else begin
+      List.iter (fun f -> print_endline (F.to_string f)) findings;
+      if not !bare then
+        Printf.printf "dbgcheck: %d bpcverify verdict(s)\n" (List.length findings)
+    end;
+    exit 0
+  end;
   let findings = ref [] in
   let ir_findings = ref [] in
   let check_sources sources =

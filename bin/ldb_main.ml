@@ -4,6 +4,10 @@
 
     Commands:
       break <func> | break :<line>   plant a breakpoint (at no-ops only)
+      break <spec> if <expr>         conditional: the condition is compiled to
+                                     bytecode, verified, and shipped to the nub
+      info breaks                    list breakpoints; conditions show their
+                                     evaluation site and suppressed-trap count
       clear                          remove all breakpoints
       run / continue (c)             resume execution
       step (s) / stepi (si)          source-level / instruction-level step
@@ -53,6 +57,58 @@ let repl d tg sess ~(proc : Host.process option) =
                  List.iter (Printf.printf "breakpoint at %#x\n") addrs
                end
                else Printf.printf "breakpoint at %#x\n" (Ldb.break_function d tg spec)
+           | "break" :: spec :: "if" :: (_ :: _ as rest)
+           | "b" :: spec :: "if" :: (_ :: _ as rest) ->
+               let expr = String.concat " " rest in
+               let addrs =
+                 if String.length spec > 0 && spec.[0] = ':' then
+                   let line = int_of_string (String.sub spec 1 (String.length spec - 1)) in
+                   Ldb.break_line d tg ~line
+                 else [ Ldb.break_function d tg spec ]
+               in
+               List.iter
+                 (fun addr ->
+                   match Ldb_exprserver.Eval.compile_condition d tg sess ~addr expr with
+                   | Ok prog -> (
+                       match Ldb.set_condition d tg ~addr ~text:expr prog with
+                       | Ok `Nub ->
+                           Printf.printf "breakpoint at %#x if %s (condition runs on the nub)\n"
+                             addr expr
+                       | Ok `Debugger ->
+                           Printf.printf
+                             "breakpoint at %#x if %s (condition runs in the debugger)\n" addr
+                             expr
+                       | Error (`Unverified fs) ->
+                           Printf.printf "ldb: condition rejected by the verifier:\n";
+                           List.iter
+                             (fun f ->
+                               Printf.printf "  %s\n" (Ldb_nub.Bpverify.finding_to_string f))
+                             fs)
+                   | Error (`Unverified fs) ->
+                       Printf.printf "ldb: condition rejected by the verifier:\n";
+                       List.iter
+                         (fun f ->
+                           Printf.printf "  %s\n" (Ldb_nub.Bpverify.finding_to_string f))
+                         fs
+                   | Error (`Unsupported m) ->
+                       Printf.printf "ldb: condition cannot compile to nub bytecode: %s\n" m
+                   | Error (`Error m) -> Printf.printf "ldb: %s\n" m)
+                 addrs
+           | [ "info" ] | [ "info"; "breaks" ] ->
+               Hashtbl.iter
+                 (fun addr (bp : Breakpoint.t) ->
+                   match bp.Breakpoint.bp_cond with
+                   | Some c ->
+                       Printf.printf
+                         "breakpoint at %#x if %s (%s side, %d trap%s silently resumed)\n"
+                         addr c.Breakpoint.c_text
+                         (match c.Breakpoint.c_site with
+                         | `Nub -> "nub"
+                         | `Debugger -> "debugger")
+                         c.Breakpoint.c_suppressed
+                         (if c.Breakpoint.c_suppressed = 1 then "" else "s")
+                   | None -> Printf.printf "breakpoint at %#x\n" addr)
+                 tg.Ldb.tg_breaks
            | [ "clear" ] -> Breakpoint.remove_all tg.Ldb.tg_breaks tg.Ldb.tg_wire
            | [ "run" ] | [ "continue" ] | [ "c" ] -> (
                match Ldb.continue_ d tg with
@@ -151,6 +207,11 @@ let run_session ~arch ~sources =
 let run_server_demo ~arch ~sources ~n =
   let image = Host.build_image ~arch sources in
   let sv = Server.create ~limits:{ Server.default_limits with Server.li_max_sessions = n } () in
+  (* the expression server lives a library above lib/ldb, so the
+     condition compiler is injected here, where both are in scope *)
+  let esess = Ldb_exprserver.Eval.start ~arch in
+  Server.set_cond_compiler sv (fun d tg ~addr cond ->
+      Ldb_exprserver.Eval.compile_condition d tg esess ~addr cond);
   let ids =
     List.init n (fun i ->
         let p = Host.launch_image image in

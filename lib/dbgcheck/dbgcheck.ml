@@ -931,6 +931,80 @@ let check_core (img : Link.image) (co : Core.t) : F.t list =
       "fault pc outside the code segment [%#x, %#x)" Ram.Layout.code_base code_end;
   List.rev !out
 
+(* --- breakpoint-condition bytecode (bpcverify) --------------------------------- *)
+
+module Bpc = Ldb_nub.Bpcode
+module Bpv = Ldb_nub.Bpverify
+
+let bpc_load = Bpc.Load { space = 'd'; size = 4; signed = true }
+
+(** The seeded corpus: condition programs with a known verdict on every
+    target.  The [`Accept] entries are the shapes the condition compiler
+    emits (frame locals off sp, global flags, short-circuit jumps); the
+    [`Reject] entries are one of each hostile class the verifier must
+    stop at the door. *)
+let bpc_corpus (t : Target.t) : (string * Bpc.prog * [ `Accept | `Reject ]) list =
+  let data = Int32.of_int (Ram.Layout.data_base + 8) in
+  let cmp rel = Bpc.Cmp { rel; signed = true } in
+  [
+    ( "frame-local-compare",
+      [| Bpc.Load_reg t.Target.sp; Bpc.Push 8l; Bpc.Bin Bpc.Add; bpc_load;
+         Bpc.Push 10l; cmp Bpc.Lt |],
+      `Accept );
+    ("global-flag", [| Bpc.Push data; bpc_load; Bpc.Push 0l; cmp Bpc.Ne |], `Accept);
+    ( "short-circuit-and",
+      [| Bpc.Push data; bpc_load; Bpc.Jz 5; Bpc.Push data; bpc_load; Bpc.Push 0l;
+         cmp Bpc.Ne; Bpc.Jmp 1; Bpc.Push 0l |],
+      `Accept );
+    ("empty", [||], `Reject);
+    ("backward-jump", [| Bpc.Push 1l; Bpc.Jmp (-2) |], `Reject);
+    ("jump-past-end", [| Bpc.Push 1l; Bpc.Jmp 100 |], `Reject);
+    ("wild-read", [| Bpc.Push 0l; bpc_load |], `Reject);
+    ( "unbounded-frame-offset",
+      [| Bpc.Load_reg t.Target.sp; Bpc.Push 100000l; Bpc.Bin Bpc.Add; bpc_load |],
+      `Reject );
+    ("bool-as-address", [| Bpc.Push 1l; Bpc.Push 2l; cmp Bpc.Eq; bpc_load |], `Reject);
+    ("stack-leak", [| Bpc.Push 1l; Bpc.Push 2l |], `Reject);
+    ("underflow", [| Bpc.Bin Bpc.Add |], `Reject);
+    ("divide-by-zero", [| Bpc.Push 1l; Bpc.Push 0l; Bpc.Bin Bpc.Divs |], `Reject);
+  ]
+
+(** Report the verifier's verdict on every seeded program as findings of
+    the [bpcverify] family — acceptances and rejections both, so the
+    golden JSON pins the whole proof surface: a verifier that starts
+    accepting a hostile shape, or rejecting a compiler shape, shows up
+    as a diff, not as a silent behavior change in the field. *)
+let check_bpcode (arch : Arch.t) : F.t list =
+  let t = Target.of_arch arch in
+  let out = ref [] in
+  let report where fmt =
+    Printf.ksprintf
+      (fun msg ->
+        out := { F.kind = F.Bpc_verify; target = Arch.name arch; where; msg } :: !out)
+      fmt
+  in
+  List.iter
+    (fun (name, prog, expect) ->
+      match (Bpv.verify t prog, expect) with
+      | [], `Accept ->
+          report name "accepted: %d instruction(s), static cost %d"
+            (Array.length prog)
+            (Array.fold_left
+               (fun acc insn ->
+                 acc + (match insn with Bpc.Load _ -> Bpc.load_cost | _ -> 1))
+               0 prog)
+      | [], `Reject -> report name "DISAGREEMENT: hostile program accepted"
+      | findings, `Reject ->
+          List.iter (fun f -> report name "rejected: %s" (Bpv.finding_to_string f)) findings
+      | findings, `Accept ->
+          List.iter
+            (fun f ->
+              report name "DISAGREEMENT: compiler shape rejected: %s"
+                (Bpv.finding_to_string f))
+            findings)
+    (bpc_corpus t);
+  List.rev !out
+
 (* --- entry points -------------------------------------------------------------- *)
 
 type opts = { stops : bool; symbols : bool; frames : bool; differential : bool }

@@ -23,6 +23,10 @@ type kind =
   | Stabs_mismatch   (** the two symbol tables disagree *)
   | Line_clamped     (** stabs u16 desc clamped a line the PS table keeps *)
   | Hint_mismatch    (** units-dict demand hints disagree with the forced unit *)
+  (* breakpoint-condition bytecode *)
+  | Bpc_verify      (** the static verifier's verdict on a seeded condition
+                        program — pinned by a golden test so the safety
+                        proof cannot drift silently *)
   (* core dumps *)
   | Core_arch       (** the dump names a different architecture than the image *)
   | Core_crc        (** a memory section's bytes do not checksum to its CRC *)
@@ -46,6 +50,7 @@ let kind_name = function
   | Stabs_mismatch -> "stabs-mismatch"
   | Line_clamped -> "line-clamped"
   | Hint_mismatch -> "hint-mismatch"
+  | Bpc_verify -> "bpcverify"
   | Core_arch -> "core-arch"
   | Core_crc -> "core-crc"
   | Core_reg_width -> "core-reg-width"
@@ -67,6 +72,7 @@ let kind_of_name = function
   | "stabs-mismatch" -> Some Stabs_mismatch
   | "line-clamped" -> Some Line_clamped
   | "hint-mismatch" -> Some Hint_mismatch
+  | "bpcverify" -> Some Bpc_verify
   | "core-arch" -> Some Core_arch
   | "core-crc" -> Some Core_crc
   | "core-reg-width" -> Some Core_reg_width

@@ -1,0 +1,139 @@
+(** Compiling breakpoint conditions from the compiler's IR into
+    {!Ldb_nub.Bpcode} programs.
+
+    The front half of the pipeline is the expression server's own: the C
+    parser and {!Ldb_cc.Sema.rvalue} produce the same typed operator
+    trees the PostScript rewriter consumes.  This module is the
+    alternative back end — instead of PostScript for the debugger's
+    interpreter, it emits stack-machine bytecode the nub can run at a
+    trap site without a debugger round trip.
+
+    Only side-effect-free integer expressions compile: conditions must
+    not perturb the target, and the nub evaluator is integer-only.
+    Anything else — assignments, calls, floating point — raises
+    {!Unsupported} with a message naming the construct, and the caller
+    falls back to evaluating the condition on the debugger side.
+
+    A frame local's address at a future stop is a saved register plus a
+    compile-time constant: [base] names the register (sp on SIM-MIPS,
+    which has no frame pointer; fp elsewhere) and [bias] the constant
+    correction from that register to the frame base ([Ir.Addrl] offsets
+    are frame-base-relative).  The machine-dependent walkers compute the
+    same sum at stop time, so both evaluation sites agree by
+    construction. *)
+
+module Ir = Ldb_cc.Ir
+module Bpcode = Ldb_nub.Bpcode
+
+exception Unsupported of string
+
+let unsupported fmt = Printf.ksprintf (fun s -> raise (Unsupported s)) fmt
+
+let binop ~signed (op : Ir.binop) : Bpcode.binop =
+  match op with
+  | Ir.Add -> Bpcode.Add
+  | Ir.Sub -> Bpcode.Sub
+  | Ir.Mul -> Bpcode.Mul
+  | Ir.Div -> if signed then Bpcode.Divs else Bpcode.Divu
+  | Ir.Rem -> if signed then Bpcode.Rems else Bpcode.Remu
+  | Ir.Band -> Bpcode.And
+  | Ir.Bor -> Bpcode.Or
+  | Ir.Bxor -> Bpcode.Xor
+  | Ir.Shl -> Bpcode.Shl
+  | Ir.Shr -> if signed then Bpcode.Shrs else Bpcode.Shru
+
+let relop (r : Ir.relop) : Bpcode.relop =
+  match r with
+  | Ir.Req -> Bpcode.Eq
+  | Ir.Rne -> Bpcode.Ne
+  | Ir.Rlt -> Bpcode.Lt
+  | Ir.Rle -> Bpcode.Le
+  | Ir.Rgt -> Bpcode.Gt
+  | Ir.Rge -> Bpcode.Ge
+
+let int_ty = function
+  | Ir.I1 | Ir.U1 | Ir.I2 | Ir.U2 | Ir.I4 | Ir.U4 | Ir.P4 -> true
+  | Ir.F4 | Ir.F8 | Ir.F10 | Ir.V -> false
+
+(** Is [e] guaranteed to evaluate to 0 or 1?  (The operands [Sema]'s
+    branch-free [&&]/[||] lowering builds are always comparisons.) *)
+let boolish = function Ir.Cmp _ -> true | _ -> false
+
+let rec compile ~base ~bias (e : Ir.exp) : Bpcode.insn list =
+  let recur = compile ~base ~bias in
+  match e with
+  | Ir.Cnst (_, v) -> [ Bpcode.Push v ]
+  | Ir.Cnstf _ -> unsupported "floating point does not evaluate on the nub"
+  | Ir.Addrg l -> unsupported "unresolved label %s in a condition" l
+  | Ir.Addrl off ->
+      (* frame local: saved base register + compile-time constant *)
+      [ Bpcode.Load_reg base;
+        Bpcode.Push (Int32.of_int (off + bias));
+        Bpcode.Bin Bpcode.Add ]
+  | Ir.Reguse r -> [ Bpcode.Load_reg r ]
+  | Ir.Indir (ty, addr) ->
+      let signed =
+        match ty with
+        | Ir.I1 | Ir.I2 | Ir.I4 -> true
+        | Ir.U1 | Ir.U2 | Ir.U4 | Ir.P4 -> false
+        | t -> unsupported "%s load does not evaluate on the nub" (Ir.ty_name t)
+      in
+      recur addr @ [ Bpcode.Load { space = 'd'; size = Ir.ty_bytes ty; signed } ]
+  | Ir.Bin (ty, op, a, b) -> (
+      let signed =
+        match ty with
+        | Ir.I4 -> true
+        | Ir.U4 | Ir.P4 -> false
+        | t -> unsupported "%s arithmetic does not evaluate on the nub" (Ir.ty_name t)
+      in
+      (* Sema's branch-free && / || over comparison operands regains its
+         short circuit here: both operands are 0/1, so the skipped-side
+         value is the constant the jump encodes.  The right operand's
+         loads never run when the left side decides — the fuel the
+         verifier certifies is the acyclic worst case. *)
+      match (op, boolish a && boolish b) with
+      | Ir.Band, true ->
+          let cb = recur b in
+          recur a
+          @ [ Bpcode.Jz (List.length cb + 1) ]
+          @ cb
+          @ [ Bpcode.Jmp 1; Bpcode.Push 0l ]
+      | Ir.Bor, true ->
+          let cb = recur b in
+          recur a
+          @ [ Bpcode.Jnz (List.length cb + 1) ]
+          @ cb
+          @ [ Bpcode.Jmp 1; Bpcode.Push 1l ]
+      | _ -> recur a @ recur b @ [ Bpcode.Bin (binop ~signed op) ])
+  | Ir.Cmp (ty, rel, a, b) ->
+      let signed =
+        match ty with
+        | Ir.I4 -> true
+        | Ir.U4 | Ir.P4 -> false
+        | t -> unsupported "%s comparison does not evaluate on the nub" (Ir.ty_name t)
+      in
+      recur a @ recur b @ [ Bpcode.Cmp { rel = relop rel; signed } ]
+  | Ir.Cvt (from, to_, e) ->
+      if not (int_ty from && int_ty to_) then
+        unsupported "floating point does not evaluate on the nub";
+      let v = recur e in
+      (* values are canonical 32-bit; only narrowing changes bits *)
+      (match to_ with
+      | Ir.I1 ->
+          v @ [ Bpcode.Push 24l; Bpcode.Bin Bpcode.Shl;
+                Bpcode.Push 24l; Bpcode.Bin Bpcode.Shrs ]
+      | Ir.U1 -> v @ [ Bpcode.Push 0xffl; Bpcode.Bin Bpcode.And ]
+      | Ir.I2 ->
+          v @ [ Bpcode.Push 16l; Bpcode.Bin Bpcode.Shl;
+                Bpcode.Push 16l; Bpcode.Bin Bpcode.Shrs ]
+      | Ir.U2 -> v @ [ Bpcode.Push 0xffffl; Bpcode.Bin Bpcode.And ]
+      | _ -> v)
+  | Ir.Asgn _ | Ir.Regasgn _ ->
+      unsupported "a condition may not assign to the target"
+  | Ir.Call _ | Ir.Callind _ ->
+      unsupported "a condition may not call target code"
+
+(** Compile a condition expression to a complete program: the final value
+    is the verdict, nonzero meaning "really stop". *)
+let compile_prog ~base ~bias (e : Ir.exp) : Bpcode.prog =
+  Array.of_list (compile ~base ~bias e)

@@ -45,15 +45,16 @@ let struct_name_of_decl decl =
   | "struct" :: name :: _ -> Some name
   | _ -> None
 
-(** Send "T struct point { ... }" lines for every struct reachable from a
-    type dictionary, innermost first. *)
-let rec send_struct_defs (sess : session) ~(visited : (string, unit) Hashtbl.t) (ty : V.t) =
+(** Feed "T struct point { ... }" definition lines to [emit] for every
+    struct reachable from a type dictionary, innermost first. *)
+let rec emit_struct_defs ~(emit : string -> unit) ~(visited : (string, unit) Hashtbl.t)
+    (ty : V.t) =
   let d = V.to_dict ty in
   (match V.dict_get d "pointee" with
-  | Some inner -> send_struct_defs sess ~visited inner
+  | Some inner -> emit_struct_defs ~emit ~visited inner
   | None -> ());
   (match V.dict_get d "elemtype" with
-  | Some inner -> send_struct_defs sess ~visited inner
+  | Some inner -> emit_struct_defs ~emit ~visited inner
   | None -> ());
   match V.dict_get d "fields" with
   | None -> ()
@@ -69,12 +70,15 @@ let rec send_struct_defs (sess : session) ~(visited : (string, unit) Hashtbl.t) 
                      let fa = V.to_arr f in
                      let fname = V.to_str fa.(0) in
                      let fty = fa.(2) in
-                     send_struct_defs sess ~visited fty;
+                     emit_struct_defs ~emit ~visited fty;
                      subst_decl (decl_of_type fty) fname ^ ";")
             in
-            Chan.send sess.pipe
-              (Printf.sprintf "T struct %s { %s }\n" name (String.concat " " field_decls))
+            emit (Printf.sprintf "T struct %s { %s }" name (String.concat " " field_decls))
           end)
+
+(** Send the definitions down the pipe, the lookup-reply path. *)
+let send_struct_defs (sess : session) ~visited (ty : V.t) =
+  emit_struct_defs ~emit:(fun line -> Chan.send sess.pipe (line ^ "\n")) ~visited ty
 
 let locspec_of_location (loc : A.location) : string =
   match loc with
@@ -154,3 +158,110 @@ let evaluate (d : Ldb.t) (tg : Ldb.target) (fr : Ldb_ldb.Frame.t) (sess : sessio
 
 (** Convenience: evaluate and discard the type. *)
 let eval_string d tg fr sess expr = fst (evaluate d tg fr sess expr)
+
+(* --- compiled breakpoint conditions ------------------------------------------ *)
+
+(** A pseudo-frame for resolving names at a breakpoint address the target
+    need not have reached: scope resolution only consults the pc, and a
+    base of zero makes a frame-local /where evaluate to its pure frame
+    offset should it ever be interpreted. *)
+let frame_at (tg : Ldb.target) ~(addr : int) : Ldb_ldb.Frame.t =
+  {
+    Ldb_ldb.Frame.fr_pc = addr;
+    fr_base = 0;
+    fr_sp = 0;
+    fr_level = 0;
+    fr_mem = tg.Ldb.tg_wire;
+    fr_aliases = Hashtbl.create 1;
+    fr_down = (fun () -> None);
+  }
+
+(** Map a symbol entry to the compiler's address kind, keeping frame
+    locals {e symbolic}: a stored /where naming FrameLoc carries the
+    frame offset as its literal integer, and becomes [Cframe] so the
+    condition compiler can form the address from the saved base register
+    at any future stop.  Everything else is interpreted now — globals
+    and lazy anchors yield absolute addresses, register variables their
+    register. *)
+let caddr_of_entry (d : Ldb.t) (tg : Ldb.target) (fr : Ldb_ldb.Frame.t) (entry : V.t) :
+    Ldb_cc.Sema.caddr option =
+  let frame_off =
+    match V.dict_get (V.to_dict entry) "where" with
+    | Some { V.v = V.Arr items; _ }
+      when Array.exists
+             (fun (it : V.t) ->
+               match it.V.v with V.Name "FrameLoc" -> true | _ -> false)
+             items ->
+        Array.fold_left
+          (fun acc (it : V.t) ->
+            match (acc, it.V.v) with None, V.Int n -> Some n | _ -> acc)
+          None items
+    | _ -> None
+  in
+  match frame_off with
+  | Some off -> Some (Ldb_cc.Sema.Cframe off)
+  | None -> (
+      match Ldb.location_of d tg fr entry with
+      | A.Absolute { space = 'r'; offset } -> Some (Ldb_cc.Sema.Creg offset)
+      | A.Absolute { space = 'd' | 'c'; offset } ->
+          Some (Ldb_cc.Sema.Cabs (Int32.of_int offset))
+      | _ -> None)
+
+(** Compile [expr] into verified nub bytecode for a breakpoint at
+    [addr].  The result is proved safe by {!Ldb_nub.Bpverify} before it
+    is returned; on [`Unsupported] the caller may evaluate the same
+    condition on the debugger side instead. *)
+let compile_condition (d : Ldb.t) (tg : Ldb.target) (sess : session) ~(addr : int)
+    (expr : string) :
+    ( Ldb_nub.Bpcode.prog,
+      [ `Error of string
+      | `Unsupported of string
+      | `Unverified of Ldb_nub.Bpverify.finding list ] )
+    result =
+  if not (Arch.equal sess.arch tg.Ldb.tg_arch) then
+    Stdlib.Error (`Error "expression server serves a different architecture")
+  else begin
+    Ldb.force_symbols d tg;
+    let fr = frame_at tg ~addr in
+    let visited = Hashtbl.create 8 in
+    let lookup name =
+      match Ldb.resolve d tg fr name with
+      | None -> None
+      | Some entry -> (
+          match V.dict_get (V.to_dict entry) "kind" with
+          | Some k when V.to_str k = "procedure" -> None
+          | _ ->
+              let ty =
+                match V.dict_get (V.to_dict entry) "type" with
+                | Some t -> t
+                | None -> raise (Exprserver.Error (name ^ " has no type"))
+              in
+              emit_struct_defs
+                ~emit:(fun line -> Exprserver.process_typedef sess.server line)
+                ~visited ty;
+              let cty =
+                Exprserver.parse_decl sess.server (subst_decl (decl_of_type ty) "__v")
+              in
+              (match caddr_of_entry d tg fr entry with
+              | Some b_addr -> Some { Ldb_cc.Sema.b_ty = cty; b_addr }
+              | None ->
+                  raise
+                    (Exprserver.Error (name ^ " has no address a condition can use"))))
+    in
+    let q = Ldb.make_query d tg in
+    let frame_size =
+      match q.Ldb_ldb.Frame.q_frame_size ~pc:addr with
+      | Some s -> s
+      | None -> (
+          match q.Ldb_ldb.Frame.q_proc_info ~pc:addr with
+          | Some pi -> pi.Ldb_ldb.Frame.pi_frame_size
+          | None -> 0)
+    in
+    match
+      Exprserver.compile_cond sess.server ~tdesc:tg.Ldb.tg_tdesc ~frame_size ~lookup
+        expr
+    with
+    | r -> r
+    | exception Ldb.Error m -> Stdlib.Error (`Error m)
+    | exception Error m -> Stdlib.Error (`Error m)
+  end

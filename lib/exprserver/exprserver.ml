@@ -184,6 +184,80 @@ let serve_expression (s : t) (text : string) =
       send s (Printf.sprintf "(%s) ExpressionServer.error" (Ldb_cc.Psemit.ps_escape m));
       s.bindings <- []
 
+(* --- breakpoint conditions ------------------------------------------------- *)
+
+(** An evaluation context over a caller-supplied symbol resolver — the
+    condition compiler bypasses the pipe protocol: the debugger is in
+    the same process and answers lookups directly, with frame locals
+    kept symbolic (as frame offsets) rather than flattened to the
+    current stop's addresses. *)
+let cond_ectx (s : t) (lookup : string -> Ldb_cc.Sema.binding option) : Ldb_cc.Sema.ectx =
+  {
+    Ldb_cc.Sema.e_arch = s.arch;
+    e_lookup = lookup;
+    e_func_ty = (fun _ -> None);
+    e_string = (fun _ -> raise (Error "string literals are not supported in conditions"));
+    e_emit = None;
+    e_temp = None;
+    e_label = None;
+  }
+
+(** Compile a breakpoint condition to verified nub bytecode.
+
+    The pipeline is the expression server's own front half — parse
+    against the retained struct table, type-check and translate with
+    {!Ldb_cc.Sema.rvalue} — with {!Bpcompile} as the back end and
+    {!Ldb_nub.Bpverify} as the gate: a program the verifier rejects is
+    {e never returned}, so nothing unproved can reach the wire.
+    [frame_size] is the bias from the saved base register to the frame
+    base at the breakpoint's pc (nonzero only on SIM-MIPS, whose frame
+    base is virtual).
+
+    Errors are typed: [`Unsupported] names a construct that cannot run
+    on the nub (the caller may fall back to debugger-side evaluation),
+    [`Unverified] carries the verifier's findings (a compiler bug or a
+    hostile program — there is no fallback that would make it safe),
+    and [`Error] covers parse and type failures. *)
+let compile_cond (s : t) ~(tdesc : Target.t) ~(frame_size : int)
+    ~(lookup : string -> Ldb_cc.Sema.binding option) (text : string) :
+    ( Ldb_nub.Bpcode.prog,
+      [ `Error of string
+      | `Unsupported of string
+      | `Unverified of Ldb_nub.Bpverify.finding list ] )
+    result =
+  let base, bias =
+    match tdesc.Target.fp with
+    | Some fp -> (fp, 0)
+    | None -> (tdesc.Target.sp, frame_size)
+  in
+  let finish r =
+    s.bindings <- [];
+    r
+  in
+  match
+    let ast = parse_with_structs s text in
+    let ir, _ty = Ldb_cc.Sema.rvalue (cond_ectx s lookup) ast in
+    let prog = Bpcompile.compile_prog ~base ~bias ir in
+    if
+      Array.length prog > Ldb_nub.Bpcode.max_insns
+      || String.length (Ldb_nub.Bpcode.encode prog) > Ldb_nub.Bpcode.max_prog_bytes
+    then None
+    else Some prog
+  with
+  | None -> finish (Stdlib.Error (`Unsupported "condition compiles to too large a program"))
+  | Some prog ->
+      finish
+        (match Ldb_nub.Bpverify.verify tdesc prog with
+        | [] -> Stdlib.Ok prog
+        | findings -> Stdlib.Error (`Unverified findings))
+  | exception Ldb_nub.Bpcode.Encode_error m ->
+      finish (Stdlib.Error (`Unsupported ("condition does not encode: " ^ m)))
+  | exception Ldb_cc.Parse.Error (m, _) -> finish (Stdlib.Error (`Error ("parse error: " ^ m)))
+  | exception Ldb_cc.Lex.Error (m, _) -> finish (Stdlib.Error (`Error ("lexical error: " ^ m)))
+  | exception Ldb_cc.Sema.Error (m, _) -> finish (Stdlib.Error (`Error m))
+  | exception Bpcompile.Unsupported m -> finish (Stdlib.Error (`Unsupported m))
+  | exception Error m -> finish (Stdlib.Error (`Error m))
+
 (** Process one pending request if any bytes are waiting. *)
 let pump (s : t) =
   while Chan.available s.ep > 0 do

@@ -15,6 +15,20 @@ module A = Ldb_amemory.Amemory
 
 exception Error of string
 
+(** Where a breakpoint's condition is evaluated: on the nub, from
+    verified bytecode shipped into the target's address space (one RPC
+    per {e true} hit), or on the debugger side, interpreting the same
+    bytecode over the wire memory (one round trip per {e trap}). *)
+type cond_site = [ `Nub | `Debugger ]
+
+type cond = {
+  c_text : string;  (** the condition as the user wrote it *)
+  c_prog : Ldb_nub.Bpcode.prog;  (** verified before it was accepted *)
+  c_site : cond_site;
+  mutable c_suppressed : int;
+      (** stops silently resumed because the condition was false *)
+}
+
 type t = {
   bp_addr : int;
   bp_original : string;  (** the instruction bytes replaced by the trap *)
@@ -28,6 +42,8 @@ type t = {
       (** (procedure, line) this breakpoint was set from, when it came from
           a source-level request — listing breakpoints names the source
           location without another symbol-table query *)
+  mutable bp_cond : cond option;
+      (** stop only when this (compiled, verified) condition is true *)
 }
 
 type table = (int, t) Hashtbl.t
@@ -64,7 +80,7 @@ let plant ?source (tbl : table) (target : Target.t) (wire : A.t) ~addr : t =
       store_bytes wire addr target.Target.brk;
       let bp =
         { bp_addr = addr; bp_original = nop; bp_general = false; bp_planted = true;
-          bp_suspended = false; bp_source = source }
+          bp_suspended = false; bp_source = source; bp_cond = None }
       in
       Hashtbl.replace tbl addr bp;
       bp
@@ -87,7 +103,7 @@ let plant_general (tbl : table) (target : Target.t) (wire : A.t) ~addr : t =
       store_bytes wire addr brk;
       let bp =
         { bp_addr = addr; bp_original = original; bp_general = true; bp_planted = true;
-          bp_suspended = false; bp_source = None }
+          bp_suspended = false; bp_source = None; bp_cond = None }
       in
       Hashtbl.replace tbl addr bp;
       bp

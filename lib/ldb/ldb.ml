@@ -325,6 +325,15 @@ let run_rpc (tg : target) (req : Proto.request) : state =
     | Proto.Event { signal; code; ctx_addr } ->
         let signal = Option.value ~default:Signal.SIGINT (Signal.of_number signal) in
         Stopped { signal; code; ctx_addr }
+    | Proto.Cond_hit { signal; code; ctx_addr; suppressed } ->
+        (* a nub-evaluated condition came up true; credit the traps the
+           nub resumed silently to the breakpoint's own count *)
+        let signal = Option.value ~default:Signal.SIGINT (Signal.of_number signal) in
+        (match Hashtbl.find_opt tg.tg_breaks (read_ctx_pc tg ctx_addr) with
+        | Some { Breakpoint.bp_cond = Some c; _ } ->
+            c.Breakpoint.c_suppressed <- c.Breakpoint.c_suppressed + suppressed
+        | _ -> ());
+        Stopped { signal; code; ctx_addr }
     | Proto.Exit_event n -> Exited n
     | r -> fail "unexpected reply while running: %s" (Fmt.str "%a" Proto.pp_reply r)
   in
@@ -346,15 +355,64 @@ let step_instruction_exn (_d : t) (tg : target) : state =
   | _ -> fail "target %s is not stopped" tg.tg_name);
   run_rpc tg Proto.Step
 
+(** The environment a breakpoint condition evaluates in on the debugger
+    side: registers from the stop context, loads through the wire
+    abstract memory.  The nub builds the same environment over the saved
+    context and target RAM, and both decode little-endian protocol
+    values, so the two sites compute bit-identical results — the
+    differential tests hold this equation down. *)
+let cond_env (tg : target) (ctx_addr : int) : Ldb_nub.Bpcode.env =
+  let td = tg.tg_tdesc in
+  let fetch32 addr = A.fetch_i32 tg.tg_wire (A.absolute 'd' addr) in
+  {
+    Ldb_nub.Bpcode.rd_reg = (fun r -> fetch32 (ctx_addr + td.Target.ctx_reg_off r));
+    rd_pc = (fun () -> fetch32 (ctx_addr + td.Target.ctx_pc_off));
+    load =
+      (fun ~space ~addr ~size ~signed ->
+        let loc = A.absolute space addr in
+        match
+          match (size, signed) with
+          | 1, false -> Int32.of_int (A.fetch_u8 tg.tg_wire loc)
+          | 1, true -> Int32.of_int (A.fetch_i8 tg.tg_wire loc)
+          | 2, false -> Int32.of_int (A.fetch_u16 tg.tg_wire loc)
+          | 2, true -> Int32.of_int (A.fetch_i16 tg.tg_wire loc)
+          | _ -> A.fetch_i32 tg.tg_wire loc
+        with
+        | v -> Ok v
+        | exception A.Error m -> Error m
+        | exception Transport.Error (_, m) -> Error m);
+  }
+
+(** Does a debugger-evaluated condition say this stop is a non-hit to
+    resume past silently?  Evaluation faults stop conservatively. *)
+let cond_suppresses (tg : target) ~signal ~ctx_addr : bool =
+  let pc = read_ctx_pc tg ctx_addr in
+  Breakpoint.is_breakpoint_fault tg.tg_breaks ~signal ~pc
+  &&
+  match Hashtbl.find_opt tg.tg_breaks pc with
+  | Some { Breakpoint.bp_cond = Some ({ Breakpoint.c_site = `Debugger; _ } as c); _ }
+    -> (
+      match Ldb_nub.Bpcode.eval (cond_env tg ctx_addr) c.Breakpoint.c_prog with
+      | Ok false ->
+          c.Breakpoint.c_suppressed <- c.Breakpoint.c_suppressed + 1;
+          true
+      | Ok true | Error _ -> false)
+  | _ -> false
+
 (** Resume the target and wait for the next event.
 
     At a no-op breakpoint, the no-op is "interpreted" by skipping it: the
     context pc advances by the machine-dependent amount.  At a general
     breakpoint (Sec. 7.1's model), the original instruction is restored,
     executed with one single step, and the trap replanted before
-    continuing. *)
-let continue_exn (d : t) (tg : target) : state =
-  ignore d;
+    continuing.
+
+    A breakpoint whose condition is evaluated on the debugger side
+    ([`Debugger], the fallback when the nub cannot run the bytecode)
+    loops here: a false condition resumes the target without returning
+    to the caller — correct stop semantics at one round trip per trap,
+    which is exactly the cost the nub-side site eliminates. *)
+let rec continue_exn (d : t) (tg : target) : state =
   (match tg.tg_state with
   | Stopped { signal; code = _; ctx_addr } -> (
       let pc = read_ctx_pc tg ctx_addr in
@@ -376,7 +434,12 @@ let continue_exn (d : t) (tg : target) : state =
   | Detached -> fail "target %s is detached" tg.tg_name);
   match tg.tg_state with
   | Exited _ -> tg.tg_state
-  | _ -> run_rpc tg Proto.Continue
+  | _ -> (
+      match run_rpc tg Proto.Continue with
+      | Stopped { signal; code = _; ctx_addr } when cond_suppresses tg ~signal ~ctx_addr
+        ->
+          continue_exn d tg
+      | st -> st)
 
 let guard_dead (tg : target) (f : unit -> 'a) : ('a, dead) result =
   if is_postmortem tg then Error (`Dead_process (dead_msg tg))
@@ -515,7 +578,61 @@ let break_line ?file (d : t) (tg : target) ~(line : int) : int list =
       addr)
     stops
 
-let clear_breakpoint (tg : target) ~addr = Breakpoint.remove tg.tg_breaks tg.tg_wire ~addr
+(* --- breakpoint conditions ------------------------------------------------ *)
+
+(** Attach a compiled condition to the breakpoint at [addr], preferring
+    the nub-side site: the bytecode is verified {e again} here — nothing
+    the verifier rejects reaches the wire, whatever produced it — then
+    shipped with [Set_cond].  A nub that refuses it (an old nub without
+    the extension, or one whose own verification disagrees) demotes the
+    condition to debugger-side evaluation, which needs no cooperation.
+    Returns the site that ended up owning the condition. *)
+let set_condition (_d : t) (tg : target) ~(addr : int) ~(text : string)
+    (prog : Ldb_nub.Bpcode.prog) :
+    (Breakpoint.cond_site, [ `Unverified of Ldb_nub.Bpverify.finding list ]) result =
+  let bp =
+    match Hashtbl.find_opt tg.tg_breaks addr with
+    | Some bp -> bp
+    | None -> fail "no breakpoint at %#x to attach a condition to" addr
+  in
+  match Ldb_nub.Bpverify.verify tg.tg_tdesc prog with
+  | _ :: _ as findings -> Error (`Unverified findings)
+  | [] ->
+      let site =
+        match tg.tg_conn with
+        | Postmortem _ -> `Debugger
+        | Live tr -> (
+            match
+              Transport.rpc tr (Proto.Set_cond { addr; prog = Ldb_nub.Bpcode.encode prog })
+            with
+            | Proto.Stored -> `Nub
+            | Proto.Nub_error _ -> `Debugger
+            | r -> fail "unexpected reply to Set_cond: %s" (Fmt.str "%a" Proto.pp_reply r)
+            | exception Transport.Error _ -> `Debugger)
+      in
+      bp.Breakpoint.bp_cond <-
+        Some { Breakpoint.c_text = text; c_prog = prog; c_site = site; c_suppressed = 0 };
+      Ok site
+
+(** Drop the condition on the breakpoint at [addr] (the breakpoint
+    itself stays).  A nub-side condition is cleared in the nub too; a
+    dead link only loses the RPC, and the nub clears its table on the
+    next attach anyway. *)
+let clear_condition (tg : target) ~(addr : int) : unit =
+  match Hashtbl.find_opt tg.tg_breaks addr with
+  | Some ({ Breakpoint.bp_cond = Some c; _ } as bp) ->
+      bp.Breakpoint.bp_cond <- None;
+      (match (c.Breakpoint.c_site, tg.tg_conn) with
+      | `Nub, Live tr -> (
+          match Transport.rpc tr (Proto.Clear_cond { addr }) with
+          | _ -> ()
+          | exception Transport.Error _ -> ())
+      | _ -> ())
+  | _ -> ()
+
+let clear_breakpoint (tg : target) ~addr =
+  clear_condition tg ~addr;
+  Breakpoint.remove tg.tg_breaks tg.tg_wire ~addr
 
 (* --- stack frames -------------------------------------------------------------- *)
 

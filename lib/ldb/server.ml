@@ -105,6 +105,9 @@ type stats = {
   mutable sv_downs : int;  (** sessions that went down *)
   mutable sv_heartbeats : int;  (** probes sent *)
   mutable sv_heals : int;  (** Unresponsive -> Healthy transitions *)
+  mutable sv_cond_compiles : int;  (** breakpoint-condition compilations asked for *)
+  mutable sv_cond_rejected : int;  (** conditions the verifier refused to ship *)
+  mutable sv_cond_hits : int;  (** stops delivered because a condition was true *)
 }
 
 type log_entry = { ev_tick : int; ev_session : int; ev_line : string }
@@ -113,6 +116,21 @@ let log_entry_to_string e =
   Printf.sprintf "[tick %4d] session %3d: %s" e.ev_tick e.ev_session e.ev_line
 
 let max_log_entries = 4096
+
+(** How a server turns condition text into verified bytecode.  The
+    expression server lives a library above this one, so the compiler is
+    injected (see {!set_cond_compiler}); a server without one refuses
+    [Condition] commands, typedly. *)
+type cond_compiler =
+  Ldb.t ->
+  Ldb.target ->
+  addr:int ->
+  string ->
+  ( Ldb_nub.Bpcode.prog,
+    [ `Error of string
+    | `Unsupported of string
+    | `Unverified of Ldb_nub.Bpverify.finding list ] )
+  result
 
 type t = {
   sv_d : Ldb.t;  (** the one debugger (and interpreter) under every session *)
@@ -124,6 +142,7 @@ type t = {
   mutable sv_tick : int;
   mutable sv_log : log_entry list;  (** newest first, bounded *)
   mutable sv_log_len : int;
+  mutable sv_compile_cond : cond_compiler option;
 }
 
 let create ?(limits = default_limits) () : t =
@@ -134,12 +153,16 @@ let create ?(limits = default_limits) () : t =
     sv_limits = limits;
     sv_stats =
       { sv_opened = 0; sv_cache_hits = 0; sv_cache_misses = 0; sv_refused = 0;
-        sv_failed = 0; sv_downs = 0; sv_heartbeats = 0; sv_heals = 0 };
+        sv_failed = 0; sv_downs = 0; sv_heartbeats = 0; sv_heals = 0;
+        sv_cond_compiles = 0; sv_cond_rejected = 0; sv_cond_hits = 0 };
     sv_next_id = 1;
     sv_tick = 0;
     sv_log = [];
     sv_log_len = 0;
+    sv_compile_cond = None;
   }
+
+let set_cond_compiler (sv : t) (f : cond_compiler) : unit = sv.sv_compile_cond <- Some f
 
 let stats (sv : t) : stats = sv.sv_stats
 let debugger (sv : t) : Ldb.t = sv.sv_d
@@ -178,6 +201,8 @@ let live_sessions (sv : t) : int =
 type command =
   | Break_function of string
   | Break_line of { file : string option; line : int }
+  | Condition of { addr : int; cond : string }
+      (** compile, verify and attach a condition to the breakpoint at [addr] *)
   | Continue
   | Step_source
   | Where
@@ -192,6 +217,7 @@ let command_name = function
   | Break_function f -> "break " ^ f
   | Break_line { file; line } ->
       Printf.sprintf "break %s:%d" (Option.value ~default:"*" file) line
+  | Condition { addr; cond } -> Printf.sprintf "condition %#x if %s" addr cond
   | Continue -> "continue"
   | Step_source -> "step"
   | Where -> "where"
@@ -387,6 +413,24 @@ let rpcs_since_tick (s : session) : int =
 
 exception Refused of refusal
 
+(** A delivered stop at a breakpoint that carries a condition is, by
+    construction, a {e true} hit (false ones were resumed silently, on
+    whichever side evaluates); count and log it with its suppressions. *)
+let count_cond_hit (sv : t) (s : session) (st : Ldb.state) : unit =
+  match st with
+  | Ldb.Stopped { ctx_addr; _ } -> (
+      let tg = s.ss_tg in
+      match
+        Hashtbl.find_opt tg.Ldb.tg_breaks (Ldb.read_ctx_pc tg ctx_addr)
+      with
+      | Some { Breakpoint.bp_cond = Some c; bp_addr; _ } ->
+          sv.sv_stats.sv_cond_hits <- sv.sv_stats.sv_cond_hits + 1;
+          log sv s.ss_id "condition %s true at %#x (%d silent resume%s so far)"
+            c.Breakpoint.c_text bp_addr c.Breakpoint.c_suppressed
+            (if c.Breakpoint.c_suppressed = 1 then "" else "s")
+      | _ -> ())
+  | _ -> ()
+
 (** Run one command for one session.  Raises only {!Refused}; every other
     failure mode is converted here — this is the isolation boundary. *)
 let run_command (sv : t) (s : session) (cmd : command) : reply =
@@ -396,9 +440,36 @@ let run_command (sv : t) (s : session) (cmd : command) : reply =
   match cmd with
   | Break_function f -> R_addr (Ldb.break_function d tg f)
   | Break_line { file; line } -> R_addrs (Ldb.break_line ?file d tg ~line)
+  | Condition { addr; cond } -> (
+      match sv.sv_compile_cond with
+      | None -> raise (Refused (Failed "this server has no condition compiler"))
+      | Some compile -> (
+          sv.sv_stats.sv_cond_compiles <- sv.sv_stats.sv_cond_compiles + 1;
+          let rejected fs =
+            sv.sv_stats.sv_cond_rejected <- sv.sv_stats.sv_cond_rejected + 1;
+            let msg =
+              String.concat "; " (List.map Ldb_nub.Bpverify.finding_to_string fs)
+            in
+            log sv s.ss_id "condition at %#x rejected by the verifier: %s" addr msg;
+            raise (Refused (Failed ("unverified condition: " ^ msg)))
+          in
+          match compile d tg ~addr cond with
+          | Ok prog -> (
+              match Ldb.set_condition d tg ~addr ~text:cond prog with
+              | Ok site ->
+                  let where =
+                    match site with `Nub -> "on the nub" | `Debugger -> "in the debugger"
+                  in
+                  log sv s.ss_id "condition at %#x: %s (runs %s)" addr cond where;
+                  R_text (match site with `Nub -> "nub" | `Debugger -> "debugger")
+              | Error (`Unverified fs) -> rejected fs)
+          | Error (`Unverified fs) -> rejected fs
+          | Error (`Unsupported m) | Error (`Error m) -> raise (Refused (Failed m))))
   | Continue -> (
       match Ldb.continue_ d tg with
-      | Ok st -> R_state st
+      | Ok st ->
+          count_cond_hit sv s st;
+          R_state st
       | Error (`Dead_process m) -> dead m)
   | Step_source -> (
       match Ldb.step_source d tg with

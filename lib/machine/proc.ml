@@ -109,15 +109,24 @@ let step p =
       | Cpu.Sys n -> do_syscall p n
       | Cpu.Trap (s, code) -> p.status <- Stopped (s, code))
 
+let default_fuel = 50_000_000
+
 (** Run until the process stops, exits, or [fuel] instructions have retired.
-    Returns the resulting status ([Running] only on fuel exhaustion). *)
-let run ?(fuel = 50_000_000) p =
+    Returns the resulting status ([Running] only on fuel exhaustion) and the
+    number of instructions retired — the nub charges condition-driven silent
+    resumes against one cumulative budget, so a conditional breakpoint in an
+    infinite loop still surfaces as fuel exhaustion rather than a hang. *)
+let run_counted ?(fuel = default_fuel) p =
   let n = ref 0 in
   while p.status = Running && !n < fuel do
     step p;
     incr n
   done;
-  p.status
+  (p.status, !n)
+
+(** Run until the process stops, exits, or [fuel] instructions have retired.
+    Returns the resulting status ([Running] only on fuel exhaustion). *)
+let run ?(fuel = default_fuel) p = fst (run_counted ~fuel p)
 
 (** Clear a stop so execution can proceed (the nub uses this when told to
     continue). *)

@@ -4,11 +4,25 @@
     data memory, notifies the debugger, and services fetch and store
     requests until told to continue, terminate, or break the connection.
 
-    The nub knows nothing about breakpoints — those are implemented
-    entirely in the debugger with ordinary fetches and stores, exactly as
-    in the paper.  Single-stepping is the optional protocol extension of
-    Sec. 7.1: a nub may advertise it ([can_step]) or not, and the debugger
-    works either way.
+    The nub knows nothing about breakpoint {e planting} — that is
+    implemented entirely in the debugger with ordinary fetches and
+    stores, exactly as in the paper.  Single-stepping is the optional
+    protocol extension of Sec. 7.1: a nub may advertise it ([can_step])
+    or not, and the debugger works either way.
+
+    The conditional-breakpoint extension ([Set_cond]/[Clear_cond]) lets
+    the debugger attach a {!Bpcode} program to a trap address: when the
+    target traps there, the nub evaluates the condition against the
+    saved context and resumes silently when it is false, so a condition
+    in a hot loop costs zero round trips per miss.  The nub {e re-runs
+    the static verifier} ({!Bpverify}) on every program it receives —
+    it never trusts the debugger's claim of safety, so a hostile or
+    buggy peer cannot wedge the target with an unbounded or wild
+    program.  Evaluation faults (a refused load on the live target) are
+    conservative: the nub stops and reports, never loops blind.
+    Silent resumes are charged against the same per-continue fuel
+    budget as ordinary execution, so a satisfied-never condition in an
+    infinite loop still surfaces as SIGINT fuel exhaustion.
 
     Machine dependence is confined to:
     - the context layout (a sigcontext works on SIM-MIPS/SIM-SPARC; the
@@ -47,6 +61,13 @@ type t = {
       (** serialized {!Core} dump of the current stop; written when the
           target dies (fatal signal, kill) and served in chunks to
           [Dump] requests, surviving even the process's exit *)
+  conds : (int, Bpcode.prog) Hashtbl.t;
+      (** verified condition programs keyed by trap address *)
+  mutable suppressed : int;
+      (** trap visits resumed silently since the last reported hit *)
+  mutable cond_hit : bool;
+      (** the current stop came from a condition that held (or faulted):
+          report it as {!Proto.Cond_hit}, not a plain {!Proto.Event} *)
 }
 
 let ctx_base = Ram.Layout.context_base
@@ -57,10 +78,13 @@ let max_cached_replies = 8
 let create ?(fuel = 50_000_000) ?(can_step = true) (proc : Proc.t) =
   { proc; conn = None; resume = false; step = false; killed = false; fuel; notified = false;
     can_step; last_seq = 0; cur_seq = 0; replies = []; rx_mark = 0; rx_quiet = 0;
-    core = None }
+    core = None; conds = Hashtbl.create 4; suppressed = 0; cond_hit = false }
 
 (** Number of sealed replies currently cached (tests assert the bound). *)
 let cached_replies n = List.length n.replies
+
+(** Number of condition programs currently installed (for tests). *)
+let conditions n = Hashtbl.length n.conds
 
 let target n = n.proc.Proc.target
 let ram n = n.proc.Proc.ram
@@ -140,6 +164,45 @@ let record_core ?(force = false) n =
         Some (Core.to_string (Core.of_proc n.proc ~signal:(Signal.number s) ~code))
   | _ -> ()
 
+(* --- breakpoint conditions ---------------------------------------------- *)
+
+(** The condition evaluator's view of the stopped target: registers and
+    pc from the saved context, memory through the same {!Core.Service}
+    semantics the wire uses — so every value here is byte-identical to
+    what the debugger would compute over fetches of the same state. *)
+let cond_env n : Bpcode.env =
+  let t = target n in
+  {
+    Bpcode.rd_reg = (fun r -> Ram.get_u32 (ram n) (ctx_base + t.Target.ctx_reg_off r));
+    rd_pc = (fun () -> Ram.get_u32 (ram n) (ctx_base + t.Target.ctx_pc_off));
+    load =
+      (fun ~space ~addr ~size ~signed ->
+        match Core.Service.fetch t (ram n) ~space ~addr ~size with
+        | Error m -> Error m
+        | Ok bytes ->
+            (* canonical little-endian bytes → int32, extended per signedness *)
+            let v = ref 0 in
+            String.iteri (fun i ch -> v := !v lor (Char.code ch lsl (8 * i))) bytes;
+            let v = if signed then Ldb_util.Endian.sext !v (8 * size) else !v in
+            Ok (Int32.of_int v));
+  }
+
+(** Judge the current stop against the installed conditions.  [None]:
+    not a trap with a condition — report as usual.  [Some true]: the
+    condition held, or its evaluation faulted (a refused load on the
+    live target) — stop conservatively and report.  [Some false]: a
+    miss, resume silently. *)
+let cond_verdict n : bool option =
+  match n.proc.Proc.status with
+  | Proc.Stopped (SIGTRAP, _) -> (
+      match Hashtbl.find_opt n.conds (Proc.pc n.proc) with
+      | None -> None
+      | Some prog -> (
+          match Bpcode.eval (cond_env n) prog with
+          | Ok hit -> Some hit
+          | Error _ -> Some true))
+  | _ -> None
+
 (* --- stop reporting ---------------------------------------------------- *)
 
 let stop_state n : Proto.stop_state =
@@ -168,7 +231,16 @@ let notify n =
   match (n.conn, n.proc.Proc.status) with
   | Some ep, Proc.Stopped (s, code) when Chan.is_connected ep && not n.notified ->
       n.notified <- true;
-      send_reply n ep (Proto.Event { signal = Signal.number s; code; ctx_addr = ctx_base })
+      if n.cond_hit then begin
+        n.cond_hit <- false;
+        let suppressed = n.suppressed in
+        n.suppressed <- 0;
+        send_reply n ep
+          (Proto.Cond_hit
+             { signal = Signal.number s; code; ctx_addr = ctx_base; suppressed })
+      end
+      else
+        send_reply n ep (Proto.Event { signal = Signal.number s; code; ctx_addr = ctx_base })
   | Some ep, Proc.Exited st when Chan.is_connected ep && not n.notified ->
       n.notified <- true;
       send_reply n ep (Proto.Exit_event st)
@@ -182,14 +254,33 @@ let notify n =
 let rx_stall_limit = 8
 
 let run_target n =
-  (match Proc.run ~fuel:n.fuel n.proc with
-  | Proc.Running ->
-      (* fuel exhausted: behave like an interrupt *)
-      n.proc.Proc.status <- Proc.Stopped (SIGINT, 0)
-  | _ -> ());
-  (match n.proc.Proc.status with
-  | Proc.Stopped _ -> save_context n
-  | _ -> ());
+  (* one cumulative fuel budget per continue: silent condition-driven
+     resumes below burn from the same tank, so a never-true condition in
+     an infinite loop still ends in a SIGINT, not a hang *)
+  let fuel = ref n.fuel in
+  let continue = ref true in
+  while !continue do
+    let status, used = Proc.run_counted ~fuel:!fuel n.proc in
+    fuel := !fuel - used;
+    (match status with
+    | Proc.Running ->
+        (* fuel exhausted: behave like an interrupt *)
+        n.proc.Proc.status <- Proc.Stopped (SIGINT, 0)
+    | _ -> ());
+    (match n.proc.Proc.status with
+    | Proc.Stopped _ -> save_context n
+    | _ -> ());
+    match cond_verdict n with
+    | Some false ->
+        (* a miss: skip the trapped no-op and resume — no RPC, no report *)
+        n.suppressed <- n.suppressed + 1;
+        Proc.set_pc n.proc (Proc.pc n.proc + (target n).Target.nop_advance);
+        Proc.set_running n.proc
+    | Some true ->
+        n.cond_hit <- true;
+        continue := false
+    | None -> continue := false
+  done;
   record_core n;
   n.notified <- false;
   notify n
@@ -254,6 +345,23 @@ let serve_one n (ep : Chan.endpoint) (req : Proto.request) =
             let len = min Proto.max_core_chunk (total - offset) in
             send_reply n ep
               (Proto.Core_chunk { total; offset; chunk = String.sub dump offset len }))
+  | Proto.Set_cond { addr; prog } -> (
+      (* never trust the peer: decode totally, then re-verify.  A program
+         the verifier rejects is refused before it can ever run. *)
+      match Bpcode.decode prog with
+      | Error m -> send_reply n ep (Proto.Nub_error ("nub: bad condition: " ^ m))
+      | Ok p -> (
+          match Bpverify.verify (target n) p with
+          | [] ->
+              Hashtbl.replace n.conds addr p;
+              send_reply n ep Proto.Stored
+          | f :: _ ->
+              send_reply n ep
+                (Proto.Nub_error
+                   ("nub: unverified condition: " ^ Bpverify.finding_to_string f))))
+  | Proto.Clear_cond { addr } ->
+      Hashtbl.remove n.conds addr;
+      send_reply n ep Proto.Stored
 
 (** Serve one incoming frame, enforcing at-most-once execution: a frame
     numbered at or below the last served request is a duplicate of a
@@ -350,6 +458,11 @@ let attach n (ep : Chan.endpoint) =
   n.replies <- [];
   n.rx_mark <- 0;
   n.rx_quiet <- 0;
+  (* conditions belong to the debugger that shipped them; a fresh
+     debugger re-ships the ones it wants *)
+  Hashtbl.reset n.conds;
+  n.suppressed <- 0;
+  n.cond_hit <- false;
   n.notified <- true (* new debugger learns state from its Hello *)
 
 (** Start the target under the nub.  [paused] mimics the one-line "pause"

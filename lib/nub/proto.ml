@@ -16,11 +16,15 @@
     The codec is validated by qcheck round-trip and never-raises
     properties in the test suite.
 
-    Deliberately absent, as in the paper: breakpoint messages.
-    Breakpoints are implemented entirely in the debugger with ordinary
-    fetches and stores.  [Step] is the optional protocol extension the
-    paper's Sec. 7.1 anticipates: a nub may not offer it, and the
-    debugger must keep functioning when it doesn't. *)
+    Deliberately absent, as in the paper: breakpoint {e planting}
+    messages.  Breakpoints are implemented entirely in the debugger with
+    ordinary fetches and stores.  [Step] is the optional protocol
+    extension the paper's Sec. 7.1 anticipates: a nub may not offer it,
+    and the debugger must keep functioning when it doesn't.  The one
+    breakpoint-adjacent extension is the conditional pair
+    [Set_cond]/[Clear_cond]: a verified {!Bpcode} program shipped to the
+    nub so a condition in a hot loop is decided target-side instead of
+    costing a round trip per trap (see {!Bpverify}). *)
 
 open Ldb_util
 
@@ -39,6 +43,14 @@ type request =
       (** request a window of the target's core dump starting at byte
           [offset]; the dump is serialized once per stop and served in
           {!Core_chunk} pieces of at most {!max_core_chunk} bytes *)
+  | Set_cond of { addr : int; prog : string }
+      (** attach a verified {!Bpcode} program to the breakpoint at
+          [addr]: on a trap there, the nub evaluates the condition and
+          resumes silently unless it holds.  The nub re-verifies the
+          program on receipt — a hostile debugger cannot ship unproved
+          code — and answers {!Stored} or {!Nub_error}. *)
+  | Clear_cond of { addr : int }
+      (** forget the condition at [addr]; traps there report again *)
 
 type stop_state =
   | St_running
@@ -56,6 +68,10 @@ type reply =
   | Core_chunk of { total : int; offset : int; chunk : string }
       (** a window of the serialized core dump: [total] is the whole
           dump's size, [chunk] the bytes starting at [offset] *)
+  | Cond_hit of { signal : int; code : int; ctx_addr : int; suppressed : int }
+      (** unsolicited, like {!Event}, but from a conditional breakpoint
+          whose condition held; [suppressed] counts the trap visits the
+          nub resumed silently since the last report *)
 
 (* --- field limits ------------------------------------------------------ *)
 
@@ -72,6 +88,11 @@ let max_string = 4096
     [max_string] (and the frame payload limit) so a dump transfer is just
     an ordinary sequence of framed RPCs. *)
 let max_core_chunk = 2048
+
+(** Condition programs per {!Set_cond}: bounded like {!max_string}, and
+    aligned with {!Bpcode.max_prog_bytes} so a length the bytecode layer
+    would refuse never even decodes. *)
+let max_cond_prog = 1024
 
 (* --- serialization ---------------------------------------------------- *)
 
@@ -108,6 +129,13 @@ let encode_request (r : request) : string =
   | Kill -> "K"
   | Detach -> "D"
   | Dump { offset } -> "U" ^ u32_to_le offset
+  | Set_cond { addr; prog } ->
+      let n = String.length prog in
+      if n < 1 || n > max_cond_prog then
+        raise (Encode_error (Printf.sprintf "condition program of %d bytes outside 1..%d"
+                               n max_cond_prog));
+      "B" ^ u32_to_le addr ^ u32_to_le n ^ prog
+  | Clear_cond { addr } -> "Q" ^ u32_to_le addr
 
 let encode_reply (r : reply) : string =
   match r with
@@ -132,6 +160,8 @@ let encode_reply (r : reply) : string =
       if String.length chunk > max_core_chunk then
         raise (Encode_error "core chunk too long");
       "u" ^ u32_to_le total ^ u32_to_le offset ^ str16 chunk
+  | Cond_hit { signal; code; ctx_addr; suppressed } ->
+      "j" ^ u32_to_le signal ^ u32_to_le code ^ u32_to_le ctx_addr ^ u32_to_le suppressed
 
 (* --- deserialization (total) ------------------------------------------- *)
 
@@ -203,6 +233,13 @@ let decode_request : string -> (request, string) result =
       | 'K' -> Kill
       | 'D' -> Detach
       | 'U' -> Dump { offset = u32 c "dump offset" }
+      | 'B' ->
+          let addr = u32 c "condition address" in
+          let len = u32 c "condition length" in
+          if len < 1 || len > max_cond_prog then
+            raise (Bad (Printf.sprintf "condition length outside 1..%d" max_cond_prog));
+          Set_cond { addr; prog = take c len "condition program" }
+      | 'Q' -> Clear_cond { addr = u32 c "condition address" }
       | op -> raise (Bad (Printf.sprintf "unknown request opcode %C" op)))
 
 (** Decode a complete reply message.  Total, like {!decode_request}. *)
@@ -247,6 +284,12 @@ let decode_reply : string -> (reply, string) result =
           if String.length chunk > max_core_chunk then
             raise (Bad "core chunk exceeds limit");
           Core_chunk { total; offset; chunk }
+      | 'j' ->
+          let signal = u32 c "hit signal" in
+          let code = u32 c "hit code" in
+          let ctx_addr = u32 c "hit context" in
+          let suppressed = u32 c "hit suppressed count" in
+          Cond_hit { signal; code; ctx_addr; suppressed }
       | op -> raise (Bad (Printf.sprintf "unknown reply opcode %C" op)))
 
 let pp_request ppf = function
@@ -259,6 +302,8 @@ let pp_request ppf = function
   | Kill -> Fmt.string ppf "Kill"
   | Detach -> Fmt.string ppf "Detach"
   | Dump { offset } -> Fmt.pf ppf "Dump@%#x" offset
+  | Set_cond { addr; prog } -> Fmt.pf ppf "SetCond %#x/%d" addr (String.length prog)
+  | Clear_cond { addr } -> Fmt.pf ppf "ClearCond %#x" addr
 
 let pp_reply ppf = function
   | Hello_reply { arch; _ } -> Fmt.pf ppf "HelloReply(%s)" arch
@@ -269,3 +314,5 @@ let pp_reply ppf = function
   | Nub_error m -> Fmt.pf ppf "Error(%s)" m
   | Core_chunk { total; offset; chunk } ->
       Fmt.pf ppf "Core %d+%d/%d" offset (String.length chunk) total
+  | Cond_hit { signal; suppressed; _ } ->
+      Fmt.pf ppf "CondHit(sig %d, %d suppressed)" signal suppressed

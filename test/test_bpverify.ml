@@ -1,0 +1,439 @@
+(** Tests for the breakpoint-condition bytecode and its static verifier:
+    a corpus of malformed and hostile programs that must all be rejected
+    (and refused with a typed error before any RPC is issued), qcheck
+    properties (decode totality, encode/decode round trips, and the
+    soundness theorem: a verifier-accepted program never traps the
+    evaluator), and differential tests proving nub-side and
+    debugger-side condition evaluation byte-identical on all four
+    targets — with the nub site costing orders of magnitude fewer RPCs
+    on a hot loop. *)
+
+open Ldb_machine
+module B = Ldb_nub.Bpcode
+module Bpverify = Ldb_nub.Bpverify
+module Ldb = Ldb_ldb.Ldb
+module Transport = Ldb_ldb.Transport
+module Breakpoint = Ldb_ldb.Breakpoint
+module Eval = Ldb_exprserver.Eval
+
+let check = Alcotest.check
+
+(* --- the hostile corpus ------------------------------------------------- *)
+
+let d4 = B.Load { space = 'd'; size = 4; signed = true }
+
+let data_addr = Int32.of_int (Ram.Layout.data_base + 16)
+
+(** More static cost than the fuel bound allows, without any other flaw:
+    a long chain of valid loads summed pairwise (the encoder would refuse
+    a program this long, but [verify] takes the decoded array — a
+    hostile peer can hand the nub's verifier anything). *)
+let cost_bomb : B.prog =
+  Array.concat
+    ([ [| B.Push data_addr; d4 |] ]
+    @ List.init 450 (fun _ -> [| B.Push data_addr; d4; B.Bin B.Add |]))
+
+(** A register that is neither sp nor fp on [tg]. *)
+let plain_reg (tg : Target.t) =
+  let rec go r =
+    if r = tg.Target.sp || tg.Target.fp = Some r then go (r + 1) else r
+  in
+  go 0
+
+(** name, program, expected-finding predicate.  Every entry must be
+    rejected, with at least one finding satisfying the predicate. *)
+let corpus (tg : Target.t) : (string * B.prog * (Bpverify.finding -> bool)) list =
+  let underflow = function Bpverify.Underflow _ -> true | _ -> false in
+  let wild = function Bpverify.Wild_read _ -> true | _ -> false in
+  let bad_result = function Bpverify.Bad_result _ -> true | _ -> false in
+  let zero_div = function Bpverify.Zero_divisor _ -> true | _ -> false in
+  [
+    ("empty program", [||], (function Bpverify.Empty_program -> true | _ -> false));
+    ("binop underflow", [| B.Bin B.Add |], underflow);
+    ("not underflow", [| B.Not |], underflow);
+    ("compare underflow", [| B.Push 1l; B.Cmp { rel = B.Eq; signed = true } |], underflow);
+    ( "stack overflow",
+      Array.init (B.max_stack + 1) (fun _ -> B.Push 1l),
+      (function Bpverify.Overflow _ -> true | _ -> false) );
+    ( "bad register",
+      [| B.Load_reg 250 |],
+      (function Bpverify.Bad_reg _ -> true | _ -> false) );
+    ("wild absolute read", [| B.Push 0l; d4 |], wild);
+    ( "read past the data segment",
+      [| B.Push (Int32.of_int (Ram.Layout.size - 2)); d4 |],
+      wild );
+    ( "register-relative code read",
+      [| B.Load_reg tg.Target.sp; B.Load { space = 'c'; size = 4; signed = false } |],
+      wild );
+    ("address from a plain register", [| B.Load_reg (plain_reg tg); d4 |], wild);
+    ( "frame offset beyond the bound",
+      [| B.Load_reg tg.Target.sp; B.Push 100000l; B.Bin B.Add; d4 |],
+      wild );
+    ( "boolean used as address",
+      [| B.Push 1l; B.Push 2l; B.Cmp { rel = B.Eq; signed = true }; d4 |],
+      (function Bpverify.Type_clash _ -> true | _ -> false) );
+    ( "backward jump",
+      [| B.Push 1l; B.Jmp (-2) |],
+      (function Bpverify.Backward_jump _ -> true | _ -> false) );
+    ( "jump past the end",
+      [| B.Push 1l; B.Jmp 100 |],
+      (function Bpverify.Jump_out_of_range _ -> true | _ -> false) );
+    ( "jump before the start",
+      [| B.Push 1l; B.Jz (-5) |],
+      (function Bpverify.Jump_out_of_range _ -> true | _ -> false) );
+    ( "paths meet at different depths",
+      [| B.Push 1l; B.Jz 1; B.Push 2l; B.Push 3l |],
+      (function Bpverify.Depth_mismatch _ -> true | _ -> false) );
+    ("two results left", [| B.Push 1l; B.Push 2l |], bad_result);
+    ("empty stack at the halt", [| B.Jmp 0 |], bad_result);
+    ("divide by constant zero", [| B.Push 1l; B.Push 0l; B.Bin B.Divs |], zero_div);
+    ("remainder by constant zero", [| B.Push 1l; B.Push 0l; B.Bin B.Remu |], zero_div);
+    ( "static cost exceeds fuel",
+      cost_bomb,
+      (function Bpverify.Cost_bound _ -> true | _ -> false) );
+  ]
+
+let test_corpus_rejected () =
+  List.iter
+    (fun arch ->
+      let tg = Target.of_arch arch in
+      List.iter
+        (fun (name, prog, pred) ->
+          let findings = Bpverify.verify tg prog in
+          let label = Arch.name arch ^ ": " ^ name in
+          check Alcotest.bool (label ^ " rejected") false (findings = []);
+          check Alcotest.bool
+            (label ^ " expected finding among: "
+            ^ String.concat "; " (List.map Bpverify.finding_to_string findings))
+            true
+            (List.exists pred findings))
+        (corpus tg))
+    Arch.all
+
+(** What the compiler actually emits must pass: frame-local loads off
+    sp/fp, absolute global loads, compares, short-circuit jumps. *)
+let test_exemplars_accepted () =
+  List.iter
+    (fun arch ->
+      let tg = Target.of_arch arch in
+      let frameish =
+        [| B.Load_reg tg.Target.sp; B.Push 8l; B.Bin B.Add; d4; B.Push 10l;
+           B.Cmp { rel = B.Lt; signed = true } |]
+      in
+      let global =
+        [| B.Push data_addr; d4; B.Push 0l; B.Cmp { rel = B.Ne; signed = true } |]
+      in
+      let short_circuit =
+        (* a && b compiled with forward jumps: a; jz +5; b-cmp; jmp +1; push 0 *)
+        [| B.Push data_addr; d4; B.Jz 5; B.Push data_addr; d4;
+           B.Push 0l; B.Cmp { rel = B.Ne; signed = true }; B.Jmp 1; B.Push 0l |]
+      in
+      List.iter
+        (fun (name, p) ->
+          check Alcotest.bool
+            (Arch.name arch ^ ": " ^ name ^ ": "
+            ^ String.concat "; "
+                (List.map Bpverify.finding_to_string (Bpverify.verify tg p)))
+            true (Bpverify.accepts tg p))
+        [ ("frame-local compare", frameish); ("global compare", global);
+          ("short-circuit and", short_circuit) ])
+    Arch.all
+
+(* --- the evaluator's own belt (unverified programs fault, never hang) --- *)
+
+let benign_env : B.env =
+  {
+    B.rd_reg = (fun r -> Int32.of_int (0x1000 + r));
+    rd_pc = (fun () -> 0x2000l);
+    load = (fun ~space:_ ~addr:_ ~size:_ ~signed:_ -> Ok 7l);
+  }
+
+let test_eval_faults_are_typed () =
+  (match B.eval benign_env [| B.Jmp (-1) |] with
+  | Error B.Fuel -> ()
+  | r -> Alcotest.failf "infinite loop: expected fuel fault, got %s"
+           (match r with Ok b -> string_of_bool b | Error f -> B.fault_to_string f));
+  (match B.eval benign_env [| B.Bin B.Add |] with
+  | Error B.Stack_underflow -> ()
+  | _ -> Alcotest.fail "underflow not faulted");
+  (match B.eval benign_env (Array.init (B.max_stack + 1) (fun _ -> B.Push 1l)) with
+  | Error B.Stack_overflow -> ()
+  | _ -> Alcotest.fail "overflow not faulted");
+  (match B.eval benign_env [| B.Push 1l; B.Jmp 100 |] with
+  | Error (B.Bad_jump _) -> ()
+  | _ -> Alcotest.fail "wild jump not faulted");
+  match
+    B.eval
+      { benign_env with B.load = (fun ~space:_ ~addr:_ ~size:_ ~signed:_ -> Error "nope") }
+      [| B.Push data_addr; d4 |]
+  with
+  | Error (B.Load_fault _) -> ()
+  | _ -> Alcotest.fail "refused load not faulted"
+
+(** Total semantics: division and remainder by a dynamic zero yield 0. *)
+let test_division_by_zero_is_zero () =
+  List.iter
+    (fun op ->
+      match B.eval benign_env [| B.Push 7l; B.Push 0l; B.Bin op |] with
+      | Ok false -> ()   (* 0 is "no hit" *)
+      | Ok true -> Alcotest.fail "div by zero nonzero"
+      | Error f -> Alcotest.failf "div by zero faulted: %s" (B.fault_to_string f))
+    [ B.Divs; B.Divu; B.Rems; B.Remu ]
+
+(* --- qcheck ------------------------------------------------------------- *)
+
+let gen_insn : B.insn QCheck.Gen.t =
+  let open QCheck.Gen in
+  oneof
+    [
+      map (fun v -> B.Push (Int32.of_int v)) (int_range (-1000) 1000000);
+      return (B.Push data_addr);
+      map (fun r -> B.Load_reg r) (int_bound 40);
+      return B.Load_pc;
+      map3
+        (fun space size signed -> B.Load { space; size; signed })
+        (oneofl [ 'c'; 'd' ]) (oneofl [ 1; 2; 4 ]) bool;
+      map (fun op -> B.Bin op)
+        (oneofl
+           [ B.Add; B.Sub; B.Mul; B.Divs; B.Divu; B.Rems; B.Remu; B.And; B.Or;
+             B.Xor; B.Shl; B.Shrs; B.Shru ]);
+      map2
+        (fun rel signed -> B.Cmp { rel; signed })
+        (oneofl [ B.Eq; B.Ne; B.Lt; B.Le; B.Gt; B.Ge ]) bool;
+      return B.Not;
+      map (fun o -> B.Jz o) (int_range (-3) 6);
+      map (fun o -> B.Jnz o) (int_range (-3) 6);
+      map (fun o -> B.Jmp o) (int_range (-3) 6);
+    ]
+
+let arb_prog =
+  QCheck.make ~print:B.to_string
+    QCheck.Gen.(map Array.of_list (list_size (int_bound 20) gen_insn))
+
+(** Soundness: on any program the verifier accepts, the evaluator reaches
+    a verdict — it never underflows, overflows, runs out of fuel, or
+    jumps wild (and with an env whose loads always answer, never faults
+    at all). *)
+let prop_accepted_never_traps =
+  let tg = Target.of_arch Mips in
+  Testkit.qtest "verifier-accepted programs never trap the evaluator" ~count:2000
+    arb_prog (fun p ->
+      (not (Bpverify.accepts tg p))
+      || (match B.eval benign_env p with Ok _ -> true | Error _ -> false))
+
+let prop_encode_decode_roundtrip =
+  Testkit.qtest "encode/decode round trip" ~count:500 arb_prog (fun p ->
+      match B.decode (B.encode p) with Ok q -> q = p | Error _ -> false)
+
+let prop_decode_total =
+  Testkit.qtest "decode never raises on arbitrary bytes" ~count:1000
+    QCheck.(string_gen QCheck.Gen.char)
+    (fun s -> match B.decode s with Ok _ | Error _ -> true)
+
+(* --- typed refusal before the wire -------------------------------------- *)
+
+let rpcs (s : Testkit.session) =
+  (Transport.stats (Ldb.transport s.Testkit.tg)).Transport.st_rpcs
+
+(** Every corpus program handed to {!Ldb.set_condition} comes back as a
+    typed [`Unverified] — and the transport's RPC counter proves nothing
+    was sent: rejected programs never reach the wire. *)
+let test_refused_before_the_wire () =
+  let s = Testkit.debug_session ~arch:Mips [ ("f.c", Testkit.fib_c) ] in
+  let addr = Ldb.break_function s.Testkit.d s.Testkit.tg "fib" in
+  List.iter
+    (fun (name, prog, pred) ->
+      let before = rpcs s in
+      (match Ldb.set_condition s.Testkit.d s.Testkit.tg ~addr ~text:name prog with
+      | Error (`Unverified findings) ->
+          check Alcotest.bool (name ^ ": expected finding") true
+            (List.exists pred findings)
+      | Ok _ -> Alcotest.failf "%s: hostile program accepted" name);
+      check Alcotest.int (name ^ ": no RPC issued") before (rpcs s))
+    (corpus s.Testkit.tg.Ldb.tg_tdesc)
+
+(* --- differential: nub site vs. debugger site --------------------------- *)
+
+let spin_src =
+  {|
+int g = 0;
+
+void spin(int n)
+{
+    int i;
+    for (i = 0; i < n; i++)
+        g = g + 1;
+    printf("%d\n", g);
+}
+
+int main(void)
+{
+    spin(1000);
+    return 0;
+}
+|}
+
+let contains_sub line sub =
+  let n = String.length sub in
+  let rec go i =
+    i + n <= String.length line && (String.sub line i n = sub || go (i + 1))
+  in
+  go 0
+
+let line_containing src sub =
+  let lines = String.split_on_char '\n' src in
+  let rec go n = function
+    | [] -> Alcotest.failf "no source line contains %S" sub
+    | l :: rest -> if contains_sub l sub then n else go (n + 1) rest
+  in
+  go 1 lines
+
+(** Break at the statement containing [stmt] (trying the neighbouring
+    line if the stopping point is recorded one off). *)
+let break_at (s : Testkit.session) ~src ~stmt : int =
+  let l = line_containing src stmt in
+  let try_line l =
+    match Ldb.break_line s.Testkit.d s.Testkit.tg ~line:l with
+    | a :: _ -> Some a
+    | [] -> None
+    | exception Ldb.Error _ -> None
+  in
+  match try_line l with
+  | Some a -> a
+  | None -> (
+      match try_line (l + 1) with
+      | Some a -> a
+      | None -> Alcotest.failf "no stopping point near %S" stmt)
+
+let compile_ok (s : Testkit.session) sess ~addr expr : B.prog =
+  match Eval.compile_condition s.Testkit.d s.Testkit.tg sess ~addr expr with
+  | Ok prog -> prog
+  | Error (`Error m) -> Alcotest.failf "condition %S: %s" expr m
+  | Error (`Unsupported m) -> Alcotest.failf "condition %S unsupported: %s" expr m
+  | Error (`Unverified fs) ->
+      Alcotest.failf "condition %S unverified: %s" expr
+        (String.concat "; " (List.map Bpverify.finding_to_string fs))
+
+(** Install [prog] as a condition forced to the debugger site, without
+    telling the nub (the fallback path a condition takes when the nub
+    refuses or predates the extension). *)
+let force_debugger_cond (s : Testkit.session) ~addr ~text prog =
+  let bp = Hashtbl.find s.Testkit.tg.Ldb.tg_breaks addr in
+  bp.Breakpoint.bp_cond <-
+    Some { Breakpoint.c_text = text; c_prog = prog; c_site = `Debugger; c_suppressed = 0 }
+
+let suppressed_at (s : Testkit.session) addr =
+  match (Hashtbl.find s.Testkit.tg.Ldb.tg_breaks addr).Breakpoint.bp_cond with
+  | Some c -> c.Breakpoint.c_suppressed
+  | None -> -1
+
+(** Run [spin_src] to completion with condition [expr] at the hot line,
+    evaluated at [site]; return the observed stop sequence (pc, value of
+    [i], cumulative suppressed count) and the exit status. *)
+let run_site arch (site : Breakpoint.cond_site) expr : (int * int * int) list * int =
+  let s = Testkit.debug_session ~arch [ ("spin.c", spin_src) ] in
+  let sess = Eval.start ~arch in
+  let addr = break_at s ~src:spin_src ~stmt:"g = g + 1" in
+  let prog = compile_ok s sess ~addr expr in
+  (match site with
+  | `Nub -> (
+      match Ldb.set_condition s.Testkit.d s.Testkit.tg ~addr ~text:expr prog with
+      | Ok `Nub -> ()
+      | Ok `Debugger -> Alcotest.fail "nub refused a verified condition"
+      | Error (`Unverified _) -> Alcotest.fail "verified program re-refused")
+  | `Debugger -> force_debugger_cond s ~addr ~text:expr prog);
+  let stops = ref [] in
+  let rec go () =
+    match Testkit.ok (Ldb.continue_ s.Testkit.d s.Testkit.tg) with
+    | Ldb.Stopped { ctx_addr; _ } ->
+        let pc = Ldb.read_ctx_pc s.Testkit.tg ctx_addr in
+        let fr = Ldb.top_frame s.Testkit.d s.Testkit.tg in
+        let i = Ldb.read_int_var s.Testkit.d s.Testkit.tg fr "i" in
+        stops := (pc, i, suppressed_at s addr) :: !stops;
+        go ()
+    | Ldb.Exited n -> n
+    | Ldb.Running -> Alcotest.fail "target still running"
+    | Ldb.Detached -> Alcotest.fail "target detached"
+  in
+  let status = go () in
+  (List.rev !stops, status)
+
+let show_stops stops =
+  List.map (fun (pc, i, sup) -> Printf.sprintf "%#x i=%d sup=%d" pc i sup) stops
+
+(** The headline equation: on every target, the nub-side and
+    debugger-side evaluations of the same compiled condition produce the
+    same stop sequence — same pcs, same variable values, same counts of
+    silently resumed traps. *)
+let test_sites_agree_all_archs () =
+  List.iter
+    (fun arch ->
+      let an = Arch.name arch in
+      let nub_stops, nub_status = run_site arch `Nub "i % 300 == 0" in
+      let dbg_stops, dbg_status = run_site arch `Debugger "i % 300 == 0" in
+      check
+        Alcotest.(list string)
+        (an ^ " stop sequences identical") (show_stops dbg_stops) (show_stops nub_stops);
+      check Alcotest.int (an ^ " exit status") dbg_status nub_status;
+      (* and pin the semantics down absolutely, not just cross-site *)
+      check
+        Alcotest.(list int)
+        (an ^ " stops where the condition holds")
+        [ 0; 300; 600; 900 ]
+        (List.map (fun (_, i, _) -> i) nub_stops);
+      check Alcotest.int (an ^ " clean exit") 0 nub_status)
+    Arch.all
+
+(** The point of shipping the bytecode: deciding the condition
+    target-side eliminates the per-trap round trips.  On a 1000-iteration
+    loop stopping once, the nub site must use at least 100x fewer RPCs
+    for the same stop. *)
+let test_nub_site_saves_rpcs () =
+  let measure site =
+    let s = Testkit.debug_session ~arch:Mips [ ("spin.c", spin_src) ] in
+    let sess = Eval.start ~arch:Mips in
+    let addr = break_at s ~src:spin_src ~stmt:"g = g + 1" in
+    let prog = compile_ok s sess ~addr "i == 900" in
+    (match site with
+    | `Nub -> (
+        match Ldb.set_condition s.Testkit.d s.Testkit.tg ~addr ~text:"i == 900" prog with
+        | Ok `Nub -> ()
+        | _ -> Alcotest.fail "nub site unavailable")
+    | `Debugger -> force_debugger_cond s ~addr ~text:"i == 900" prog);
+    let before = rpcs s in
+    (match Testkit.ok (Ldb.continue_ s.Testkit.d s.Testkit.tg) with
+    | Ldb.Stopped _ -> ()
+    | _ -> Alcotest.fail "expected a stop");
+    let used = rpcs s - before in
+    let fr = Ldb.top_frame s.Testkit.d s.Testkit.tg in
+    check Alcotest.int "stopped at i == 900" 900
+      (Ldb.read_int_var s.Testkit.d s.Testkit.tg fr "i");
+    check Alcotest.int "900 traps silently resumed" 900 (suppressed_at s addr);
+    used
+  in
+  let nub_rpcs = measure `Nub in
+  let dbg_rpcs = measure `Debugger in
+  check Alcotest.bool
+    (Printf.sprintf "nub %d RPCs vs debugger %d: at least 100x fewer" nub_rpcs dbg_rpcs)
+    true
+    (dbg_rpcs >= 100 * nub_rpcs)
+
+let case name f = Alcotest.test_case name `Quick f
+
+let () =
+  Alcotest.run "bpverify"
+    [
+      ( "verifier",
+        [ case "hostile corpus rejected on all targets" test_corpus_rejected;
+          case "compiler exemplars accepted" test_exemplars_accepted;
+          prop_accepted_never_traps ] );
+      ( "evaluator",
+        [ case "faults are typed, never hangs" test_eval_faults_are_typed;
+          case "division by zero is zero" test_division_by_zero_is_zero ] );
+      ( "codec", [ prop_encode_decode_roundtrip; prop_decode_total ] );
+      ( "refusal",
+        [ case "rejected programs never reach the wire" test_refused_before_the_wire ] );
+      ( "differential",
+        [ case "nub and debugger sites agree on all targets" test_sites_agree_all_archs;
+          case "nub site saves 100x the RPCs" test_nub_site_saves_rpcs ] );
+    ]

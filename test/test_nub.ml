@@ -88,7 +88,10 @@ let test_request_roundtrips () =
       Proto.Fetch { space = 'c'; addr = 0; size = 10 };
       Proto.Store { space = 'd'; addr = 0xffff; bytes = "\x01\x02\x03\x04" };
       Proto.Continue; Proto.Step; Proto.Kill; Proto.Detach;
-      Proto.Dump { offset = 0 }; Proto.Dump { offset = 0x12345 } ]
+      Proto.Dump { offset = 0 }; Proto.Dump { offset = 0x12345 };
+      Proto.Set_cond { addr = 0x1000; prog = "P\x01\x00\x00\x00" };
+      Proto.Set_cond { addr = 0; prog = String.make Proto.max_cond_prog 'q' };
+      Proto.Clear_cond { addr = 0x1000 } ]
 
 let test_reply_roundtrips () =
   List.iter
@@ -104,6 +107,7 @@ let test_reply_roundtrips () =
       Proto.Exit_event 0;
       Proto.Core_chunk { total = 0; offset = 0; chunk = "" };
       Proto.Core_chunk { total = 9000; offset = 4096; chunk = String.make 2048 'x' };
+      Proto.Cond_hit { signal = 5; code = 0; ctx_addr = 0x1f0000; suppressed = 12345 };
       Proto.Nub_error "no such space" ]
 
 (** Out-of-range size fields are rejected with [Error], not served. *)
@@ -125,6 +129,24 @@ let test_decode_rejects_bad_sizes () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "unknown opcode accepted"
 
+(** A [Set_cond] whose length field promises nothing (0) or more than
+    {!Proto.max_cond_prog} is malformed at the protocol layer: it never
+    reaches the bytecode decoder, let alone the verifier. *)
+let test_decode_rejects_bad_cond_lengths () =
+  let u32 v =
+    String.init 4 (fun i -> Char.chr ((v lsr (8 * i)) land 0xff))
+  in
+  let set_cond len body = "B" ^ u32 0x1000 ^ u32 len ^ body in
+  (match Proto.decode_request (set_cond 1 "P") with
+  | Ok (Proto.Set_cond { addr = 0x1000; prog = "P" }) -> ()
+  | _ -> Alcotest.fail "well-formed Set_cond should decode");
+  List.iter
+    (fun len ->
+      match Proto.decode_request (set_cond len (String.make (min len 4096) 'x')) with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "condition length %d accepted" len)
+    [ 0; Proto.max_cond_prog + 1; 0x100000 ]
+
 let gen_request : Proto.request QCheck.arbitrary =
   QCheck.oneof
     [ QCheck.always Proto.Hello;
@@ -138,7 +160,13 @@ let gen_request : Proto.request QCheck.arbitrary =
                   (string_gen_of_size (QCheck.Gen.int_range 1 16) QCheck.Gen.char));
       QCheck.always Proto.Continue; QCheck.always Proto.Step;
       QCheck.always Proto.Kill; QCheck.always Proto.Detach;
-      QCheck.map (fun offset -> Proto.Dump { offset }) QCheck.(int_bound 0xffffff) ]
+      QCheck.map (fun offset -> Proto.Dump { offset }) QCheck.(int_bound 0xffffff);
+      QCheck.map
+        (fun (addr, prog) -> Proto.Set_cond { addr; prog })
+        QCheck.(pair (int_bound 0xffffff)
+                  (string_gen_of_size (QCheck.Gen.int_range 1 Proto.max_cond_prog)
+                     QCheck.Gen.char));
+      QCheck.map (fun addr -> Proto.Clear_cond { addr }) QCheck.(int_bound 0xffffff) ]
 
 let prop_request_roundtrip =
   Testkit.qtest "random requests roundtrip" ~count:500 gen_request roundtrip_request
@@ -436,6 +464,64 @@ let test_context_save_restore () =
       check Alcotest.int (an ^ " pc restored") 0x1234 (Proc.pc proc))
     Arch.all
 
+(* --- conditional breakpoints (nub side) ------------------------------------- *)
+
+module Bpcode = Ldb_nub.Bpcode
+
+(** A verified program is stored; clearing forgets it. *)
+let test_set_cond_stores_verified () =
+  let _, nub, dbg = stopped_nub Mips in
+  let prog = Bpcode.encode [| Bpcode.Push 1l |] in
+  (match rpc dbg (Proto.Set_cond { addr = 0x1000; prog }) with
+  | Proto.Stored -> ()
+  | r -> Alcotest.failf "verified condition refused: %s" (Fmt.str "%a" Proto.pp_reply r));
+  check Alcotest.int "condition installed" 1 (Nub.conditions nub);
+  (match rpc dbg (Proto.Clear_cond { addr = 0x1000 }) with
+  | Proto.Stored -> ()
+  | _ -> Alcotest.fail "clear failed");
+  check Alcotest.int "condition forgotten" 0 (Nub.conditions nub)
+
+(** The nub re-runs the verifier on receipt: a decodable program with a
+    backward jump is refused with a typed error, and nothing is stored —
+    a hostile debugger cannot plant a loop in the target. *)
+let test_set_cond_reverifies () =
+  let _, nub, dbg = stopped_nub Sparc in
+  let hostile = Bpcode.encode [| Bpcode.Push 1l; Bpcode.Jmp (-2) |] in
+  (match rpc dbg (Proto.Set_cond { addr = 0x1000; prog = hostile }) with
+  | Proto.Nub_error m ->
+      Alcotest.(check bool) ("mentions verification: " ^ m) true
+        (let sub = "unverified" in
+         let nn = String.length sub in
+         let rec go i =
+           i + nn <= String.length m && (String.sub m i nn = sub || go (i + 1))
+         in
+         go 0)
+  | r -> Alcotest.failf "hostile condition got %s" (Fmt.str "%a" Proto.pp_reply r));
+  check Alcotest.int "nothing stored" 0 (Nub.conditions nub)
+
+(** Bytes that do not decode as bytecode are refused before verification. *)
+let test_set_cond_undecodable () =
+  let _, nub, dbg = stopped_nub Vax in
+  (match rpc dbg (Proto.Set_cond { addr = 0x1000; prog = "\xff\xfe\xfd" }) with
+  | Proto.Nub_error _ -> ()
+  | _ -> Alcotest.fail "undecodable condition accepted");
+  check Alcotest.int "nothing stored" 0 (Nub.conditions nub)
+
+(** Conditions belong to the debugger that shipped them: a reattach (new
+    debugger instance) starts with an empty condition table. *)
+let test_conds_reset_on_attach () =
+  let _, nub, dbg = stopped_nub M68k in
+  let prog = Bpcode.encode [| Bpcode.Push 1l |] in
+  (match rpc dbg (Proto.Set_cond { addr = 0x2000; prog }) with
+  | Proto.Stored -> ()
+  | _ -> Alcotest.fail "set failed");
+  check Alcotest.int "installed" 1 (Nub.conditions nub);
+  Chan.disconnect dbg;
+  let dbg2, nubend2 = Chan.pair () in
+  Nub.attach nub nubend2;
+  Chan.set_pump dbg2 (fun () -> Nub.pump nub);
+  check Alcotest.int "reset on reattach" 0 (Nub.conditions nub)
+
 (** A debugger crash must not lose target state: the nub keeps the
     process, and a new debugger instance can attach. *)
 let test_reconnect_preserves_state () =
@@ -468,6 +554,7 @@ let () =
       ( "protocol",
         [ case "requests" test_request_roundtrips; case "replies" test_reply_roundtrips;
           case "bad sizes rejected" test_decode_rejects_bad_sizes;
+          case "bad condition lengths rejected" test_decode_rejects_bad_cond_lengths;
           prop_request_roundtrip; prop_decode_never_raises; prop_truncation_detected ] );
       ( "frames",
         [ case "roundtrip" test_frame_roundtrip;
@@ -485,5 +572,9 @@ let () =
           case "corrupt request gets error reply" test_corrupt_request_gets_error_reply;
           case "mips fp word swap" test_mips_fp_word_swap;
           case "context save/restore" test_context_save_restore;
+          case "set_cond stores verified programs" test_set_cond_stores_verified;
+          case "set_cond re-verifies on receipt" test_set_cond_reverifies;
+          case "set_cond refuses undecodable bytes" test_set_cond_undecodable;
+          case "conditions reset on reattach" test_conds_reset_on_attach;
           case "reconnect preserves state" test_reconnect_preserves_state ] );
     ]
