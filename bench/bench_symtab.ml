@@ -93,12 +93,20 @@ type attach_cell = {
 
 type query_cell = { q_indexed_s : float; q_scan_s : float }
 
+type validity_cell = {
+  vc_bytes_plain : int;      (** table bytes with the validity pass off *)
+  vc_bytes_ranges : int;     (** table bytes with ranges emitted (the default) *)
+  vc_attach_plain_s : float;
+  vc_attach_ranges_s : float;
+}
+
 type target_row = {
   tr_arch : string;
   tr_attach : attach_cell;
   tr_by_name : query_cell;
   tr_by_line : query_cell;
   tr_pc_map : query_cell;
+  tr_validity : validity_cell;
 }
 
 (** Cold attach + first breakpoint.  The launch (compile, link, load) is
@@ -227,11 +235,49 @@ let bench_queries ~arch : query_cell * query_cell * query_cell =
   in
   (by_name, by_line, { q_indexed_s = t_ix; q_scan_s = t_sc })
 
+(** What the validity ranges cost: table size and eager attach time with
+    the analysis pass on (the default) versus gated off.  The committed
+    check_regress gate holds the byte overhead under 10%. *)
+let bench_validity ~arch : validity_cell =
+  let measure enabled =
+    let saved = !Ldb_cc.Validity.enabled in
+    Ldb_cc.Validity.enabled := enabled;
+    Fun.protect
+      ~finally:(fun () -> Ldb_cc.Validity.enabled := saved)
+      (fun () ->
+        let bytes = ref 0 and secs = ref 0.0 in
+        for _ = 1 to attach_iters do
+          let p = Host.launch ~paused:true ~arch sources in
+          let t, tg =
+            time (fun () ->
+                let d = Ldb.create () in
+                let tg =
+                  Ldb.connect d ~name:(Arch.name arch) ~loader_ps:p.Host.hp_loader_ps
+                    (Host.open_channel p)
+                in
+                Ldb.force_symbols d tg;
+                tg)
+          in
+          secs := !secs +. t;
+          bytes := Symtab.total_bytes tg.Ldb.tg_symtab
+        done;
+        (!bytes, !secs))
+  in
+  let bytes_plain, attach_plain = measure false in
+  let bytes_ranges, attach_ranges = measure true in
+  {
+    vc_bytes_plain = bytes_plain;
+    vc_bytes_ranges = bytes_ranges;
+    vc_attach_plain_s = attach_plain;
+    vc_attach_ranges_s = attach_ranges;
+  }
+
 let bench_target arch : target_row =
   let attach = bench_attach ~arch in
   let by_name, by_line, pc_map = bench_queries ~arch in
+  let validity = bench_validity ~arch in
   { tr_arch = Arch.name arch; tr_attach = attach; tr_by_name = by_name;
-    tr_by_line = by_line; tr_pc_map = pc_map }
+    tr_by_line = by_line; tr_pc_map = pc_map; tr_validity = validity }
 
 (* --- report -------------------------------------------------------------------- *)
 
@@ -270,7 +316,17 @@ let () =
            a.at_total_bytes a.at_lazy_bytes a.at_lazy_units a.at_unit_count
            (q "proc_by_name" r.tr_by_name)
            (q "stops_at_line" r.tr_by_line)
-           (q "pc_map" r.tr_pc_map)
+           (let v = r.tr_validity in
+            Printf.sprintf
+              "%s,\n\
+              \     \"validity\": {\"table_bytes_plain\": %d, \"table_bytes_ranges\": %d, \
+               \"bytes_overhead_ratio\": %.4f, \"attach_plain_seconds\": %.4f, \
+               \"attach_ranges_seconds\": %.4f}"
+              (q "pc_map" r.tr_pc_map)
+              v.vc_bytes_plain v.vc_bytes_ranges
+              (float_of_int (v.vc_bytes_ranges - v.vc_bytes_plain)
+              /. float_of_int (max 1 v.vc_bytes_plain))
+              v.vc_attach_plain_s v.vc_attach_ranges_s)
            (if i = List.length rows - 1 then "" else ",")))
     rows;
   Buffer.add_string buf "  ]\n}\n";

@@ -256,7 +256,17 @@ let check_symtab ~min_speedup ~committed ~fresh =
       [ "proc_by_name"; "stops_at_line" ];
     require
       (num (member "speedup" (member "pc_map" t)) >= 1.0)
-      "%s %s: the pc index is slower than the uncached walk" who archn
+      "%s %s: the pc index is slower than the uncached walk" who archn;
+    (* validity ranges ride along in the table; they must stay cheap *)
+    let v = member "validity" t in
+    require
+      (num (member "table_bytes_ranges" v) > num (member "table_bytes_plain" v))
+      "%s %s: the validity pass emitted nothing — ranges are missing from the table" who
+      archn;
+    require
+      (num (member "bytes_overhead_ratio" v) < 0.10)
+      "%s %s: validity ranges cost %.1f%% of the table — over the 10%% gate" who archn
+      (100.0 *. num (member "bytes_overhead_ratio" v))
   in
   (* the committed numbers must meet the full acceptance criterion *)
   List.iter (target_gates ~who:"committed" ~min_speedup:10.0) (arr (member "targets" committed));

@@ -12,8 +12,8 @@
         -bpcverify       report the condition-bytecode verifier's verdict
                          on the seeded corpus (a golden test pins it) and
                          do nothing else
-        -no-stops / -no-symbols / -no-frames / -no-differential
-                         disable one check family
+        -no-stops / -no-symbols / -no-frames / -no-differential /
+        -no-validity     disable one check family
         -no-ir           skip the IR dataflow lint of the named C files
         -no-core         skip the core-dump round-trip check
 
@@ -102,6 +102,7 @@ let () =
     | "-no-symbols" :: rest -> opts := { !opts with D.symbols = false }; parse rest
     | "-no-frames" :: rest -> opts := { !opts with D.frames = false }; parse rest
     | "-no-differential" :: rest -> opts := { !opts with D.differential = false }; parse rest
+    | "-no-validity" :: rest -> opts := { !opts with D.validity = false }; parse rest
     | "-no-ir" :: rest -> do_ir := false; parse rest
     | "-no-core" :: rest -> do_core := false; parse rest
     | "-ignore" :: k :: rest -> (
@@ -146,7 +147,7 @@ let () =
             exit 2
         in
         ir_findings := !ir_findings @ Ldb_cc.Irlint.take ();
-        findings := !findings @ D.check ~opts:!opts img loader_ps;
+        findings := !findings @ D.check ~opts:!opts ~sources img loader_ps;
         if !do_core then begin
           (* dump the freshly loaded image and verify the dump a reader
              would see: the codec round-trip is part of the contract *)

@@ -25,6 +25,7 @@ let compile ?(debug = true) ?(defer = true) ?(compress = false) ?(optimize = tru
   (try Irlint.run ~file ui
    with Irlint.Failed fs ->
      raise (Error (String.concat "\n" (List.map Irlint.finding_to_string fs))));
+  Validity.annotate_unit ui;
   let unit_tag =
     String.map (fun c -> if c = '.' || c = '/' || c = '-' then '_' else c) file
   in

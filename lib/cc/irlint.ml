@@ -1,7 +1,7 @@
 (** IR-level dataflow lint (the compiler half of dbgcheck's static story).
 
     Three checks over [Ir.stmt]/[Ir.exp], run after translation and before
-    code generation:
+    code generation, all instances of the [Dataflow] framework:
 
     - {e definite assignment}: a read of a local that may happen before any
       write on some path (forward may-uninitialized analysis);
@@ -20,19 +20,23 @@
     store (or a register read/write, for [register] variables) are tracked;
     a local whose address escapes — aggregates manipulated by address,
     [&x], compiler temporaries — is left alone, which keeps the analysis
-    free of false positives at the cost of missing escapees. *)
+    free of false positives at the cost of missing escapees.  The tracked
+    universe, escape analysis, and bit-mask transfer functions are shared
+    with [Validity] through [Dataflow]. *)
 
-type kind = Uninit_read | Dead_store | Unreachable
+type kind = Uninit_read | Dead_store | Unreachable | Truncated
 
 let kind_name = function
   | Uninit_read -> "uninit-read"
   | Dead_store -> "dead-store"
   | Unreachable -> "unreachable"
+  | Truncated -> "truncated"
 
 let kind_of_name = function
   | "uninit-read" -> Some Uninit_read
   | "dead-store" -> Some Dead_store
   | "unreachable" -> Some Unreachable
+  | "truncated" -> Some Truncated
   | _ -> None
 
 type finding = { kind : kind; file : string; line : int; col : int; msg : string }
@@ -40,19 +44,7 @@ type finding = { kind : kind; file : string; line : int; col : int; msg : string
 let finding_to_string f =
   Printf.sprintf "%s:%d:%d: %s: %s" f.file f.line f.col (kind_name f.kind) f.msg
 
-let json_escape s =
-  let buf = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | '\t' -> Buffer.add_string buf "\\t"
-      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
+let json_escape = Ldb_util.Json.escape
 
 let finding_to_json f =
   Printf.sprintf {|{"kind":"%s","file":"%s","line":%d,"col":%d,"msg":"%s"}|}
@@ -66,75 +58,45 @@ exception Failed of finding list
 
 let collected : finding list ref = ref []
 let collected_cap = 1000
+let dropped = ref 0
 
-(** Take (and clear) the findings accumulated under [`Warn]. *)
+(** Take (and clear) the findings accumulated under [`Warn].  If the cap
+    was hit, the last finding is an explicit [Truncated] marker carrying
+    the dropped count — silence is not an acceptable way to lose
+    findings. *)
 let take () =
   let fs = List.rev !collected in
   collected := [];
-  fs
-
-(* --- tracked variables ------------------------------------------------------- *)
-
-type var = Voff of int | Vreg of int  (** frame slot / register variable *)
-
-let max_tracked = 60 (* state sets are bit masks in one native int *)
-
-(** Named locals of a function, found by walking the uplink chains of its
-    stopping points (the same walk the debugger's name resolution does). *)
-let named_locals (fd : Sym.func_debug) : (var * string) list =
-  let seen = Hashtbl.create 16 in
-  let acc = ref [] in
-  let rec chain = function
-    | None -> ()
-    | Some (s : Sym.t) ->
-        if not (Hashtbl.mem seen s.Sym.sid) then begin
-          Hashtbl.replace seen s.Sym.sid ();
-          (match (s.Sym.kind, s.Sym.where) with
-          | Sym.Kvar, Some (Sym.Frame off) when off < 0 -> acc := (Voff off, s.Sym.sym_name) :: !acc
-          | Sym.Kvar, Some (Sym.In_reg r) -> acc := (Vreg r, s.Sym.sym_name) :: !acc
-          | _ -> ());
-          chain s.Sym.uplink
-        end
-  in
-  List.iter (fun (sp : Sym.stop_point) -> chain sp.Sym.sp_scope) fd.Sym.fd_stops;
-  List.rev !acc
-
-(** Frame offsets that escape: any occurrence of [Addrl off] other than the
-    address of a direct scalar load or store means the address is taken (or
-    the slot holds an aggregate), so the slot cannot be tracked. *)
-let escaped_offsets (body : Ir.stmt list) : (int, unit) Hashtbl.t =
-  let escaped = Hashtbl.create 16 in
-  let rec exp (e : Ir.exp) =
-    match e with
-    | Ir.Indir (t, Ir.Addrl off) -> if t = Ir.V then Hashtbl.replace escaped off ()
-    | Ir.Asgn (t, Ir.Addrl off, v) ->
-        if t = Ir.V then Hashtbl.replace escaped off ();
-        exp v
-    | Ir.Addrl off -> Hashtbl.replace escaped off ()
-    | Ir.Cnst _ | Ir.Cnstf _ | Ir.Addrg _ | Ir.Reguse _ -> ()
-    | Ir.Indir (_, a) -> exp a
-    | Ir.Bin (_, _, a, b) | Ir.Cmp (_, _, a, b) -> exp a; exp b
-    | Ir.Cvt (_, _, a) | Ir.Regasgn (_, a) -> exp a
-    | Ir.Asgn (_, a, v) -> exp a; exp v
-    | Ir.Call (_, _, args) -> List.iter exp args
-    | Ir.Callind (_, f, args) -> exp f; List.iter exp args
-  in
-  List.iter
-    (function
-      | Ir.Sexp e -> exp e
-      | Ir.Scjump (_, _, a, b, _) -> exp a; exp b
-      | Ir.Sret (Some e) -> exp e
-      | Ir.Sret None | Ir.Slabel _ | Ir.Sjump _ | Ir.Sstop _ -> ())
-    body;
-  escaped
+  let d = !dropped in
+  dropped := 0;
+  if d = 0 then fs
+  else
+    fs
+    @ [
+        {
+          kind = Truncated;
+          file = "<irlint>";
+          line = 0;
+          col = 0;
+          msg =
+            Printf.sprintf "finding list truncated: %d finding(s) dropped after the first %d"
+              d collected_cap;
+        };
+      ]
 
 (* --- the analysis ------------------------------------------------------------- *)
+
+type var = Dataflow.var = Voff of int | Vreg of int
+
+let named_locals = Dataflow.named_locals
+let escaped_offsets = Dataflow.escaped_offsets
 
 let check_func ~(file : string) (fi : Sema.func_ir) : finding list =
   match fi.Sema.fi_debug with
   | None -> []
   | Some fd ->
-      let stmts = Array.of_list fi.Sema.fi_body in
+      let cfg = Dataflow.cfg_of_body fi.Sema.fi_body in
+      let stmts = cfg.Dataflow.stmts in
       let n = Array.length stmts in
       if n = 0 then []
       else begin
@@ -162,33 +124,10 @@ let check_func ~(file : string) (fi : Sema.func_ir) : finding list =
           let p = pos_at.(i) in
           findings := { kind; file; line = p.Lex.line; col = p.Lex.col; msg } :: !findings
         in
-
-        (* control flow *)
-        let label_at = Hashtbl.create 16 in
-        Array.iteri
-          (fun i s -> match s with Ir.Slabel l -> Hashtbl.replace label_at l i | _ -> ())
-          stmts;
-        let succs i =
-          match stmts.(i) with
-          | Ir.Sjump l -> (match Hashtbl.find_opt label_at l with Some j -> [ j ] | None -> [])
-          | Ir.Scjump (_, _, _, _, l) ->
-              let fall = if i + 1 < n then [ i + 1 ] else [] in
-              (match Hashtbl.find_opt label_at l with Some j -> j :: fall | None -> fall)
-          | Ir.Sret _ -> []
-          | _ -> if i + 1 < n then [ i + 1 ] else []
-        in
-        let preds = Array.make n [] in
-        Array.iteri (fun i _ -> List.iter (fun j -> preds.(j) <- i :: preds.(j)) (succs i)) stmts;
+        let succs i = cfg.Dataflow.succ.(i) in
 
         (* reachability, and the unreachable-stopping-point check *)
-        let reachable = Array.make n false in
-        let rec dfs i =
-          if not reachable.(i) then begin
-            reachable.(i) <- true;
-            List.iter dfs (succs i)
-          end
-        in
-        dfs 0;
+        let reachable = Dataflow.reachable cfg in
         Array.iteri
           (fun i s ->
             match s with
@@ -201,12 +140,10 @@ let check_func ~(file : string) (fi : Sema.func_ir) : finding list =
           stmts;
 
         (* tracked variable set *)
-        let escaped = escaped_offsets fi.Sema.fi_body in
         let vars =
-          List.filteri (fun i _ -> i < max_tracked)
-            (List.filter
-               (fun (v, _) -> match v with Voff off -> not (Hashtbl.mem escaped off) | Vreg _ -> true)
-               (named_locals fd))
+          List.map
+            (fun (v, s) -> (v, s.Sym.sym_name))
+            (Dataflow.tracked fi.Sema.fi_body fd)
         in
         let nvars = List.length vars in
         let var_index = Hashtbl.create 16 in
@@ -217,123 +154,41 @@ let check_func ~(file : string) (fi : Sema.func_ir) : finding list =
         else begin
           let all_mask = (1 lsl nvars) - 1 in
 
-          (* forward may-uninitialized: bit set = possibly uninitialized.
-             [transfer] threads the state through one statement in
-             evaluation order; [on_read] sees each tracked read with the
-             state at that moment. *)
-          let transfer ?(on_read = fun _ _ -> ()) (s0 : int) (stmt : Ir.stmt) : int =
-            let state = ref s0 in
-            let read v = match idx_of v with
-              | Some i -> on_read i !state
-              | None -> ()
-            in
-            let write v = match idx_of v with
-              | Some i -> state := !state land lnot (1 lsl i)
-              | None -> ()
-            in
-            let rec exp (e : Ir.exp) =
-              match e with
-              | Ir.Indir (_, Ir.Addrl off) -> read (Voff off)
-              | Ir.Reguse r -> read (Vreg r)
-              | Ir.Asgn (_, Ir.Addrl off, v) -> exp v; write (Voff off)
-              | Ir.Regasgn (r, v) -> exp v; write (Vreg r)
-              | Ir.Asgn (_, a, v) -> exp a; exp v
-              | Ir.Indir (_, a) -> exp a
-              | Ir.Bin (_, _, a, b) | Ir.Cmp (_, _, a, b) -> exp a; exp b
-              | Ir.Cvt (_, _, a) -> exp a
-              | Ir.Call (_, _, args) -> List.iter exp args
-              | Ir.Callind (_, f, args) -> exp f; List.iter exp args
-              | Ir.Cnst _ | Ir.Cnstf _ | Ir.Addrg _ | Ir.Addrl _ -> ()
-            in
-            (match stmt with
-            | Ir.Sexp e -> exp e
-            | Ir.Scjump (_, _, a, b, _) -> exp a; exp b
-            | Ir.Sret (Some e) -> exp e
-            | Ir.Sret None | Ir.Slabel _ | Ir.Sjump _ | Ir.Sstop _ -> ());
-            !state
+          (* forward may-uninitialized: bit set = possibly uninitialized *)
+          let in_state =
+            Dataflow.solve_forward cfg Dataflow.may_mask ~entry:all_mask
+              ~transfer:(fun _ stmt s -> Dataflow.uninit_transfer ~idx_of s stmt)
           in
-          let in_state = Array.make n (-1) (* -1: not yet visited *) in
-          in_state.(0) <- all_mask;
-          let work = Queue.create () in
-          Queue.add 0 work;
-          while not (Queue.is_empty work) do
-            let i = Queue.pop work in
-            let out = transfer in_state.(i) stmts.(i) in
-            List.iter
-              (fun j ->
-                let nw = if in_state.(j) = -1 then out else in_state.(j) lor out in
-                if nw <> in_state.(j) then begin
-                  in_state.(j) <- nw;
-                  Queue.add j work
-                end)
-              (succs i)
-          done;
           let reported = Hashtbl.create 16 in
           Array.iteri
             (fun i stmt ->
-              if in_state.(i) <> -1 then
-                ignore
-                  (transfer
-                     ~on_read:(fun v st ->
-                       if st land (1 lsl v) <> 0 && not (Hashtbl.mem reported (i, v)) then begin
-                         Hashtbl.replace reported (i, v) ();
-                         report Uninit_read i
-                           (Printf.sprintf "%s may be read before it is assigned" (var_name v))
-                       end)
-                     in_state.(i) stmt))
+              match in_state.(i) with
+              | None -> ()
+              | Some s ->
+                  ignore
+                    (Dataflow.uninit_transfer ~idx_of
+                       ~on_read:(fun v st ->
+                         if st land (1 lsl v) <> 0 && not (Hashtbl.mem reported (i, v))
+                         then begin
+                           Hashtbl.replace reported (i, v) ();
+                           report Uninit_read i
+                             (Printf.sprintf "%s may be read before it is assigned"
+                                (var_name v))
+                         end)
+                       s stmt))
             stmts;
 
           (* backward liveness: bit set = value may still be read *)
-          let gens = Array.make n 0 and kills = Array.make n 0 in
+          let live_in = Dataflow.liveness cfg ~idx_of in
           Array.iteri
             (fun i stmt ->
-              let g = ref 0 and k = ref 0 in
-              ignore
-                (transfer ~on_read:(fun v _ -> g := !g lor (1 lsl v)) all_mask stmt);
-              let rec kexp (e : Ir.exp) =
-                match e with
-                | Ir.Asgn (_, Ir.Addrl off, v) ->
-                    (match idx_of (Voff off) with Some x -> k := !k lor (1 lsl x) | None -> ());
-                    kexp v
-                | Ir.Regasgn (r, v) ->
-                    (match idx_of (Vreg r) with Some x -> k := !k lor (1 lsl x) | None -> ());
-                    kexp v
-                | Ir.Asgn (_, a, v) -> kexp a; kexp v
-                | Ir.Indir (_, a) -> kexp a
-                | Ir.Bin (_, _, a, b) | Ir.Cmp (_, _, a, b) -> kexp a; kexp b
-                | Ir.Cvt (_, _, a) -> kexp a
-                | Ir.Call (_, _, args) -> List.iter kexp args
-                | Ir.Callind (_, f, args) -> kexp f; List.iter kexp args
-                | Ir.Cnst _ | Ir.Cnstf _ | Ir.Addrg _ | Ir.Addrl _ | Ir.Reguse _ -> ()
-              in
-              (match stmt with
-              | Ir.Sexp e -> kexp e
-              | Ir.Scjump (_, _, a, b, _) -> kexp a; kexp b
-              | Ir.Sret (Some e) -> kexp e
-              | Ir.Sret None | Ir.Slabel _ | Ir.Sjump _ | Ir.Sstop _ -> ());
-              gens.(i) <- !g;
-              kills.(i) <- !k)
-            stmts;
-          let live_in = Array.make n 0 in
-          let work = Queue.create () in
-          Array.iteri (fun i _ -> Queue.add i work) stmts;
-          while not (Queue.is_empty work) do
-            let i = Queue.pop work in
-            let out = List.fold_left (fun acc j -> acc lor live_in.(j)) 0 (succs i) in
-            let nw = gens.(i) lor (out land lnot kills.(i)) in
-            if nw <> live_in.(i) then begin
-              live_in.(i) <- nw;
-              List.iter (fun p -> Queue.add p work) preds.(i)
-            end
-          done;
-          Array.iteri
-            (fun i _ ->
-              if in_state.(i) <> -1 && kills.(i) <> 0 then begin
+              let gens, kills = Dataflow.genkill ~idx_of stmt in
+              if in_state.(i) <> None && kills <> 0 then begin
                 let out = List.fold_left (fun acc j -> acc lor live_in.(j)) 0 (succs i) in
                 List.iteri
                   (fun v _ ->
-                    if kills.(i) land (1 lsl v) <> 0 && out land (1 lsl v) = 0
-                       && gens.(i) land (1 lsl v) = 0 then
+                    if kills land (1 lsl v) <> 0 && out land (1 lsl v) = 0
+                       && gens land (1 lsl v) = 0 then
                       report Dead_store i
                         (Printf.sprintf "value stored to %s is never read" (var_name v)))
                   vars
@@ -355,4 +210,12 @@ let run ~(file : string) (ui : Sema.unit_ir) : unit =
       | [] -> ()
       | fs when m = `Fail -> raise (Failed fs)
       | fs ->
-          if List.length !collected < collected_cap then collected := List.rev_append fs !collected)
+          let have = List.length !collected in
+          let room = collected_cap - have in
+          if room <= 0 then dropped := !dropped + List.length fs
+          else begin
+            let keep = List.filteri (fun i _ -> i < room) fs in
+            let lost = List.length fs - List.length keep in
+            dropped := !dropped + lost;
+            collected := List.rev_append keep !collected
+          end)

@@ -157,6 +157,15 @@ let emit_sym (e : emitter) (ud : Sym.unit_debug) (s : Sym.t) ~(extra : string li
   | Some w -> out e "  /where %s\n" w
   | None -> ());
   out e "  /uplink %s\n" (sym_ref e.tag s.Sym.uplink);
+  (* compiler-proven validity ranges over the function's stop indexes:
+     a flat [lo hi fact ...] array, absent when the analysis does not
+     track this variable *)
+  if s.Sym.validity <> [] then
+    out e "  /validity [ %s ]\n"
+      (String.concat " "
+         (List.map
+            (fun (lo, hi, f) -> Printf.sprintf "%d %d %d" lo hi f)
+            s.Sym.validity));
   List.iter (fun line -> out e "  %s\n" line) extra;
   out e ">> def\n"
 

@@ -696,7 +696,8 @@ let stop_point f (pos : Lex.pos) =
 let new_sym f name ty kind pos where =
   let s =
     { Sym.sid = fresh_sid f.g; sym_name = name; sym_ty = ty; kind; spos = pos;
-      sfile = f.g.unit_name; where = Some where; uplink = f.uplink_tail }
+      sfile = f.g.unit_name; where = Some where; uplink = f.uplink_tail;
+      validity = [] }
   in
   f.uplink_tail <- Some s;
   s
@@ -995,11 +996,32 @@ let do_func (g : genv) (fn : Ast.func) : func_ir =
         { Sym.sid = fresh_sid g; sym_name = fn.Ast.fname; sym_ty =
             Ctype.Func (fn.Ast.fret, List.map (fun (_, t, _) -> t) fn.Ast.fparams);
           kind = Sym.Kfunc; spos = fn.Ast.fpos; sfile = g.unit_name;
-          where = Some (Sym.Global label); uplink = None }
+          where = Some (Sym.Global label); uplink = None; validity = [] }
+      in
+      let stops = List.rev f.stops in
+      (* every symbol reachable through some stopping point's scope chain,
+         once each, in chain order — the universe both emitters serialize *)
+      let fd_locals =
+        let seen = Hashtbl.create 16 in
+        let acc = ref [] in
+        List.iter
+          (fun (sp : Sym.stop_point) ->
+            let rec chain = function
+              | None -> ()
+              | Some (s : Sym.t) ->
+                  if not (Hashtbl.mem seen s.Sym.sid) then begin
+                    Hashtbl.replace seen s.Sym.sid ();
+                    acc := s :: !acc;
+                    chain s.Sym.uplink
+                  end
+            in
+            chain sp.Sym.sp_scope)
+          stops;
+        List.rev !acc
       in
       let fd =
         { Sym.fd_sym = fsym; fd_label = label; fd_params = List.rev !param_syms;
-          fd_locals = []; fd_stops = List.rev f.stops; fd_frame_size = frame_size;
+          fd_locals; fd_stops = stops; fd_frame_size = frame_size;
           fd_ra_offset = frame_size - 4; fd_saved_regs = f.saved_regs }
       in
       g.ud.Sym.ud_funcs <- fd :: g.ud.Sym.ud_funcs;
@@ -1068,7 +1090,7 @@ let translate ~(arch : Arch.t) ~(debug : bool) (u : Ast.unit_) : unit_ir =
               let sym =
                 { Sym.sid = fresh_sid g; sym_name = name; sym_ty = ty; kind = Sym.Kvar;
                   spos = d.Ast.dpos; sfile = g.unit_name;
-                  where = Some (Sym.Anchored idx); uplink = None }
+                  where = Some (Sym.Anchored idx); uplink = None; validity = [] }
               in
               ud.Sym.ud_statics <- sym :: ud.Sym.ud_statics;
               Hashtbl.replace g.globals name ({ b_ty = ty; b_addr = Clabel label }, Some sym)
@@ -1079,7 +1101,7 @@ let translate ~(arch : Arch.t) ~(debug : bool) (u : Ast.unit_) : unit_ir =
               let sym =
                 { Sym.sid = fresh_sid g; sym_name = name; sym_ty = ty; kind = Sym.Kvar;
                   spos = d.Ast.dpos; sfile = g.unit_name;
-                  where = Some (Sym.Global label); uplink = None }
+                  where = Some (Sym.Global label); uplink = None; validity = [] }
               in
               if debug then ud.Sym.ud_globals <- sym :: ud.Sym.ud_globals;
               Hashtbl.replace g.globals name ({ b_ty = ty; b_addr = Clabel label }, Some sym))

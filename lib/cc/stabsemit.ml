@@ -21,6 +21,7 @@ let n_lsym = 0x80 (* stack local *)
 let n_psym = 0xa0 (* parameter *)
 let n_rsym = 0x40 (* register variable *)
 let n_sline = 0x44 (* line number / stopping point *)
+let n_valid = 0x90 (* per-variable validity ranges over stop indexes *)
 
 (** The desc field is a u16, so a source line past 65535 cannot be
     represented — a real limitation of the stabs format that the PostScript
@@ -121,6 +122,25 @@ let emit_unit (ud : Sym.unit_debug) : string =
           add_record buf ~ty:n_sline
             ~desc:(clamp_desc ~what:fd.Sym.fd_label sp.Sym.sp_pos.Lex.line)
             ~value:sp.Sym.sp_anchor ~str:"")
-        fd.Sym.fd_stops)
+        fd.Sym.fd_stops;
+      (* compiler-proven validity ranges, one n_valid record per tracked
+         local: str = "name:lo-hi=f,...", f in {u,v,d}; value carries the
+         variable's frame offset or register so same-named locals stay
+         distinguishable; desc is the range count *)
+      List.iter
+        (fun (s : Sym.t) ->
+          if s.Sym.validity <> [] then
+            add_record buf ~ty:n_valid
+              ~desc:(List.length s.Sym.validity)
+              ~value:(sym_value s)
+              ~str:
+                (s.Sym.sym_name ^ ":"
+                ^ String.concat ","
+                    (List.map
+                       (fun (lo, hi, f) ->
+                         Printf.sprintf "%d-%d=%c" lo hi
+                           (match f with 0 -> 'u' | 1 -> 'v' | 2 -> 'd' | _ -> '?'))
+                       s.Sym.validity)))
+        fd.Sym.fd_locals)
     ud.Sym.ud_funcs;
   Buffer.contents buf

@@ -24,6 +24,12 @@ type t = {
   sfile : string;
   mutable where : location_info option;
   mutable uplink : t option;       (** tree linking local scopes (Sec. 2) *)
+  mutable validity : (int * int * int) list;
+      (** per-stopping-point validity ranges [(lo, hi, fact)] keyed by stop
+          index, covering [0, nstops); fact is 0 = uninitialized, 1 =
+          valid, 2 = dead.  Empty for variables the analysis does not
+          track (escapees, params, globals): the debugger treats those as
+          always printable, which is the sound default. *)
 }
 
 (** One stopping point: a source location, an object-code location

@@ -49,6 +49,10 @@ type sym_view = {
   sv_where : where_view;
   sv_file : string;
   sv_line : int;
+  sv_validity : (int * int * int) list;
+      (** decoded /validity ranges (lo, hi, fact); [] when absent *)
+  sv_validity_bad : bool;
+      (** a /validity key was present but did not decode to flat triples *)
 }
 
 type locus_view = { lv_line : int; lv_anchor : string; lv_idx : int }
@@ -123,14 +127,35 @@ let parse_where (w : V.t option) : where_view =
           | _ -> Wnone)
       | _ -> Wnone)
 
+let parse_validity (v : V.t option) : (int * int * int) list * bool =
+  match v with
+  | None -> ([], false)
+  | Some { V.v = V.Arr a; _ } -> (
+      let n = Array.length a in
+      if n mod 3 <> 0 then ([], true)
+      else
+        try
+          let rec go i acc =
+            if i >= n then List.rev acc
+            else
+              go (i + 3)
+                ((V.to_int a.(i), V.to_int a.(i + 1), V.to_int a.(i + 2)) :: acc)
+          in
+          (go 0 [], false)
+        with _ -> ([], true))
+  | Some _ -> ([], true)
+
 let parse_sym (entry : V.t) : sym_view =
   let d = V.to_dict entry in
+  let sv_validity, sv_validity_bad = parse_validity (dget d "validity") in
   {
     sv_name = V.to_str (dget_exn d "name");
     sv_kind = (match dget d "kind" with Some k -> V.to_str k | None -> "");
     sv_where = parse_where (dget d "where");
     sv_file = (match dget d "sourcefile" with Some f -> V.to_str f | None -> "");
     sv_line = (match dget d "sourcey" with Some l -> V.to_int l | None -> 0);
+    sv_validity;
+    sv_validity_bad;
   }
 
 (** Locals reachable through the uplink chains of every stopping point,
@@ -874,6 +899,208 @@ let check_differential cx =
             u.Sd.uv_toplevel)
     st_units
 
+(* --- family (e): variable-validity ranges ------------------------------------- *)
+
+(** Well-formedness of one local's emitted ranges: fact codes in {0,1,2},
+    stop indexes inside [0, nstops), and the ranges a sorted, gapless,
+    non-overlapping cover of the whole stop sequence — the shape
+    [Validity.compute] always produces. *)
+let check_validity_shape cx ~what ~where ~nstops ranges =
+  let ok = ref true in
+  List.iter
+    (fun (lo, hi, f) ->
+      if f < 0 || f > 2 then begin
+        ok := false;
+        report cx F.Validity_range where "%s: unknown fact code %d in range %d-%d" what f
+          lo hi
+      end;
+      if lo < 0 || hi < lo || hi >= nstops then begin
+        ok := false;
+        report cx F.Validity_range where
+          "%s: range %d-%d lies outside the function's %d stopping point(s)" what lo hi
+          nstops
+      end)
+    ranges;
+  if !ok then begin
+    let rec cover expect = function
+      | [] ->
+          if expect <> nstops then
+            report cx F.Validity_range where
+              "%s: ranges cover stop indexes up to %d of %d" what (expect - 1) nstops
+      | (lo, hi, _) :: rest ->
+          if lo <> expect then begin
+            report cx F.Validity_range where
+              "%s: ranges %s at stop index %d" what
+              (if lo > expect then "leave a gap" else "overlap")
+              (min lo expect)
+          end
+          else cover (hi + 1) rest
+    in
+    cover 0 ranges
+  end
+
+(** Check the emitted validity ranges themselves: shape on the PostScript
+    side, decodability on the stabs side, and agreement between the two
+    tables local by local. *)
+let check_validity cx =
+  let st_units = Sd.units (Sd.parse cx.img.Link.i_stabs) in
+  List.iter
+    (fun uv ->
+      let su =
+        List.find_opt (fun (u : Sd.unit_view) -> u.Sd.uv_name = uv.uv_file) st_units
+      in
+      List.iter
+        (fun pv ->
+          let what = pv.pv_sym.sv_name in
+          let nstops = List.length pv.pv_loci in
+          (* shape of what the PostScript table carries *)
+          List.iter
+            (fun sv ->
+              let where = F.at_pos sv.sv_file sv.sv_line in
+              if sv.sv_validity_bad then
+                report cx F.Validity_range where
+                  "%s: /validity of %s is not a flat array of integer triples" what
+                  sv.sv_name
+              else if sv.sv_validity <> [] then
+                check_validity_shape cx
+                  ~what:(what ^ "/" ^ sv.sv_name)
+                  ~where ~nstops sv.sv_validity)
+            pv.pv_locals;
+          (* the stabs view of the same function *)
+          match su with
+          | None -> () (* a whole missing unit is check_differential's complaint *)
+          | Some u -> (
+              match
+                List.find_opt
+                  (fun (fv : Sd.func_view) -> Sd.stab_name fv.Sd.fv_fun = what)
+                  u.Sd.uv_funcs
+              with
+              | None -> ()
+              | Some fv ->
+                  let fwhere = F.at_pos uv.uv_file pv.pv_sym.sv_line in
+                  List.iter
+                    (fun (s : Sd.stab) ->
+                      if Sd.parse_valid s = None then
+                        report cx F.Validity_range fwhere
+                          "%s: stabs validity record %S does not decode" what
+                          s.Sd.st_name)
+                    fv.Sd.fv_valid;
+                  let st_ranges = List.filter_map Sd.parse_valid fv.Sd.fv_valid in
+                  let count name l = List.length (List.filter (fun x -> x = name) l) in
+                  let ps_named =
+                    List.filter
+                      (fun sv -> sv.sv_validity <> [] || sv.sv_validity_bad)
+                      pv.pv_locals
+                  in
+                  let ps_names = List.map (fun sv -> sv.sv_name) ps_named in
+                  let st_names = List.map fst st_ranges in
+                  List.iter
+                    (fun sv ->
+                      if count sv.sv_name st_names = 0 then
+                        report cx F.Validity_missing (F.at_pos sv.sv_file sv.sv_line)
+                          "%s: validity ranges for %s appear in the PostScript table but not in the stabs"
+                          what sv.sv_name)
+                    ps_named;
+                  List.iter
+                    (fun (n, _) ->
+                      if count n ps_names = 0 then
+                        report cx F.Validity_missing fwhere
+                          "%s: validity ranges for %s appear in the stabs but not in the PostScript table"
+                          what n)
+                    st_ranges;
+                  List.iter
+                    (fun sv ->
+                      if count sv.sv_name ps_names = 1 && count sv.sv_name st_names = 1
+                      then
+                        let _, sr =
+                          List.find (fun (n, _) -> n = sv.sv_name) st_ranges
+                        in
+                        if sr <> sv.sv_validity then
+                          report cx F.Validity_stabs_mismatch
+                            (F.at_pos sv.sv_file sv.sv_line)
+                            "%s: the two tables carry different validity ranges for %s"
+                            what sv.sv_name)
+                    ps_named))
+        uv.uv_procs)
+    cx.ps.psv_units
+
+(** Recompute the dataflow analysis from source and hold the emitted
+    tables to it: every claim in the table must be exactly what the
+    analysis proves, and every proof must be in the table.  This is the
+    independent check the issue asks for — the emitters cannot vouch for
+    themselves. *)
+let check_validity_recompute cx (sources : (string * string) list) =
+  let module Cc = Ldb_cc in
+  let where_matches (s : Cc.Sym.t) sv =
+    match (s.Cc.Sym.where, sv.sv_where) with
+    | Some (Cc.Sym.Frame off), Wframe off' -> off = off'
+    | Some (Cc.Sym.In_reg r), Wreg r' -> r = r'
+    | _ -> false
+  in
+  List.iter
+    (fun uv ->
+      match List.assoc_opt uv.uv_file sources with
+      | None -> ()
+      | Some src -> (
+          match
+            try
+              let ast = Cc.Parse.parse_unit ~file:uv.uv_file ~arch:cx.arch src in
+              Some (Cc.Sema.translate ~arch:cx.arch ~debug:true ast)
+            with _ -> None
+          with
+          | None ->
+              report cx F.Validity_unsound uv.uv_file
+                "could not recompile the unit to recompute validity"
+          | Some ui ->
+              List.iter
+                (fun (fi : Cc.Sema.func_ir) ->
+                  let expected = Cc.Validity.compute fi in
+                  match
+                    List.find_opt
+                      (fun pv -> pv.pv_sym.sv_name = fi.Cc.Sema.fi_name)
+                      uv.uv_procs
+                  with
+                  | None -> () (* missing procs are check_differential's complaint *)
+                  | Some pv ->
+                      List.iter
+                        (fun ((s : Cc.Sym.t), ranges) ->
+                          match
+                            List.find_opt
+                              (fun sv ->
+                                sv.sv_name = s.Cc.Sym.sym_name && where_matches s sv)
+                              pv.pv_locals
+                          with
+                          | None ->
+                              if ranges <> [] then
+                                report cx F.Validity_unsound
+                                  (F.at_pos s.Cc.Sym.sfile s.Cc.Sym.spos.Cc.Lex.line)
+                                  "%s: the analysis tracks %s but the table carries no entry for it"
+                                  fi.Cc.Sema.fi_name s.Cc.Sym.sym_name
+                          | Some sv ->
+                              if sv.sv_validity <> ranges then
+                                report cx F.Validity_unsound
+                                  (F.at_pos sv.sv_file sv.sv_line)
+                                  "%s: the table's validity ranges for %s are not what the analysis proves"
+                                  fi.Cc.Sema.fi_name sv.sv_name)
+                        expected;
+                      List.iter
+                        (fun sv ->
+                          let proven =
+                            List.exists
+                              (fun ((s : Cc.Sym.t), _) ->
+                                s.Cc.Sym.sym_name = sv.sv_name && where_matches s sv)
+                              expected
+                          in
+                          if (sv.sv_validity <> [] || sv.sv_validity_bad) && not proven
+                          then
+                            report cx F.Validity_unsound
+                              (F.at_pos sv.sv_file sv.sv_line)
+                              "%s: the table claims validity ranges for %s the analysis does not prove"
+                              fi.Cc.Sema.fi_name sv.sv_name)
+                        pv.pv_locals)
+                ui.Cc.Sema.ui_funcs))
+    cx.ps.psv_units
+
 (* --- core dumps ------------------------------------------------------------- *)
 
 module Crc32 = Ldb_util.Crc32
@@ -1007,15 +1234,26 @@ let check_bpcode (arch : Arch.t) : F.t list =
 
 (* --- entry points -------------------------------------------------------------- *)
 
-type opts = { stops : bool; symbols : bool; frames : bool; differential : bool }
+type opts = {
+  stops : bool;
+  symbols : bool;
+  frames : bool;
+  differential : bool;
+  validity : bool;
+}
 
-let all_checks = { stops = true; symbols = true; frames = true; differential = true }
+let all_checks =
+  { stops = true; symbols = true; frames = true; differential = true; validity = true }
 
 (** Verify a linked image against its loader-table PostScript.  [tdesc]
     overrides the registered target description (used by tests to seed
-    description/artifact skew).  Extraction failures become a single
-    [Table_error] finding rather than an exception. *)
-let check ?(opts = all_checks) ?tdesc (img : Link.image) (loader_ps : string) : F.t list =
+    description/artifact skew).  [sources] supplies the original C text
+    so the validity check can recompute the dataflow analysis and hold
+    the tables to it; without sources only the artifact-level validity
+    checks run.  Extraction failures become a single [Table_error]
+    finding rather than an exception. *)
+let check ?(opts = all_checks) ?tdesc ?(sources = []) (img : Link.image)
+    (loader_ps : string) : F.t list =
   let arch = img.Link.i_arch in
   let tdesc = match tdesc with Some t -> t | None -> Target.of_arch arch in
   let out = ref [] in
@@ -1042,7 +1280,11 @@ let check ?(opts = all_checks) ?tdesc (img : Link.image) (loader_ps : string) : 
        check_hints cx
      end;
      if opts.frames then check_frames cx;
-     if opts.differential then check_differential cx
+     if opts.differential then check_differential cx;
+     if opts.validity then begin
+       check_validity cx;
+       if sources <> [] then check_validity_recompute cx sources
+     end
    with
   | Extract m | V.Error (m, _) ->
       out :=

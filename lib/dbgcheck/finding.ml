@@ -32,6 +32,13 @@ type kind =
   | Core_crc        (** a memory section's bytes do not checksum to its CRC *)
   | Core_reg_width  (** register-file shape disagrees with the architecture *)
   | Core_pc         (** the fault pc lies outside the image's code segment *)
+  (* variable-validity ranges *)
+  | Validity_missing        (** a local's ranges appear in one table only *)
+  | Validity_range          (** malformed ranges: bad fact code, out-of-range
+                                stop index, or gaps/overlaps in the cover *)
+  | Validity_stabs_mismatch (** the two tables disagree on a local's ranges *)
+  | Validity_unsound        (** recomputing the dataflow analysis from source
+                                disagrees with what the tables claim *)
   (* the table itself could not be interpreted *)
   | Table_error
 
@@ -55,6 +62,10 @@ let kind_name = function
   | Core_crc -> "core-crc"
   | Core_reg_width -> "core-reg-width"
   | Core_pc -> "core-pc"
+  | Validity_missing -> "validity-missing"
+  | Validity_range -> "validity-range"
+  | Validity_stabs_mismatch -> "validity-stabs-mismatch"
+  | Validity_unsound -> "validity-unsound"
   | Table_error -> "table-error"
 
 let kind_of_name = function
@@ -77,6 +88,10 @@ let kind_of_name = function
   | "core-crc" -> Some Core_crc
   | "core-reg-width" -> Some Core_reg_width
   | "core-pc" -> Some Core_pc
+  | "validity-missing" -> Some Validity_missing
+  | "validity-range" -> Some Validity_range
+  | "validity-stabs-mismatch" -> Some Validity_stabs_mismatch
+  | "validity-unsound" -> Some Validity_unsound
   | "table-error" -> Some Table_error
   | _ -> None
 
@@ -92,19 +107,7 @@ let at_pos file line = Printf.sprintf "%s:%d" file line
 
 let to_string f = Printf.sprintf "%s: %s: %s: %s" f.target (kind_name f.kind) f.where f.msg
 
-let json_escape s =
-  let buf = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | '\t' -> Buffer.add_string buf "\\t"
-      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
+let json_escape = Ldb_util.Json.escape
 
 let to_json f =
   Printf.sprintf {|{"target":"%s","kind":"%s","where":"%s","msg":"%s"}|}

@@ -117,6 +117,12 @@ let evaluate (d : Ldb.t) (tg : Ldb.target) (fr : Ldb_ldb.Frame.t) (sess : sessio
              match V.dict_get (V.to_dict entry) "kind" with
              | Some k when V.to_str k = "procedure" -> Chan.send sess.pipe "U\n"
              | _ ->
+                 (* the compiler proved no assignment reaches this stop:
+                    evaluating the slot would compute on garbage *)
+                 (match Ldb.validity_of d tg fr entry with
+                 | Some Symtab.Vuninit ->
+                     raise (Error (name ^ " is uninitialized at this point"))
+                 | _ -> ());
                  let ty =
                    match V.dict_get (V.to_dict entry) "type" with
                    | Some t -> t
@@ -231,6 +237,15 @@ let compile_condition (d : Ldb.t) (tg : Ldb.target) (sess : session) ~(addr : in
           match V.dict_get (V.to_dict entry) "kind" with
           | Some k when V.to_str k = "procedure" -> None
           | _ ->
+              (* refuse to compile a condition that reads a local the
+                 compiler proved uninitialized at this stop: the nub
+                 would evaluate garbage on every hit *)
+              (match Ldb.validity_of d tg fr entry with
+              | Some Symtab.Vuninit ->
+                  raise
+                    (Bpcompile.Unsupported
+                       (name ^ " is uninitialized at this breakpoint"))
+              | _ -> ());
               let ty =
                 match V.dict_get (V.to_dict entry) "type" with
                 | Some t -> t

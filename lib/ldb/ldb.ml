@@ -736,11 +736,49 @@ let location_of (d : t) (tg : target) (fr : Frame.t) (entry : V.t) : A.location 
                   | _ -> fail "where procedure did not yield a location"))
       | _ -> fail "bad /where for %s" (Symtab.entry_name entry))
 
+(** Compiler-proven validity of a symbol entry at the stopping point
+    governing [fr] (see [Symtab.validity_at]).  [None] when the table has
+    no ranges for the variable or the frame is between stops. *)
+let validity_of (d : t) (tg : target) (fr : Frame.t) (entry : V.t) :
+    Symtab.validity option =
+  match stop_of_frame d tg fr with
+  | None -> None
+  | Some stop -> Symtab.validity_at entry ~stop_index:stop.Symtab.stop_index
+
+(** [variable_validity d tg fr name] — the fact for a named variable, for
+    tests and the differential harness. *)
+let variable_validity (d : t) (tg : target) (fr : Frame.t) (name : string) :
+    Symtab.validity option =
+  match resolve d tg fr name with
+  | None -> None
+  | Some entry -> validity_of d tg fr entry
+
+(** The declaration display of a symbol entry, e.g. "int i": the /decl
+    template from its type dictionary with the name substituted. *)
+let decl_display (entry : V.t) (name : string) : string =
+  let decl =
+    match V.dict_get (V.to_dict entry) "type" with
+    | Some ty -> (
+        match V.dict_get (V.to_dict ty) "decl" with
+        | Some dv -> V.to_str dv
+        | None -> "%s")
+    | None -> "%s"
+  in
+  match String.index_opt decl '%' with
+  | Some i when i + 1 < String.length decl && decl.[i + 1] = 's' ->
+      String.sub decl 0 i ^ name ^ String.sub decl (i + 2) (String.length decl - i - 2)
+  | _ -> decl ^ " " ^ name
+
 (** Print a variable's value using the printing procedure from its type
-    dictionary — the debugger knows nothing about C data layout. *)
+    dictionary — the debugger knows nothing about C data layout.  When
+    the compiler's validity ranges say no assignment can have reached
+    this stopping point, the slot holds garbage: say so instead of
+    printing it as if it were a value. *)
 let print_value (d : t) (tg : target) (fr : Frame.t) (name : string) : string =
   match resolve d tg fr name with
   | None -> fail "%s is not visible here" name
+  | Some entry when validity_of d tg fr entry = Some Symtab.Vuninit ->
+      Printf.sprintf "<%s: uninitialized at this point>" (decl_display entry name)
   | Some entry ->
       let loc = location_of d tg fr entry in
       let tdict =

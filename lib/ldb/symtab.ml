@@ -202,6 +202,47 @@ let stop_of_locus proc_entry idx (locus : V.t) : stop =
 let stops_of_proc (proc_entry : V.t) : stop list =
   Array.to_list (Array.mapi (stop_of_locus proc_entry) (loci_of proc_entry))
 
+(* --- variable validity ------------------------------------------------------ *)
+
+(** Compiler-proven validity of a variable at one stopping point, decoded
+    from the symbol entry's [/validity] ranges (a flat [lo hi fact ...]
+    array over the procedure's stop indexes; see lib/cc/validity.ml). *)
+type validity = Vuninit | Vvalid | Vdead
+
+let validity_name = function
+  | Vuninit -> "uninit"
+  | Vvalid -> "valid"
+  | Vdead -> "dead"
+
+(** [validity_at entry ~stop_index] decodes the variable's fact at one
+    stop.  [None] when the table carries no ranges for this variable (the
+    analysis did not track it) or the ranges do not cover the index — the
+    debugger must then assume the value is printable. *)
+let validity_at (entry : V.t) ~(stop_index : int) : validity option =
+  match entry.V.v with
+  | V.Dict d -> (
+      match V.dict_get d "validity" with
+      | None -> None
+      | Some rv -> (
+          match rv.V.v with
+          | V.Arr a when Array.length a mod 3 = 0 ->
+              let n = Array.length a / 3 in
+              let rec go i =
+                if i >= n then None
+                else
+                  let lo = V.to_int a.((3 * i)) and hi = V.to_int a.((3 * i) + 1) in
+                  if stop_index >= lo && stop_index <= hi then
+                    match V.to_int a.((3 * i) + 2) with
+                    | 0 -> Some Vuninit
+                    | 1 -> Some Vvalid
+                    | 2 -> Some Vdead
+                    | _ -> None
+                  else go (i + 1)
+              in
+              go 0
+          | _ -> None))
+  | _ -> None
+
 (* --- forcing ----------------------------------------------------------------- *)
 
 (** Verify a deferred body before its first execution.  Bodies that are

@@ -58,9 +58,12 @@ let parse (raw : string) : t =
   let by_name = Hashtbl.create 64 in
   List.iter
     (fun s ->
-      match String.index_opt s.st_name ':' with
-      | Some i -> Hashtbl.replace by_name (String.sub s.st_name 0 i) s
-      | None -> ())
+      (* n_valid records reuse the "name:..." shape but are metadata, not
+         the symbol itself — keep them out of the name index *)
+      if s.st_type <> Ldb_cc.Stabsemit.n_valid then
+        match String.index_opt s.st_name ':' with
+        | Some i -> Hashtbl.replace by_name (String.sub s.st_name 0 i) s
+        | None -> ())
     stabs;
   let functions = List.filter (fun s -> s.st_type = Ldb_cc.Stabsemit.n_fun) stabs in
   let nlines = List.length (List.filter (fun s -> s.st_type = Ldb_cc.Stabsemit.n_sline) stabs) in
@@ -117,9 +120,40 @@ let stab_name (s : stab) =
   | None -> s.st_name
 
 (** One function's records: the [n_fun] stab, the symbol stabs that follow
-    it, and its [n_sline] stopping points (desc = line, value = anchor
-    slot index). *)
-type func_view = { fv_fun : stab; fv_syms : stab list; fv_slines : stab list }
+    it, its [n_sline] stopping points (desc = line, value = anchor slot
+    index), and its [n_valid] validity-range records. *)
+type func_view = {
+  fv_fun : stab;
+  fv_syms : stab list;
+  fv_slines : stab list;
+  fv_valid : stab list;
+}
+
+(** Decode an [n_valid] record: "name:lo-hi=f,..." with f in {u,v,d}
+    (0/1/2).  [None] if the record is malformed. *)
+let parse_valid (s : stab) : (string * (int * int * int) list) option =
+  match String.index_opt s.st_name ':' with
+  | None -> None
+  | Some i -> (
+      let name = String.sub s.st_name 0 i in
+      let rest = String.sub s.st_name (i + 1) (String.length s.st_name - i - 1) in
+      try
+        let ranges =
+          List.map
+            (fun part ->
+              Scanf.sscanf part "%d-%d=%c" (fun lo hi c ->
+                  let f =
+                    match c with
+                    | 'u' -> 0
+                    | 'v' -> 1
+                    | 'd' -> 2
+                    | _ -> raise Exit
+                  in
+                  (lo, hi, f)))
+            (String.split_on_char ',' rest)
+        in
+        Some (name, ranges)
+      with _ -> None)
 
 (** One compilation unit: everything between an [n_so] record and the
     next.  Symbols appearing before the first function are unit-level
@@ -135,12 +169,19 @@ type unit_view = {
     [Stabsemit.emit_unit]. *)
 let units (t : t) : unit_view list =
   let module S = Ldb_cc.Stabsemit in
-  let finish_func uf syms slines funcs =
+  let finish_func uf syms slines valid funcs =
     match uf with
     | None -> funcs
-    | Some f -> { fv_fun = f; fv_syms = List.rev syms; fv_slines = List.rev slines } :: funcs
+    | Some f ->
+        {
+          fv_fun = f;
+          fv_syms = List.rev syms;
+          fv_slines = List.rev slines;
+          fv_valid = List.rev valid;
+        }
+        :: funcs
   in
-  let finish_unit cur top uf syms slines funcs units =
+  let finish_unit cur top uf syms slines valid funcs units =
     match cur with
     | None -> units
     | Some name ->
@@ -148,21 +189,22 @@ let units (t : t) : unit_view list =
         {
           uv_name = name;
           uv_toplevel = List.rev top;
-          uv_funcs = List.rev (finish_func uf syms slines funcs);
+          uv_funcs = List.rev (finish_func uf syms slines valid funcs);
         }
         :: units
   in
-  let rec go cur top uf syms slines funcs units = function
-    | [] -> List.rev (finish_unit cur top uf syms slines funcs units)
+  let rec go cur top uf syms slines valid funcs units = function
+    | [] -> List.rev (finish_unit cur top uf syms slines valid funcs units)
     | s :: rest ->
         if s.st_type = S.n_so then
-          let units = finish_unit cur top uf syms slines funcs units in
-          go (Some s.st_name) [] None [] [] [] units rest
+          let units = finish_unit cur top uf syms slines valid funcs units in
+          go (Some s.st_name) [] None [] [] [] [] units rest
         else if s.st_type = S.n_fun then
-          let funcs = finish_func uf syms slines funcs in
+          let funcs = finish_func uf syms slines valid funcs in
           let top = if uf = None then List.rev_append syms top else top in
-          go cur top (Some s) [] [] funcs units rest
-        else if s.st_type = S.n_sline then go cur top uf syms (s :: slines) funcs units rest
-        else go cur top uf (s :: syms) slines funcs units rest
+          go cur top (Some s) [] [] [] funcs units rest
+        else if s.st_type = S.n_sline then go cur top uf syms (s :: slines) valid funcs units rest
+        else if s.st_type = S.n_valid then go cur top uf syms slines (s :: valid) funcs units rest
+        else go cur top uf (s :: syms) slines valid funcs units rest
   in
-  go None [] None [] [] [] [] t.stabs
+  go None [] None [] [] [] [] [] t.stabs

@@ -307,6 +307,123 @@ let test_mut_table_error () =
   expect_flagged "corrupt loader PostScript" F.Table_error
     (D.check img (ps ^ "\nthis_op_is_not_defined\n"))
 
+(* validity family: seeded mutations of the emitted ranges in each table;
+   every mutant must be flagged *)
+
+let fib_sources = [ ("fib.c", Testkit.fib_c) ]
+
+(** Offset and total length of the first [n_valid] record in raw stabs. *)
+let first_valid_record stabs =
+  let u16 i = Char.code stabs.[i] lor (Char.code stabs.[i + 1] lsl 8) in
+  let rec scan pos =
+    if pos >= String.length stabs then Alcotest.fail "no n_valid record"
+    else
+      let len = 9 + u16 (pos + 7) in
+      if Char.code stabs.[pos] = Ldb_cc.Stabsemit.n_valid then (pos, len)
+      else scan (pos + len)
+  in
+  scan 0
+
+(** Remove the first PostScript [/validity [ ... ]] clause at or after
+    [from], returning [None] when there is none. *)
+let drop_ps_validity ?(from = 0) ps =
+  let n = String.length ps in
+  let pat = "/validity" in
+  let m = String.length pat in
+  let rec find i =
+    if i + m > n then None
+    else if String.sub ps i m = pat then Some i
+    else find (i + 1)
+  in
+  match find from with
+  | None -> None
+  | Some i ->
+      let j = String.index_from ps i ']' in
+      Some (String.sub ps 0 i ^ String.sub ps (j + 1) (n - j - 1))
+
+(** Remove every [n_valid] record from a raw stabs string. *)
+let drop_all_stabs_valid stabs =
+  let u16 i = Char.code stabs.[i] lor (Char.code stabs.[i + 1] lsl 8) in
+  let buf = Buffer.create (String.length stabs) in
+  let rec scan pos =
+    if pos < String.length stabs then begin
+      let len = 9 + u16 (pos + 7) in
+      if Char.code stabs.[pos] <> Ldb_cc.Stabsemit.n_valid then
+        Buffer.add_string buf (String.sub stabs pos len);
+      scan (pos + len)
+    end
+  in
+  scan 0;
+  Buffer.contents buf
+
+let test_mut_validity_ps_bad_fact () =
+  let img, ps = sparc_fib () in
+  (* splice a triple with fact code 9 into the first local's ranges *)
+  let ps = replace_first ps "/validity [ " "/validity [ 9 9 9 " in
+  expect_flagged "fact code 9" F.Validity_range (D.check img ps)
+
+let test_mut_validity_ps_shifted () =
+  let img, ps = sparc_fib () in
+  (* the first range always opens at stop 0; shifting it leaves a gap *)
+  let ps = replace_first ps "/validity [ 0 " "/validity [ 1 " in
+  expect_flagged "shifted range cover" F.Validity_range (D.check img ps)
+
+let test_mut_validity_ps_dropped () =
+  let img, ps = sparc_fib () in
+  let ps =
+    match drop_ps_validity ps with
+    | Some ps -> ps
+    | None -> Alcotest.fail "no /validity clause to drop"
+  in
+  expect_flagged "PS ranges dropped" F.Validity_missing (D.check img ps)
+
+let test_mut_validity_stabs_corrupt () =
+  let img, ps = sparc_fib () in
+  let stabs = img.Link.i_stabs in
+  let pos, len = first_valid_record stabs in
+  (* overwrite the first fact letter with one the decoder rejects *)
+  let eq = String.index_from stabs (pos + 9) '=' in
+  if eq >= pos + len then Alcotest.fail "n_valid record without a fact";
+  let img = { img with Link.i_stabs = patch_bytes stabs (eq + 1) "x" } in
+  expect_flagged "undecodable n_valid record" F.Validity_range (D.check img ps)
+
+let test_mut_validity_stabs_swapped () =
+  let img, ps = sparc_fib () in
+  let stabs = img.Link.i_stabs in
+  let pos, len = first_valid_record stabs in
+  (* swap the first fact: the record still decodes but now disagrees with
+     the PostScript table *)
+  let eq = String.index_from stabs (pos + 9) '=' in
+  if eq >= pos + len then Alcotest.fail "n_valid record without a fact";
+  let swapped = if stabs.[eq + 1] = 'u' then "v" else "u" in
+  let img = { img with Link.i_stabs = patch_bytes stabs (eq + 1) swapped } in
+  expect_flagged "swapped stabs fact" F.Validity_stabs_mismatch (D.check img ps)
+
+let test_mut_validity_stabs_dropped () =
+  let img, ps = sparc_fib () in
+  let pos, len = first_valid_record img.Link.i_stabs in
+  let stabs = img.Link.i_stabs in
+  let img =
+    { img with
+      Link.i_stabs =
+        String.sub stabs 0 pos ^ String.sub stabs (pos + len) (String.length stabs - pos - len) }
+  in
+  expect_flagged "stabs record spliced out" F.Validity_missing (D.check img ps)
+
+let test_mut_validity_unsound () =
+  let img, ps = sparc_fib () in
+  (* scrub the ranges from BOTH tables, consistently: every artifact-level
+     check stays clean, and only recomputing the analysis from source can
+     tell that the tables claim less than the compiler proves *)
+  let rec scrub ps = match drop_ps_validity ps with Some ps -> scrub ps | None -> ps in
+  let ps = scrub ps in
+  let img = { img with Link.i_stabs = drop_all_stabs_valid img.Link.i_stabs } in
+  let artifact_only = D.check img ps in
+  check Alcotest.string "consistent scrub passes the artifact checks" ""
+    (pp_findings artifact_only);
+  expect_flagged "recompute from source" F.Validity_unsound
+    (D.check ~sources:fib_sources img ps)
+
 (* --- the u16 line clamp --------------------------------------------------------- *)
 
 let test_clamp_boundary () =
@@ -353,7 +470,9 @@ let test_json_pin () =
       check Alcotest.bool (F.kind_name k) true (F.kind_of_name (F.kind_name k) = Some k))
     [ F.Bad_nop; F.Misaligned_stop; F.Nop_advance; F.Bad_decode; F.Unresolved_sym;
       F.Bad_segment; F.Alias_clash; F.Dangling_slot; F.Frame_bounds; F.Bad_reg_var;
-      F.Rpt_mismatch; F.Stabs_mismatch; F.Line_clamped; F.Hint_mismatch; F.Table_error ]
+      F.Rpt_mismatch; F.Stabs_mismatch; F.Line_clamped; F.Hint_mismatch;
+      F.Validity_missing; F.Validity_range; F.Validity_stabs_mismatch;
+      F.Validity_unsound; F.Table_error ]
 
 (* --- driver modes ---------------------------------------------------------------- *)
 
@@ -574,6 +693,20 @@ let () =
           Alcotest.test_case "skewed stabs line" `Quick test_mut_stabs_line_skew;
           Alcotest.test_case "renamed stabs symbol" `Quick test_mut_stabs_name_skew;
           Alcotest.test_case "corrupt loader table" `Quick test_mut_table_error;
+          Alcotest.test_case "validity: PS fact code corrupt" `Quick
+            test_mut_validity_ps_bad_fact;
+          Alcotest.test_case "validity: PS ranges shifted" `Quick
+            test_mut_validity_ps_shifted;
+          Alcotest.test_case "validity: PS ranges dropped" `Quick
+            test_mut_validity_ps_dropped;
+          Alcotest.test_case "validity: stabs record corrupt" `Quick
+            test_mut_validity_stabs_corrupt;
+          Alcotest.test_case "validity: stabs fact swapped" `Quick
+            test_mut_validity_stabs_swapped;
+          Alcotest.test_case "validity: stabs record dropped" `Quick
+            test_mut_validity_stabs_dropped;
+          Alcotest.test_case "validity: consistent scrub is unsound" `Quick
+            test_mut_validity_unsound;
         ] );
       ( "clamp",
         [
