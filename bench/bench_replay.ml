@@ -1,0 +1,214 @@
+(** Record/replay benchmark: what recording costs while you debug
+    forward, and what each reverse step costs once you travel back.
+
+    Three measurements, emitted as BENCH_replay.json:
+
+    - record overhead: the same run-to-exit workload timed untraced and
+      recorded (wide checkpoint spacing, the recommended live setting);
+      the gate holds the ratio under 2x.
+    - reverse-step latency vs checkpoint spacing: the spacing knob
+      trades trace bytes for seek work.  The wall clock is reported but
+      not gated (machines differ); the gated number is deterministic —
+      the instructions re-executed by a reverse step can never exceed
+      the spacing plus a small delay-slot allowance, whatever the
+      machine.
+    - the determinism contract CI leans on: recording the same seeded
+      session twice yields byte-identical traces, and replaying one to
+      the end reproduces the live process's core dump exactly.
+
+    Run with: dune exec bench/bench_replay.exe
+    Flags: -smoke (reduced workload, for CI), -o FILE (output path). *)
+
+open Ldb_machine
+module Ldb = Ldb_ldb.Ldb
+module Host = Ldb_ldb.Host
+module Replay = Ldb_ldb.Replay
+module Trace = Ldb_nub.Trace
+
+let smoke = Array.exists (( = ) "-smoke") Sys.argv
+
+let out_path =
+  let rec find i =
+    if i + 1 >= Array.length Sys.argv then "BENCH_replay.json"
+    else if Sys.argv.(i) = "-o" then Sys.argv.(i + 1)
+    else find (i + 1)
+  in
+  find 0
+
+let iterations = if smoke then 150 else 1500
+
+let loop_c =
+  Printf.sprintf
+    {|
+int total;
+void bump(int k)
+{
+    total = total + k;
+}
+int main(void)
+{
+    int i;
+    for (i = 1; i <= %d; i++)
+        bump(i);
+    printf("%%d\n", total);
+    return 0;
+}
+|}
+    iterations
+
+let sources = [ ("loop.c", loop_c) ]
+
+let expect_stop what = function
+  | Ok (Ldb.Stopped _) -> ()
+  | _ -> failwith (what ^ ": expected a stop")
+
+let expect_exit what = function
+  | Ok (Ldb.Exited _) -> ()
+  | _ -> failwith (what ^ ": expected an exit")
+
+type session = { d : Ldb.t; tg : Ldb.target; proc : Host.process }
+
+let session () =
+  let d = Ldb.create () in
+  let proc, tg = Host.spawn d ~arch:Arch.Mips ~name:"bench" sources in
+  { d; tg; proc }
+
+(* --- record overhead --------------------------------------------------------- *)
+
+(** Run the loop to completion, optionally recording, and return wall
+    seconds.  Repeated and averaged: a single run is noise. *)
+let run_to_exit ~(record : int option) () : float =
+  let s = session () in
+  (match record with Some spacing -> Ldb.start_record s.tg ~spacing | None -> ());
+  let t0 = Sys.time () in
+  expect_exit "run" (Ldb.continue_ s.d s.tg);
+  Sys.time () -. t0
+
+let avg_of n f =
+  let rec go k acc = if k = 0 then acc else go (k - 1) (acc +. f ()) in
+  go n 0.0 /. float_of_int n
+
+(* --- reverse-step latency vs spacing ----------------------------------------- *)
+
+type spacing_row = {
+  sp : int;
+  sp_checkpoints : int;
+  sp_trace_bytes : int;
+  sp_rsteps : int;
+  sp_mean_seconds : float;
+  sp_max_reexec : int;
+  sp_instructions : int;
+}
+
+let measure_spacing (sp : int) : spacing_row =
+  let s = session () in
+  Ldb.start_record s.tg ~spacing:sp;
+  expect_exit "recorded run" (Ldb.continue_ s.d s.tg);
+  let bytes = Ldb.trace_bytes s.tg in
+  let image = Ldb.load_image s.d ~loader_ps:s.proc.Host.hp_loader_ps in
+  let rp =
+    match Replay.of_string s.d ~name:"bench" ~image bytes with
+    | Ok (rp, []) -> rp
+    | Ok (_, _ :: _) -> failwith "bench trace came back damaged"
+    | Error e -> failwith ("open replay: " ^ Replay.error_to_string e)
+  in
+  (match Replay.seek_end rp with
+  | Ok _ -> ()
+  | Error e -> failwith ("seek end: " ^ Replay.error_to_string e));
+  let rsteps = if smoke then 20 else 100 in
+  let max_reexec = ref 0 in
+  let t0 = Sys.time () in
+  for _ = 1 to rsteps do
+    (match Replay.rstep rp with
+    | Ok _ -> ()
+    | Error e -> failwith ("rstep: " ^ Replay.error_to_string e));
+    max_reexec := max !max_reexec (Replay.last_seek_cost rp)
+  done;
+  let seconds = Sys.time () -. t0 in
+  {
+    sp;
+    sp_checkpoints = Replay.checkpoint_count rp;
+    sp_trace_bytes = String.length bytes;
+    sp_rsteps = rsteps;
+    sp_mean_seconds = seconds /. float_of_int rsteps;
+    sp_max_reexec = !max_reexec;
+    sp_instructions = Replay.recorded_instructions rp;
+  }
+
+(* --- determinism -------------------------------------------------------------- *)
+
+let determinism () : int * int =
+  let script () =
+    let s = session () in
+    Ldb.start_record s.tg ~spacing:64;
+    ignore (Ldb.break_function s.d s.tg "bump" : int);
+    for _ = 1 to 3 do
+      expect_stop "continue" (Ldb.continue_ s.d s.tg)
+    done;
+    s
+  in
+  let s1 = script () and s2 = script () in
+  let t1 = Ldb.trace_bytes s1.tg and t2 = Ldb.trace_bytes s2.tg in
+  let identical = if String.equal t1 t2 then 1 else 0 in
+  let image = Ldb.load_image s1.d ~loader_ps:s1.proc.Host.hp_loader_ps in
+  let matches =
+    match Replay.of_string s1.d ~name:"det" ~image t1 with
+    | Ok (rp, []) -> (
+        match Replay.seek_end rp with
+        | Ok tg ->
+            if String.equal (Ldb.core_bytes tg) (Ldb.core_bytes s1.tg) then 1 else 0
+        | Error _ -> 0)
+    | _ -> 0
+  in
+  (identical, matches)
+
+(* --- emit --------------------------------------------------------------------- *)
+
+let () =
+  let repeats = if smoke then 3 else 10 in
+  (* wide spacing is the recommended live setting: the trace carries the
+     events, checkpoints stay rare, and the cost is event logging only *)
+  let overhead_spacing = 100_000 in
+  let untraced = avg_of repeats (run_to_exit ~record:None) in
+  let recorded = avg_of repeats (run_to_exit ~record:(Some overhead_spacing)) in
+  let ratio = recorded /. (untraced +. 1e-9) in
+  let probe =
+    let s = session () in
+    Ldb.start_record s.tg ~spacing:overhead_spacing;
+    expect_exit "probe" (Ldb.continue_ s.d s.tg);
+    Ldb.trace_bytes s.tg
+  in
+  let spacings = List.map measure_spacing [ 64; 256; 1024 ] in
+  let identical, matches = determinism () in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n  \"benchmark\": \"record/replay\",\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"workload\": \"loop of %d calls run to exit on mips, then reverse-stepped\",\n"
+       iterations);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"record\": {\"untraced_seconds\": %.6f, \"recorded_seconds\": %.6f, \
+        \"overhead_ratio\": %.3f, \"overhead_spacing\": %d, \"trace_bytes\": %d},\n"
+       untraced recorded ratio overhead_spacing (String.length probe));
+  Buffer.add_string buf "  \"spacings\": [\n";
+  List.iteri
+    (fun i r ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"spacing\": %d, \"checkpoints\": %d, \"trace_bytes\": %d, \
+            \"instructions\": %d, \"rsteps\": %d, \"mean_rstep_seconds\": %.6f, \
+            \"max_reexec_per_rstep\": %d}%s\n"
+           r.sp r.sp_checkpoints r.sp_trace_bytes r.sp_instructions r.sp_rsteps
+           r.sp_mean_seconds r.sp_max_reexec
+           (if i = 2 then "" else ",")))
+    spacings;
+  Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"determinism\": {\"traces_identical\": %d, \"replay_matches_live\": %d}\n}\n"
+       identical matches);
+  let oc = open_out out_path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  print_string (Buffer.contents buf)

@@ -12,6 +12,7 @@
       check_regress symtab BENCH_symtab.json fresh.json [-min-speedup N]
       check_regress core BENCH_core.json fresh.json
       check_regress server BENCH_server.json fresh.json
+      check_regress replay BENCH_replay.json fresh.json
 
     A missing or malformed bench file is a usage problem, not a gate
     failure: it exits 2 with a message naming the file, never an
@@ -336,6 +337,52 @@ let check_server ~committed ~fresh =
   gates ~who:"committed" committed;
   gates ~who:"fresh" fresh
 
+let check_replay ~committed ~fresh =
+  check_schema ~committed ~fresh;
+  let gates ~who ~max_ratio t =
+    let r = member "record" t in
+    require
+      (num (member "overhead_ratio" r) < max_ratio)
+      "%s replay: record overhead %.2fx is over the %.0fx gate" who
+      (num (member "overhead_ratio" r))
+      max_ratio;
+    require
+      (num (member "trace_bytes" r) > 0.0)
+      "%s replay: the recorded run produced an empty trace" who;
+    List.iter
+      (fun row ->
+        let sp = num (member "spacing" row) in
+        require
+          (num (member "checkpoints" row) > 0.0)
+          "%s replay: no checkpoints at spacing %g" who sp;
+        require
+          (num (member "instructions" row) > 0.0)
+          "%s replay: the trace at spacing %g recorded no instructions" who sp;
+        (* the machine-independent latency bound: a reverse step restores
+           the nearest checkpoint and replays forward, so it can never
+           re-execute more than the spacing plus a small delay-slot
+           allowance, whatever the wall clock says *)
+        require
+          (num (member "max_reexec_per_rstep" row) <= sp +. 16.0)
+          "%s replay: a reverse step re-executed %g instructions at spacing %g — over the spacing bound"
+          who
+          (num (member "max_reexec_per_rstep" row))
+          sp)
+      (arr (member "spacings" t));
+    let d = member "determinism" t in
+    require
+      (num (member "traces_identical" d) = 1.0)
+      "%s replay: recording the same session twice gave different traces" who;
+    require
+      (num (member "replay_matches_live" d) = 1.0)
+      "%s replay: replaying the trace to its end diverged from the live run" who
+  in
+  (* the committed numbers must meet the full acceptance criterion; the
+     fresh (smoke) run times a sub-millisecond workload, so its overhead
+     ratio gets noise headroom — determinism and the reexec bound do not *)
+  gates ~who:"committed" ~max_ratio:2.0 committed;
+  gates ~who:"fresh" ~max_ratio:3.0 fresh
+
 let () =
   let args = Array.to_list Sys.argv in
   let min_speedup =
@@ -356,6 +403,7 @@ let () =
          | "symtab" -> check_symtab ~min_speedup ~committed ~fresh
          | "core" -> check_core ~committed ~fresh
          | "server" -> check_server ~committed ~fresh
+         | "replay" -> check_replay ~committed ~fresh
          | k ->
              prerr_endline ("unknown benchmark kind " ^ k);
              exit 2
@@ -372,5 +420,5 @@ let () =
       end
   | _ ->
       prerr_endline
-        "usage: check_regress {transport|symtab|core|server} COMMITTED.json FRESH.json [-min-speedup N]";
+        "usage: check_regress {transport|symtab|core|server|replay} COMMITTED.json FRESH.json [-min-speedup N]";
       exit 2

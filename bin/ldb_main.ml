@@ -20,7 +20,20 @@
       arch                           show target architecture
       core <file>                    write a core dump of the stopped target
       report                         one-shot crash report (best-effort)
-      detach / kill / quit           connection control *)
+      record [spacing]               start recording for time travel; the nub
+                                     logs every state change and checkpoints
+                                     every [spacing] instructions (default 64)
+      rstep (rsi)                    step one instruction backwards
+      rcontinue (rc)                 run backwards to the previous stop
+      rwatch <name>                  run back to the last write of a variable
+      present                        return from history to the live process
+      detach / kill / quit           connection control
+
+    The reverse commands replay the recording from the nearest
+    checkpoint; every inspection command (where, bt, print, disas,
+    regs, eval) works unchanged at any historical instant.  Commands
+    that change state — continue, step, set, break — return the session
+    to the present first. *)
 
 open Ldb_ldb
 
@@ -29,12 +42,66 @@ let read_file path = In_channel.with_open_text path In_channel.input_all
 (** The interactive loop, shared by live and post-mortem sessions.
     [proc] is the simulated process when there is one (live sessions);
     post-mortem sessions have only the dump. *)
-let repl d tg sess ~(proc : Host.process option) =
+let repl d tg0 sess ~(proc : Host.process option) =
   let finished = ref false in
+  (* [cur] is what inspection commands look at: the live target, or a
+     historical one materialized by the replay session *)
+  let cur = ref tg0 in
+  let replay : Replay.t option ref = ref None in
+  (* the image is needed to open a replay session over a fetched trace *)
+  let image =
+    match proc with
+    | Some p -> Some (Ldb.load_image d ~loader_ps:p.Host.hp_loader_ps)
+    | None -> None
+  in
+  let to_present ~quiet =
+    match !replay with
+    | None -> ()
+    | Some rp ->
+        (match Replay.target rp with Some t -> Ldb.remove_target d t | None -> ());
+        replay := None;
+        cur := tg0;
+        if not quiet then print_endline "(back in the present)"
+  in
+  (* open (or reuse) a replay session over the live target's recording;
+     a fresh fetch each time it is opened picks up everything recorded
+     since the last trip into history *)
+  let ensure_replay () =
+    match !replay with
+    | Some rp -> Ok rp
+    | None -> (
+        match image with
+        | None -> Error "time travel needs a live recorded process"
+        | Some image -> (
+            let bytes = Ldb.trace_bytes tg0 in
+            match Replay.of_string d ~name:"replay" ~image bytes with
+            | Ok (rp, warns) ->
+                List.iter
+                  (fun w ->
+                    Printf.printf "  ! salvage: %s\n"
+                      (Ldb_nub.Trace.salvage_to_string w))
+                  warns;
+                replay := Some rp;
+                Ok rp
+            | Error e -> Error (Replay.error_to_string e)))
+  in
+  let reverse motion =
+    match ensure_replay () with
+    | Error m -> Printf.printf "ldb: %s\n" m
+    | Ok rp -> (
+        match motion rp with
+        | Ok t ->
+            cur := t;
+            Printf.printf "[%s]\n" (Replay.describe rp);
+            print_endline (Ldb.where d t)
+        | Error `End_of_history ->
+            Printf.printf "ldb: %s\n" (Replay.error_to_string `End_of_history)
+        | Error e -> Printf.printf "ldb: %s\n" (Replay.error_to_string e))
+  in
   (* post-mortem queries may have tolerated damaged bytes; surface the
      per-query warnings the way the answer itself was printed *)
   let flush_salvage () =
-    List.iter (fun w -> Printf.printf "  ! salvage: %s\n" w) (Ldb.take_salvage tg)
+    List.iter (fun w -> Printf.printf "  ! salvage: %s\n" w) (Ldb.take_salvage !cur)
   in
   let dead m = Printf.printf "ldb: %s\n" m in
   while not !finished do
@@ -45,7 +112,16 @@ let repl d tg sess ~(proc : Host.process option) =
         (let words =
            String.split_on_char ' ' (String.trim line) |> List.filter (fun s -> s <> "")
          in
+         (* state-changing commands act on the live process: leave
+            history before dispatching them *)
+         (match words with
+         | ("run" | "continue" | "c" | "step" | "s" | "stepi" | "si" | "set"
+           | "break" | "b" | "clear" | "kill" | "detach" | "record")
+           :: _ ->
+             to_present ~quiet:false
+         | _ -> ());
          try
+           let tg = !cur in
            match words with
            | [] -> ()
            | [ "quit" ] | [ "q" ] -> finished := true
@@ -177,6 +253,25 @@ let repl d tg sess ~(proc : Host.process option) =
                | `Salvage r ->
                    print_string (Ldb.render_crash_report r);
                    print_endline "(report assembled in salvage mode)")
+           | [ "record" ] | [ "record"; _ ] ->
+               let spacing = match words with [ _; s ] -> int_of_string s | _ -> 64 in
+               Ldb.start_record tg ~spacing;
+               Printf.printf "recording (checkpoint every %d instructions)\n" spacing
+           | [ "rstep" ] | [ "rsi" ] -> reverse Replay.rstep
+           | [ "rcontinue" ] | [ "rc" ] -> reverse Replay.rcontinue
+           | [ "rwatch"; name ] -> (
+               match Ldb.variable_range d tg (Ldb.top_frame d tg) name with
+               | Error m -> Printf.printf "ldb: %s\n" m
+               | Ok (_space, addr, size) ->
+                   Printf.printf "running back to the last write of %s (%d byte%s at %#x)\n"
+                     name size
+                     (if size = 1 then "" else "s")
+                     addr;
+                   reverse (fun rp ->
+                       Result.map fst (Replay.run_back_to_write rp ~addr ~size)))
+           | [ "present" ] ->
+               to_present ~quiet:true;
+               print_endline (Ldb.where d !cur)
            | [ "detach" ] -> Ldb.detach tg
            | [ "kill" ] ->
                Ldb.kill tg;

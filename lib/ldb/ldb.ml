@@ -794,6 +794,29 @@ let print_value (d : t) (tg : target) (fr : Frame.t) (name : string) : string =
           I.run_string d.interp "print";
           I.take_output d.interp)
 
+(** A variable's absolute target-memory range — space, address, byte
+    size — for watch-style queries ("run back to the last write of x").
+    [Error] for register-located symbols: registers are renamed and
+    spilled freely, so "the last write" of a register cell is not a
+    meaningful question to ask of a memory trace. *)
+let variable_range (d : t) (tg : target) (fr : Frame.t) (name : string) :
+    (char * int * int, string) result =
+  match resolve d tg fr name with
+  | None -> Error (Printf.sprintf "%s is not visible here" name)
+  | Some entry -> (
+      let size =
+        match V.dict_get (V.to_dict entry) "type" with
+        | Some ty -> (
+            match V.dict_get (V.to_dict ty) "size" with
+            | Some s -> V.to_int s
+            | None -> 4)
+        | None -> 4
+      in
+      match location_of d tg fr entry with
+      | A.Absolute { space; offset } -> Ok (space, offset, size)
+      | A.Immediate _ ->
+          Error (Printf.sprintf "%s lives in a register, not memory" name))
+
 (** Fetch a scalar variable as an integer (tests and assignments). *)
 let read_int_var (d : t) (tg : target) (fr : Frame.t) (name : string) : int =
   match resolve d tg fr name with
@@ -948,6 +971,41 @@ let fetch_core (tg : target) : Core.t =
 
 (** The serialized dump, for writing to a file. *)
 let core_bytes (tg : target) : string = Core.to_string (fetch_core tg)
+
+(* --- record/replay ------------------------------------------------------------- *)
+
+(** Ask the nub to start recording an execution trace at the current
+    stop, checkpointing roughly every [spacing] instructions.  History
+    begins here: a previous recording on this nub is discarded. *)
+let start_record (tg : target) ~(spacing : int) : unit =
+  if spacing < 1 then fail "checkpoint spacing must be positive";
+  match Transport.rpc (transport tg) (Proto.Record { spacing }) with
+  | Proto.Stored -> ()
+  | Proto.Nub_error m -> fail "cannot record: %s" m
+  | r -> fail "unexpected reply to Record: %s" (Fmt.str "%a" Proto.pp_reply r)
+
+(** Pull the whole serialized execution trace across the wire in
+    {!Proto.max_trace_chunk}-sized windows, like {!fetch_core_raw}. *)
+let fetch_trace_raw (tr : Transport.t) : string =
+  let buf = Buffer.create 4096 in
+  let rec go offset =
+    match Transport.rpc tr (Proto.Fetch_trace { offset }) with
+    | Proto.Trace_chunk { total; offset = off; chunk } ->
+        if off <> offset then
+          fail "trace transfer out of sync: wanted offset %d, nub sent %d" offset off;
+        if String.length chunk = 0 && offset < total then
+          fail "trace transfer stalled at offset %d of %d" offset total;
+        Buffer.add_string buf chunk;
+        let next = offset + String.length chunk in
+        if next >= total then Buffer.contents buf else go next
+    | Proto.Nub_error m -> fail "no trace: %s" m
+    | r -> fail "unexpected reply to Fetch_trace: %s" (Fmt.str "%a" Proto.pp_reply r)
+  in
+  go 0
+
+(** The serialized trace of the recording in progress on the target's
+    nub, for writing to a file or opening a replay session. *)
+let trace_bytes (tg : target) : string = fetch_trace_raw (transport tg)
 
 (** Open a loaded core dump as a target: same symbol tables, loader
     tables, machine-dependent PostScript and operators as a live

@@ -416,3 +416,31 @@ let freg_value (co : t) (f : int) : float =
   let img = co.co_fregs.(f) in
   if co.co_freg_bytes = 10 then Float80.of_bytes img
   else Int64.float_of_bits (Endian.get_u64 Little (Bytes.of_string img) 0)
+
+(** Rebuild a {e runnable} process from a dump: fresh zero-filled RAM
+    with the sections blitted back (the margins {!trim_zeros} dropped
+    return as the zeros they were), register files and pc from the
+    dump's images.  This is the inverse of {!of_proc} for the replay
+    subsystem: a checkpoint dump taken at a drain-safe point restores to
+    a machine that re-executes exactly as the original did.  The caller
+    chooses the [Proc.status]; the stdout buffer restarts empty — output
+    produced before the dump is not machine state, so replayed output
+    begins at the restore point. *)
+let to_proc (co : t) : Proc.t =
+  let t = Target.of_arch co.co_arch in
+  let p = Proc.create t in
+  let size = Ram.size p.Proc.ram in
+  List.iter
+    (fun s ->
+      let base = max 0 s.sec_base in
+      let skip = base - s.sec_base in
+      let len = min (String.length s.sec_bytes - skip) (size - base) in
+      if len > 0 then Ram.blit_in p.Proc.ram ~addr:base (String.sub s.sec_bytes skip len))
+    co.co_sections;
+  let cpu = p.Proc.cpu in
+  Array.iteri (fun r v -> if r < Target.nregs t then Cpu.set_reg cpu r v) co.co_regs;
+  Array.iteri
+    (fun f _ -> if f < Target.nfregs t then Cpu.set_freg cpu f (freg_value co f))
+    co.co_fregs;
+  Proc.set_pc p co.co_pc;
+  p

@@ -35,6 +35,23 @@
 
 open Ldb_machine
 
+(** Recording state for the record/replay subsystem.  Events accumulate
+    newest-first; the serialized form is rebuilt lazily and cached keyed
+    by the event count, so polling [Fetch_trace] after every stop costs
+    one serialization per new event batch rather than per chunk. *)
+type recorder = {
+  rc_spacing : int;  (** requested instructions between checkpoints *)
+  mutable rc_events : Trace.event list;  (** reversed stream order *)
+  mutable rc_nev : int;  (** total events recorded (cache key) *)
+  mutable rc_nreq : int;  (** state-changing requests among them *)
+  mutable rc_since : int;  (** instructions retired since last checkpoint *)
+  mutable rc_blocked : bool;
+      (** a checkpoint came due at a point where the CPU held a pending
+          delayed load (SIM-MIPS): dumping would have committed it early
+          and changed delay-slot semantics, so it was deferred *)
+  mutable rc_cache : (int * string) option;
+}
+
 type t = {
   proc : Proc.t;
   mutable conn : Chan.endpoint option;
@@ -68,6 +85,8 @@ type t = {
   mutable cond_hit : bool;
       (** the current stop came from a condition that held (or faulted):
           report it as {!Proto.Cond_hit}, not a plain {!Proto.Event} *)
+  mutable recorder : recorder option;
+      (** an execution trace being recorded, if a [Record] arrived *)
 }
 
 let ctx_base = Ram.Layout.context_base
@@ -78,7 +97,8 @@ let max_cached_replies = 8
 let create ?(fuel = 50_000_000) ?(can_step = true) (proc : Proc.t) =
   { proc; conn = None; resume = false; step = false; killed = false; fuel; notified = false;
     can_step; last_seq = 0; cur_seq = 0; replies = []; rx_mark = 0; rx_quiet = 0;
-    core = None; conds = Hashtbl.create 4; suppressed = 0; cond_hit = false }
+    core = None; conds = Hashtbl.create 4; suppressed = 0; cond_hit = false;
+    recorder = None }
 
 (** Number of sealed replies currently cached (tests assert the bound). *)
 let cached_replies n = List.length n.replies
@@ -163,6 +183,91 @@ let record_core ?(force = false) n =
       n.core <-
         Some (Core.to_string (Core.of_proc n.proc ~signal:(Signal.number s) ~code))
   | _ -> ()
+
+(* --- trace recording ---------------------------------------------------- *)
+
+(* Recording is passive: every helper is a no-op unless a [Record]
+   request installed a recorder.  What gets logged is exactly the
+   nondeterminism a deterministic target admits — the state-changing
+   requests the debugger sent (stores, conditions, continues, steps,
+   kill) and the outcome of each execution — plus periodic checkpoints
+   so replay never re-executes more than a bounded span. *)
+
+let rec_event n (e : Trace.event) =
+  match n.recorder with
+  | None -> ()
+  | Some rc ->
+      rc.rc_events <- e :: rc.rc_events;
+      rc.rc_nev <- rc.rc_nev + 1;
+      (match e with
+      | Trace.Req _ -> rc.rc_nreq <- rc.rc_nreq + 1
+      | _ -> ())
+
+(** Log the stop or exit that ended the execution request just served,
+    with the number of counted instruction units it retired. *)
+let rec_outcome n ~(instrs : int) =
+  match n.recorder with
+  | None -> ()
+  | Some _ -> (
+      match n.proc.Proc.status with
+      | Proc.Stopped (s, code) ->
+          rec_event n
+            (Trace.Stop
+               { signal = Signal.number s; code; pc = Proc.pc n.proc; instrs })
+      | Proc.Exited status -> rec_event n (Trace.Exit { status; instrs })
+      | Proc.Running -> ())
+
+(** Freeze the current machine into a checkpoint at replay cursor
+    [(ev, delta)].  Callers guarantee the dump is drain-safe: either the
+    target is stopped (its context was just saved, which drains), or the
+    caller checked there is no pending delayed load. *)
+let checkpoint_of n ~(ev : int) ~(delta : int) : Trace.checkpoint =
+  let status, signal, code =
+    match n.proc.Proc.status with
+    | Proc.Running -> (Trace.Ck_running, 0, 0)
+    | Proc.Stopped (s, c) ->
+        (Trace.Ck_stopped { signal = Signal.number s; code = c }, Signal.number s, c)
+    | Proc.Exited st -> (Trace.Ck_exited st, 0, 0)
+  in
+  { Trace.ck_ev = ev; ck_delta = delta; ck_status = status;
+    ck_core = Core.to_string (Core.of_proc n.proc ~signal ~code) }
+
+let rec_checkpoint n ~ev ~delta =
+  match n.recorder with
+  | None -> ()
+  | Some rc ->
+      rec_event n (Trace.Checkpoint (checkpoint_of n ~ev ~delta));
+      rc.rc_since <- 0;
+      rc.rc_blocked <- false
+
+(** Charge [used] retired instructions against the checkpoint period. *)
+let rec_charge n used =
+  match n.recorder with
+  | None -> ()
+  | Some rc -> rc.rc_since <- rc.rc_since + used
+
+(** Take a checkpoint at a stop if one is due.  The cursor is
+    [(next request, 0)]: everything logged so far is fully applied. *)
+let rec_stop_checkpoint n =
+  match n.recorder with
+  | None -> ()
+  | Some rc -> if rc.rc_since >= rc.rc_spacing then rec_checkpoint n ~ev:rc.rc_nreq ~delta:0
+
+(** Mid-continue checkpoint attempt: [delta] instructions into the
+    execution of the request indexed [rc_nreq - 1] (the continue being
+    served).  Deferred while a delayed load is pending — committing it
+    early would change what the delay-slot instruction reads — and
+    retried one instruction later, where it has necessarily drained or
+    been replaced (at most one load can be in flight). *)
+let rec_mid_checkpoint n ~(delta : int) =
+  match n.recorder with
+  | None -> ()
+  | Some rc ->
+      if rc.rc_since >= rc.rc_spacing then begin
+        if n.proc.Proc.cpu.Cpu.pending_load = None then
+          rec_checkpoint n ~ev:(rc.rc_nreq - 1) ~delta
+        else rc.rc_blocked <- true
+      end
 
 (* --- breakpoint conditions ---------------------------------------------- *)
 
@@ -253,35 +358,91 @@ let notify n =
     resync. *)
 let rx_stall_limit = 8
 
-let run_target n =
-  (* one cumulative fuel budget per continue: silent condition-driven
-     resumes below burn from the same tank, so a never-true condition in
-     an infinite loop still ends in a SIGINT, not a hang *)
-  let fuel = ref n.fuel in
+(** One continue's worth of target time, shared by live execution and
+    replay.  Runs until the target stops, exits, exhausts [fuel] (then a
+    SIGINT stop, as an interrupt would), or — replay positioning — has
+    retired [cap] counted instruction units, in which case the target is
+    left [Running] for the caller to turn into a step-style stop.
+    Returns the units retired.
+
+    Execution proceeds in chunks so the recorder can take a checkpoint
+    every [rc_spacing] instructions without perturbing semantics: a
+    chunk ends at whichever of fuel, cap, or the next checkpoint comes
+    first.  One cumulative fuel budget covers the whole continue:
+    silent condition-driven resumes burn from the same tank, so a
+    never-true condition in an infinite loop still ends in a SIGINT,
+    not a hang. *)
+let run_loop n ~fuel:fuel0 ~(cap : int option) : int =
+  let fuel = ref fuel0 in
+  let total = ref 0 in
   let continue = ref true in
   while !continue do
-    let status, used = Proc.run_counted ~fuel:!fuel n.proc in
-    fuel := !fuel - used;
-    (match status with
-    | Proc.Running ->
-        (* fuel exhausted: behave like an interrupt *)
-        n.proc.Proc.status <- Proc.Stopped (SIGINT, 0)
-    | _ -> ());
-    (match n.proc.Proc.status with
-    | Proc.Stopped _ -> save_context n
-    | _ -> ());
-    match cond_verdict n with
-    | Some false ->
-        (* a miss: skip the trapped no-op and resume — no RPC, no report *)
-        n.suppressed <- n.suppressed + 1;
-        Proc.set_pc n.proc (Proc.pc n.proc + (target n).Target.nop_advance);
-        Proc.set_running n.proc
-    | Some true ->
-        n.cond_hit <- true;
-        continue := false
-    | None -> continue := false
+    let cap_room = match cap with None -> max_int | Some c -> c - !total in
+    if cap_room <= 0 then continue := false
+    else begin
+      let ck_room =
+        match n.recorder with
+        | None -> max_int
+        | Some rc ->
+            if rc.rc_blocked then 1 else max 1 (rc.rc_spacing - rc.rc_since)
+      in
+      let chunk = min (min (max 0 !fuel) cap_room) ck_room in
+      let status, used = Proc.run_counted ~fuel:chunk n.proc in
+      fuel := !fuel - used;
+      total := !total + used;
+      rec_charge n used;
+      match status with
+      | Proc.Running ->
+          if (match cap with Some c -> !total >= c | None -> false) then
+            (* positioned: leave the target running mid-continue *)
+            continue := false
+          else if !fuel <= 0 then begin
+            (* fuel exhausted: behave like an interrupt *)
+            n.proc.Proc.status <- Proc.Stopped (SIGINT, 0);
+            save_context n;
+            continue := false
+          end
+          else rec_mid_checkpoint n ~delta:!total
+      | Proc.Exited _ -> continue := false
+      | Proc.Stopped _ -> (
+          save_context n;
+          match cond_verdict n with
+          | Some false ->
+              (* a miss: skip the trapped no-op and resume — no RPC, no
+                 report *)
+              n.suppressed <- n.suppressed + 1;
+              Proc.set_pc n.proc (Proc.pc n.proc + (target n).Target.nop_advance);
+              Proc.set_running n.proc
+          | Some true ->
+              n.cond_hit <- true;
+              continue := false
+          | None -> continue := false)
+    end
   done;
+  !total
+
+let run_target n =
+  let instrs = run_loop n ~fuel:n.fuel ~cap:None in
   record_core n;
+  rec_outcome n ~instrs;
+  rec_stop_checkpoint n;
+  n.notified <- false;
+  notify n
+
+(** Execute exactly one instruction and report the stop, as the [Step]
+    extension requires; shared by the live pump and replay. *)
+let step_target n =
+  Proc.step n.proc;
+  (match n.proc.Proc.status with
+  | Proc.Running -> n.proc.Proc.status <- Proc.Stopped (SIGTRAP, 1)
+  | _ -> ());
+  (match n.proc.Proc.status with
+  | Proc.Stopped _ -> save_context n
+  | _ -> ());
+  record_core n;
+  rec_charge n 1;
+  rec_outcome n ~instrs:1;
+  rec_stop_checkpoint n;
   n.notified <- false;
   notify n
 
@@ -298,16 +459,22 @@ let serve_one n (ep : Chan.endpoint) (req : Proto.request) =
       | Error m -> send_reply n ep (Proto.Nub_error m))
   | Proto.Store { space; addr; bytes } -> (
       match do_store n ~space ~addr bytes with
-      | Ok () -> send_reply n ep Proto.Stored
+      | Ok () ->
+          (* only applied stores enter the trace: a refused store changed
+             nothing and replay must not re-attempt it *)
+          rec_event n (Trace.Req req);
+          send_reply n ep Proto.Stored
       | Error m -> send_reply n ep (Proto.Nub_error m))
   | Proto.Continue ->
       n.core <- None;
+      rec_event n (Trace.Req req);
       restore_context n;
       Proc.set_running n.proc;
       n.resume <- true
   | Proto.Step ->
       if n.can_step then begin
         n.core <- None;
+        rec_event n (Trace.Req req);
         restore_context n;
         Proc.set_running n.proc;
         n.step <- true
@@ -316,6 +483,7 @@ let serve_one n (ep : Chan.endpoint) (req : Proto.request) =
   | Proto.Kill ->
       (* preserve the dying stop as a core before the state is gone *)
       record_core ~force:true n;
+      rec_event n (Trace.Req req);
       n.killed <- true;
       n.proc.Proc.status <- Proc.Exited 137
   | Proto.Detach -> (
@@ -354,6 +522,7 @@ let serve_one n (ep : Chan.endpoint) (req : Proto.request) =
           match Bpverify.verify (target n) p with
           | [] ->
               Hashtbl.replace n.conds addr p;
+              rec_event n (Trace.Req req);
               send_reply n ep Proto.Stored
           | f :: _ ->
               send_reply n ep
@@ -361,7 +530,46 @@ let serve_one n (ep : Chan.endpoint) (req : Proto.request) =
                    ("nub: unverified condition: " ^ Bpverify.finding_to_string f))))
   | Proto.Clear_cond { addr } ->
       Hashtbl.remove n.conds addr;
+      rec_event n (Trace.Req req);
       send_reply n ep Proto.Stored
+  | Proto.Record { spacing } -> (
+      match n.proc.Proc.status with
+      | Proc.Stopped _ ->
+          n.recorder <-
+            Some
+              { rc_spacing = spacing; rc_events = []; rc_nev = 0; rc_nreq = 0;
+                rc_since = 0; rc_blocked = false; rc_cache = None };
+          (* history starts here: the initial checkpoint anchors replay
+             at cursor (0, 0), before any logged request *)
+          rec_checkpoint n ~ev:0 ~delta:0;
+          send_reply n ep Proto.Stored
+      | Proc.Running -> send_reply n ep (Proto.Nub_error "nub: target is running")
+      | Proc.Exited _ ->
+          send_reply n ep (Proto.Nub_error "nub: cannot record an exited target"))
+  | Proto.Fetch_trace { offset } -> (
+      match n.recorder with
+      | None -> send_reply n ep (Proto.Nub_error "nub: not recording")
+      | Some rc ->
+          let dump =
+            match rc.rc_cache with
+            | Some (key, s) when key = rc.rc_nev -> s
+            | _ ->
+                let s =
+                  Trace.to_string
+                    { Trace.tr_arch = (target n).Target.arch; tr_fuel = n.fuel;
+                      tr_can_step = n.can_step; tr_spacing = rc.rc_spacing;
+                      tr_events = List.rev rc.rc_events }
+                in
+                rc.rc_cache <- Some (rc.rc_nev, s);
+                s
+          in
+          let total = String.length dump in
+          if offset < 0 || offset > total then
+            send_reply n ep (Proto.Nub_error "nub: trace offset out of range")
+          else
+            let len = min Proto.max_trace_chunk (total - offset) in
+            send_reply n ep
+              (Proto.Trace_chunk { total; offset; chunk = String.sub dump offset len }))
 
 (** Serve one incoming frame, enforcing at-most-once execution: a frame
     numbered at or below the last served request is a duplicate of a
@@ -428,16 +636,7 @@ let rec pump n =
       if n.step then begin
         n.step <- false;
         (* one instruction, then stop and report *)
-        Proc.step n.proc;
-        (match n.proc.Proc.status with
-        | Proc.Running -> n.proc.Proc.status <- Proc.Stopped (SIGTRAP, 1)
-        | _ -> ());
-        (match n.proc.Proc.status with
-        | Proc.Stopped _ -> save_context n
-        | _ -> ());
-        record_core n;
-        n.notified <- false;
-        notify n;
+        step_target n;
         pump n
       end
       else if n.resume then begin
@@ -463,6 +662,10 @@ let attach n (ep : Chan.endpoint) =
   Hashtbl.reset n.conds;
   n.suppressed <- 0;
   n.cond_hit <- false;
+  (* resetting the conditions above desynchronizes any trace in
+     progress (the reset is not a logged request), so a recording does
+     not survive a re-attach: time travel is per-session *)
+  n.recorder <- None;
   n.notified <- true (* new debugger learns state from its Hello *)
 
 (** Start the target under the nub.  [paused] mimics the one-line "pause"
@@ -477,3 +680,94 @@ let start ?(paused = true) n =
     n.notified <- true (* nobody to notify yet; Hello will report it *)
   end
   else run_target n
+
+(* --- replay ------------------------------------------------------------- *)
+
+(* The other half of record/replay: a nub wrapped around a process
+   rebuilt from a checkpoint ({!Core.to_proc}) re-applies recorded
+   requests through the {e same} code paths the live nub executed —
+   [do_store], the condition verifier, [run_loop], the step block — so
+   replayed execution cannot diverge from recorded execution by
+   construction rather than by careful imitation.  These entry points
+   are driven by {!Ldb_ldb.Replay}, not by the wire. *)
+
+(** Re-apply one recorded state-changing request.  [cap], for replay
+    positioning, bounds a continue to that many counted instruction
+    units; a capped continue that reaches its cap leaves the target
+    [Running] mid-continue (see {!replay_position}).  Returns the units
+    retired.  Only requests the recorder logs are accepted — anything
+    else in a trace is evidence of corruption the caller reports. *)
+let replay_apply n (req : Proto.request) ~(cap : int option) : (int, string) result =
+  match req with
+  | Proto.Store { space; addr; bytes } -> (
+      match do_store n ~space ~addr bytes with
+      | Ok () -> Ok 0
+      | Error m -> Error ("replay: recorded store refused: " ^ m))
+  | Proto.Set_cond { addr; prog } -> (
+      match Bpcode.decode prog with
+      | Error m -> Error ("replay: recorded condition undecodable: " ^ m)
+      | Ok p -> (
+          match Bpverify.verify (target n) p with
+          | [] ->
+              Hashtbl.replace n.conds addr p;
+              Ok 0
+          | f :: _ ->
+              Error
+                ("replay: recorded condition unverifiable: "
+                ^ Bpverify.finding_to_string f)))
+  | Proto.Clear_cond { addr } ->
+      Hashtbl.remove n.conds addr;
+      Ok 0
+  | Proto.Kill ->
+      record_core ~force:true n;
+      n.killed <- true;
+      n.proc.Proc.status <- Proc.Exited 137;
+      Ok 0
+  | Proto.Continue ->
+      restore_context n;
+      Proc.set_running n.proc;
+      let used = run_loop n ~fuel:n.fuel ~cap in
+      record_core n;
+      Ok used
+  | Proto.Step ->
+      if not n.can_step then Error "replay: trace steps but this nub cannot"
+      else begin
+        restore_context n;
+        Proc.set_running n.proc;
+        Proc.step n.proc;
+        (match n.proc.Proc.status with
+        | Proc.Running -> n.proc.Proc.status <- Proc.Stopped (SIGTRAP, 1)
+        | _ -> ());
+        (match n.proc.Proc.status with
+        | Proc.Stopped _ -> save_context n
+        | _ -> ());
+        record_core n;
+        Ok 1
+      end
+  | Proto.Hello | Proto.Fetch _ | Proto.Detach | Proto.Dump _ | Proto.Record _
+  | Proto.Fetch_trace _ ->
+      Error "replay: request is not state-changing"
+
+(** Resume execution from a mid-continue checkpoint: the restored CPU is
+    already [consumed] instructions into its continue, so only the
+    remaining fuel is available, and [cap] (if any) is measured from
+    here.  Used when the nearest checkpoint before a target cursor lies
+    inside the same continue. *)
+let replay_resume n ~(consumed : int) ~(cap : int option) : int =
+  Proc.set_running n.proc;
+  let used = run_loop n ~fuel:(n.fuel - consumed) ~cap in
+  record_core n;
+  used
+
+(** Turn a mid-continue position into an observable stop, exactly the
+    way the step extension would: a running target becomes a SIGTRAP
+    stop with its context saved, indistinguishable from the stop a
+    live [stepi] at the same instant would have produced. *)
+let replay_position n =
+  (match n.proc.Proc.status with
+  | Proc.Running -> n.proc.Proc.status <- Proc.Stopped (SIGTRAP, 1)
+  | _ -> ());
+  (match n.proc.Proc.status with
+  | Proc.Stopped _ -> save_context n
+  | _ -> ());
+  record_core n

@@ -51,6 +51,15 @@ type request =
           code — and answers {!Stored} or {!Nub_error}. *)
   | Clear_cond of { addr : int }
       (** forget the condition at [addr]; traps there report again *)
+  | Record of { spacing : int }
+      (** start recording an execution trace at the current stop, taking
+          a checkpoint roughly every [spacing] instructions (see
+          {!Trace}); a previous recording is discarded.  Valid only while
+          the target is stopped — answered with {!Stored} or
+          {!Nub_error}. *)
+  | Fetch_trace of { offset : int }
+      (** request a window of the serialized trace starting at byte
+          [offset]; served in {!Trace_chunk} pieces like a core dump *)
 
 type stop_state =
   | St_running
@@ -72,6 +81,9 @@ type reply =
       (** unsolicited, like {!Event}, but from a conditional breakpoint
           whose condition held; [suppressed] counts the trap visits the
           nub resumed silently since the last report *)
+  | Trace_chunk of { total : int; offset : int; chunk : string }
+      (** a window of the serialized execution trace, shaped exactly
+          like {!Core_chunk} *)
 
 (* --- field limits ------------------------------------------------------ *)
 
@@ -93,6 +105,10 @@ let max_core_chunk = 2048
     aligned with {!Bpcode.max_prog_bytes} so a length the bytecode layer
     would refuse never even decodes. *)
 let max_cond_prog = 1024
+
+(** Trace windows per {!Trace_chunk} reply, bounded like
+    {!max_core_chunk} for the same reason. *)
+let max_trace_chunk = 2048
 
 (* --- serialization ---------------------------------------------------- *)
 
@@ -136,6 +152,10 @@ let encode_request (r : request) : string =
                                n max_cond_prog));
       "B" ^ u32_to_le addr ^ u32_to_le n ^ prog
   | Clear_cond { addr } -> "Q" ^ u32_to_le addr
+  | Record { spacing } ->
+      if spacing < 1 then raise (Encode_error "checkpoint spacing must be positive");
+      "R" ^ u32_to_le spacing
+  | Fetch_trace { offset } -> "G" ^ u32_to_le offset
 
 let encode_reply (r : reply) : string =
   match r with
@@ -162,6 +182,10 @@ let encode_reply (r : reply) : string =
       "u" ^ u32_to_le total ^ u32_to_le offset ^ str16 chunk
   | Cond_hit { signal; code; ctx_addr; suppressed } ->
       "j" ^ u32_to_le signal ^ u32_to_le code ^ u32_to_le ctx_addr ^ u32_to_le suppressed
+  | Trace_chunk { total; offset; chunk } ->
+      if String.length chunk > max_trace_chunk then
+        raise (Encode_error "trace chunk too long");
+      "t" ^ u32_to_le total ^ u32_to_le offset ^ str16 chunk
 
 (* --- deserialization (total) ------------------------------------------- *)
 
@@ -240,6 +264,11 @@ let decode_request : string -> (request, string) result =
             raise (Bad (Printf.sprintf "condition length outside 1..%d" max_cond_prog));
           Set_cond { addr; prog = take c len "condition program" }
       | 'Q' -> Clear_cond { addr = u32 c "condition address" }
+      | 'R' ->
+          let spacing = u32 c "record spacing" in
+          if spacing < 1 then raise (Bad "record spacing must be positive");
+          Record { spacing }
+      | 'G' -> Fetch_trace { offset = u32 c "trace offset" }
       | op -> raise (Bad (Printf.sprintf "unknown request opcode %C" op)))
 
 (** Decode a complete reply message.  Total, like {!decode_request}. *)
@@ -290,6 +319,13 @@ let decode_reply : string -> (reply, string) result =
           let ctx_addr = u32 c "hit context" in
           let suppressed = u32 c "hit suppressed count" in
           Cond_hit { signal; code; ctx_addr; suppressed }
+      | 't' ->
+          let total = u32 c "trace total" in
+          let offset = u32 c "trace offset" in
+          let chunk = str c "trace chunk" in
+          if String.length chunk > max_trace_chunk then
+            raise (Bad "trace chunk exceeds limit");
+          Trace_chunk { total; offset; chunk }
       | op -> raise (Bad (Printf.sprintf "unknown reply opcode %C" op)))
 
 let pp_request ppf = function
@@ -304,6 +340,8 @@ let pp_request ppf = function
   | Dump { offset } -> Fmt.pf ppf "Dump@%#x" offset
   | Set_cond { addr; prog } -> Fmt.pf ppf "SetCond %#x/%d" addr (String.length prog)
   | Clear_cond { addr } -> Fmt.pf ppf "ClearCond %#x" addr
+  | Record { spacing } -> Fmt.pf ppf "Record/%d" spacing
+  | Fetch_trace { offset } -> Fmt.pf ppf "FetchTrace@%#x" offset
 
 let pp_reply ppf = function
   | Hello_reply { arch; _ } -> Fmt.pf ppf "HelloReply(%s)" arch
@@ -316,3 +354,5 @@ let pp_reply ppf = function
       Fmt.pf ppf "Core %d+%d/%d" offset (String.length chunk) total
   | Cond_hit { signal; suppressed; _ } ->
       Fmt.pf ppf "CondHit(sig %d, %d suppressed)" signal suppressed
+  | Trace_chunk { total; offset; chunk } ->
+      Fmt.pf ppf "Trace %d+%d/%d" offset (String.length chunk) total

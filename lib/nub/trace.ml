@@ -1,0 +1,359 @@
+(** Execution traces for record/replay time travel.
+
+    Our simulated targets are deterministic: the only nondeterminism a
+    debugging session can observe enters through the debugger itself —
+    stores into target memory, verified condition programs, continues and
+    steps, and the kill switch.  A trace therefore logs exactly the
+    state-changing requests the nub served, the outcome of every
+    execution request (the stop or exit it ended in, with the retired
+    instruction count), and periodic {e checkpoints}.  A checkpoint is an
+    [LDBCORE1] dump (see {!Ldb_machine.Core}) plus a {e replay cursor}
+    [(ev, delta)]: the index of the next state-changing request and, for
+    a cursor inside a continue, how many instructions of that continue
+    had retired when the dump was taken.  Restoring the dump and
+    re-applying the logged requests from the cursor reproduces the
+    machine state at any historical instant, bit for bit.
+
+    The format is framed like the core codec: a magic string, a small
+    header, then self-delimiting records each protected by a CRC-32.
+    Decoding is {e total} and degrades the way {!Ldb_machine.Core}
+    does: header damage is a hard error, but a truncated or corrupted
+    record merely ends the usable prefix of the trace with a typed
+    {!salvage} warning — replay over the surviving prefix is still
+    sound because every prefix of a trace is itself a valid trace.
+
+    Nothing in a trace depends on wall-clock time, allocation order, or
+    any other ambient state, so recording the same session twice yields
+    byte-identical files — the CI determinism gate relies on this. *)
+
+open Ldb_util
+open Ldb_machine
+
+(** How a checkpointed machine was executing when it was dumped. *)
+type ck_status =
+  | Ck_running  (** mid-continue: resume executing to go forward *)
+  | Ck_stopped of { signal : int; code : int }
+  | Ck_exited of int
+
+type checkpoint = {
+  ck_ev : int;
+      (** index of the next state-changing request not yet (fully)
+          applied at the moment of the dump *)
+  ck_delta : int;
+      (** instructions of request [ck_ev]'s execution already retired
+          (nonzero only inside a continue) *)
+  ck_status : ck_status;
+  ck_core : string;  (** serialized [LDBCORE1] dump *)
+}
+
+type event =
+  | Req of Proto.request
+      (** a state-changing request the nub applied, in arrival order *)
+  | Stop of { signal : int; code : int; pc : int; instrs : int }
+      (** the preceding continue/step ended in this stop after [instrs]
+          counted instruction units *)
+  | Exit of { status : int; instrs : int }
+  | Checkpoint of checkpoint
+      (** appears in stream order, between the events it separates *)
+
+type t = {
+  tr_arch : Arch.t;
+  tr_fuel : int;      (** the recording nub's per-continue budget *)
+  tr_can_step : bool;
+  tr_spacing : int;   (** requested instructions between checkpoints *)
+  tr_events : event list;
+}
+
+(** Typed degradation for damaged traces, in the style of
+    {!Ldb_machine.Core.salvage}: the decoder never raises, it reports. *)
+type salvage =
+  | Truncated of { what : string; expected : int; got : int }
+  | Bad_crc of { index : int; stored : int; computed : int }
+  | Bad_record of { index : int; what : string }
+
+let salvage_to_string = function
+  | Truncated { what; expected; got } ->
+      Printf.sprintf "trace truncated in %s: need %d bytes, have %d" what expected got
+  | Bad_crc { index; stored; computed } ->
+      Printf.sprintf "trace record %d checksum mismatch: stored %#x, computed %#x"
+        index stored computed
+  | Bad_record { index; what } ->
+      Printf.sprintf "trace record %d malformed: %s" index what
+
+(* --- accessors used by replay ------------------------------------------ *)
+
+(** The state-changing requests in order; [ck_ev] indexes this array. *)
+let requests (tr : t) : Proto.request array =
+  Array.of_list
+    (List.filter_map (function Req r -> Some r | _ -> None) tr.tr_events)
+
+(** All checkpoints, in stream order (cursor-ascending by construction). *)
+let checkpoints (tr : t) : checkpoint list =
+  List.filter_map (function Checkpoint c -> Some c | _ -> None) tr.tr_events
+
+(** The outcome (stop or exit) recorded for execution request [ev],
+    when the trace contains one: the first [Stop]/[Exit] event after the
+    [ev]-th request. *)
+let outcome_of (tr : t) (ev : int) : event option =
+  let rec scan i = function
+    | [] -> None
+    | Req _ :: rest when i = ev ->
+        let rec next = function
+          | [] -> None
+          | (Stop _ as e) :: _ | (Exit _ as e) :: _ -> Some e
+          | Req _ :: _ -> None
+          | Checkpoint _ :: rest -> next rest
+        in
+        next rest
+    | Req _ :: rest -> scan (i + 1) rest
+    | _ :: rest -> scan i rest
+  in
+  scan 0 tr.tr_events
+
+(* --- codec -------------------------------------------------------------- *)
+
+(* Layout (all integers little-endian u32 unless noted):
+     "LDBTRACE1"
+     u32 len + arch name bytes
+     u32 fuel | u32 spacing | u8 step flag ('S'/'-')
+     then records until end of string, each:
+       u8 tag | u32 body length | body bytes | u32 CRC-32(body)
+     tags and bodies:
+       'Q'  encoded Proto.request
+       'S'  u32 signal | u32 code | u32 pc | u32 instrs
+       'X'  u32 status | u32 instrs
+       'C'  u32 ev | u32 delta | u8 kind | u32 a | u32 b
+            | u32 core length | core bytes
+            (kind 'r': running, a=b=0; 's': a=signal b=code; 'x': a=status) *)
+
+let magic = "LDBTRACE1"
+
+(** A checkpoint body is dominated by its core dump; bounded like the
+    core codec's section limit so a corrupt length cannot demand an
+    absurd allocation. *)
+let max_core_bytes = 1 lsl 26
+
+let max_record_bytes = max_core_bytes + 4096
+
+let buf_u32 b (v : int) =
+  let cell = Bytes.create 4 in
+  Endian.set_u32 Little cell 0 (Int32.of_int v);
+  Buffer.add_bytes b cell
+
+let buf_str b s =
+  buf_u32 b (String.length s);
+  Buffer.add_string b s
+
+let encode_event (e : event) : char * string =
+  let b = Buffer.create 64 in
+  let tag =
+    match e with
+    | Req r ->
+        Buffer.add_string b (Proto.encode_request r);
+        'Q'
+    | Stop { signal; code; pc; instrs } ->
+        buf_u32 b signal;
+        buf_u32 b code;
+        buf_u32 b pc;
+        buf_u32 b instrs;
+        'S'
+    | Exit { status; instrs } ->
+        buf_u32 b status;
+        buf_u32 b instrs;
+        'X'
+    | Checkpoint ck ->
+        buf_u32 b ck.ck_ev;
+        buf_u32 b ck.ck_delta;
+        (match ck.ck_status with
+        | Ck_running ->
+            Buffer.add_char b 'r';
+            buf_u32 b 0;
+            buf_u32 b 0
+        | Ck_stopped { signal; code } ->
+            Buffer.add_char b 's';
+            buf_u32 b signal;
+            buf_u32 b code
+        | Ck_exited status ->
+            Buffer.add_char b 'x';
+            buf_u32 b status;
+            buf_u32 b 0);
+        buf_str b ck.ck_core;
+        'C'
+  in
+  (tag, Buffer.contents b)
+
+let to_string (tr : t) : string =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b magic;
+  buf_str b (Arch.name tr.tr_arch);
+  buf_u32 b tr.tr_fuel;
+  buf_u32 b tr.tr_spacing;
+  Buffer.add_char b (if tr.tr_can_step then 'S' else '-');
+  List.iter
+    (fun e ->
+      let tag, body = encode_event e in
+      Buffer.add_char b tag;
+      buf_u32 b (String.length body);
+      Buffer.add_string b body;
+      buf_u32 b (Crc32.string body))
+    tr.tr_events;
+  Buffer.contents b
+
+(* Decoder: header damage is hard, body damage salvages the prefix. *)
+
+exception Hard of string
+exception Short of string * int * int  (* what, needed, have *)
+
+type cursor = { src : string; mutable pos : int }
+
+let need c n what =
+  if c.pos + n > String.length c.src then
+    raise (Short (what, n, String.length c.src - c.pos))
+
+let u8 c what =
+  need c 1 what;
+  let v = Char.code c.src.[c.pos] in
+  c.pos <- c.pos + 1;
+  v
+
+let u32 c what =
+  need c 4 what;
+  let v =
+    Int32.to_int (Endian.get_u32 Little (Bytes.of_string (String.sub c.src c.pos 4)) 0)
+    land 0xffffffff
+  in
+  c.pos <- c.pos + 4;
+  v
+
+let take c n what =
+  if n < 0 then raise (Hard ("negative length for " ^ what));
+  need c n what;
+  let s = String.sub c.src c.pos n in
+  c.pos <- c.pos + n;
+  s
+
+let decode_body (tag : char) (body : string) : (event, string) result =
+  let c = { src = body; pos = 0 } in
+  let fin v = if c.pos <> String.length body then Error "trailing bytes" else Ok v in
+  try
+    match tag with
+    | 'Q' -> (
+        match Proto.decode_request body with
+        | Ok r -> Ok (Req r)
+        | Error m -> Error ("bad request: " ^ m))
+    | 'S' ->
+        let signal = u32 c "stop signal" in
+        let code = u32 c "stop code" in
+        let pc = u32 c "stop pc" in
+        let instrs = u32 c "stop instrs" in
+        fin (Stop { signal; code; pc; instrs })
+    | 'X' ->
+        let status = u32 c "exit status" in
+        let instrs = u32 c "exit instrs" in
+        fin (Exit { status; instrs })
+    | 'C' ->
+        let ck_ev = u32 c "checkpoint ev" in
+        let ck_delta = u32 c "checkpoint delta" in
+        if ck_ev < 0 || ck_delta < 0 then Error "negative checkpoint cursor"
+        else
+          let kind = Char.chr (u8 c "checkpoint kind") in
+          let a = u32 c "checkpoint a" in
+          let b = u32 c "checkpoint b" in
+          let ck_status =
+            match kind with
+            | 'r' -> Ck_running
+            | 's' -> Ck_stopped { signal = a; code = b }
+            | 'x' -> Ck_exited a
+            | k -> raise (Hard (Printf.sprintf "bad checkpoint kind %C" k))
+          in
+          let core_len = u32 c "checkpoint core length" in
+          if core_len < 0 || core_len > max_core_bytes then Error "bad core length"
+          else
+            let ck_core = take c core_len "checkpoint core" in
+            fin (Checkpoint { ck_ev; ck_delta; ck_status; ck_core })
+    | t -> Error (Printf.sprintf "unknown record tag %C" t)
+  with
+  | Hard m -> Error m
+  | Short (what, needed, have) ->
+      Error (Printf.sprintf "truncated %s: need %d bytes, have %d" what needed have)
+
+(** Decode a trace.  Total: header damage yields [Error]; a damaged or
+    truncated record ends the event list there, with the reason as a
+    typed {!salvage} alongside the surviving prefix.  Because replay
+    only ever consumes a prefix of history, the salvaged trace remains
+    fully usable up to the damage point. *)
+let of_string (s : string) : (t * salvage list, string) result =
+  try
+    let c = { src = s; pos = 0 } in
+    let m = take c (String.length magic) "magic" in
+    if m <> magic then raise (Hard "not an LDBTRACE1 trace");
+    let arch_len = u32 c "arch length" in
+    if arch_len < 0 || arch_len > 256 then raise (Hard "bad arch length");
+    let arch_name = take c arch_len "arch name" in
+    let tr_arch =
+      match Arch.of_name arch_name with
+      | Some a -> a
+      | None -> raise (Hard (Printf.sprintf "unknown architecture %S" arch_name))
+    in
+    let tr_fuel = u32 c "fuel" in
+    let tr_spacing = u32 c "spacing" in
+    if tr_fuel < 1 then raise (Hard "bad fuel");
+    if tr_spacing < 1 then raise (Hard "bad spacing");
+    let tr_can_step =
+      match Char.chr (u8 c "step flag") with
+      | 'S' -> true
+      | '-' -> false
+      | f -> raise (Hard (Printf.sprintf "bad step flag %C" f))
+    in
+    let events = ref [] in
+    let warns = ref [] in
+    let index = ref 0 in
+    let stop = ref false in
+    (* a salvage ends the stream: indices after damage are unreliable *)
+    while not !stop && c.pos < String.length s do
+      match
+        let tag = Char.chr (u8 c "record tag") in
+        let len = u32 c "record length" in
+        if len < 0 || len > max_record_bytes then raise (Hard "bad record length");
+        let body = take c len "record body" in
+        let crc = u32 c "record checksum" in
+        (tag, body, crc)
+      with
+      | exception Short (what, needed, have) ->
+          warns := [ Truncated { what; expected = needed; got = have } ];
+          stop := true
+      | exception Hard m ->
+          warns := [ Bad_record { index = !index; what = m } ];
+          stop := true
+      | tag, body, stored ->
+          let computed = Crc32.string body in
+          if computed <> stored then begin
+            warns := [ Bad_crc { index = !index; stored; computed } ];
+            stop := true
+          end
+          else begin
+            match decode_body tag body with
+            | Ok e ->
+                events := e :: !events;
+                incr index
+            | Error what ->
+                warns := [ Bad_record { index = !index; what } ];
+                stop := true
+          end
+    done;
+    Ok
+      ( { tr_arch; tr_fuel; tr_spacing; tr_can_step; tr_events = List.rev !events },
+        !warns )
+  with
+  | Hard m -> Error m
+  | Short (what, needed, have) ->
+      Error (Printf.sprintf "truncated %s: need %d bytes, have %d" what needed have)
+
+let pp_event ppf = function
+  | Req r -> Fmt.pf ppf "req %a" Proto.pp_request r
+  | Stop { signal; code; pc; instrs } ->
+      Fmt.pf ppf "stop sig %d code %d pc %#x after %d" signal code pc instrs
+  | Exit { status; instrs } -> Fmt.pf ppf "exit %d after %d" status instrs
+  | Checkpoint { ck_ev; ck_delta; ck_core; _ } ->
+      Fmt.pf ppf "checkpoint (%d,%d) core %d bytes" ck_ev ck_delta
+        (String.length ck_core)

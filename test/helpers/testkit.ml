@@ -139,3 +139,36 @@ let gen_insn (arch : Arch.t) : Insn.t QCheck.Gen.t =
 
 let qtest name ?(count = 200) arb prop =
   QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count arb prop)
+
+(** qcheck: arbitrary well-formed core dump — shared by the post-mortem
+    and replay suites (a replay checkpoint embeds a core). *)
+let core_gen : Core.t QCheck.Gen.t =
+  let module Crc32 = Ldb_util.Crc32 in
+  let open QCheck.Gen in
+    oneofl Arch.all >>= fun arch ->
+    let t = Target.of_arch arch in
+    int_bound 31 >>= fun signal ->
+    int_bound 0xffffff >>= fun code ->
+    int_bound 0xffffff >>= fun pc ->
+    int_bound 0xffffff >>= fun ctx_addr ->
+    array_repeat (Target.nregs t)
+      (map Int32.of_int (int_range (-0x40000000) 0x3fffffff))
+    >>= fun regs ->
+    oneofl [ 8; 10 ] >>= fun freg_bytes ->
+    array_repeat (Target.nfregs t)
+      (string_size ~gen:char (return freg_bytes))
+    >>= fun fregs ->
+    list_size (int_bound 4)
+      ( oneofl [ "code"; "data"; "ctx"; "stack" ] >>= fun name ->
+        int_bound 0x3ffff0 >>= fun base ->
+        string_size ~gen:char (int_range 1 64) >>= fun bytes ->
+        return
+          { Core.sec_name = name; sec_base = base; sec_bytes = bytes;
+            sec_crc = Crc32.string bytes; sec_ok = true } )
+    >>= fun sections ->
+    return
+  { Core.co_arch = arch; co_signal = signal; co_code = code; co_pc = pc;
+    co_ctx_addr = ctx_addr; co_regs = regs; co_freg_bytes = freg_bytes;
+    co_fregs = fregs; co_sections = sections }
+
+let gen_core : Core.t QCheck.arbitrary = QCheck.make core_gen

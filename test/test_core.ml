@@ -54,36 +54,7 @@ let fault_session ~arch : Testkit.session =
 
 (* --- codec ----------------------------------------------------------------- *)
 
-let gen_core : Core.t QCheck.arbitrary =
-  let open QCheck.Gen in
-  let gen =
-    oneofl Arch.all >>= fun arch ->
-    let t = Target.of_arch arch in
-    int_bound 31 >>= fun signal ->
-    int_bound 0xffffff >>= fun code ->
-    int_bound 0xffffff >>= fun pc ->
-    int_bound 0xffffff >>= fun ctx_addr ->
-    array_repeat (Target.nregs t)
-      (map Int32.of_int (int_range (-0x40000000) 0x3fffffff))
-    >>= fun regs ->
-    oneofl [ 8; 10 ] >>= fun freg_bytes ->
-    array_repeat (Target.nfregs t)
-      (string_size ~gen:char (return freg_bytes))
-    >>= fun fregs ->
-    list_size (int_bound 4)
-      ( oneofl [ "code"; "data"; "ctx"; "stack" ] >>= fun name ->
-        int_bound 0x3ffff0 >>= fun base ->
-        string_size ~gen:char (int_range 1 64) >>= fun bytes ->
-        return
-          { Core.sec_name = name; sec_base = base; sec_bytes = bytes;
-            sec_crc = Crc32.string bytes; sec_ok = true } )
-    >>= fun sections ->
-    return
-      { Core.co_arch = arch; co_signal = signal; co_code = code; co_pc = pc;
-        co_ctx_addr = ctx_addr; co_regs = regs; co_freg_bytes = freg_bytes;
-        co_fregs = fregs; co_sections = sections }
-  in
-  QCheck.make gen
+let gen_core = Testkit.gen_core
 
 let prop_codec_roundtrip =
   Testkit.qtest "random cores roundtrip" ~count:300 gen_core (fun co ->

@@ -91,7 +91,9 @@ let test_request_roundtrips () =
       Proto.Dump { offset = 0 }; Proto.Dump { offset = 0x12345 };
       Proto.Set_cond { addr = 0x1000; prog = "P\x01\x00\x00\x00" };
       Proto.Set_cond { addr = 0; prog = String.make Proto.max_cond_prog 'q' };
-      Proto.Clear_cond { addr = 0x1000 } ]
+      Proto.Clear_cond { addr = 0x1000 };
+      Proto.Record { spacing = 1 }; Proto.Record { spacing = 100_000 };
+      Proto.Fetch_trace { offset = 0 }; Proto.Fetch_trace { offset = 0xabcdef } ]
 
 let test_reply_roundtrips () =
   List.iter
@@ -108,6 +110,9 @@ let test_reply_roundtrips () =
       Proto.Core_chunk { total = 0; offset = 0; chunk = "" };
       Proto.Core_chunk { total = 9000; offset = 4096; chunk = String.make 2048 'x' };
       Proto.Cond_hit { signal = 5; code = 0; ctx_addr = 0x1f0000; suppressed = 12345 };
+      Proto.Trace_chunk { total = 0; offset = 0; chunk = "" };
+      Proto.Trace_chunk
+        { total = 5000; offset = 2048; chunk = String.make Proto.max_trace_chunk 't' };
       Proto.Nub_error "no such space" ]
 
 (** Out-of-range size fields are rejected with [Error], not served. *)

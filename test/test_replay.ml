@@ -1,0 +1,462 @@
+(** Record/replay time travel tests: the trace codec (round-trips,
+    checkpoint embedding, salvage on truncation and corruption), the
+    reverse-execution differential the feature promises — every
+    historical stop reached by rstep/rcontinue must answer backtrace,
+    print, and disassembly byte-identically to a fresh forward session
+    halted at the same point, validity-aware printing included — the
+    run-back-to-last-write query, and the determinism gate CI leans on:
+    recording the same seeded session twice yields byte-identical
+    traces, and replaying one to the end reproduces the live core. *)
+
+open Ldb_machine
+module Ldb = Ldb_ldb.Ldb
+module Host = Ldb_ldb.Host
+module Replay = Ldb_ldb.Replay
+module Frame = Ldb_ldb.Frame
+module Disas = Ldb_ldb.Disas
+module Trace = Ldb_nub.Trace
+module Proto = Ldb_nub.Proto
+
+let check = Alcotest.check
+
+let contains ~needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+(* a function with a local that is assigned partway through: stepping
+   backwards across the assignment must revive the "uninitialized"
+   warning exactly where a forward session shows it *)
+let work_c =
+  {|
+int g;
+void work(void)
+{
+    int x;
+    g = 1;
+    x = 5;
+    g = x + 2;
+}
+int main(void)
+{
+    work();
+    return 0;
+}
+|}
+
+let work_sources = [ ("work.c", work_c) ]
+
+(* a loop with a repeated breakpoint hit, for rcontinue *)
+let loop_c =
+  {|
+int total;
+void bump(int k)
+{
+    total = total + k;
+}
+int main(void)
+{
+    int i;
+    for (i = 1; i <= 4; i++)
+        bump(i);
+    printf("%d\n", total);
+    return 0;
+}
+|}
+
+let loop_sources = [ ("loop.c", loop_c) ]
+
+(* a global written three times, then inspected: rwatch material *)
+let writes_c =
+  {|
+int x;
+int y;
+void finish(void)
+{
+    printf("%d\n", x);
+}
+int main(void)
+{
+    x = 1;
+    x = 2;
+    x = 3;
+    finish();
+    return 0;
+}
+|}
+
+let writes_sources = [ ("writes.c", writes_c) ]
+
+(** Everything the debugger shows at a stop, concatenated: where,
+    backtrace, variable printing (through the validity tables and the
+    PostScript printers), and disassembly at the pc.  Two sessions
+    halted at "the same point" must produce equal views. *)
+let view d tg ~(vars : string list) : string =
+  let b = Buffer.create 256 in
+  Buffer.add_string b (Ldb.where d tg);
+  Buffer.add_char b '\n';
+  List.iteri
+    (fun i fr ->
+      Buffer.add_string b
+        (Printf.sprintf "#%d %s pc=%#x base=%#x\n" i (Ldb.frame_function d tg fr)
+           fr.Frame.fr_pc fr.Frame.fr_base))
+    (Ldb.backtrace d tg);
+  let fr = Ldb.top_frame d tg in
+  List.iter
+    (fun v ->
+      let s =
+        try Ldb.print_value d tg fr v with Ldb.Error m -> "<error: " ^ m ^ ">"
+      in
+      Buffer.add_string b (Printf.sprintf "%s = %s\n" v s))
+    vars;
+  Buffer.add_string b
+    (Disas.to_string (Ldb.disassemble d tg ~addr:fr.Frame.fr_pc ~count:4));
+  Buffer.contents b
+
+let reach = function
+  | Ok tg -> tg
+  | Error e -> Alcotest.failf "reverse motion failed: %s" (Replay.error_to_string e)
+
+let expect_stop what = function
+  | Ldb.Stopped _ -> ()
+  | _ -> Alcotest.failf "%s: expected a stop" what
+
+let open_replay (s : Testkit.session) : Replay.t =
+  let image = Ldb.load_image s.Testkit.d ~loader_ps:s.Testkit.proc.Host.hp_loader_ps in
+  match
+    Replay.of_string s.Testkit.d ~name:"replay" ~image (Ldb.trace_bytes s.Testkit.tg)
+  with
+  | Ok (rp, []) -> rp
+  | Ok (_, w :: _) -> Alcotest.failf "unexpected salvage: %s" (Trace.salvage_to_string w)
+  | Error e -> Alcotest.failf "open replay: %s" (Replay.error_to_string e)
+
+(* --- reverse-step differential --------------------------------------------- *)
+
+(** Record a session that breaks in [work] and single-steps [k] times,
+    then walk the whole timeline backwards: after [m] reverse steps the
+    replayed target must answer exactly like a fresh forward session
+    that stopped at the breakpoint and stepped [k - m] times. *)
+let timeline_case arch () =
+  let k = 9 in
+  let vars = [ "x"; "g" ] in
+  let s = Testkit.debug_session ~arch work_sources in
+  Ldb.start_record s.Testkit.tg ~spacing:4;
+  ignore (Ldb.break_function s.Testkit.d s.Testkit.tg "work" : int);
+  expect_stop "continue" (Testkit.ok (Ldb.continue_ s.Testkit.d s.Testkit.tg));
+  (* unplant so stepping moves off the trap site; the restoring store is
+     itself recorded and replayed *)
+  Ldb_ldb.Breakpoint.remove_all s.Testkit.tg.Ldb.tg_breaks s.Testkit.tg.Ldb.tg_wire;
+  for _ = 1 to k do
+    ignore (Testkit.ok (Ldb.step_instruction s.Testkit.d s.Testkit.tg) : Ldb.state)
+  done;
+  let rp = open_replay s in
+  let fresh j =
+    let f = Testkit.debug_session ~arch work_sources in
+    ignore (Ldb.break_function f.Testkit.d f.Testkit.tg "work" : int);
+    expect_stop "fresh continue" (Testkit.ok (Ldb.continue_ f.Testkit.d f.Testkit.tg));
+    Ldb_ldb.Breakpoint.remove_all f.Testkit.tg.Ldb.tg_breaks f.Testkit.tg.Ldb.tg_wire;
+    for _ = 1 to j do
+      ignore (Testkit.ok (Ldb.step_instruction f.Testkit.d f.Testkit.tg) : Ldb.state)
+    done;
+    view f.Testkit.d f.Testkit.tg ~vars
+  in
+  let tg = reach (Replay.seek_end rp) in
+  check Alcotest.string
+    (Arch.name arch ^ ": end of history equals the live session")
+    (view s.Testkit.d s.Testkit.tg ~vars)
+    (view s.Testkit.d tg ~vars);
+  let views = ref [] in
+  for m = 1 to k do
+    let tg = reach (Replay.rstep rp) in
+    let v = view s.Testkit.d tg ~vars in
+    views := v :: !views;
+    check Alcotest.string
+      (Printf.sprintf "%s: %d reverse steps = fresh run stepped %d times"
+         (Arch.name arch) m (k - m))
+      (fresh (k - m)) v
+  done;
+  (* PR-9 validity must keep working in reverse: early in [work] the
+     local prints as uninitialized, later it prints its value *)
+  check Alcotest.bool (Arch.name arch ^ ": some historical view warns uninitialized")
+    true
+    (List.exists (contains ~needle:"uninitialized") !views);
+  check Alcotest.bool (Arch.name arch ^ ": some historical view prints x = 5") true
+    (List.exists (contains ~needle:"x = 5") !views)
+
+(* --- reverse-continue differential ----------------------------------------- *)
+
+(** Three breakpoint hits forward, then rcontinue back through them:
+    each previous stop must equal a fresh session continued that many
+    times, and running out of stops is a typed end-of-history. *)
+let rcontinue_case arch () =
+  let vars = [ "total"; "k" ] in
+  let s = Testkit.debug_session ~arch loop_sources in
+  Ldb.start_record s.Testkit.tg ~spacing:32;
+  ignore (Ldb.break_function s.Testkit.d s.Testkit.tg "bump" : int);
+  for _ = 1 to 3 do
+    expect_stop "continue" (Testkit.ok (Ldb.continue_ s.Testkit.d s.Testkit.tg))
+  done;
+  let rp = open_replay s in
+  let fresh j =
+    let f = Testkit.debug_session ~arch loop_sources in
+    ignore (Ldb.break_function f.Testkit.d f.Testkit.tg "bump" : int);
+    for _ = 1 to j do
+      expect_stop "fresh continue" (Testkit.ok (Ldb.continue_ f.Testkit.d f.Testkit.tg))
+    done;
+    view f.Testkit.d f.Testkit.tg ~vars
+  in
+  let tg = reach (Replay.seek_end rp) in
+  check Alcotest.string
+    (Arch.name arch ^ ": end of history equals the live session")
+    (view s.Testkit.d s.Testkit.tg ~vars)
+    (view s.Testkit.d tg ~vars);
+  let tg = reach (Replay.rcontinue rp) in
+  check Alcotest.string
+    (Arch.name arch ^ ": one rcontinue = second stop")
+    (fresh 2)
+    (view s.Testkit.d tg ~vars);
+  let tg = reach (Replay.rcontinue rp) in
+  check Alcotest.string
+    (Arch.name arch ^ ": two rcontinues = first stop")
+    (fresh 1)
+    (view s.Testkit.d tg ~vars);
+  (* one more lands at the start of recorded history: the paused
+     process exactly as it was when recording began *)
+  let start =
+    let f = Testkit.debug_session ~arch loop_sources in
+    view f.Testkit.d f.Testkit.tg ~vars
+  in
+  let tg = reach (Replay.rcontinue rp) in
+  check Alcotest.string
+    (Arch.name arch ^ ": three rcontinues = start of recording")
+    start
+    (view s.Testkit.d tg ~vars);
+  (match Replay.rcontinue rp with
+  | Error `End_of_history -> ()
+  | Ok _ -> Alcotest.fail "rcontinue past the beginning succeeded"
+  | Error e -> Alcotest.failf "expected end of history, got %s" (Replay.error_to_string e));
+  match Replay.rstep rp with
+  | Error `End_of_history -> ()
+  | Ok _ -> Alcotest.fail "rstep past the beginning succeeded"
+  | Error e -> Alcotest.failf "expected end of history, got %s" (Replay.error_to_string e)
+
+(* --- run back to the last write --------------------------------------------- *)
+
+let rwatch_case () =
+  let s = Testkit.debug_session ~arch:Arch.Mips writes_sources in
+  Ldb.start_record s.Testkit.tg ~spacing:16;
+  ignore (Ldb.break_function s.Testkit.d s.Testkit.tg "finish" : int);
+  expect_stop "continue" (Testkit.ok (Ldb.continue_ s.Testkit.d s.Testkit.tg));
+  let rp = open_replay s in
+  let tg = reach (Replay.seek_end rp) in
+  let range name =
+    match Ldb.variable_range s.Testkit.d tg (Ldb.top_frame s.Testkit.d tg) name with
+    | Ok r -> r
+    | Error m -> Alcotest.failf "variable_range %s: %s" name m
+  in
+  let _, addr, size = range "x" in
+  let _, yaddr, ysize = range "y" in
+  let read tg name =
+    Ldb.read_int_var s.Testkit.d tg (Ldb.top_frame s.Testkit.d tg) name
+  in
+  (* land just after the last of the three writes *)
+  let tg, _pos =
+    match Replay.run_back_to_write rp ~addr ~size with
+    | Ok r -> r
+    | Error e -> Alcotest.failf "rwatch x: %s" (Replay.error_to_string e)
+  in
+  check Alcotest.int "x just after its last write" 3 (read tg "x");
+  (* one instruction earlier the previous value is still there *)
+  let tg = reach (Replay.rstep rp) in
+  check Alcotest.int "x one instruction before the last write" 2 (read tg "x");
+  (* from that point, the most recent write is the second one *)
+  let tg, _pos =
+    match Replay.run_back_to_write rp ~addr ~size with
+    | Ok r -> r
+    | Error e -> Alcotest.failf "rwatch x again: %s" (Replay.error_to_string e)
+  in
+  check Alcotest.int "x just after its previous write" 2 (read tg "x");
+  (* a variable nothing ever writes is a typed miss, not a crash *)
+  match Replay.run_back_to_write rp ~addr:yaddr ~size:ysize with
+  | Error `No_write -> ()
+  | Ok _ -> Alcotest.fail "found a write to a never-written variable"
+  | Error e -> Alcotest.failf "expected no-write, got %s" (Replay.error_to_string e)
+
+(* --- determinism gate -------------------------------------------------------- *)
+
+(** The CI job's contract: two recordings of the same seeded session are
+    byte-identical, and replaying one to the end reproduces the live
+    process's registers and memory exactly (compared as core dumps).
+    When LDB_TRACE_DIR is set the traces are written there so a failing
+    CI run can upload them. *)
+let determinism_case () =
+  let script (s : Testkit.session) =
+    Ldb.start_record s.Testkit.tg ~spacing:8;
+    ignore (Ldb.break_function s.Testkit.d s.Testkit.tg "bump" : int);
+    for _ = 1 to 3 do
+      expect_stop "continue" (Testkit.ok (Ldb.continue_ s.Testkit.d s.Testkit.tg))
+    done
+  in
+  let s1 = Testkit.debug_session ~arch:Arch.Mips loop_sources in
+  let s2 = Testkit.debug_session ~arch:Arch.Mips loop_sources in
+  script s1;
+  script s2;
+  let t1 = Ldb.trace_bytes s1.Testkit.tg and t2 = Ldb.trace_bytes s2.Testkit.tg in
+  (match Sys.getenv_opt "LDB_TRACE_DIR" with
+  | Some dir ->
+      let wr name bytes =
+        Out_channel.with_open_bin (Filename.concat dir name) (fun oc ->
+            Out_channel.output_string oc bytes)
+      in
+      wr "trace-a.bin" t1;
+      wr "trace-b.bin" t2
+  | None -> ());
+  check Alcotest.bool "same session records byte-identical traces" true
+    (String.equal t1 t2);
+  let image = Ldb.load_image s1.Testkit.d ~loader_ps:s1.Testkit.proc.Host.hp_loader_ps in
+  let rp =
+    match Replay.of_string s1.Testkit.d ~name:"det" ~image t1 with
+    | Ok (rp, []) -> rp
+    | Ok (_, w :: _) -> Alcotest.failf "salvage: %s" (Trace.salvage_to_string w)
+    | Error e -> Alcotest.failf "open: %s" (Replay.error_to_string e)
+  in
+  let tg = reach (Replay.seek_end rp) in
+  check Alcotest.bool "replayed end dumps the live core" true
+    (String.equal (Ldb.core_bytes tg) (Ldb.core_bytes s1.Testkit.tg))
+
+(* --- trace codec -------------------------------------------------------------- *)
+
+(** qcheck: a checkpoint really is an LDBCORE1 dump plus a replay
+    cursor — random cores wrapped in checkpoints round-trip through the
+    trace codec intact, alongside neighbouring events. *)
+let gen_ck_trace : Trace.t QCheck.arbitrary =
+  let open QCheck.Gen in
+  let gen =
+    Testkit.core_gen >>= fun co ->
+    int_bound 20 >>= fun ev ->
+    oneof [ return 0; int_range 1 1000 ] >>= fun delta ->
+    int_bound 31 >>= fun signal ->
+    int_bound 255 >>= fun code ->
+    oneofl
+      [ Trace.Ck_running; Trace.Ck_stopped { signal; code }; Trace.Ck_exited code ]
+    >>= fun ck_status ->
+    let ck =
+      { Trace.ck_ev = ev; ck_delta = delta; ck_status; ck_core = Core.to_string co }
+    in
+    oneofl Arch.all >>= fun arch ->
+    int_range 1 1000 >>= fun fuel ->
+    bool >>= fun can_step ->
+    int_range 1 64 >>= fun spacing ->
+    string_size ~gen:char (int_bound 6) >>= fun stored ->
+    return
+      { Trace.tr_arch = arch; tr_fuel = fuel; tr_can_step = can_step;
+        tr_spacing = spacing;
+        tr_events =
+          [ Trace.Checkpoint ck;
+            Trace.Req (Proto.Store { space = 'd'; addr = 0x40; bytes = "\x01" ^ stored });
+            Trace.Req Proto.Continue;
+            Trace.Stop { signal; code; pc = ev * 4; instrs = delta + 1 };
+            Trace.Req Proto.Step;
+            Trace.Exit { status = code; instrs = 1 } ] }
+  in
+  QCheck.make gen
+
+let prop_checkpoint_roundtrip =
+  Testkit.qtest "checkpointed traces roundtrip" ~count:200 gen_ck_trace (fun tr ->
+      match Trace.of_string (Trace.to_string tr) with
+      | Ok (tr', []) -> tr' = tr
+      | Ok (_, _ :: _) | Error _ -> false)
+
+let prop_decode_total =
+  Testkit.qtest "trace of_string never raises" ~count:300
+    QCheck.(string_gen_of_size (Gen.int_bound 400) Gen.char)
+    (fun s -> match Trace.of_string s with Ok _ | Error _ -> true)
+
+(** Salvage: damage ends the usable prefix with a typed report instead
+    of an exception, and every prefix of a trace is itself a trace. *)
+let salvage_case () =
+  let s = Testkit.debug_session ~arch:Arch.Vax writes_sources in
+  Ldb.start_record s.Testkit.tg ~spacing:16;
+  ignore (Ldb.break_function s.Testkit.d s.Testkit.tg "finish" : int);
+  expect_stop "continue" (Testkit.ok (Ldb.continue_ s.Testkit.d s.Testkit.tg));
+  let bytes = Ldb.trace_bytes s.Testkit.tg in
+  let full =
+    match Trace.of_string bytes with
+    | Ok (tr, []) -> tr
+    | _ -> Alcotest.fail "pristine trace did not decode cleanly"
+  in
+  let nev = List.length full.Trace.tr_events in
+  check Alcotest.bool "the recording captured several events" true (nev > 2);
+  (* truncation: drop the tail mid-record *)
+  (match Trace.of_string (String.sub bytes 0 (String.length bytes - 3)) with
+  | Ok (tr, [ Trace.Truncated _ ]) ->
+      check Alcotest.bool "truncated trace keeps a strict prefix" true
+        (List.length tr.Trace.tr_events < nev)
+  | Ok (_, ws) ->
+      Alcotest.failf "expected one truncation report, got %d" (List.length ws)
+  | Error m -> Alcotest.failf "truncated trace hard-failed: %s" m);
+  (* corruption: flip a byte near the end; the damaged record is
+     reported by CRC and everything before it survives *)
+  let corrupt = Bytes.of_string bytes in
+  let i = String.length bytes - 2 in
+  Bytes.set corrupt i (Char.chr (Char.code (Bytes.get corrupt i) lxor 0xff));
+  (match Trace.of_string (Bytes.to_string corrupt) with
+  | Ok (tr, [ w ]) ->
+      (match w with
+      | Trace.Bad_crc _ | Trace.Bad_record _ | Trace.Truncated _ -> ());
+      check Alcotest.bool "corrupt trace keeps a strict prefix" true
+        (List.length tr.Trace.tr_events < nev);
+      check Alcotest.bool "salvage report renders" true
+        (String.length (Trace.salvage_to_string w) > 0)
+  | Ok (_, ws) -> Alcotest.failf "expected one salvage report, got %d" (List.length ws)
+  | Error m -> Alcotest.failf "corrupt trace hard-failed: %s" m);
+  (* header damage is a hard error, not a quiet empty history *)
+  let magicless = Bytes.of_string bytes in
+  Bytes.set magicless 0 'X';
+  match Trace.of_string (Bytes.to_string magicless) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bad magic decoded"
+
+(** A replay session over a truncated trace degrades to the shorter
+    history instead of raising. *)
+let truncated_replay_case () =
+  let s = Testkit.debug_session ~arch:Arch.Mips loop_sources in
+  Ldb.start_record s.Testkit.tg ~spacing:8;
+  ignore (Ldb.break_function s.Testkit.d s.Testkit.tg "bump" : int);
+  for _ = 1 to 2 do
+    expect_stop "continue" (Testkit.ok (Ldb.continue_ s.Testkit.d s.Testkit.tg))
+  done;
+  let bytes = Ldb.trace_bytes s.Testkit.tg in
+  let image = Ldb.load_image s.Testkit.d ~loader_ps:s.Testkit.proc.Host.hp_loader_ps in
+  let cut = String.sub bytes 0 (String.length bytes * 3 / 4) in
+  match Replay.of_string s.Testkit.d ~name:"cut" ~image cut with
+  | Ok (rp, _ :: _) -> (
+      (* the shortened history still materializes *)
+      match Replay.seek_end rp with
+      | Ok tg -> ignore (view s.Testkit.d tg ~vars:[ "total" ] : string)
+      | Error e -> Alcotest.failf "seek over salvaged trace: %s" (Replay.error_to_string e))
+  | Ok (_, []) -> Alcotest.fail "cutting a quarter of the trace reported no salvage"
+  | Error (`Bad_trace _) -> ()  (* cut inside the header: typed refusal is fine *)
+  | Error e -> Alcotest.failf "unexpected error: %s" (Replay.error_to_string e)
+
+let () =
+  let arch_cases name case =
+    List.map
+      (fun arch -> Alcotest.test_case (name ^ " on " ^ Arch.name arch) `Quick (case arch))
+      Arch.all
+  in
+  Alcotest.run "replay"
+    [
+      ("codec", [ prop_checkpoint_roundtrip; prop_decode_total ]);
+      ( "salvage",
+        [ Alcotest.test_case "typed reports, usable prefix" `Quick salvage_case;
+          Alcotest.test_case "replay over a truncated trace" `Quick
+            truncated_replay_case ] );
+      ("rstep", arch_cases "reverse-step differential" timeline_case);
+      ("rcontinue", arch_cases "reverse-continue differential" rcontinue_case);
+      ( "rwatch",
+        [ Alcotest.test_case "run back to last write" `Quick rwatch_case ] );
+      ( "determinism",
+        [ Alcotest.test_case "identical traces, identical end state" `Quick
+            determinism_case ] );
+    ]
