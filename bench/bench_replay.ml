@@ -94,11 +94,19 @@ type spacing_row = {
   sp : int;
   sp_checkpoints : int;
   sp_trace_bytes : int;
+  sp_raw_bytes : int;  (** the same trace re-encoded without compaction *)
   sp_rsteps : int;
   sp_mean_seconds : float;
   sp_max_reexec : int;
   sp_instructions : int;
 }
+
+(** The wire trace re-encoded with checkpoint compaction off — the size
+    the LZW pass is saving. *)
+let raw_trace_bytes (bytes : string) : int =
+  match Trace.of_string bytes with
+  | Ok (tr, []) -> String.length (Trace.to_string ~compress:false tr)
+  | Ok (_, _ :: _) | Error _ -> failwith "bench trace came back damaged"
 
 let measure_spacing (sp : int) : spacing_row =
   let s = session () in
@@ -129,6 +137,7 @@ let measure_spacing (sp : int) : spacing_row =
     sp;
     sp_checkpoints = Replay.checkpoint_count rp;
     sp_trace_bytes = String.length bytes;
+    sp_raw_bytes = raw_trace_bytes bytes;
     sp_rsteps = rsteps;
     sp_mean_seconds = seconds /. float_of_int rsteps;
     sp_max_reexec = !max_reexec;
@@ -197,10 +206,10 @@ let () =
       Buffer.add_string buf
         (Printf.sprintf
            "    {\"spacing\": %d, \"checkpoints\": %d, \"trace_bytes\": %d, \
-            \"instructions\": %d, \"rsteps\": %d, \"mean_rstep_seconds\": %.6f, \
-            \"max_reexec_per_rstep\": %d}%s\n"
-           r.sp r.sp_checkpoints r.sp_trace_bytes r.sp_instructions r.sp_rsteps
-           r.sp_mean_seconds r.sp_max_reexec
+            \"raw_bytes\": %d, \"instructions\": %d, \"rsteps\": %d, \
+            \"mean_rstep_seconds\": %.6f, \"max_reexec_per_rstep\": %d}%s\n"
+           r.sp r.sp_checkpoints r.sp_trace_bytes r.sp_raw_bytes r.sp_instructions
+           r.sp_rsteps r.sp_mean_seconds r.sp_max_reexec
            (if i = 2 then "" else ",")))
     spacings;
   Buffer.add_string buf "  ],\n";

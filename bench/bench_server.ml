@@ -12,6 +12,9 @@ module Ldb = Ldb_ldb.Ldb
 module Host = Ldb_ldb.Host
 module Server = Ldb_ldb.Server
 module Symtab = Ldb_ldb.Symtab
+module Swire = Ldb_ldb.Swire
+module Evloop = Ldb_ldb.Evloop
+module Chan = Ldb_nub.Chan
 
 let fib_c =
   {|void fib(int n)
@@ -168,9 +171,110 @@ let run_baseline () : side =
     images_loaded = n_sessions;
   }
 
+(* --- the wire front end ------------------------------------------------------- *)
+
+type wire = {
+  w_conns : int;
+  w_commands : int;
+  w_seconds : float;
+  w_max_served : int;  (** most commands served to any client at first finish *)
+  w_min_served : int;  (** fewest, ditto — fair scheduling keeps these close *)
+}
+
+(** The same workload pushed through the framed wire front end: every
+    client connects, floods its whole script in one burst, and the event
+    loop serves the backlog under deficit round robin.  Fairness is read
+    at the moment the first client's queue empties: with identical
+    scripts, a fair scheduler has served everyone almost equally. *)
+let run_wire () : wire =
+  let images =
+    Array.of_list (List.map (fun arch -> Host.build_image ~arch sources) Arch.all)
+  in
+  let n_conns = if smoke then 8 else 32 in
+  let sv =
+    Server.create
+      ~limits:{ Server.default_limits with Server.li_max_sessions = n_conns }
+      ()
+  in
+  let arch_of_conn = Hashtbl.create n_conns in
+  let loop =
+    Evloop.create
+      ~limits:
+        { Evloop.default_limits with Evloop.el_max_conns = n_conns; el_quantum = 8 }
+      sv
+      ~bind:(fun ~conn_id ->
+        let ix =
+          match Hashtbl.find_opt arch_of_conn conn_id with Some i -> i | None -> 0
+        in
+        let p = Host.launch_image images.(ix) in
+        Server.open_session sv
+          ~name:(Printf.sprintf "wire-%d" conn_id)
+          ~loader_ps:p.Host.hp_loader_ps (Host.open_channel p))
+  in
+  let script =
+    [
+      Server.Break_function "fib";
+      Server.Continue;
+      Server.Read_int "n";
+      Server.Print "n";
+      Server.Backtrace;
+      Server.Continue;
+    ]
+  in
+  let t0 = Sys.time () in
+  let eps =
+    Array.init n_conns (fun i ->
+        let ep, io, _ = Evloop.sim_link () in
+        (match Evloop.accept loop io with
+        | `Conn id -> Hashtbl.replace arch_of_conn id (i mod Array.length images)
+        | `Refused -> failwith "wire: admission refused");
+        ep)
+  in
+  let seq = ref 0 in
+  let send ep m =
+    Chan.send ep (Swire.seal ~seq:!seq (Swire.encode_client m));
+    incr seq
+  in
+  Array.iter (fun ep -> send ep (Swire.C_hello { magic = Swire.version_magic })) eps;
+  Evloop.tick loop;
+  Array.iter (fun ep -> List.iter (fun c -> send ep (Swire.C_cmd c)) script) eps;
+  (* serve until the first client finishes; read the fairness spread there *)
+  let first_finish = ref None in
+  let ticks = ref 0 in
+  while !first_finish = None && !ticks < 100_000 do
+    incr ticks;
+    Evloop.tick loop;
+    if
+      List.exists (fun c -> Queue.is_empty c.Evloop.cn_q) (Evloop.conns loop)
+    then
+      first_finish :=
+        Some
+          (List.fold_left
+             (fun (mx, mn) c ->
+               (max mx c.Evloop.cn_served, min mn c.Evloop.cn_served))
+             (0, max_int) (Evloop.conns loop))
+  done;
+  let max_served, min_served =
+    match !first_finish with Some (mx, mn) -> (mx, mn) | None -> (0, 0)
+  in
+  (* then drain the rest of the backlog for the throughput number *)
+  while Evloop.queued loop > 0 && !ticks < 200_000 do
+    incr ticks;
+    Evloop.tick loop
+  done;
+  let seconds = Sys.time () -. t0 in
+  {
+    w_conns = n_conns;
+    w_commands = (Evloop.stats loop).Evloop.es_served;
+    w_seconds = seconds;
+    w_max_served = max_served;
+    w_min_served = min_served;
+  }
+
 let () =
   let server = run_server () in
   let baseline = run_baseline () in
+  let wire = run_wire () in
   let buf = Buffer.create 1024 in
   let side_json s ~with_cache =
     let cache =
@@ -193,7 +297,17 @@ let () =
   Buffer.add_string buf
     (Printf.sprintf "  \"server\": %s,\n" (side_json server ~with_cache:true));
   Buffer.add_string buf
-    (Printf.sprintf "  \"baseline\": %s\n}\n" (side_json baseline ~with_cache:false));
+    (Printf.sprintf "  \"baseline\": %s,\n" (side_json baseline ~with_cache:false));
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"wire\": {\"conns\": %d, \"commands\": %d, \"seconds\": %.3f, \
+        \"commands_per_sec\": %.1f, \"fairness_max_served\": %d, \
+        \"fairness_min_served\": %d, \"fairness_ratio\": %.3f}\n}\n"
+       wire.w_conns wire.w_commands wire.w_seconds
+       (float_of_int wire.w_commands /. (wire.w_seconds +. 1e-9))
+       wire.w_max_served wire.w_min_served
+       (float_of_int wire.w_max_served
+       /. float_of_int (max 1 wire.w_min_served)));
   let oc = open_out out_path in
   output_string oc (Buffer.contents buf);
   close_out oc;

@@ -332,7 +332,28 @@ let check_server ~committed ~fresh =
       (num (member "forced_units" base));
     require
       (num (member "sessions_per_sec" sv) > 0.0)
-      "%s server: sessions/sec is not positive" who
+      "%s server: sessions/sec is not positive" who;
+    (* the framed wire front end: throughput must be real and deficit
+       round robin must keep the per-client service spread tight — the
+       spread is read at the first client's finish, so an unfair loop
+       shows up as one client racing ahead of a starved one *)
+    let w = member "wire" t in
+    require
+      (num (member "commands_per_sec" w) > 0.0)
+      "%s server wire: commands/sec is not positive" who;
+    require
+      (num (member "commands" w)
+      = num (member "conns" w) *. 6.0)
+      "%s server wire: %g commands served for %g clients — the loop lost work" who
+      (num (member "commands" w))
+      (num (member "conns" w));
+    require
+      (num (member "fairness_min_served" w) > 0.0)
+      "%s server wire: a client was fully starved at first finish" who;
+    require
+      (num (member "fairness_ratio" w) <= 3.0)
+      "%s server wire: max/min service ratio %.2f is over the 3.0 fairness gate" who
+      (num (member "fairness_ratio" w))
   in
   gates ~who:"committed" committed;
   gates ~who:"fresh" fresh
@@ -358,6 +379,16 @@ let check_replay ~committed ~fresh =
         require
           (num (member "instructions" row) > 0.0)
           "%s replay: the trace at spacing %g recorded no instructions" who sp;
+        (* checkpoint compaction: the stored trace must beat the raw
+           encoding wherever checkpoints dominate (every measured
+           spacing dumps cores far bigger than the event stream) *)
+        require
+          (num (member "trace_bytes" row) < num (member "raw_bytes" row))
+          "%s replay: stored trace (%g bytes) is no smaller than raw (%g) at spacing %g — compaction is off"
+          who
+          (num (member "trace_bytes" row))
+          (num (member "raw_bytes" row))
+          sp;
         (* the machine-independent latency bound: a reverse step restores
            the nearest checkpoint and replays forward, so it can never
            re-execute more than the spacing plus a small delay-slot

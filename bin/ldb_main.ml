@@ -343,6 +343,196 @@ let run_server_demo ~arch ~sources ~n =
     st.Server.sv_downs st.Server.sv_failed;
   List.iter (fun id -> Server.close_session ~kill:true sv id) ids
 
+(* --- the wire daemon and its scripted client -------------------------------- *)
+
+(** A Unix socket as an {!Evloop.io}: non-blocking reads (the loop polls),
+    best-effort writes, EOF and errors folding into [io_alive]. *)
+let io_of_fd ~(label : string) (fd : Unix.file_descr) : Evloop.io =
+  Unix.set_nonblock fd;
+  let alive = ref true in
+  let buf = Bytes.create 4096 in
+  {
+    Evloop.io_label = label;
+    io_read =
+      (fun () ->
+        if not !alive then ""
+        else
+          let rec drain acc =
+            match Unix.read fd buf 0 (Bytes.length buf) with
+            | 0 ->
+                alive := false;
+                acc
+            | n ->
+                let acc = acc ^ Bytes.sub_string buf 0 n in
+                if n = Bytes.length buf then drain acc else acc
+            | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> acc
+            | exception Unix.Unix_error (_, _, _) ->
+                alive := false;
+                acc
+          in
+          drain "");
+    io_write =
+      (fun s ->
+        if !alive then begin
+          let b = Bytes.of_string s in
+          let pos = ref 0 in
+          while !pos < Bytes.length b && !alive do
+            match Unix.write fd b !pos (Bytes.length b - !pos) with
+            | n -> pos := !pos + n
+            | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) ->
+                ignore (Unix.select [] [ fd ] [] 0.05)
+            | exception Unix.Unix_error (_, _, _) -> alive := false
+          done
+        end);
+    io_alive = (fun () -> !alive);
+    io_close =
+      (fun () ->
+        if !alive then alive := false;
+        try Unix.close fd with _ -> ());
+  }
+
+(** [-listen PATH]: serve the wire protocol on a Unix-domain socket.  One
+    image is built up front; every accepted connection that completes the
+    hello gets a fresh process of it as its own supervised session.
+    SIGTERM/SIGINT trigger the graceful drain. *)
+let run_listen ~arch ~sources ~path =
+  let image = Host.build_image ~arch sources in
+  let sv = Server.create () in
+  let esess = Ldb_exprserver.Eval.start ~arch in
+  Server.set_cond_compiler sv (fun d tg ~addr cond ->
+      Ldb_exprserver.Eval.compile_condition d tg esess ~addr cond);
+  let loop =
+    Evloop.create sv ~bind:(fun ~conn_id ->
+        let p = Host.launch_image image in
+        Server.open_session sv
+          ~name:(Printf.sprintf "conn-%d" conn_id)
+          ~loader_ps:p.Host.hp_loader_ps (Host.open_channel p))
+  in
+  (try Unix.unlink path with _ -> ());
+  let lsock = Unix.socket PF_UNIX SOCK_STREAM 0 in
+  Unix.bind lsock (ADDR_UNIX path);
+  Unix.listen lsock 16;
+  Unix.set_nonblock lsock;
+  let stop = ref false in
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle (fun _ -> stop := true));
+  Sys.set_signal Sys.sigint (Sys.Signal_handle (fun _ -> stop := true));
+  Printf.printf "ldb: listening on %s (%s)\n%!" path (Ldb_machine.Arch.name arch);
+  while not !stop do
+    (match Unix.accept lsock with
+    | fd, _ -> ignore (Evloop.accept loop (io_of_fd ~label:path fd))
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ());
+    Evloop.tick loop;
+    (* one tick per ~10ms keeps deadlines meaningful in wall-clock terms
+       without burning a core while idle *)
+    try ignore (Unix.select [] [] [] 0.01)
+    with Unix.Unix_error (EINTR, _, _) -> ()
+  done;
+  print_endline "ldb: draining";
+  let rep = Evloop.drain loop in
+  (try Unix.close lsock with _ -> ());
+  (try Unix.unlink path with _ -> ());
+  Printf.printf "ldb: drain %s: %d session%s detached, %d salvaged, %d connection%s closed\n%!"
+    (if rep.Evloop.dr_completed then "complete" else "deadline expired")
+    rep.Evloop.dr_detached
+    (if rep.Evloop.dr_detached = 1 then "" else "s")
+    rep.Evloop.dr_salvaged rep.Evloop.dr_conns_closed
+    (if rep.Evloop.dr_conns_closed = 1 then "" else "s")
+
+(** [-connect PATH]: a scripted wire client.  Lines on stdin become
+    commands ([break f], [break :N], [continue], [step], [where], [bt],
+    [print v], [read v], [core], [detach], [kill], [bye]); every server
+    message is printed as one line.  This is the CI smoke driver, not an
+    interactive debugger — the REPL stays on the in-process path. *)
+let run_connect ~path =
+  let fd = Unix.socket PF_UNIX SOCK_STREAM 0 in
+  (try Unix.connect fd (ADDR_UNIX path)
+   with Unix.Unix_error (e, _, _) ->
+     Printf.eprintf "ldb: cannot connect to %s: %s\n" path (Unix.error_message e);
+     exit 1);
+  let rx = ref "" in
+  let seq = ref 0 in
+  let send m =
+    let frame = Swire.seal ~seq:!seq (Swire.encode_client m) in
+    incr seq;
+    ignore (Unix.write_substring fd frame 0 (String.length frame))
+  in
+  let buf = Bytes.create 4096 in
+  let rec recv_msg () =
+    match Swire.scan ~max_payload:Swire.max_server_payload !rx with
+    | Swire.S_frame { payload; used; _ } -> (
+        rx := String.sub !rx used (String.length !rx - used);
+        match Swire.decode_server payload with
+        | Ok m -> Some m
+        | Error e ->
+            Printf.printf "client: %s\n" (Swire.error_to_string e);
+            recv_msg ())
+    | Swire.S_skip { skip; error } ->
+        rx := String.sub !rx skip (String.length !rx - skip);
+        Printf.printf "client: %s\n" (Swire.error_to_string error);
+        recv_msg ()
+    | Swire.S_need -> (
+        match Unix.read fd buf 0 (Bytes.length buf) with
+        | 0 -> None
+        | n ->
+            rx := !rx ^ Bytes.sub_string buf 0 n;
+            recv_msg ()
+        | exception Unix.Unix_error (EINTR, _, _) -> recv_msg ()
+        | exception Unix.Unix_error (_, _, _) -> None)
+  in
+  let say m = print_endline (Swire.server_msg_to_string m) in
+  send (Swire.C_hello { magic = Swire.version_magic });
+  (match recv_msg () with
+  | Some (Swire.S_hello _ as m) -> say m
+  | Some m ->
+      say m;
+      exit 1
+  | None ->
+      prerr_endline "ldb: server closed the connection";
+      exit 1);
+  let parse words =
+    match words with
+    | [ "break"; spec ] when String.length spec > 0 && spec.[0] = ':' ->
+        Some
+          (Server.Break_line
+             { file = None; line = int_of_string (String.sub spec 1 (String.length spec - 1)) })
+    | [ "break"; f ] -> Some (Server.Break_function f)
+    | [ "continue" ] | [ "c" ] -> Some Server.Continue
+    | [ "step" ] | [ "s" ] -> Some Server.Step_source
+    | [ "where" ] -> Some Server.Where
+    | [ "bt" ] | [ "backtrace" ] -> Some Server.Backtrace
+    | [ "print"; v ] | [ "p"; v ] -> Some (Server.Print v)
+    | [ "read"; v ] -> Some (Server.Read_int v)
+    | [ "core" ] -> Some Server.Fetch_core
+    | [ "detach" ] -> Some Server.Detach
+    | [ "kill" ] -> Some Server.Kill
+    | _ -> None
+  in
+  let finished = ref false in
+  while not !finished do
+    match In_channel.input_line stdin with
+    | None | Some "bye" | Some "quit" ->
+        finished := true;
+        send Swire.C_bye;
+        (match recv_msg () with Some m -> say m | None -> ())
+    | Some line -> (
+        let words =
+          String.split_on_char ' ' (String.trim line) |> List.filter (fun s -> s <> "")
+        in
+        match words with
+        | [] -> ()
+        | _ -> (
+            match parse words with
+            | None -> Printf.printf "client: unknown command %S\n" line
+            | Some cmd -> (
+                send (Swire.C_cmd cmd);
+                match recv_msg () with
+                | Some m -> say m
+                | None ->
+                    prerr_endline "ldb: server closed the connection";
+                    finished := true)))
+  done;
+  try Unix.close fd with _ -> ()
+
 (** Post-mortem: rebuild the symbol tables from the same sources and open
     the dump as a read-only target.  The architecture comes from the dump
     itself; [-a] is ignored when it disagrees. *)
@@ -400,29 +590,59 @@ let serve_t =
                  program through one supervised debug server sharing an image \
                  cache, and print the session table and server stats.")
 
-let files_t =
-  Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE.c" ~doc:"C source files to debug.")
+let listen_t =
+  Arg.(value & opt (some string) None
+       & info [ "listen" ] ~docv:"SOCKET"
+           ~doc:"Run as a wire daemon on a Unix-domain socket: every connection \
+                 speaking the framed LDBSRV1 protocol gets its own supervised \
+                 session of the program. SIGTERM drains gracefully.")
 
-let main arch core serve files =
-  let sources = List.map (fun f -> (Filename.basename f, read_file f)) files in
-  try
-    match (core, serve) with
-    | Some core_path, _ -> run_core_session ~core_path ~sources
-    | None, Some n -> run_server_demo ~arch ~sources ~n
-    | None, None -> run_session ~arch ~sources
-  with
-  | Ldb_cc.Compile.Error m -> Printf.eprintf "ldb: %s\n" m; exit 1
-  | Ldb_link.Link.Error m -> Printf.eprintf "ldb: %s\n" m; exit 1
+let connect_t =
+  Arg.(value & opt (some string) None
+       & info [ "connect" ] ~docv:"SOCKET"
+           ~doc:"Connect to a $(b,--listen) daemon as a scripted wire client: \
+                 commands on stdin, one reply line per command.")
+
+let files_t =
+  (* not non_empty: -connect needs no sources (the daemon has them) *)
+  Arg.(value & pos_all file [] & info [] ~docv:"FILE.c" ~doc:"C source files to debug.")
+
+let main arch core serve listen connect files =
+  match connect with
+  | Some path -> run_connect ~path
+  | None -> (
+      if files = [] then begin
+        Printf.eprintf "ldb: no source files (required unless -connect)\n";
+        exit 1
+      end;
+      let sources = List.map (fun f -> (Filename.basename f, read_file f)) files in
+      try
+        match (core, serve, listen) with
+        | Some core_path, _, _ -> run_core_session ~core_path ~sources
+        | None, _, Some path -> run_listen ~arch ~sources ~path
+        | None, Some n, None -> run_server_demo ~arch ~sources ~n
+        | None, None, None -> run_session ~arch ~sources
+      with
+      | Ldb_cc.Compile.Error m -> Printf.eprintf "ldb: %s\n" m; exit 1
+      | Ldb_link.Link.Error m -> Printf.eprintf "ldb: %s\n" m; exit 1)
 
 let cmd =
   let doc = "a retargetable source-level debugger for simulated targets" in
-  Cmd.v (Cmd.info "ldb" ~doc) Term.(const main $ arch_t $ core_t $ serve_t $ files_t)
+  Cmd.v (Cmd.info "ldb" ~doc)
+    Term.(const main $ arch_t $ core_t $ serve_t $ listen_t $ connect_t $ files_t)
 
 let () =
-  (* accept the traditional single-dash spellings: ldb -core FILE, -serve N *)
+  (* accept the traditional single-dash spellings: ldb -core FILE, -serve N,
+     -listen SOCK, -connect SOCK *)
   let argv =
     Array.map
-      (fun a -> match a with "-core" -> "--core" | "-serve" -> "--serve" | a -> a)
+      (fun a ->
+        match a with
+        | "-core" -> "--core"
+        | "-serve" -> "--serve"
+        | "-listen" -> "--listen"
+        | "-connect" -> "--connect"
+        | a -> a)
       Sys.argv
   in
   exit (Cmd.eval ~argv cmd)

@@ -72,6 +72,7 @@ type limits = {
   li_hb_every : int;  (** ticks between heartbeats on a healthy session *)
   li_hb_max_misses : int;  (** consecutive misses before escalating to Down *)
   li_hb_deadline : int;  (** pump deadline of a probe — probes fail fast *)
+  li_max_log : int;  (** event-log entries kept before truncation *)
 }
 
 let default_limits =
@@ -82,6 +83,7 @@ let default_limits =
     li_hb_every = 4;
     li_hb_max_misses = 3;
     li_hb_deadline = 4;
+    li_max_log = 4096;
   }
 
 type session = {
@@ -115,8 +117,6 @@ type log_entry = { ev_tick : int; ev_session : int; ev_line : string }
 let log_entry_to_string e =
   Printf.sprintf "[tick %4d] session %3d: %s" e.ev_tick e.ev_session e.ev_line
 
-let max_log_entries = 4096
-
 (** How a server turns condition text into verified bytecode.  The
     expression server lives a library above this one, so the compiler is
     injected (see {!set_cond_compiler}); a server without one refuses
@@ -142,6 +142,7 @@ type t = {
   mutable sv_tick : int;
   mutable sv_log : log_entry list;  (** newest first, bounded *)
   mutable sv_log_len : int;
+  mutable sv_log_dropped : int;  (** entries lost to the cap, for the marker *)
   mutable sv_compile_cond : cond_compiler option;
 }
 
@@ -159,6 +160,7 @@ let create ?(limits = default_limits) () : t =
     sv_tick = 0;
     sv_log = [];
     sv_log_len = 0;
+    sv_log_dropped = 0;
     sv_compile_cond = None;
   }
 
@@ -172,14 +174,38 @@ let log (sv : t) (id : int) fmt =
     (fun line ->
       sv.sv_log <- { ev_tick = sv.sv_tick; ev_session = id; ev_line = line } :: sv.sv_log;
       sv.sv_log_len <- sv.sv_log_len + 1;
-      if sv.sv_log_len > max_log_entries then begin
-        sv.sv_log <- List.filteri (fun i _ -> i < max_log_entries) sv.sv_log;
-        sv.sv_log_len <- max_log_entries
+      let cap = sv.sv_limits.li_max_log in
+      if sv.sv_log_len > cap then begin
+        (* drop a batch of the oldest, not one at a time: the trim is O(n)
+           and must not run on every append once the log is full *)
+        let keep = max 1 (cap - (cap / 4)) in
+        sv.sv_log <- List.filteri (fun i _ -> i < keep) sv.sv_log;
+        sv.sv_log_dropped <- sv.sv_log_dropped + (sv.sv_log_len - keep);
+        sv.sv_log_len <- keep
       end)
     fmt
 
-(** The event log, oldest first — the soak harness's flight recorder. *)
-let events (sv : t) : log_entry list = List.rev sv.sv_log
+(** The event log, oldest first — the soak harness's flight recorder.
+    Truncation is never silent: when the cap has dropped older entries, a
+    marker entry (session 0, the server itself) opens the log saying how
+    many are gone, so a reader knows the record starts mid-story. *)
+let events (sv : t) : log_entry list =
+  let entries = List.rev sv.sv_log in
+  if sv.sv_log_dropped = 0 then entries
+  else
+    let oldest_tick = match entries with e :: _ -> e.ev_tick | [] -> sv.sv_tick in
+    {
+      ev_tick = oldest_tick;
+      ev_session = 0;
+      ev_line =
+        Printf.sprintf "event log truncated: %d older entr%s dropped"
+          sv.sv_log_dropped
+          (if sv.sv_log_dropped = 1 then "y" else "ies");
+    }
+    :: entries
+
+(** How many entries the cap has discarded so far. *)
+let events_dropped (sv : t) : int = sv.sv_log_dropped
 
 let session (sv : t) (id : int) : session option = Hashtbl.find_opt sv.sv_sessions id
 
@@ -378,6 +404,29 @@ let mark_down (sv : t) (s : session) ~(reason : string) : unit =
   s.ss_state <- Down { reason; salvaged };
   sv.sv_stats.sv_downs <- sv.sv_stats.sv_downs + 1;
   log sv s.ss_id "down: %s%s" reason (if salvaged then " (core salvaged)" else "")
+
+(** Release one session on the way to shutdown.  A healthy target is
+    detached — {!Ldb.detach} runs the full [unplant_for_release] trap
+    scrub, so the debuggee keeps running with clean text.  A target that
+    cannot detach (wire already dead, scrub fails) goes down the salvage
+    path instead: {!mark_down} grabs a core while anything still answers.
+    Terminal sessions are left alone. *)
+let drain_session (sv : t) (id : int) : [ `Detached | `Salvaged | `Already_over ] =
+  match session sv id with
+  | None -> `Already_over
+  | Some s -> (
+      match s.ss_state with
+      | Closed | Down _ -> `Already_over
+      | Healthy | Unresponsive _ -> (
+          match Ldb.detach s.ss_tg with
+          | () ->
+              s.ss_state <- Closed;
+              log sv id "drained (detached)";
+              Ldb.remove_target sv.sv_d s.ss_tg;
+              `Detached
+          | exception _ ->
+              mark_down sv s ~reason:"drain: detach failed";
+              `Salvaged))
 
 let heal (sv : t) (s : session) =
   match s.ss_state with

@@ -123,8 +123,11 @@ let outcome_of (tr : t) (ev : int) : event option =
        'S'  u32 signal | u32 code | u32 pc | u32 instrs
        'X'  u32 status | u32 instrs
        'C'  u32 ev | u32 delta | u8 kind | u32 a | u32 b
-            | u32 core length | core bytes
-            (kind 'r': running, a=b=0; 's': a=signal b=code; 'x': a=status) *)
+            | u8 comp | u32 stored length | stored bytes
+            (kind 'r': running, a=b=0; 's': a=signal b=code; 'x': a=status;
+             comp 'L': stored bytes are the LZW-compressed core,
+             comp 'R': stored bytes are the raw core — the encoder picks
+             whichever is smaller, the decoder is transparent) *)
 
 let magic = "LDBTRACE1"
 
@@ -144,7 +147,12 @@ let buf_str b s =
   buf_u32 b (String.length s);
   Buffer.add_string b s
 
-let encode_event (e : event) : char * string =
+(** Checkpoint cores dominate a trace's size and compress well (sparse
+    dumps are runs of structure); each is stored LZW-compressed when that
+    is actually smaller, raw otherwise, one flag byte deciding.  With
+    [~compress:false] cores are always stored raw — the bench uses it to
+    measure what compaction saves. *)
+let encode_event ?(compress = true) (e : event) : char * string =
   let b = Buffer.create 64 in
   let tag =
     match e with
@@ -177,12 +185,20 @@ let encode_event (e : event) : char * string =
             Buffer.add_char b 'x';
             buf_u32 b status;
             buf_u32 b 0);
-        buf_str b ck.ck_core;
+        let packed = if compress then Lzw.compress ck.ck_core else ck.ck_core in
+        if compress && String.length packed < String.length ck.ck_core then begin
+          Buffer.add_char b 'L';
+          buf_str b packed
+        end
+        else begin
+          Buffer.add_char b 'R';
+          buf_str b ck.ck_core
+        end;
         'C'
   in
   (tag, Buffer.contents b)
 
-let to_string (tr : t) : string =
+let to_string ?(compress = true) (tr : t) : string =
   let b = Buffer.create 4096 in
   Buffer.add_string b magic;
   buf_str b (Arch.name tr.tr_arch);
@@ -191,7 +207,7 @@ let to_string (tr : t) : string =
   Buffer.add_char b (if tr.tr_can_step then 'S' else '-');
   List.iter
     (fun e ->
-      let tag, body = encode_event e in
+      let tag, body = encode_event ~compress e in
       Buffer.add_char b tag;
       buf_u32 b (String.length body);
       Buffer.add_string b body;
@@ -266,10 +282,22 @@ let decode_body (tag : char) (body : string) : (event, string) result =
             | 'x' -> Ck_exited a
             | k -> raise (Hard (Printf.sprintf "bad checkpoint kind %C" k))
           in
+          let comp = Char.chr (u8 c "checkpoint compression flag") in
           let core_len = u32 c "checkpoint core length" in
           if core_len < 0 || core_len > max_core_bytes then Error "bad core length"
           else
-            let ck_core = take c core_len "checkpoint core" in
+            let stored = take c core_len "checkpoint core" in
+            let ck_core =
+              match comp with
+              | 'R' -> stored
+              | 'L' -> (
+                  (* bounded: a CRC-valid but hostile stream must not
+                     expand past what we would accept as a raw core *)
+                  try Lzw.decompress ~max_out:max_core_bytes stored
+                  with Invalid_argument _ ->
+                    raise (Hard "corrupt compressed checkpoint core"))
+              | f -> raise (Hard (Printf.sprintf "bad compression flag %C" f))
+            in
             fin (Checkpoint { ck_ev; ck_delta; ck_status; ck_core })
     | t -> Error (Printf.sprintf "unknown record tag %C" t)
   with

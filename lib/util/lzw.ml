@@ -90,8 +90,10 @@ let compress (s : string) : string =
   end
 
 (** [decompress s] inverts {!compress}.  Raises [Invalid_argument] on a
-    corrupt stream. *)
-let decompress (s : string) : string =
+    corrupt stream, or when the output would exceed [max_out] — callers
+    decoding untrusted bytes pass the bound they would accept raw, so a
+    small hostile stream cannot demand an enormous expansion. *)
+let decompress ?(max_out = max_int) (s : string) : string =
   if s = "" then ""
   else begin
     let dict = Hashtbl.create 4096 in
@@ -105,12 +107,17 @@ let decompress (s : string) : string =
       incr received;
       br_get br (width_at !received)
     in
-    let out = Buffer.create (String.length s * 3) in
+    let out = Buffer.create (max 16 (min max_out (String.length s * 3))) in
+    let add entry =
+      if Buffer.length out + String.length entry > max_out then
+        invalid_arg "Lzw.decompress: output over bound";
+      Buffer.add_string out entry
+    in
     match read () with
     | None -> ""
     | Some c0 ->
         let prev = ref (try Hashtbl.find dict c0 with Not_found -> invalid_arg "Lzw.decompress") in
-        Buffer.add_string out !prev;
+        add !prev;
         let continue = ref true in
         while !continue do
           match read () with
@@ -123,7 +130,7 @@ let decompress (s : string) : string =
                     if code = !next_code then !prev ^ String.make 1 !prev.[0]
                     else invalid_arg "Lzw.decompress: corrupt stream"
               in
-              Buffer.add_string out entry;
+              add entry;
               if !next_code < max_entries then begin
                 Hashtbl.replace dict !next_code (!prev ^ String.make 1 entry.[0]);
                 incr next_code

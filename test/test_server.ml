@@ -334,6 +334,39 @@ int main(void)
     );
   ]
 
+(** The bounded event log never truncates silently: once the cap drops
+    older entries, the log opens with a marker entry saying how many are
+    gone, and the newest entries are all still there. *)
+let test_log_truncation_marker () =
+  let sv =
+    Server.create ~limits:{ Server.default_limits with Server.li_max_log = 32 } ()
+  in
+  check Alcotest.int "nothing dropped yet" 0 (Server.events_dropped sv);
+  for i = 1 to 100 do
+    Server.log sv 1 "event %d" i
+  done;
+  let dropped = Server.events_dropped sv in
+  check Alcotest.bool "the cap dropped something" true (dropped > 0);
+  (match Server.events sv with
+  | marker :: rest ->
+      check Alcotest.int "the marker is the server's own entry" 0
+        marker.Server.ev_session;
+      let expect =
+        Printf.sprintf "event log truncated: %d older entries dropped" dropped
+      in
+      check Alcotest.string "the marker counts the dropped entries" expect
+        marker.Server.ev_line;
+      (match List.rev rest with
+      | newest :: _ ->
+          check Alcotest.string "the newest entry survived" "event 100"
+            newest.Server.ev_line
+      | [] -> Alcotest.fail "no entries survived the cap");
+      check Alcotest.bool "the kept entries fit the cap" true (List.length rest <= 32)
+  | [] -> Alcotest.fail "empty event log");
+  (* accounting: dropped + kept = everything ever logged *)
+  check Alcotest.int "no entry is unaccounted for" 100
+    (dropped + (List.length (Server.events sv) - 1))
+
 (** A crashed session's core feeds a post-mortem session in the same
     server, sharing the image; commands are queries only. *)
 let test_core_session () =
@@ -577,6 +610,7 @@ let () =
           case "disconnect hits only its own session" test_disconnect_isolated ] );
       ("backpressure", [ case "admission and RPC budgets refuse typed" test_backpressure ]);
       ("liveness", [ case "heartbeats escalate to down" test_heartbeat_escalation ]);
+      ("flight recorder", [ case "log truncation leaves a marker" test_log_truncation_marker ]);
       ("post-mortem", [ case "core-backed session shares the image" test_core_session ]);
       ("soak", [ case "chaos soak: 64 sessions, 5% faults" test_chaos_soak ]);
     ]

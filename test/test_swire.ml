@@ -1,0 +1,266 @@
+(** Wire-codec tests for the server front end: the decoders are total
+    (arbitrary bytes yield typed errors, never exceptions), every
+    command/reply/refusal constructor survives a round trip through its
+    frame, the scanner makes progress on any input (no byte stream can
+    wedge it), and a frame torn at {e every} byte boundary is resynced
+    past, recovering the intact frame behind it. *)
+
+open Ldb_machine
+module Swire = Ldb_ldb.Swire
+module Server = Ldb_ldb.Server
+module Ldb = Ldb_ldb.Ldb
+
+let check = Alcotest.check
+
+(* --- generators --------------------------------------------------------- *)
+
+let gen_name = QCheck.Gen.(string_size ~gen:(char_range 'a' 'z') (int_range 1 12))
+
+let gen_command : Server.command QCheck.Gen.t =
+  let open QCheck.Gen in
+  oneof
+    [
+      map (fun f -> Server.Break_function f) gen_name;
+      ( opt gen_name >>= fun file ->
+        int_bound 9999 >>= fun line -> return (Server.Break_line { file; line }) );
+      ( int_bound 0xffffff >>= fun addr ->
+        gen_name >>= fun cond -> return (Server.Condition { addr; cond }) );
+      return Server.Continue;
+      return Server.Step_source;
+      return Server.Where;
+      return Server.Backtrace;
+      map (fun v -> Server.Print v) gen_name;
+      map (fun v -> Server.Read_int v) gen_name;
+      return Server.Fetch_core;
+      return Server.Detach;
+      return Server.Kill;
+    ]
+
+let gen_state : Ldb.state QCheck.Gen.t =
+  let open QCheck.Gen in
+  oneof
+    [
+      return Ldb.Running;
+      ( oneofl
+          [ Signal.SIGTRAP; Signal.SIGSEGV; Signal.SIGFPE; Signal.SIGILL;
+            Signal.SIGABRT; Signal.SIGINT ]
+        >>= fun signal ->
+        int_bound 0xffffff >>= fun code ->
+        int_bound 0xffffff >>= fun ctx_addr ->
+        return (Ldb.Stopped { signal; code; ctx_addr }) );
+      map (fun n -> Ldb.Exited n) (int_range (-128) 255);
+      return Ldb.Detached;
+    ]
+
+let gen_reply : Server.reply QCheck.Gen.t =
+  let open QCheck.Gen in
+  oneof
+    [
+      return Server.R_unit;
+      map (fun a -> Server.R_addr a) (int_bound 0xffffff);
+      map (fun l -> Server.R_addrs l) (list_size (int_bound 8) (int_bound 0xffffff));
+      map (fun st -> Server.R_state st) gen_state;
+      map (fun t -> Server.R_text t) (string_size ~gen:printable (int_bound 200));
+      map (fun n -> Server.R_int n) (int_range (-0x40000000) 0x3fffffff);
+      map (fun co -> Server.R_core co) Testkit.core_gen;
+    ]
+
+let gen_refusal : Server.refusal QCheck.Gen.t =
+  let open QCheck.Gen in
+  oneof
+    [
+      map (fun id -> Server.No_such_session id) (int_bound 9999);
+      map (fun id -> Server.Session_closed id) (int_bound 9999);
+      ( gen_name >>= fun reason ->
+        bool >>= fun salvaged -> return (Server.Session_down { reason; salvaged }) );
+      map (fun m -> Server.Overloaded m) gen_name;
+      map (fun m -> Server.Failed m) gen_name;
+    ]
+
+let gen_client_msg : Swire.client_msg QCheck.Gen.t =
+  let open QCheck.Gen in
+  oneof
+    [
+      return (Swire.C_hello { magic = Swire.version_magic });
+      map (fun c -> Swire.C_cmd c) gen_command;
+      return Swire.C_bye;
+    ]
+
+let gen_server_msg : Swire.server_msg QCheck.Gen.t =
+  let open QCheck.Gen in
+  oneof
+    [
+      map (fun s -> Swire.S_hello { session = s }) (int_bound 9999);
+      map (fun r -> Swire.S_reply r) gen_reply;
+      map (fun r -> Swire.S_refused r) gen_refusal;
+      map (fun m -> Swire.S_error m) gen_name;
+      map (fun m -> Swire.S_bye m) gen_name;
+    ]
+
+let gen_bytes = QCheck.(string_gen_of_size (Gen.int_bound 300) Gen.char)
+
+(* --- totality ------------------------------------------------------------ *)
+
+let prop_decode_client_total =
+  Testkit.qtest "decode_client never raises" ~count:500 gen_bytes (fun s ->
+      match Swire.decode_client s with Ok _ | Error _ -> true)
+
+let prop_decode_server_total =
+  Testkit.qtest "decode_server never raises" ~count:500 gen_bytes (fun s ->
+      match Swire.decode_server s with Ok _ | Error _ -> true)
+
+(** The scanner is total {e and} makes progress: on any buffer it either
+    wants more bytes, consumes a frame, or skips at least one byte — so a
+    receive loop can never spin on a poisoned buffer. *)
+let prop_scan_progress =
+  Testkit.qtest "scan never raises and always progresses" ~count:500 gen_bytes
+    (fun s ->
+      match Swire.scan s with
+      | Swire.S_need -> true
+      | Swire.S_frame { used; _ } -> used > 0 && used <= String.length s
+      | Swire.S_skip { skip; _ } -> skip > 0 && skip <= String.length s)
+
+(* --- round trips --------------------------------------------------------- *)
+
+let prop_client_roundtrip =
+  Testkit.qtest "client messages roundtrip" ~count:500 (QCheck.make gen_client_msg)
+    (fun m ->
+      match Swire.decode_client (Swire.encode_client m) with
+      | Ok m' -> m' = m
+      | Error _ -> false)
+
+let prop_server_roundtrip =
+  Testkit.qtest "server messages roundtrip" ~count:300 (QCheck.make gen_server_msg)
+    (fun m ->
+      match Swire.decode_server (Swire.encode_server m) with
+      | Ok m' -> m' = m
+      | Error _ -> false)
+
+let prop_framed_roundtrip =
+  Testkit.qtest "sealed frames scan back out" ~count:300
+    (QCheck.make QCheck.Gen.(pair (int_bound 0xffffff) gen_client_msg))
+    (fun (seq, m) ->
+      let frame = Swire.seal ~seq (Swire.encode_client m) in
+      match Swire.scan frame with
+      | Swire.S_frame { seq = seq'; payload; used } ->
+          seq' = seq
+          && used = String.length frame
+          && Swire.decode_client payload = Ok m
+      | _ -> false)
+
+(* --- resync -------------------------------------------------------------- *)
+
+(** Drive a receive loop over a static buffer the way {!Evloop} does:
+    consume frames and skips; a stuck partial frame gets the
+    read-deadline treatment ([force_resync]).  Returns the decoded
+    client messages, in order. *)
+let drain_buffer (buf : string) : Swire.client_msg list =
+  let buf = ref buf in
+  let out = ref [] in
+  let stuck = ref false in
+  while not !stuck do
+    match Swire.scan !buf with
+    | Swire.S_frame { payload; used; _ } ->
+        buf := String.sub !buf used (String.length !buf - used);
+        (match Swire.decode_client payload with
+        | Ok m -> out := m :: !out
+        | Error _ -> ())
+    | Swire.S_skip { skip; _ } ->
+        buf := String.sub !buf skip (String.length !buf - skip)
+    | Swire.S_need ->
+        if String.length !buf = 0 then stuck := true
+        else begin
+          (* no more bytes are coming: this is the torn-frame stall the
+             loop answers with a forced resync *)
+          let next = Swire.force_resync !buf in
+          if next = !buf then stuck := true;
+          buf := next
+        end
+  done;
+  List.rev !out
+
+(** A frame torn at every possible byte boundary, followed by an intact
+    frame: the scanner must always recover the survivor, whatever the
+    tear left behind. *)
+let torn_at_every_offset_case () =
+  let torn_msg = Swire.C_cmd (Server.Print "torn_casualty") in
+  let survivor_msg = Swire.C_cmd (Server.Break_function "survivor") in
+  let torn = Swire.seal ~seq:7 (Swire.encode_client torn_msg) in
+  let survivor = Swire.seal ~seq:8 (Swire.encode_client survivor_msg) in
+  for cut = 0 to String.length torn - 1 do
+    let buf = String.sub torn 0 cut ^ survivor in
+    let got = drain_buffer buf in
+    if not (List.mem survivor_msg got) then
+      Alcotest.failf "tear at offset %d lost the intact frame behind it" cut
+  done;
+  (* and the whole frame, untorn, still arrives alongside *)
+  check Alcotest.int "untorn control: both frames decode" 2
+    (List.length (drain_buffer (torn ^ survivor)))
+
+(** Garbage of every flavor before a frame: scanned past, typed, frame
+    recovered. *)
+let garbage_prefix_case () =
+  let msg = Swire.C_cmd Server.Continue in
+  let frame = Swire.seal ~seq:1 (Swire.encode_client msg) in
+  List.iter
+    (fun junk ->
+      let got = drain_buffer (junk ^ frame) in
+      if got <> [ msg ] then
+        Alcotest.failf "garbage prefix %S did not resync to the frame" junk)
+    [
+      "x";
+      "garbage bytes";
+      "\xf5";  (* a lone magic-0 *)
+      "\xf5\x00";  (* magic-0 followed by a non-magic-1 *)
+      String.make 40 '\xf5';  (* a wall of false frame starts *)
+      "\x00\x00\x00\x00\x00\x00\x00\x00";
+    ]
+
+(** A corrupted frame (bit flip anywhere in header or payload) never
+    decodes as something else: it is skipped with a typed error, and a
+    clean frame after it still arrives. *)
+let corrupt_frame_case () =
+  let msg = Swire.C_cmd (Server.Read_int "x") in
+  let frame = Swire.seal ~seq:3 (Swire.encode_client msg) in
+  let clean_msg = Swire.C_cmd Server.Where in
+  let clean = Swire.seal ~seq:4 (Swire.encode_client clean_msg) in
+  for i = 0 to String.length frame - 1 do
+    let corrupt = Bytes.of_string frame in
+    Bytes.set corrupt i (Char.chr (Char.code (Bytes.get corrupt i) lxor 0x10));
+    let got = drain_buffer (Bytes.to_string corrupt ^ clean) in
+    (* the corrupted copy may survive only if the flip missed every
+       checked byte (impossible: CRC covers seq, len and payload, and the
+       magic is matched) — so either it was dropped and the clean frame
+       arrived, or the flip hit the gap between frames (no such gap) *)
+    if not (List.mem clean_msg got) then
+      Alcotest.failf "bit flip at %d lost the clean frame behind it" i;
+    if List.length got > 2 then Alcotest.failf "bit flip at %d duplicated frames" i
+  done
+
+(** The error renderer holds up its end of "typed": every error has a
+    readable rendering. *)
+let error_render_case () =
+  List.iter
+    (fun e -> check Alcotest.bool "renders" true (String.length (Swire.error_to_string e) > 0))
+    [
+      Swire.Garbage 3;
+      Swire.Bad_length { seq = 1; claimed = 1 lsl 30; limit = Swire.max_client_payload };
+      Swire.Bad_crc { seq = 2 };
+      Swire.Bad_message "mystery opcode";
+    ]
+
+let () =
+  Alcotest.run "swire"
+    [
+      ( "total",
+        [ prop_decode_client_total; prop_decode_server_total; prop_scan_progress ] );
+      ( "roundtrip",
+        [ prop_client_roundtrip; prop_server_roundtrip; prop_framed_roundtrip ] );
+      ( "resync",
+        [
+          Alcotest.test_case "torn frame at every offset" `Quick torn_at_every_offset_case;
+          Alcotest.test_case "garbage prefixes" `Quick garbage_prefix_case;
+          Alcotest.test_case "corrupt frame then clean frame" `Quick corrupt_frame_case;
+          Alcotest.test_case "errors render" `Quick error_render_case;
+        ] );
+    ]
