@@ -278,6 +278,9 @@ let repl d tg0 sess ~(proc : Host.process option) =
                finished := true
            | _ -> Printf.printf "unknown command: %s\n" line
          with
+         | Failure _ ->
+             (* e.g. int_of_string on `break :abc` — complain, don't die *)
+             Printf.printf "ldb: bad number in command: %s\n" line
          | Ldb.Error m -> Printf.printf "ldb: %s\n" m
          | Coredump.Dead_process m -> Printf.printf "ldb: %s\n" m
          | Transport.Error (_, m) -> Printf.printf "ldb: %s\n" m
@@ -346,15 +349,64 @@ let run_server_demo ~arch ~sources ~n =
 (* --- the wire daemon and its scripted client -------------------------------- *)
 
 (** A Unix socket as an {!Evloop.io}: non-blocking reads (the loop polls),
-    best-effort writes, EOF and errors folding into [io_alive]. *)
+    buffered non-blocking writes, EOF and errors folding into [io_alive].
+
+    The writer must never block the single-threaded daemon loop: a client
+    that sends commands without ever reading its socket fills the kernel
+    buffer, and a write that waited for it would wedge every other
+    connection.  Outbound bytes the socket will not take are buffered
+    here instead, flushed opportunistically on every write and on every
+    per-tick read; a peer whose buffer grows past [max_pending] or whose
+    flush makes no progress for [write_deadline] seconds is declared dead
+    — the loop then releases that one connection via [io_alive]. *)
 let io_of_fd ~(label : string) (fd : Unix.file_descr) : Evloop.io =
   Unix.set_nonblock fd;
   let alive = ref true in
   let buf = Bytes.create 4096 in
+  let pending = Buffer.create 256 in
+  let max_pending = 1 lsl 18 in
+  let write_deadline = 10.0 in
+  let stalled_since = ref None in
+  let kill () =
+    alive := false;
+    Buffer.clear pending
+  in
+  let flush () =
+    if !alive && Buffer.length pending > 0 then begin
+      let b = Buffer.to_bytes pending in
+      let len = Bytes.length b in
+      let pos = ref 0 in
+      let blocked = ref false in
+      while !alive && (not !blocked) && !pos < len do
+        match Unix.write fd b !pos (len - !pos) with
+        | 0 -> blocked := true
+        | n -> pos := !pos + n
+        | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) ->
+            blocked := true
+        | exception Unix.Unix_error (_, _, _) -> kill ()
+      done;
+      if !alive then
+        if !pos >= len then begin
+          Buffer.clear pending;
+          stalled_since := None
+        end
+        else begin
+          Buffer.clear pending;
+          Buffer.add_subbytes pending b !pos (len - !pos);
+          if !pos > 0 then stalled_since := None;
+          match !stalled_since with
+          | None -> stalled_since := Some (Unix.gettimeofday ())
+          | Some t0 ->
+              if Unix.gettimeofday () -. t0 > write_deadline then kill ()
+        end
+    end
+  in
   {
     Evloop.io_label = label;
     io_read =
       (fun () ->
+        (* the loop reads every tick: piggyback the outbound flush *)
+        flush ();
         if not !alive then ""
         else
           let rec drain acc =
@@ -373,21 +425,20 @@ let io_of_fd ~(label : string) (fd : Unix.file_descr) : Evloop.io =
           drain "");
     io_write =
       (fun s ->
-        if !alive then begin
-          let b = Bytes.of_string s in
-          let pos = ref 0 in
-          while !pos < Bytes.length b && !alive do
-            match Unix.write fd b !pos (Bytes.length b - !pos) with
-            | n -> pos := !pos + n
-            | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) ->
-                ignore (Unix.select [] [ fd ] [] 0.05)
-            | exception Unix.Unix_error (_, _, _) -> alive := false
-          done
-        end);
+        if !alive then
+          if Buffer.length pending + String.length s > max_pending then kill ()
+          else begin
+            Buffer.add_string pending s;
+            flush ()
+          end);
     io_alive = (fun () -> !alive);
     io_close =
       (fun () ->
-        if !alive then alive := false;
+        if !alive then begin
+          (* a last best-effort flush so goodbyes tend to arrive *)
+          flush ();
+          alive := false
+        end;
         try Unix.close fd with _ -> ());
   }
 
@@ -401,8 +452,22 @@ let run_listen ~arch ~sources ~path =
   let esess = Ldb_exprserver.Eval.start ~arch in
   Server.set_cond_compiler sv (fun d tg ~addr cond ->
       Ldb_exprserver.Eval.compile_condition d tg esess ~addr cond);
+  (* the daemon ticks every ~10ms, so the loop's tick-denominated limits
+     must be rescaled to wall-clock terms: the test-suite defaults
+     (idle_timeout = 64 ticks ≈ 0.6s) would reap any client that pauses
+     for under a second between commands — a human at -connect, or a
+     script with any delay.  Here a torn frame gets ~3s to complete and
+     a silent connection ~5 minutes before half-open reaping. *)
+  let limits =
+    {
+      Evloop.default_limits with
+      Evloop.el_read_deadline = 300;
+      el_idle_timeout = 30_000;
+      el_drain_deadline = 2_000;
+    }
+  in
   let loop =
-    Evloop.create sv ~bind:(fun ~conn_id ->
+    Evloop.create ~limits sv ~bind:(fun ~conn_id ->
         let p = Host.launch_image image in
         Server.open_session sv
           ~name:(Printf.sprintf "conn-%d" conn_id)
@@ -416,6 +481,9 @@ let run_listen ~arch ~sources ~path =
   let stop = ref false in
   Sys.set_signal Sys.sigterm (Sys.Signal_handle (fun _ -> stop := true));
   Sys.set_signal Sys.sigint (Sys.Signal_handle (fun _ -> stop := true));
+  (* a peer that disconnects with replies still buffered must be an
+     EPIPE folded into [io_alive], not a SIGPIPE death of the daemon *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
   Printf.printf "ldb: listening on %s (%s)\n%!" path (Ldb_machine.Arch.name arch);
   while not !stop do
     (match Unix.accept lsock with
@@ -451,10 +519,27 @@ let run_connect ~path =
      exit 1);
   let rx = ref "" in
   let seq = ref 0 in
+  (* a server that vanished mid-write must be a printable error, not a
+     SIGPIPE death *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  (* a short write would tear the frame and desynchronize the stream:
+     loop until the whole frame is out, retrying interrupts.  Returns
+     [false] when the server is gone. *)
   let send m =
     let frame = Swire.seal ~seq:!seq (Swire.encode_client m) in
     incr seq;
-    ignore (Unix.write_substring fd frame 0 (String.length frame))
+    let len = String.length frame in
+    let pos = ref 0 in
+    try
+      while !pos < len do
+        match Unix.write_substring fd frame !pos (len - !pos) with
+        | n -> pos := !pos + n
+        | exception Unix.Unix_error (EINTR, _, _) -> ()
+      done;
+      true
+    with Unix.Unix_error (e, _, _) ->
+      Printf.eprintf "ldb: write to server failed: %s\n" (Unix.error_message e);
+      false
   in
   let buf = Bytes.create 4096 in
   let rec recv_msg () =
@@ -480,7 +565,7 @@ let run_connect ~path =
         | exception Unix.Unix_error (_, _, _) -> None)
   in
   let say m = print_endline (Swire.server_msg_to_string m) in
-  send (Swire.C_hello { magic = Swire.version_magic });
+  if not (send (Swire.C_hello { magic = Swire.version_magic })) then exit 1;
   (match recv_msg () with
   | Some (Swire.S_hello _ as m) -> say m
   | Some m ->
@@ -492,9 +577,10 @@ let run_connect ~path =
   let parse words =
     match words with
     | [ "break"; spec ] when String.length spec > 0 && spec.[0] = ':' ->
-        Some
-          (Server.Break_line
-             { file = None; line = int_of_string (String.sub spec 1 (String.length spec - 1)) })
+        (* total: `break :abc` is an unknown command, not a crash *)
+        Option.map
+          (fun line -> Server.Break_line { file = None; line })
+          (int_of_string_opt (String.sub spec 1 (String.length spec - 1)))
     | [ "break"; f ] -> Some (Server.Break_function f)
     | [ "continue" ] | [ "c" ] -> Some Server.Continue
     | [ "step" ] | [ "s" ] -> Some Server.Step_source
@@ -512,8 +598,8 @@ let run_connect ~path =
     match In_channel.input_line stdin with
     | None | Some "bye" | Some "quit" ->
         finished := true;
-        send Swire.C_bye;
-        (match recv_msg () with Some m -> say m | None -> ())
+        if send Swire.C_bye then (
+          match recv_msg () with Some m -> say m | None -> ())
     | Some line -> (
         let words =
           String.split_on_char ' ' (String.trim line) |> List.filter (fun s -> s <> "")
@@ -523,13 +609,17 @@ let run_connect ~path =
         | _ -> (
             match parse words with
             | None -> Printf.printf "client: unknown command %S\n" line
-            | Some cmd -> (
-                send (Swire.C_cmd cmd);
-                match recv_msg () with
-                | Some m -> say m
-                | None ->
-                    prerr_endline "ldb: server closed the connection";
-                    finished := true)))
+            | Some cmd ->
+                if not (send (Swire.C_cmd cmd)) then begin
+                  prerr_endline "ldb: server closed the connection";
+                  finished := true
+                end
+                else (
+                  match recv_msg () with
+                  | Some m -> say m
+                  | None ->
+                      prerr_endline "ldb: server closed the connection";
+                      finished := true)))
   done;
   try Unix.close fd with _ -> ()
 

@@ -113,7 +113,7 @@ let outcome_of (tr : t) (ev : int) : event option =
 (* --- codec -------------------------------------------------------------- *)
 
 (* Layout (all integers little-endian u32 unless noted):
-     "LDBTRACE1"
+     "LDBTRACE2"
      u32 len + arch name bytes
      u32 fuel | u32 spacing | u8 step flag ('S'/'-')
      then records until end of string, each:
@@ -127,9 +127,14 @@ let outcome_of (tr : t) (ev : int) : event option =
             (kind 'r': running, a=b=0; 's': a=signal b=code; 'x': a=status;
              comp 'L': stored bytes are the LZW-compressed core,
              comp 'R': stored bytes are the raw core — the encoder picks
-             whichever is smaller, the decoder is transparent) *)
+             whichever is smaller, the decoder is transparent)
+   Version 1 ("LDBTRACE1") is identical except that its 'C' body has no
+   compression flag: after kind/a/b comes the raw core length directly.
+   The decoder keys on the magic and accepts both; the encoder always
+   writes version 2. *)
 
-let magic = "LDBTRACE1"
+let magic = "LDBTRACE2"
+let magic_v1 = "LDBTRACE1"
 
 (** A checkpoint body is dominated by its core dump; bounded like the
     core codec's section limit so a corrupt length cannot demand an
@@ -248,7 +253,8 @@ let take c n what =
   c.pos <- c.pos + n;
   s
 
-let decode_body (tag : char) (body : string) : (event, string) result =
+let decode_body ~(version : int) (tag : char) (body : string) :
+    (event, string) result =
   let c = { src = body; pos = 0 } in
   let fin v = if c.pos <> String.length body then Error "trailing bytes" else Ok v in
   try
@@ -282,7 +288,11 @@ let decode_body (tag : char) (body : string) : (event, string) result =
             | 'x' -> Ck_exited a
             | k -> raise (Hard (Printf.sprintf "bad checkpoint kind %C" k))
           in
-          let comp = Char.chr (u8 c "checkpoint compression flag") in
+          (* v1 checkpoints have no compression flag: the core is raw *)
+          let comp =
+            if version < 2 then 'R'
+            else Char.chr (u8 c "checkpoint compression flag")
+          in
           let core_len = u32 c "checkpoint core length" in
           if core_len < 0 || core_len > max_core_bytes then Error "bad core length"
           else
@@ -314,7 +324,11 @@ let of_string (s : string) : (t * salvage list, string) result =
   try
     let c = { src = s; pos = 0 } in
     let m = take c (String.length magic) "magic" in
-    if m <> magic then raise (Hard "not an LDBTRACE1 trace");
+    let version =
+      if m = magic then 2
+      else if m = magic_v1 then 1
+      else raise (Hard "not an LDBTRACE1/LDBTRACE2 trace")
+    in
     let arch_len = u32 c "arch length" in
     if arch_len < 0 || arch_len > 256 then raise (Hard "bad arch length");
     let arch_name = take c arch_len "arch name" in
@@ -360,7 +374,7 @@ let of_string (s : string) : (t * salvage list, string) result =
             stop := true
           end
           else begin
-            match decode_body tag body with
+            match decode_body ~version tag body with
             | Ok e ->
                 events := e :: !events;
                 incr index

@@ -417,6 +417,88 @@ let salvage_case () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "bad magic decoded"
 
+(** Traces recorded before trace compaction ("LDBTRACE1": no compression
+    flag in 'C' bodies, cores stored raw) still decode — the decoder
+    keys the checkpoint layout on the magic, so old recordings survive
+    the format bump instead of failing with a confusing flag error. *)
+let v1_compat_case () =
+  let u32 b v =
+    let cell = Bytes.create 4 in
+    Ldb_util.Endian.set_u32 Ldb_util.Endian.Little cell 0 (Int32.of_int v);
+    Buffer.add_bytes b cell
+  in
+  let str b s =
+    u32 b (String.length s);
+    Buffer.add_string b s
+  in
+  let body_of = function
+    | Trace.Req r -> ('Q', Proto.encode_request r)
+    | Trace.Stop { signal; code; pc; instrs } ->
+        let b = Buffer.create 16 in
+        List.iter (u32 b) [ signal; code; pc; instrs ];
+        ('S', Buffer.contents b)
+    | Trace.Exit { status; instrs } ->
+        let b = Buffer.create 8 in
+        List.iter (u32 b) [ status; instrs ];
+        ('X', Buffer.contents b)
+    | Trace.Checkpoint ck ->
+        (* the v1 layout: kind/a/b then the raw core length directly,
+           with no compression flag byte in between *)
+        let b = Buffer.create 64 in
+        u32 b ck.Trace.ck_ev;
+        u32 b ck.Trace.ck_delta;
+        (match ck.Trace.ck_status with
+        | Trace.Ck_running ->
+            Buffer.add_char b 'r';
+            u32 b 0;
+            u32 b 0
+        | Trace.Ck_stopped { signal; code } ->
+            Buffer.add_char b 's';
+            u32 b signal;
+            u32 b code
+        | Trace.Ck_exited status ->
+            Buffer.add_char b 'x';
+            u32 b status;
+            u32 b 0);
+        str b ck.Trace.ck_core;
+        ('C', Buffer.contents b)
+  in
+  let ck =
+    { Trace.ck_ev = 1; ck_delta = 7;
+      ck_status = Trace.Ck_stopped { signal = 5; code = 0 };
+      (* Trace treats the core as opaque bytes; content is not parsed here *)
+      ck_core = "pretend-core-bytes \x00\x01\x02 with runs aaaaaaaaaaaa" }
+  in
+  let events =
+    [ Trace.Req Proto.Continue;
+      Trace.Stop { signal = 5; code = 0; pc = 0x40; instrs = 9 };
+      Trace.Checkpoint ck;
+      Trace.Exit { status = 0; instrs = 3 } ]
+  in
+  let b = Buffer.create 256 in
+  Buffer.add_string b "LDBTRACE1";
+  str b (Arch.name Arch.Mips);
+  u32 b 100;
+  u32 b 8;
+  Buffer.add_char b 'S';
+  List.iter
+    (fun e ->
+      let tag, body = body_of e in
+      Buffer.add_char b tag;
+      u32 b (String.length body);
+      Buffer.add_string b body;
+      u32 b (Ldb_util.Crc32.string body))
+    events;
+  match Trace.of_string (Buffer.contents b) with
+  | Ok (tr, []) ->
+      check Alcotest.int "v1 trace decodes every record" (List.length events)
+        (List.length tr.Trace.tr_events);
+      check Alcotest.bool "v1 checkpoint core survives raw" true
+        (tr.Trace.tr_events = events)
+  | Ok (_, w :: _) ->
+      Alcotest.failf "v1 trace salvaged: %s" (Trace.salvage_to_string w)
+  | Error m -> Alcotest.failf "v1 trace hard-failed: %s" m
+
 (** A replay session over a truncated trace degrades to the shorter
     history instead of raising. *)
 let truncated_replay_case () =
@@ -450,6 +532,8 @@ let () =
       ("codec", [ prop_checkpoint_roundtrip; prop_decode_total ]);
       ( "salvage",
         [ Alcotest.test_case "typed reports, usable prefix" `Quick salvage_case;
+          Alcotest.test_case "v1 (pre-compaction) traces decode" `Quick
+            v1_compat_case;
           Alcotest.test_case "replay over a truncated trace" `Quick
             truncated_replay_case ] );
       ("rstep", arch_cases "reverse-step differential" timeline_case);
